@@ -1,0 +1,34 @@
+//! Ablation: query time vs the number of indexed Fourier coefficients k
+//! (the k-index cut-off of AFS93; the paper uses k = 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, stock_relation};
+use simq_query::execute;
+use simq_series::features::{FeatureScheme, Representation};
+use simq_storage::SeriesRelation;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let base = stock_relation("s", 1067, 128);
+    for k in [1usize, 2, 3, 4, 6] {
+        let scheme = FeatureScheme::new(k, Representation::Polar, true);
+        let mut rel = SeriesRelation::new("s", 128, scheme);
+        for r in base.rows() {
+            rel.insert(r.name.clone(), r.raw.clone()).unwrap();
+        }
+        let db = indexed_db(rel);
+        let q = "FIND SIMILAR TO ROW 0 IN s USING mavg(20) ON BOTH EPSILON 2.0";
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| execute(&db, q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

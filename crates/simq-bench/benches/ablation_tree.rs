@@ -1,0 +1,55 @@
+//! Ablation: R*-tree construction strategies — STR bulk load vs
+//! incremental insertion with and without forced reinsertion — measured
+//! on build time and range-query time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simq_bench::walk_relation;
+use simq_index::RTreeConfig;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let rel = walk_relation("r", 4000, 128);
+    let scheme = rel.scheme().clone();
+    let q = rel.row(0).unwrap().features.point.clone();
+    let rect = scheme.search_rect(&q, 2.0);
+
+    let mut group = c.benchmark_group("ablation_tree_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("bulk_str", |b| {
+        b.iter(|| rel.build_index(RTreeConfig::default()))
+    });
+    group.bench_function("insert_with_reinsert", |b| {
+        b.iter(|| rel.build_index_incremental(RTreeConfig::default()))
+    });
+    group.bench_function("insert_no_reinsert", |b| {
+        b.iter(|| {
+            rel.build_index_incremental(RTreeConfig {
+                forced_reinsert: false,
+                ..RTreeConfig::default()
+            })
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_tree_query");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let bulk = rel.build_index(RTreeConfig::default());
+    let incr = rel.build_index_incremental(RTreeConfig::default());
+    let sloppy = rel.build_index_incremental(RTreeConfig {
+        forced_reinsert: false,
+        ..RTreeConfig::default()
+    });
+    group.bench_function("query_bulk", |b| b.iter(|| bulk.range(&rect)));
+    group.bench_function("query_reinsert", |b| b.iter(|| incr.range(&rect)));
+    group.bench_function("query_no_reinsert", |b| b.iter(|| sloppy.range(&rect)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

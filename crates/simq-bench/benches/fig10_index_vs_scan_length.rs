@@ -1,0 +1,30 @@
+//! Figure 10: transformed index queries vs sequential scanning, varying
+//! sequence length (1,000 sequences, mavg(20)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, walk_relation};
+use simq_query::execute;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for len in [64usize, 128, 256, 512, 1024] {
+        let db = indexed_db(walk_relation("r", 1000, len));
+        let q = "FIND SIMILAR TO ROW 7 IN r USING mavg(20) ON BOTH EPSILON 1.0";
+        group.bench_with_input(BenchmarkId::new("index", len), &len, |b, _| {
+            b.iter(|| execute(&db, q).unwrap())
+        });
+        let qs = format!("{q} FORCE SCAN");
+        group.bench_with_input(BenchmarkId::new("scan", len), &len, |b, _| {
+            b.iter(|| execute(&db, &qs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 11: transformed index queries vs sequential scanning, varying
+//! the number of sequences (length 128, mavg(20)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, walk_relation};
+use simq_query::execute;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for count in [500usize, 2000, 6000, 12000] {
+        let db = indexed_db(walk_relation("r", count, 128));
+        let q = "FIND SIMILAR TO ROW 7 IN r USING mavg(20) ON BOTH EPSILON 1.0";
+        group.bench_with_input(BenchmarkId::new("index", count), &count, |b, _| {
+            b.iter(|| execute(&db, q).unwrap())
+        });
+        let qs = format!("{q} FORCE SCAN");
+        group.bench_with_input(BenchmarkId::new("scan", count), &count, |b, _| {
+            b.iter(|| execute(&db, &qs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 12: time per query as the answer-set size grows (1,067
+//! stock-like series × 128 days, ε varied) — index vs scan crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, stock_relation};
+use simq_query::execute;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let db = indexed_db(stock_relation("stocks", 1067, 128));
+    for eps in ["0.5", "2.0", "6.0", "10.0", "16.0"] {
+        let q = format!("FIND SIMILAR TO ROW 0 IN stocks USING mavg(20) ON BOTH EPSILON {eps}");
+        group.bench_with_input(BenchmarkId::new("index", eps), &eps, |b, _| {
+            b.iter(|| execute(&db, &q).unwrap())
+        });
+        let qs = format!("{q} FORCE SCAN");
+        group.bench_with_input(BenchmarkId::new("scan", eps), &eps, |b, _| {
+            b.iter(|| execute(&db, &qs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

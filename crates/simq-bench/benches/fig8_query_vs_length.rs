@@ -1,0 +1,31 @@
+//! Figure 8: time per range query varying the sequence length
+//! (1,000 sequences, identity transformation) — index traversal with vs
+//! without the transformation machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, walk_relation};
+use simq_query::execute;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for len in [64usize, 128, 256, 512, 1024] {
+        let db = indexed_db(walk_relation("r", 1000, len));
+        group.bench_with_input(BenchmarkId::new("index_plain", len), &len, |b, _| {
+            b.iter(|| execute(&db, "FIND SIMILAR TO ROW 7 IN r EPSILON 1.0").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("index_transform", len), &len, |b, _| {
+            b.iter(|| {
+                execute(&db, "FIND SIMILAR TO ROW 7 IN r USING identity EPSILON 1.0").unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 9: time per range query varying the number of sequences
+//! (length 128, identity transformation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, walk_relation};
+use simq_query::execute;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for count in [500usize, 2000, 6000, 12000] {
+        let db = indexed_db(walk_relation("r", count, 128));
+        group.bench_with_input(BenchmarkId::new("index_plain", count), &count, |b, _| {
+            b.iter(|| execute(&db, "FIND SIMILAR TO ROW 7 IN r EPSILON 1.0").unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("index_transform", count), &count, |b, _| {
+            b.iter(|| {
+                execute(&db, "FIND SIMILAR TO ROW 7 IN r USING identity EPSILON 1.0").unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

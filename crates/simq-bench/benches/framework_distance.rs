@@ -1,0 +1,48 @@
+//! Framework benchmark: the generic rewrite-rule search vs the
+//! edit-distance dynamic program on identical unit-cost systems, plus the
+//! cost of domain substring rules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simq_strings::{
+    levenshtein, rewrite_distance, weighted_edit_distance, EditCosts, RewriteBudget, RewriteRule,
+    RuleSet,
+};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framework_distance");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    let costs = EditCosts::default();
+    group.bench_function("dp_short", |b| {
+        b.iter(|| weighted_edit_distance("kitten", "sitting", &costs))
+    });
+    group.bench_function("dp_long", |b| {
+        b.iter(|| levenshtein(&"abcdefgh".repeat(16), &"badcfehg".repeat(16)))
+    });
+
+    let rules = RuleSet::unit_edits("ikstengч".trim_matches('ч')); // i,k,s,t,e,n,g
+    group.bench_function("search_short", |b| {
+        b.iter(|| rewrite_distance("kitten", "sitting", &rules, &RewriteBudget::with_cost(3.5)))
+    });
+
+    let domain = RuleSet::unit_edits("abcdefghijklmnopqrstuvwxyz ")
+        .with(RewriteRule::new("St ", "Saint ", 0.2));
+    group.bench_function("search_domain_rule", |b| {
+        b.iter(|| {
+            rewrite_distance(
+                "St Petersburg",
+                "Saint Petersburg",
+                &domain,
+                &RewriteBudget::with_cost(0.5),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 1: the spatial self-join under Tmavg20 with evaluation methods
+//! a (naive scan), b (early-abandoning scan), c (index, untransformed)
+//! and d (index, transformed). Reduced corpus for bench cadence; the
+//! `repro` binary runs the full 1,067×128.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simq_bench::{indexed_db, stock_relation};
+use simq_query::execute;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let db = indexed_db(stock_relation("stocks", 300, 128));
+    for m in ['a', 'b', 'c', 'd'] {
+        let q = format!("FIND PAIRS IN stocks USING mavg(20) EPSILON 0.3 METHOD {m}");
+        group.bench_function(format!("method_{m}"), |b| {
+            b.iter(|| execute(&db, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,491 @@
+//! The cost-bounded similarity distance — Equation 10 of the published
+//! framework instantiation:
+//!
+//! ```text
+//! D(x,y) = min( D0(x,y),
+//!               min_{T}      cost(T)  + D(T(x), y),
+//!               min_{T}      cost(T)  + D(x, T(y)),
+//!               min_{T1,T2}  cost(T1) + cost(T2) + D(T1(x), T2(y)) )
+//! ```
+//!
+//! The recursion is a shortest-path problem on the graph whose nodes are
+//! pairs of object values and whose edges apply one transformation to either
+//! side. Because edge weights (costs) are non-negative and the ground
+//! distance contributes only at the node itself, uniform-cost (Dijkstra)
+//! search explores states in order of spent cost and can stop as soon as the
+//! cheapest unexplored state's spent cost reaches the best total found.
+//!
+//! Termination: with zero-cost rules the graph can be infinitely deep (the
+//! paper's repeated-moving-average observation), so the search demands at
+//! least one of a finite *cost budget* with all-positive costs, or an
+//! explicit *depth bound*. A state-count safety valve guards against
+//! combinatorial blowups either way.
+
+use crate::object::DataObject;
+use crate::transform::TransformationSet;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration for the similarity-distance search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Upper bound on total transformation cost (the `c` of
+    /// `sim(o, e, t, c)`; the paper suggests it "could be proportional to
+    /// the Euclidean distance between the two original series").
+    pub cost_budget: f64,
+    /// Upper bound on the number of transformation applications across both
+    /// sides. Required when some rule has zero cost.
+    pub max_depth: Option<usize>,
+    /// Safety valve on distinct states expanded.
+    pub max_states: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            cost_budget: f64::INFINITY,
+            max_depth: Some(4),
+            max_states: 100_000,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration bounded by transformation cost only.
+    ///
+    /// # Panics
+    /// Panics if `budget` is negative or NaN.
+    pub fn with_budget(budget: f64) -> Self {
+        assert!(budget >= 0.0, "cost budget must be non-negative");
+        SearchConfig {
+            cost_budget: budget,
+            max_depth: None,
+            max_states: 100_000,
+        }
+    }
+
+    /// A configuration bounded by application depth only (used with
+    /// zero-cost rule sets, as in the paper's examples).
+    pub fn with_depth(depth: usize) -> Self {
+        SearchConfig {
+            cost_budget: f64::INFINITY,
+            max_depth: Some(depth),
+            max_states: 100_000,
+        }
+    }
+
+    /// Overrides the state safety valve, builder-style.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+}
+
+/// One step of a witness: which side a rule was applied to, and its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessStep {
+    /// Rule applied to the left object.
+    Left(String),
+    /// Rule applied to the right object.
+    Right(String),
+}
+
+/// The result of a similarity-distance computation.
+#[derive(Debug, Clone)]
+pub struct SimilarityResult {
+    /// The minimized total `transformation cost + ground distance`.
+    pub distance: f64,
+    /// Transformation cost spent on the witnessing path.
+    pub transform_cost: f64,
+    /// Ground distance at the witnessing state.
+    pub ground_distance: f64,
+    /// The sequence of rule applications realizing the distance.
+    pub witness: Vec<WitnessStep>,
+    /// Number of distinct states expanded (for diagnostics / benchmarks).
+    pub states_expanded: usize,
+    /// True when a search bound (budget, depth, or state valve) truncated
+    /// the exploration; the reported distance is then an upper bound.
+    pub truncated: bool,
+}
+
+/// Errors from distance computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistanceError {
+    /// The rule set contains a zero-cost rule and no depth bound was given:
+    /// the search space is infinitely deep.
+    UnboundedZeroCostSearch,
+}
+
+impl std::fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistanceError::UnboundedZeroCostSearch => write!(
+                f,
+                "transformation set contains zero-cost rules; a depth bound \
+                 (SearchConfig::max_depth) is required for termination"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistanceError {}
+
+/// Heap entry ordered by minimum spent cost (min-heap via reversed `Ord`).
+struct QueueEntry<O: DataObject> {
+    spent: f64,
+    depth: usize,
+    left: O,
+    right: O,
+    witness: Vec<WitnessStep>,
+}
+
+impl<O: DataObject> PartialEq for QueueEntry<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.spent == other.spent
+    }
+}
+impl<O: DataObject> Eq for QueueEntry<O> {}
+impl<O: DataObject> PartialOrd for QueueEntry<O> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<O: DataObject> Ord for QueueEntry<O> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest spent
+        // cost on top. Spent costs are finite by construction.
+        other
+            .spent
+            .partial_cmp(&self.spent)
+            .expect("spent costs are finite")
+    }
+}
+
+/// Computes the similarity distance `D(x, y)` of Equation 10 under the given
+/// transformation set and search bounds.
+///
+/// Returns the minimized distance together with the witnessing
+/// transformation sequence. The reported distance is exact unless
+/// `truncated` is set, in which case it is an upper bound (the true distance
+/// may use paths the bounds excluded).
+pub fn similarity_distance<O: DataObject>(
+    x: &O,
+    y: &O,
+    rules: &TransformationSet<O>,
+    config: &SearchConfig,
+) -> Result<SimilarityResult, DistanceError> {
+    if !rules.is_empty() && !rules.all_costs_positive() && config.max_depth.is_none() {
+        return Err(DistanceError::UnboundedZeroCostSearch);
+    }
+
+    let mut best = SimilarityResult {
+        distance: x.ground_distance(y),
+        transform_cost: 0.0,
+        ground_distance: x.ground_distance(y),
+        witness: Vec::new(),
+        states_expanded: 0,
+        truncated: false,
+    };
+
+    let mut heap: BinaryHeap<QueueEntry<O>> = BinaryHeap::new();
+    // Best spent cost at which each (left,right) value pair was reached.
+    let mut seen: HashMap<(O::Key, O::Key), f64> = HashMap::new();
+    seen.insert((x.key(), y.key()), 0.0);
+    heap.push(QueueEntry {
+        spent: 0.0,
+        depth: 0,
+        left: x.clone(),
+        right: y.clone(),
+        witness: Vec::new(),
+    });
+
+    let mut expanded = 0usize;
+    let mut truncated = false;
+
+    while let Some(entry) = heap.pop() {
+        // Dijkstra cutoff: every unexplored state costs at least `spent`,
+        // and ground distance is non-negative, so nothing can beat `best`.
+        if entry.spent >= best.distance {
+            break;
+        }
+        // Stale entry (a cheaper path to the same state was already
+        // processed).
+        if let Some(&s) = seen.get(&(entry.left.key(), entry.right.key())) {
+            if s < entry.spent {
+                continue;
+            }
+        }
+        expanded += 1;
+        if expanded > config.max_states {
+            truncated = true;
+            break;
+        }
+
+        let ground = entry.left.ground_distance(&entry.right);
+        let total = entry.spent + ground;
+        if total < best.distance {
+            best.distance = total;
+            best.transform_cost = entry.spent;
+            best.ground_distance = ground;
+            best.witness = entry.witness.clone();
+        }
+
+        if let Some(d) = config.max_depth {
+            if entry.depth >= d {
+                truncated = true; // deeper states exist but were cut off
+                continue;
+            }
+        }
+
+        for rule in rules.rules() {
+            let next_spent = entry.spent + rule.cost();
+            if next_spent > config.cost_budget || next_spent >= best.distance {
+                if next_spent > config.cost_budget {
+                    truncated = true;
+                }
+                continue;
+            }
+            // Apply to the left side.
+            if let Some(nl) = rule.apply(&entry.left) {
+                let key = (nl.key(), entry.right.key());
+                let better = seen.get(&key).is_none_or(|&s| next_spent < s);
+                if better {
+                    seen.insert(key, next_spent);
+                    let mut w = entry.witness.clone();
+                    w.push(WitnessStep::Left(rule.name().to_string()));
+                    heap.push(QueueEntry {
+                        spent: next_spent,
+                        depth: entry.depth + 1,
+                        left: nl,
+                        right: entry.right.clone(),
+                        witness: w,
+                    });
+                }
+            }
+            // Apply to the right side.
+            if let Some(nr) = rule.apply(&entry.right) {
+                let key = (entry.left.key(), nr.key());
+                let better = seen.get(&key).is_none_or(|&s| next_spent < s);
+                if better {
+                    seen.insert(key, next_spent);
+                    let mut w = entry.witness.clone();
+                    w.push(WitnessStep::Right(rule.name().to_string()));
+                    heap.push(QueueEntry {
+                        spent: next_spent,
+                        depth: entry.depth + 1,
+                        left: entry.left.clone(),
+                        right: nr,
+                        witness: w,
+                    });
+                }
+            }
+        }
+    }
+
+    best.states_expanded = expanded;
+    // Truncation only matters if it could have improved the result; when the
+    // search drained naturally below the cutoff the answer is exact. We keep
+    // the conservative flag: it is set iff some bound pruned a state.
+    best.truncated = truncated;
+    Ok(best)
+}
+
+/// Convenience predicate: are `x` and `y` within similarity distance `eps`
+/// under `rules`, spending at most `config.cost_budget` on transformations?
+pub fn within<O: DataObject>(
+    x: &O,
+    y: &O,
+    rules: &TransformationSet<O>,
+    config: &SearchConfig,
+    eps: f64,
+) -> Result<bool, DistanceError> {
+    Ok(similarity_distance(x, y, rules, config)?.distance <= eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::RealSequence;
+    use crate::transform::{FnTransformation, TransformationSet};
+
+    fn shift(amount: f64, cost: f64) -> FnTransformation<RealSequence> {
+        FnTransformation::new(format!("shift({amount})"), cost, move |s: &RealSequence| {
+            RealSequence::new(s.values().iter().map(|v| v + amount).collect())
+        })
+    }
+
+    fn scale(k: f64, cost: f64) -> FnTransformation<RealSequence> {
+        FnTransformation::new(format!("scale({k})"), cost, move |s: &RealSequence| {
+            RealSequence::new(s.values().iter().map(|v| v * k).collect())
+        })
+    }
+
+    #[test]
+    fn no_rules_gives_ground_distance() {
+        let a = RealSequence::new(vec![0.0, 0.0]);
+        let b = RealSequence::new(vec![3.0, 4.0]);
+        let r = similarity_distance(
+            &a,
+            &b,
+            &TransformationSet::empty(),
+            &SearchConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.distance, 5.0);
+        assert!(r.witness.is_empty());
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn single_shift_closes_the_gap() {
+        // b = a + 10; a shift(10) with cost 1 gives distance 1 instead of
+        // the raw Euclidean 10·√2.
+        let a = RealSequence::new(vec![0.0, 0.0]);
+        let b = RealSequence::new(vec![10.0, 10.0]);
+        let rules = TransformationSet::empty().with(shift(10.0, 1.0));
+        let r = similarity_distance(&a, &b, &rules, &SearchConfig::with_budget(5.0)).unwrap();
+        assert!((r.distance - 1.0).abs() < 1e-12);
+        assert_eq!(r.witness, vec![WitnessStep::Left("shift(10)".into())]);
+        assert_eq!(r.transform_cost, 1.0);
+        assert_eq!(r.ground_distance, 0.0);
+    }
+
+    #[test]
+    fn transformations_may_apply_to_either_side() {
+        // y shifted down matches x: rule must be applied to the right.
+        let x = RealSequence::new(vec![0.0]);
+        let y = RealSequence::new(vec![-10.0]);
+        let rules = TransformationSet::empty().with(shift(10.0, 1.0));
+        let r = similarity_distance(&x, &y, &rules, &SearchConfig::with_budget(5.0)).unwrap();
+        assert!((r.distance - 1.0).abs() < 1e-12);
+        assert_eq!(r.witness, vec![WitnessStep::Right("shift(10)".into())]);
+    }
+
+    #[test]
+    fn both_sides_case_of_equation_10() {
+        // x scaled by 2 and y scaled by 4 meet at (4): x=(2), y=(1).
+        let x = RealSequence::new(vec![2.0]);
+        let y = RealSequence::new(vec![1.0]);
+        let rules = TransformationSet::empty()
+            .with(scale(2.0, 0.25))
+            .with(scale(4.0, 0.25));
+        let r = similarity_distance(&x, &y, &rules, &SearchConfig::with_budget(1.0)).unwrap();
+        // Cheapest: scale x by 2 (cost .25) and y by 4 (cost .25) → both (4).
+        // Or y by 2 (cost .25) → (2) matches x: cost .25. That's cheaper.
+        assert!((r.distance - 0.25).abs() < 1e-12);
+        assert_eq!(r.witness.len(), 1);
+    }
+
+    #[test]
+    fn budget_prunes_expensive_paths() {
+        let a = RealSequence::new(vec![0.0]);
+        let b = RealSequence::new(vec![100.0]);
+        let rules = TransformationSet::empty().with(shift(100.0, 50.0));
+        // Budget below the rule cost: only the ground distance remains.
+        let r = similarity_distance(&a, &b, &rules, &SearchConfig::with_budget(10.0)).unwrap();
+        assert_eq!(r.distance, 100.0);
+        assert!(r.truncated);
+        // Budget above it: rule is used.
+        let r = similarity_distance(&a, &b, &rules, &SearchConfig::with_budget(60.0)).unwrap();
+        assert_eq!(r.distance, 50.0);
+    }
+
+    #[test]
+    fn zero_cost_rules_require_depth_bound() {
+        let rules =
+            TransformationSet::empty().with(shift(1.0, 0.0));
+        let a = RealSequence::new(vec![0.0]);
+        let b = RealSequence::new(vec![5.0]);
+        let err = similarity_distance(&a, &b, &rules, &SearchConfig::with_budget(10.0));
+        assert_eq!(err.unwrap_err(), DistanceError::UnboundedZeroCostSearch);
+
+        // With a depth bound the zero-cost shift can be applied repeatedly.
+        let r = similarity_distance(&a, &b, &rules, &SearchConfig::with_depth(5)).unwrap();
+        assert_eq!(r.distance, 0.0);
+        assert_eq!(r.witness.len(), 5);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let rules = TransformationSet::empty().with(shift(1.0, 0.0));
+        let a = RealSequence::new(vec![0.0]);
+        let b = RealSequence::new(vec![5.0]);
+        let r = similarity_distance(&a, &b, &rules, &SearchConfig::with_depth(2)).unwrap();
+        // Best reachable: shift twice → distance 3 (|2-5|), or shift b down
+        // is unavailable (only +1 rule), so 3.
+        assert_eq!(r.distance, 3.0);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn distance_is_symmetric_when_rules_allow_both_sides() {
+        let rules = TransformationSet::empty()
+            .with(shift(3.0, 0.5))
+            .with(scale(2.0, 0.5));
+        let a = RealSequence::new(vec![1.0, 2.0]);
+        let b = RealSequence::new(vec![5.0, 7.0]);
+        let cfg = SearchConfig::with_budget(2.0);
+        let d1 = similarity_distance(&a, &b, &rules, &cfg).unwrap().distance;
+        let d2 = similarity_distance(&b, &a, &rules, &cfg).unwrap().distance;
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_predicate() {
+        let a = RealSequence::new(vec![0.0]);
+        let b = RealSequence::new(vec![10.0]);
+        let rules = TransformationSet::empty().with(shift(10.0, 1.0));
+        let cfg = SearchConfig::with_budget(2.0);
+        assert!(within(&a, &b, &rules, &cfg, 1.5).unwrap());
+        assert!(!within(&a, &b, &rules, &cfg, 0.5).unwrap());
+    }
+
+    #[test]
+    fn dijkstra_finds_cheapest_of_multiple_paths() {
+        // Two ways to reach +4: one shift(4) at cost 3, or two shift(2) at
+        // cost 1 each (total 2). The search must prefer the two-step path.
+        let rules = TransformationSet::empty()
+            .with(shift(4.0, 3.0))
+            .with(shift(2.0, 1.0));
+        let a = RealSequence::new(vec![0.0]);
+        let b = RealSequence::new(vec![4.0]);
+        let r = similarity_distance(&a, &b, &rules, &SearchConfig::with_budget(10.0)).unwrap();
+        assert_eq!(r.distance, 2.0);
+        assert_eq!(r.witness.len(), 2);
+    }
+
+    #[test]
+    fn state_valve_truncates_gracefully() {
+        let rules = TransformationSet::empty()
+            .with(shift(1.0, 1.0))
+            .with(shift(-1.0, 1.0))
+            .with(scale(2.0, 1.0));
+        let a = RealSequence::new(vec![0.0]);
+        let b = RealSequence::new(vec![1000.0]);
+        let cfg = SearchConfig::with_budget(500.0).max_states(10);
+        let r = similarity_distance(&a, &b, &rules, &cfg).unwrap();
+        assert!(r.truncated);
+        assert!(r.distance <= 1000.0);
+    }
+
+    #[test]
+    fn incomparable_objects_become_comparable_through_rules() {
+        // Different lengths: infinite ground distance; an upsampling rule
+        // bridges them (the time-warping story of Example 1.2).
+        let warp2 = FnTransformation::new("warp2", 1.0, |s: &RealSequence| {
+            let mut out = Vec::with_capacity(s.len() * 2);
+            for &v in s.values() {
+                out.push(v);
+                out.push(v);
+            }
+            RealSequence::new(out)
+        });
+        let p = RealSequence::new(vec![20.0, 21.0, 20.0, 23.0]);
+        let s = RealSequence::new(vec![20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]);
+        assert_eq!(p.ground_distance(&s), f64::INFINITY);
+        let rules = TransformationSet::empty().with(warp2);
+        let r = similarity_distance(&p, &s, &rules, &SearchConfig::with_budget(2.0)).unwrap();
+        assert_eq!(r.distance, 1.0); // cost of one warp, ground distance 0
+        assert_eq!(r.witness, vec![WitnessStep::Left("warp2".into())]);
+    }
+}

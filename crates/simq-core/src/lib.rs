@@ -1,0 +1,39 @@
+//! # simq-core — the similarity-query framework (JMM95)
+//!
+//! The domain-independent similarity model of *Similarity-Based Queries*
+//! (Jagadish, Mendelzon, Milo — PODS 1995): a triple `(P, T, L)` of
+//!
+//! * a **pattern language** `P` denoting sets of objects ([`pattern`]),
+//! * a **transformation language** `T` of costed rewrite rules
+//!   ([`transform`]), and
+//! * a **query language** `L` with similarity predicates
+//!   `sim(o, e, t, c)` and range / all-pairs / nearest-neighbour queries
+//!   ([`model`]).
+//!
+//! The central definition is the cost-bounded similarity distance
+//! ([`distance`]), published as Equation 10 of the SIGMOD'97 instantiation:
+//! the minimum over transformation sequences (applied to either side) of
+//! total transformation cost plus ground distance. It is computed by
+//! uniform-cost search with exactness guarantees documented on
+//! [`distance::similarity_distance`].
+//!
+//! Domain instantiations live in sibling crates: `simq-series`/`simq-query`
+//! for time series (with R*-tree indexed evaluation), `simq-strings` for
+//! symbol strings (edit-style rule systems). This crate's evaluators are the
+//! *reference semantics* every indexed evaluator is property-tested against.
+
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod model;
+pub mod object;
+pub mod pattern;
+pub mod transform;
+
+pub use distance::{
+    similarity_distance, within, DistanceError, SearchConfig, SimilarityResult, WitnessStep,
+};
+pub use model::{Match, PairMatch, SimilarityModel};
+pub use object::{DataObject, RealSequence, SymbolString};
+pub use pattern::{FnPattern, Pattern, TrivialPattern};
+pub use transform::{Composed, FnTransformation, Identity, Transformation, TransformationSet};

@@ -1,0 +1,234 @@
+//! The similarity model `(P, T, L)` and reference query evaluation.
+//!
+//! [`SimilarityModel`] bundles a transformation set (`T`) with search bounds
+//! and offers the three query forms of the query language `L` — range,
+//! all-pairs, and k-nearest-neighbour — evaluated *by definition* against
+//! any collection of objects. This is the framework's reference semantics:
+//! domain crates (`simq-query` for time series) provide indexed evaluators
+//! that must return exactly these answers, and the property tests hold them
+//! to it.
+
+use crate::distance::{similarity_distance, DistanceError, SearchConfig, SimilarityResult};
+use crate::object::DataObject;
+use crate::pattern::Pattern;
+use crate::transform::TransformationSet;
+
+/// A similarity model: transformation language plus search bounds.
+///
+/// The pattern language is supplied per-query (any [`Pattern`]); the object
+/// domain is the type parameter.
+pub struct SimilarityModel<O: DataObject> {
+    rules: TransformationSet<O>,
+    config: SearchConfig,
+}
+
+/// A query answer: the matching object's position in the input collection,
+/// plus the full distance result (witness included).
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Index of the object in the queried collection.
+    pub index: usize,
+    /// Distance details, including the witnessing transformation sequence.
+    pub result: SimilarityResult,
+}
+
+/// An all-pairs answer: indices `i < j` and their distance result.
+#[derive(Debug, Clone)]
+pub struct PairMatch {
+    /// Index of the first object.
+    pub i: usize,
+    /// Index of the second object.
+    pub j: usize,
+    /// Distance details.
+    pub result: SimilarityResult,
+}
+
+impl<O: DataObject> SimilarityModel<O> {
+    /// Creates a model from a rule set and search configuration.
+    pub fn new(rules: TransformationSet<O>, config: SearchConfig) -> Self {
+        SimilarityModel { rules, config }
+    }
+
+    /// A model with no transformations: similarity is the ground distance.
+    pub fn ground() -> Self {
+        SimilarityModel {
+            rules: TransformationSet::empty(),
+            config: SearchConfig::default(),
+        }
+    }
+
+    /// The transformation set.
+    pub fn rules(&self) -> &TransformationSet<O> {
+        &self.rules
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The similarity distance between two objects under this model.
+    pub fn distance(&self, x: &O, y: &O) -> Result<SimilarityResult, DistanceError> {
+        similarity_distance(x, y, &self.rules, &self.config)
+    }
+
+    /// The JMM95 similarity predicate `sim(o, e, t, c)`: can `o` be
+    /// transformed into a member of the set denoted by `pattern` (evaluated
+    /// against `universe`) at total distance ≤ `eps`?
+    ///
+    /// The cost bound `c` is carried by this model's [`SearchConfig`].
+    pub fn sim(
+        &self,
+        o: &O,
+        pattern: &dyn Pattern<O>,
+        universe: &[O],
+        eps: f64,
+    ) -> Result<bool, DistanceError> {
+        for candidate in universe.iter().filter(|c| pattern.matches(c)) {
+            if self.distance(o, candidate)?.distance <= eps {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Range query: all objects within distance `eps` of `q`.
+    pub fn range_query(&self, q: &O, objects: &[O], eps: f64) -> Result<Vec<Match>, DistanceError> {
+        let mut out = Vec::new();
+        for (index, o) in objects.iter().enumerate() {
+            let result = self.distance(q, o)?;
+            if result.distance <= eps {
+                out.push(Match { index, result });
+            }
+        }
+        Ok(out)
+    }
+
+    /// All-pairs query (similarity self-join): all unordered pairs within
+    /// distance `eps`.
+    pub fn all_pairs(&self, objects: &[O], eps: f64) -> Result<Vec<PairMatch>, DistanceError> {
+        let mut out = Vec::new();
+        for i in 0..objects.len() {
+            for j in (i + 1)..objects.len() {
+                let result = self.distance(&objects[i], &objects[j])?;
+                if result.distance <= eps {
+                    out.push(PairMatch { i, j, result });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// k-nearest-neighbour query: the `k` objects closest to `q`, ordered by
+    /// ascending distance (ties broken by index for determinism).
+    pub fn nearest_neighbors(
+        &self,
+        q: &O,
+        objects: &[O],
+        k: usize,
+    ) -> Result<Vec<Match>, DistanceError> {
+        let mut all = Vec::with_capacity(objects.len());
+        for (index, o) in objects.iter().enumerate() {
+            let result = self.distance(q, o)?;
+            all.push(Match { index, result });
+        }
+        all.sort_by(|a, b| {
+            a.result
+                .distance
+                .partial_cmp(&b.result.distance)
+                .expect("distances are not NaN")
+                .then(a.index.cmp(&b.index))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::RealSequence;
+    use crate::pattern::{FnPattern, TrivialPattern};
+    use crate::transform::FnTransformation;
+
+    fn seq(v: &[f64]) -> RealSequence {
+        RealSequence::new(v.to_vec())
+    }
+
+    fn model_with_shift() -> SimilarityModel<RealSequence> {
+        let rules = TransformationSet::empty().with(FnTransformation::new(
+            "shift(5)",
+            1.0,
+            |s: &RealSequence| RealSequence::new(s.values().iter().map(|v| v + 5.0).collect()),
+        ));
+        SimilarityModel::new(rules, SearchConfig::with_budget(3.0))
+    }
+
+    #[test]
+    fn ground_model_range_query() {
+        let m = SimilarityModel::ground();
+        let objs = vec![seq(&[0.0]), seq(&[1.0]), seq(&[10.0])];
+        let hits = m.range_query(&seq(&[0.0]), &objs, 2.0).unwrap();
+        let idx: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn transformed_range_query_reaches_farther() {
+        let m = model_with_shift();
+        let objs = vec![seq(&[5.0]), seq(&[6.0]), seq(&[50.0])];
+        // q=(0): (5) is one shift away (cost 1), (6) is shift + ground 1 = 2.
+        let hits = m.range_query(&seq(&[0.0]), &objs, 2.0).unwrap();
+        let idx: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![0, 1]);
+        assert_eq!(hits[0].result.witness.len(), 1);
+    }
+
+    #[test]
+    fn all_pairs_returns_each_pair_once() {
+        let m = SimilarityModel::ground();
+        let objs = vec![seq(&[0.0]), seq(&[0.5]), seq(&[0.9])];
+        let pairs = m.all_pairs(&objs, 0.6).unwrap();
+        let idx: Vec<(usize, usize)> = pairs.iter().map(|p| (p.i, p.j)).collect();
+        assert_eq!(idx, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let m = SimilarityModel::ground();
+        let objs = vec![seq(&[9.0]), seq(&[1.0]), seq(&[4.0]), seq(&[0.5])];
+        let nn = m.nearest_neighbors(&seq(&[0.0]), &objs, 2).unwrap();
+        let idx: Vec<usize> = nn.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![3, 1]);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_collection() {
+        let m = SimilarityModel::ground();
+        let objs = vec![seq(&[1.0])];
+        let nn = m.nearest_neighbors(&seq(&[0.0]), &objs, 10).unwrap();
+        assert_eq!(nn.len(), 1);
+    }
+
+    #[test]
+    fn sim_predicate_over_pattern() {
+        let m = model_with_shift();
+        let universe = vec![seq(&[5.0]), seq(&[100.0])];
+        // o=(0) is one shift from (5): sim holds at eps=1 for the Any set.
+        assert!(m
+            .sim(&seq(&[0.0]), &TrivialPattern::Any, &universe, 1.0)
+            .unwrap());
+        // Restrict the pattern to large values only: (100) is out of reach.
+        let large = FnPattern::new("large", |s: &RealSequence| s.values()[0] > 50.0);
+        assert!(!m.sim(&seq(&[0.0]), &large, &universe, 1.0).unwrap());
+    }
+
+    #[test]
+    fn reference_semantics_deterministic_ties() {
+        let m = SimilarityModel::ground();
+        let objs = vec![seq(&[1.0]), seq(&[1.0]), seq(&[1.0])];
+        let nn = m.nearest_neighbors(&seq(&[1.0]), &objs, 2).unwrap();
+        let idx: Vec<usize> = nn.iter().map(|h| h.index).collect();
+        assert_eq!(idx, vec![0, 1]); // ties broken by index
+    }
+}

@@ -1,0 +1,182 @@
+//! The pattern language `P` of the similarity model.
+//!
+//! An expression in `P` specifies a set of data objects. The framework ships
+//! the language actually used by the published instantiation — "a pattern
+//! expression specifies either a given constant data object, or every object
+//! in the database" — plus the standard set combinators, and leaves richer
+//! domain-specific pattern sublanguages (e.g. string wildcards in
+//! `simq-strings`) to implement [`Pattern`] themselves.
+//!
+//! The expression `t(e)` — "apply transformation `t` to every member of the
+//! set denoted by `e`" (written `e ≈ t` in JMM95) — is represented by
+//! a *transformed pattern* at the query level: membership of `o` in `t(e)` is
+//! tested by checking whether some pre-image of `o` matches `e`. Since our
+//! transformations are not generally invertible, `t(e)` is evaluated by
+//! *enumerating* `e` against a relation and applying `t`, which is exactly
+//! how the query processor uses it (Algorithm 2 pushes `t` into the index
+//! traversal instead of materializing `t(e)`).
+
+use crate::object::DataObject;
+
+/// A predicate denoting a set of objects.
+pub trait Pattern<O: DataObject> {
+    /// Does `obj` belong to the set this pattern denotes?
+    fn matches(&self, obj: &O) -> bool;
+
+    /// Human-readable rendering for plans and errors.
+    fn describe(&self) -> String;
+}
+
+/// The trivial pattern language: a constant object or every object.
+#[derive(Debug, Clone)]
+pub enum TrivialPattern<O: DataObject> {
+    /// Exactly the given object (matched by deduplication key).
+    Constant(O),
+    /// Every object in the database.
+    Any,
+}
+
+impl<O: DataObject> Pattern<O> for TrivialPattern<O> {
+    fn matches(&self, obj: &O) -> bool {
+        match self {
+            TrivialPattern::Constant(c) => c.key() == obj.key(),
+            TrivialPattern::Any => true,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            TrivialPattern::Constant(c) => format!("constant({c:?})"),
+            TrivialPattern::Any => "any".to_string(),
+        }
+    }
+}
+
+/// Union of two patterns.
+pub struct Union<A, B>(pub A, pub B);
+
+impl<O: DataObject, A: Pattern<O>, B: Pattern<O>> Pattern<O> for Union<A, B> {
+    fn matches(&self, obj: &O) -> bool {
+        self.0.matches(obj) || self.1.matches(obj)
+    }
+
+    fn describe(&self) -> String {
+        format!("({} ∪ {})", self.0.describe(), self.1.describe())
+    }
+}
+
+/// Intersection of two patterns.
+pub struct Intersection<A, B>(pub A, pub B);
+
+impl<O: DataObject, A: Pattern<O>, B: Pattern<O>> Pattern<O> for Intersection<A, B> {
+    fn matches(&self, obj: &O) -> bool {
+        self.0.matches(obj) && self.1.matches(obj)
+    }
+
+    fn describe(&self) -> String {
+        format!("({} ∩ {})", self.0.describe(), self.1.describe())
+    }
+}
+
+/// Complement of a pattern.
+pub struct Not<A>(pub A);
+
+impl<O: DataObject, A: Pattern<O>> Pattern<O> for Not<A> {
+    fn matches(&self, obj: &O) -> bool {
+        !self.0.matches(obj)
+    }
+
+    fn describe(&self) -> String {
+        format!("¬{}", self.0.describe())
+    }
+}
+
+/// A pattern defined by an arbitrary predicate closure.
+pub struct FnPattern<O: DataObject> {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn Fn(&O) -> bool + Send + Sync>,
+}
+
+impl<O: DataObject> FnPattern<O> {
+    /// Creates a pattern from a predicate.
+    pub fn new(name: impl Into<String>, f: impl Fn(&O) -> bool + Send + Sync + 'static) -> Self {
+        FnPattern {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<O: DataObject> Pattern<O> for FnPattern<O> {
+    fn matches(&self, obj: &O) -> bool {
+        (self.f)(obj)
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::RealSequence;
+
+    fn seq(v: &[f64]) -> RealSequence {
+        RealSequence::new(v.to_vec())
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let p = TrivialPattern::<RealSequence>::Any;
+        assert!(p.matches(&seq(&[1.0])));
+        assert!(p.matches(&seq(&[])));
+    }
+
+    #[test]
+    fn constant_matches_by_value() {
+        let p = TrivialPattern::Constant(seq(&[1.0, 2.0]));
+        assert!(p.matches(&seq(&[1.0, 2.0])));
+        assert!(!p.matches(&seq(&[1.0, 2.5])));
+        assert!(!p.matches(&seq(&[1.0])));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let short = FnPattern::new("short", |s: &RealSequence| s.len() <= 2);
+        let positive = FnPattern::new("positive", |s: &RealSequence| {
+            s.values().iter().all(|&v| v > 0.0)
+        });
+        let both = Intersection(short, positive);
+        assert!(both.matches(&seq(&[1.0, 2.0])));
+        assert!(!both.matches(&seq(&[-1.0])));
+        assert!(!both.matches(&seq(&[1.0, 2.0, 3.0])));
+
+        let either = Union(
+            FnPattern::new("short", |s: &RealSequence| s.len() <= 2),
+            FnPattern::new("positive", |s: &RealSequence| {
+                s.values().iter().all(|&v| v > 0.0)
+            }),
+        );
+        assert!(either.matches(&seq(&[1.0, 2.0, 3.0])));
+        assert!(either.matches(&seq(&[-5.0])));
+        assert!(!either.matches(&seq(&[-5.0, 1.0, 2.0])));
+    }
+
+    #[test]
+    fn negation() {
+        let p = Not(TrivialPattern::Constant(seq(&[1.0])));
+        assert!(!p.matches(&seq(&[1.0])));
+        assert!(p.matches(&seq(&[2.0])));
+    }
+
+    #[test]
+    fn describe_renders() {
+        let p = Union(
+            TrivialPattern::<RealSequence>::Any,
+            Not(TrivialPattern::<RealSequence>::Any),
+        );
+        assert_eq!(p.describe(), "(any ∪ ¬any)");
+    }
+}

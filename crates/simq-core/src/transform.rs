@@ -1,0 +1,312 @@
+//! The transformation language `T` of the similarity model.
+//!
+//! A transformation maps objects to objects and carries a non-negative
+//! **cost**. A [`TransformationSet`] is a finite collection of named
+//! transformations — the `t` in the similarity predicate `sim(o, e, t, c)`
+//! and in the recursive distance of Equation 10.
+//!
+//! Following the paper's examples, costs default to zero ("for simplicity,
+//! in our examples we assign a cost of zero to all transformations") but the
+//! framework requires an explicit bound on either cost or depth before it
+//! will search with zero-cost rules, because a zero-cost set makes the
+//! transformation graph infinitely deep (the paper makes the same point with
+//! repeated moving averages: "if we keep taking the moving average, two
+//! series eventually will be the same").
+
+use crate::object::DataObject;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single transformation rule: a named, costed map from objects to
+/// objects.
+pub trait Transformation<O: DataObject>: Send + Sync {
+    /// Applies the transformation, producing a new object.
+    ///
+    /// Returns `None` when the transformation is not applicable to this
+    /// object (e.g. a moving average wider than the series); inapplicable
+    /// transformations are simply skipped by the search.
+    fn apply(&self, obj: &O) -> Option<O>;
+
+    /// The cost charged for one application. Must be non-negative and
+    /// finite.
+    fn cost(&self) -> f64;
+
+    /// Human-readable name used in query plans and witnesses.
+    fn name(&self) -> &str;
+}
+
+/// The boxed application function of an [`FnTransformation`].
+type ApplyFn<O> = Arc<dyn Fn(&O) -> Option<O> + Send + Sync>;
+
+/// A transformation defined by a closure; the workhorse constructor for
+/// domain crates and tests.
+pub struct FnTransformation<O: DataObject> {
+    name: String,
+    cost: f64,
+    f: ApplyFn<O>,
+}
+
+impl<O: DataObject> FnTransformation<O> {
+    /// Creates a transformation from a total function.
+    ///
+    /// # Panics
+    /// Panics if `cost` is negative or non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        cost: f64,
+        f: impl Fn(&O) -> O + Send + Sync + 'static,
+    ) -> Self {
+        Self::fallible(name, cost, move |o| Some(f(o)))
+    }
+
+    /// Creates a transformation from a partial function.
+    ///
+    /// # Panics
+    /// Panics if `cost` is negative or non-finite.
+    pub fn fallible(
+        name: impl Into<String>,
+        cost: f64,
+        f: impl Fn(&O) -> Option<O> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "transformation cost must be finite and non-negative, got {cost}"
+        );
+        FnTransformation {
+            name: name.into(),
+            cost,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<O: DataObject> Transformation<O> for FnTransformation<O> {
+    fn apply(&self, obj: &O) -> Option<O> {
+        (self.f)(obj)
+    }
+
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<O: DataObject> fmt::Debug for FnTransformation<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnTransformation")
+            .field("name", &self.name)
+            .field("cost", &self.cost)
+            .finish()
+    }
+}
+
+/// The composition `second ∘ first` of two transformations; cost is the sum
+/// of the parts. The paper composes transformations freely ("reverse THEN
+/// 20-day moving average" in Example 2.2).
+pub struct Composed<O: DataObject> {
+    name: String,
+    first: Arc<dyn Transformation<O>>,
+    second: Arc<dyn Transformation<O>>,
+}
+
+impl<O: DataObject> Composed<O> {
+    /// Composes two transformations, applying `first` then `second`.
+    pub fn new(first: Arc<dyn Transformation<O>>, second: Arc<dyn Transformation<O>>) -> Self {
+        let name = format!("{}∘{}", second.name(), first.name());
+        Composed {
+            name,
+            first,
+            second,
+        }
+    }
+}
+
+impl<O: DataObject> Transformation<O> for Composed<O> {
+    fn apply(&self, obj: &O) -> Option<O> {
+        self.second.apply(&self.first.apply(obj)?)
+    }
+
+    fn cost(&self) -> f64 {
+        self.first.cost() + self.second.cost()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The identity transformation `T_i = (I, 0)` used by the paper's
+/// experiments to compare transformed and untransformed index traversals.
+pub struct Identity;
+
+impl<O: DataObject> Transformation<O> for Identity {
+    fn apply(&self, obj: &O) -> Option<O> {
+        Some(obj.clone())
+    }
+
+    fn cost(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &str {
+        "identity"
+    }
+}
+
+/// A finite set of transformation rules — the language `T`.
+#[derive(Clone)]
+pub struct TransformationSet<O: DataObject> {
+    rules: Vec<Arc<dyn Transformation<O>>>,
+}
+
+impl<O: DataObject> TransformationSet<O> {
+    /// Creates an empty set (similarity degenerates to the ground distance).
+    pub fn empty() -> Self {
+        TransformationSet { rules: Vec::new() }
+    }
+
+    /// Creates a set from boxed rules.
+    pub fn new(rules: Vec<Arc<dyn Transformation<O>>>) -> Self {
+        TransformationSet { rules }
+    }
+
+    /// Adds a rule, builder-style.
+    pub fn with(mut self, rule: impl Transformation<O> + 'static) -> Self {
+        self.rules.push(Arc::new(rule));
+        self
+    }
+
+    /// Adds an already-shared rule, builder-style.
+    pub fn with_arc(mut self, rule: Arc<dyn Transformation<O>>) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Iterates over the rules.
+    pub fn rules(&self) -> &[Arc<dyn Transformation<O>>] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The smallest strictly positive rule cost, if any. Used by the
+    /// distance search to bound depth when a cost budget is given.
+    pub fn min_positive_cost(&self) -> Option<f64> {
+        self.rules
+            .iter()
+            .map(|r| r.cost())
+            .filter(|c| *c > 0.0)
+            .min_by(|a, b| a.partial_cmp(b).expect("costs are finite"))
+    }
+
+    /// True when every rule has a strictly positive cost, which guarantees
+    /// the budgeted search terminates without a depth bound.
+    pub fn all_costs_positive(&self) -> bool {
+        self.rules.iter().all(|r| r.cost() > 0.0)
+    }
+
+    /// Looks a rule up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Transformation<O>>> {
+        self.rules.iter().find(|r| r.name() == name)
+    }
+}
+
+impl<O: DataObject> fmt::Debug for TransformationSet<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.rules.iter().map(|r| r.name()).collect();
+        f.debug_struct("TransformationSet")
+            .field("rules", &names)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::RealSequence;
+
+    fn double() -> FnTransformation<RealSequence> {
+        FnTransformation::new("double", 1.0, |s: &RealSequence| {
+            RealSequence::new(s.values().iter().map(|v| v * 2.0).collect())
+        })
+    }
+
+    fn inc() -> FnTransformation<RealSequence> {
+        FnTransformation::new("inc", 0.5, |s: &RealSequence| {
+            RealSequence::new(s.values().iter().map(|v| v + 1.0).collect())
+        })
+    }
+
+    #[test]
+    fn fn_transformation_applies() {
+        let t = double();
+        let out = t.apply(&RealSequence::new(vec![1.0, 2.0])).unwrap();
+        assert_eq!(out.values(), &[2.0, 4.0]);
+        assert_eq!(t.cost(), 1.0);
+        assert_eq!(t.name(), "double");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        let _ = FnTransformation::new("bad", -1.0, |s: &RealSequence| s.clone());
+    }
+
+    #[test]
+    fn composition_applies_in_order_and_sums_cost() {
+        let c = Composed::new(Arc::new(double()), Arc::new(inc()));
+        // (1,2) --double--> (2,4) --inc--> (3,5)
+        let out = c.apply(&RealSequence::new(vec![1.0, 2.0])).unwrap();
+        assert_eq!(out.values(), &[3.0, 5.0]);
+        assert_eq!(c.cost(), 1.5);
+        assert_eq!(c.name(), "inc∘double");
+    }
+
+    #[test]
+    fn identity_is_free_and_total() {
+        let id = Identity;
+        let s = RealSequence::new(vec![7.0]);
+        assert_eq!(
+            Transformation::<RealSequence>::apply(&id, &s).unwrap(),
+            s.clone()
+        );
+        assert_eq!(Transformation::<RealSequence>::cost(&id), 0.0);
+    }
+
+    #[test]
+    fn set_queries() {
+        let set = TransformationSet::empty().with(double()).with(inc());
+        assert_eq!(set.len(), 2);
+        assert!(set.all_costs_positive());
+        assert_eq!(set.min_positive_cost(), Some(0.5));
+        assert!(set.get("double").is_some());
+        assert!(set.get("missing").is_none());
+    }
+
+    #[test]
+    fn zero_cost_detected() {
+        let set = TransformationSet::<RealSequence>::empty().with(Identity);
+        assert!(!set.all_costs_positive());
+        assert_eq!(set.min_positive_cost(), None);
+    }
+
+    #[test]
+    fn fallible_transformation_can_refuse() {
+        let t = FnTransformation::fallible("only-long", 1.0, |s: &RealSequence| {
+            (s.len() >= 3).then(|| s.clone())
+        });
+        assert!(t.apply(&RealSequence::new(vec![1.0])).is_none());
+        assert!(t.apply(&RealSequence::new(vec![1.0, 2.0, 3.0])).is_some());
+    }
+}

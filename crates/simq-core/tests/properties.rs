@@ -1,0 +1,76 @@
+//! Property tests for the framework distance (Equation 10): bounds,
+//! symmetry under symmetric rule sets, budget monotonicity.
+
+use proptest::prelude::*;
+use simq_core::{
+    similarity_distance, DataObject, FnTransformation, RealSequence, SearchConfig,
+    TransformationSet,
+};
+
+fn seq() -> impl Strategy<Value = RealSequence> {
+    prop::collection::vec(-20.0f64..20.0, 1..6).prop_map(RealSequence::new)
+}
+
+fn shift_rules() -> TransformationSet<RealSequence> {
+    TransformationSet::empty()
+        .with(FnTransformation::new("up", 0.5, |s: &RealSequence| {
+            RealSequence::new(s.values().iter().map(|v| v + 1.0).collect())
+        }))
+        .with(FnTransformation::new("down", 0.5, |s: &RealSequence| {
+            RealSequence::new(s.values().iter().map(|v| v - 1.0).collect())
+        }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The similarity distance never exceeds the ground distance (the
+    /// empty transformation sequence is always available).
+    #[test]
+    fn bounded_by_ground_distance(x in seq(), y in seq()) {
+        let rules = shift_rules();
+        let cfg = SearchConfig::with_budget(2.0).max_states(5_000);
+        let d = similarity_distance(&x, &y, &rules, &cfg).unwrap();
+        let ground = x.ground_distance(&y);
+        if ground.is_finite() {
+            prop_assert!(d.distance <= ground + 1e-9);
+        }
+    }
+
+    /// Symmetric rule sets give symmetric distances.
+    #[test]
+    fn symmetric(x in seq(), y in seq()) {
+        let rules = shift_rules();
+        let cfg = SearchConfig::with_budget(1.5).max_states(5_000);
+        let dxy = similarity_distance(&x, &y, &rules, &cfg).unwrap().distance;
+        let dyx = similarity_distance(&y, &x, &rules, &cfg).unwrap().distance;
+        if dxy.is_finite() && dyx.is_finite() {
+            prop_assert!((dxy - dyx).abs() < 1e-9, "{dxy} vs {dyx}");
+        }
+    }
+
+    /// Larger budgets can only improve (weakly decrease) the distance.
+    #[test]
+    fn budget_monotone(x in seq(), y in seq(), b1 in 0.0f64..1.5, extra in 0.0f64..1.5) {
+        let rules = shift_rules();
+        let small = SearchConfig::with_budget(b1).max_states(5_000);
+        let large = SearchConfig::with_budget(b1 + extra).max_states(5_000);
+        let ds = similarity_distance(&x, &y, &rules, &small).unwrap().distance;
+        let dl = similarity_distance(&x, &y, &rules, &large).unwrap().distance;
+        prop_assert!(dl <= ds + 1e-9, "{dl} > {ds}");
+    }
+
+    /// The witness replays to the reported state: applying the witness
+    /// steps reproduces the transformation cost.
+    #[test]
+    fn witness_cost_consistent(x in seq(), y in seq()) {
+        let rules = shift_rules();
+        let cfg = SearchConfig::with_budget(2.0).max_states(5_000);
+        let r = similarity_distance(&x, &y, &rules, &cfg).unwrap();
+        // Incomparable lengths stay at infinite distance — nothing to check.
+        prop_assume!(r.distance.is_finite());
+        let replay_cost: f64 = r.witness.len() as f64 * 0.5; // all rules cost 0.5
+        prop_assert!((replay_cost - r.transform_cost).abs() < 1e-9);
+        prop_assert!((r.transform_cost + r.ground_distance - r.distance).abs() < 1e-9);
+    }
+}

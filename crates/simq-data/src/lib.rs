@@ -1,0 +1,19 @@
+//! # simq-data — workload generators
+//!
+//! Deterministic, seeded generators for the two data families the paper
+//! evaluates on:
+//!
+//! * [`walk`] — the synthetic random-walk sequences of Section 5
+//!   (`x_0 ∈ [20, 99]`, steps in `[−4, 4]`).
+//! * [`stocks`] — a structured stock-market simulator replacing the defunct
+//!   `ftp.ai.mit.edu` archive (1,067 × 128 by default), with sector
+//!   correlation and anti-correlated mirror pairs so similarity joins and
+//!   the hedging examples have ground truth to find.
+
+#![warn(missing_docs)]
+
+pub mod stocks;
+pub mod walk;
+
+pub use stocks::{MarketConfig, Stock, StockKind, StockMarket};
+pub use walk::WalkGenerator;

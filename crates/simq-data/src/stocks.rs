@@ -1,0 +1,257 @@
+//! A stock-market simulator standing in for the paper's real data.
+//!
+//! The paper's real corpus — 1,067 daily closing-price series of 128
+//! trading days from `ftp.ai.mit.edu/pub/stocks/results/` — is long gone.
+//! The experiments do not depend on the actual prices, only on the
+//! *structure* of the corpus: random-walk-like series whose DFT energy
+//! concentrates in low frequencies, containing clusters of correlated
+//! stocks (so that self-joins return non-trivial answer sets), some
+//! anti-correlated pairs (the hedging scenario of Example 2.2), and
+//! idiosyncratic noise.
+//!
+//! [`StockMarket`] generates exactly that: sectors with shared latent
+//! trends, per-stock beta and volatility, mirrored (anti-correlated)
+//! counterparts for a configurable fraction of stocks, and different
+//! price levels — mirroring the BBA/ZTR contrast of Example 2.1 where one
+//! stock trades around $9.50 with σ ≈ 1.18 and another around $8.64 with
+//! σ ≈ 0.10.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the simulated market.
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// Number of series to generate.
+    pub stocks: usize,
+    /// Trading days per series.
+    pub days: usize,
+    /// Number of sectors (shared latent trends).
+    pub sectors: usize,
+    /// Fraction of stocks that get an anti-correlated mirror twin.
+    pub mirrored_fraction: f64,
+    /// Range of per-stock daily volatility (uniform).
+    pub volatility: (f64, f64),
+    /// Range of initial prices (uniform).
+    pub price_range: (f64, f64),
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            stocks: 1067,
+            days: 128,
+            sectors: 12,
+            mirrored_fraction: 0.05,
+            volatility: (0.1, 1.2),
+            price_range: (5.0, 80.0),
+        }
+    }
+}
+
+/// The role a generated series plays, for ground-truth-aware tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StockKind {
+    /// Follows its sector trend.
+    Sectoral {
+        /// Sector index.
+        sector: usize,
+    },
+    /// Anti-correlated mirror of another stock.
+    Mirror {
+        /// Index of the mirrored stock.
+        of: usize,
+    },
+}
+
+/// A generated stock series with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Stock {
+    /// Ticker-like name (`S0042`).
+    pub name: String,
+    /// Daily closing prices.
+    pub prices: Vec<f64>,
+    /// Ground truth for tests and examples.
+    pub kind: StockKind,
+}
+
+/// The simulated market.
+#[derive(Debug, Clone)]
+pub struct StockMarket {
+    /// Generated stocks.
+    pub stocks: Vec<Stock>,
+}
+
+impl StockMarket {
+    /// Generates a market from the configuration, deterministically for a
+    /// given seed.
+    pub fn generate(config: &MarketConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sectors = config.sectors.max(1);
+        // Latent sector trends: smooth random walks.
+        let trends: Vec<Vec<f64>> = (0..sectors)
+            .map(|_| {
+                let mut t = Vec::with_capacity(config.days);
+                let mut x = 0.0f64;
+                let mut momentum = 0.0f64;
+                for _ in 0..config.days {
+                    momentum = 0.9 * momentum + rng.gen_range(-0.2..=0.2);
+                    x += momentum;
+                    t.push(x);
+                }
+                t
+            })
+            .collect();
+
+        let mut stocks = Vec::with_capacity(config.stocks);
+        let mut i = 0usize;
+        while stocks.len() < config.stocks {
+            let sector = rng.gen_range(0..sectors);
+            let beta = rng.gen_range(0.5..=2.0);
+            let vol = rng.gen_range(config.volatility.0..=config.volatility.1);
+            let p0 = rng.gen_range(config.price_range.0..=config.price_range.1);
+            let mut prices = Vec::with_capacity(config.days);
+            for (d, trend) in trends[sector].iter().enumerate() {
+                let noise: f64 = rng.gen_range(-1.0..=1.0) * vol;
+                let level = p0 + beta * trend + noise;
+                // Prices stay positive: floor at a penny.
+                prices.push(level.max(0.01));
+                let _ = d;
+            }
+            let idx = stocks.len();
+            stocks.push(Stock {
+                name: format!("S{idx:04}"),
+                prices,
+                kind: StockKind::Sectoral { sector },
+            });
+            // Occasionally add an anti-correlated mirror of this stock.
+            if stocks.len() < config.stocks && rng.gen_bool(config.mirrored_fraction) {
+                let base = &stocks[idx];
+                let level = 2.0 * base.prices.iter().sum::<f64>() / base.prices.len() as f64;
+                let mirrored: Vec<f64> = base
+                    .prices
+                    .iter()
+                    .map(|p| (level - p + rng.gen_range(-0.05..=0.05)).max(0.01))
+                    .collect();
+                let midx = stocks.len();
+                stocks.push(Stock {
+                    name: format!("S{midx:04}"),
+                    prices: mirrored,
+                    kind: StockKind::Mirror { of: idx },
+                });
+            }
+            i += 1;
+            if i > config.stocks * 4 {
+                break; // safety valve; unreachable for sane configs
+            }
+        }
+        StockMarket { stocks }
+    }
+
+    /// The paper-sized corpus: 1,067 stocks × 128 days.
+    pub fn paper_sized(seed: u64) -> Self {
+        Self::generate(&MarketConfig::default(), seed)
+    }
+
+    /// Price matrix view.
+    pub fn price_series(&self) -> Vec<&[f64]> {
+        self.stocks.iter().map(|s| s.prices.as_slice()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn paper_sized_corpus_shape() {
+        let m = StockMarket::paper_sized(1);
+        assert_eq!(m.stocks.len(), 1067);
+        assert!(m.stocks.iter().all(|s| s.prices.len() == 128));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = StockMarket::generate(&MarketConfig { stocks: 20, ..Default::default() }, 5);
+        let b = StockMarket::generate(&MarketConfig { stocks: 20, ..Default::default() }, 5);
+        assert_eq!(a.stocks[7].prices, b.stocks[7].prices);
+    }
+
+    #[test]
+    fn mirrors_are_anti_correlated() {
+        let m = StockMarket::generate(
+            &MarketConfig {
+                stocks: 300,
+                mirrored_fraction: 0.3,
+                ..Default::default()
+            },
+            9,
+        );
+        let mut found = 0;
+        for (i, s) in m.stocks.iter().enumerate() {
+            if let StockKind::Mirror { of } = s.kind {
+                let c = corr(&s.prices, &m.stocks[of].prices);
+                assert!(c < -0.9, "mirror {i} corr {c}");
+                found += 1;
+            }
+        }
+        assert!(found > 10, "only {found} mirrors generated");
+    }
+
+    #[test]
+    fn same_sector_stocks_correlate_more_than_cross_sector() {
+        let m = StockMarket::generate(
+            &MarketConfig {
+                stocks: 200,
+                sectors: 4,
+                mirrored_fraction: 0.0,
+                volatility: (0.05, 0.3),
+                ..Default::default()
+            },
+            11,
+        );
+        let mut same = Vec::new();
+        let mut cross = Vec::new();
+        for i in 0..m.stocks.len() {
+            for j in (i + 1)..m.stocks.len().min(i + 40) {
+                let (StockKind::Sectoral { sector: si }, StockKind::Sectoral { sector: sj }) =
+                    (m.stocks[i].kind, m.stocks[j].kind)
+                else {
+                    continue;
+                };
+                let c = corr(&m.stocks[i].prices, &m.stocks[j].prices);
+                if si == sj {
+                    same.push(c);
+                } else {
+                    cross.push(c);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&same) > avg(&cross) + 0.15,
+            "same {} cross {}",
+            avg(&same),
+            avg(&cross)
+        );
+    }
+
+    #[test]
+    fn prices_stay_positive() {
+        let m = StockMarket::paper_sized(13);
+        assert!(m
+            .stocks
+            .iter()
+            .all(|s| s.prices.iter().all(|p| *p > 0.0)));
+    }
+}

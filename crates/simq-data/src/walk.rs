@@ -1,0 +1,104 @@
+//! The paper's synthetic sequences (Section 5):
+//!
+//! ```text
+//! x_0 = y,            y  drawn from [20, 99]
+//! x_i = x_{i−1} + z_i, z_i drawn from [−4, 4]
+//! ```
+//!
+//! (The paper says "a normally distributed random number in the range
+//! [20, 99]" — a contradiction, since a normal distribution is unbounded;
+//! we read it as uniform over the stated range, which is the standard
+//! reading of this generator lineage and what AFS93/FRM94 used.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the paper's random-walk sequences.
+#[derive(Debug, Clone)]
+pub struct WalkGenerator {
+    rng: StdRng,
+    /// Inclusive range of the starting value.
+    pub start_range: (f64, f64),
+    /// Inclusive range of each step.
+    pub step_range: (f64, f64),
+}
+
+impl WalkGenerator {
+    /// The paper's parameters with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        WalkGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            start_range: (20.0, 99.0),
+            step_range: (-4.0, 4.0),
+        }
+    }
+
+    /// Generates one sequence of length `n`.
+    pub fn series(&mut self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let mut x = self.rng.gen_range(self.start_range.0..=self.start_range.1);
+        out.push(x);
+        for _ in 1..n {
+            x += self.rng.gen_range(self.step_range.0..=self.step_range.1);
+            out.push(x);
+        }
+        out
+    }
+
+    /// Generates `count` sequences of length `n`.
+    pub fn corpus(&mut self, count: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..count).map(|_| self.series(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = WalkGenerator::new(7).series(64);
+        let b = WalkGenerator::new(7).series(64);
+        assert_eq!(a, b);
+        let c = WalkGenerator::new(8).series(64);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_start_and_step_ranges() {
+        let mut g = WalkGenerator::new(42);
+        for _ in 0..50 {
+            let s = g.series(100);
+            assert!(s[0] >= 20.0 && s[0] <= 99.0);
+            for w in s.windows(2) {
+                let step = w[1] - w[0];
+                assert!((-4.0..=4.0).contains(&step), "step {step} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_shapes() {
+        let mut g = WalkGenerator::new(1);
+        let c = g.corpus(10, 128);
+        assert_eq!(c.len(), 10);
+        assert!(c.iter().all(|s| s.len() == 128));
+    }
+
+    #[test]
+    fn empty_series() {
+        let mut g = WalkGenerator::new(1);
+        assert!(g.series(0).is_empty());
+    }
+
+    #[test]
+    fn walks_are_not_constant() {
+        let mut g = WalkGenerator::new(3);
+        let s = g.series(128);
+        let first = s[0];
+        assert!(s.iter().any(|v| (v - first).abs() > 1e-9));
+    }
+}

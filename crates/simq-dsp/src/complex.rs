@@ -1,0 +1,331 @@
+//! Complex number arithmetic.
+//!
+//! The reproduction implements its own complex type rather than pulling in an
+//! external crate: complex arithmetic is part of the paper's surface (feature
+//! vectors, safe transformations and search rectangles are all defined over
+//! complex numbers) and the operations needed are small and closed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number in rectangular (Cartesian) representation.
+///
+/// `re` and `im` are the real and imaginary components, matching the paper's
+/// `Re(x)` and `Im(x)` notation. Polar accessors [`Complex::abs`] and
+/// [`Complex::angle`] correspond to `Abs(x)` and `Angle(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar components: `abs * e^(j*angle)`.
+    #[inline]
+    pub fn from_polar(abs: f64, angle: f64) -> Self {
+        Complex {
+            re: abs * angle.cos(),
+            im: abs * angle.sin(),
+        }
+    }
+
+    /// `e^(j*angle)` — a unit-magnitude complex number.
+    #[inline]
+    pub fn cis(angle: f64) -> Self {
+        Self::from_polar(1.0, angle)
+    }
+
+    /// Magnitude (`Abs(x)` in the paper).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; cheaper than [`Complex::abs`] when only comparisons
+    /// or energies are needed.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in `(-π, π]` (`Angle(x)` in the paper).
+    ///
+    /// `atan2` returns values in `[-π, π]`; `-π` is normalized to `π` so the
+    /// result is unique on the half-open interval used by the polar feature
+    /// space.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        let a = self.im.atan2(self.re);
+        if a == -std::f64::consts::PI {
+            std::f64::consts::PI
+        } else {
+            a
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is
+    /// zero, mirroring `f64` division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Distance `|self - other|` in the complex plane.
+    #[inline]
+    pub fn dist(self, other: Complex) -> f64 {
+        (self - other).abs()
+    }
+
+    /// Componentwise approximate equality with absolute tolerance `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹ by definition
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex::new(1.5, -2.0);
+        let b = Complex::new(-0.25, 4.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        // (2 - 3j) * (-5 + 5j) used by the paper's Srect counterexample.
+        let s = Complex::new(2.0, -3.0);
+        let p = Complex::new(-5.0, -5.0);
+        assert_eq!(s * p, Complex::new(-25.0, 5.0));
+        let q = Complex::new(5.0, 5.0);
+        assert_eq!(s * q, Complex::new(25.0, -5.0));
+        let r = Complex::new(-2.0, 2.0);
+        assert_eq!(s * r, Complex::new(2.0, 10.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(3.0, 4.0);
+        let b = Complex::new(-1.0, 2.0);
+        let c = a * b / b;
+        assert!(c.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.5, 1.1);
+        assert!((z.abs() - 2.5).abs() < 1e-12);
+        assert!((z.angle() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_is_half_open() {
+        // A number on the negative real axis gets angle +π, never -π.
+        let z = Complex::new(-1.0, 0.0);
+        assert_eq!(z.angle(), PI);
+        let w = Complex::new(-1.0, -0.0);
+        assert_eq!(w.angle(), PI);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let z = Complex::cis(2.0 * PI * k as f64 / 16.0);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_folds() {
+        let zs = [Complex::new(1.0, 1.0), Complex::new(2.0, -3.0)];
+        let s: Complex = zs.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn recip_of_zero_is_non_finite() {
+        assert!(!Complex::ZERO.recip().is_finite());
+    }
+}

@@ -1,0 +1,143 @@
+//! Circular convolution and the convolution–multiplication theorem.
+//!
+//! The paper's Equation 4 defines circular convolution
+//! `Conv(x,y)_i = Σ_k x_k · y_{i-k mod n}`, and Equation 6 states the DFT
+//! pair `conv(x,y) ⇔ X ∗ Y`. Under the symmetric `1/√n` normalization used
+//! throughout (see [`crate::dft`](mod@crate::dft)) the exact identity carries a `√n` factor:
+//!
+//! ```text
+//! DFT(conv(x, y)) = √n · (DFT(x) ∗ DFT(y))
+//! ```
+//!
+//! The paper elides this constant. It matters when *constructing*
+//! transformation coefficient vectors: the moving-average transformation
+//! `T_mavg = (a, 0)` must satisfy `a ∗ X = DFT(mavg(x))` exactly for the
+//! transformed index to return correct distances, so the series crate builds
+//! `a` from the closed form `a_f = √n · DFT(kernel)_f`
+//! (see `simq_series::mavg`). Tests here pin the `√n` factor down.
+
+use crate::complex::Complex;
+use crate::fft;
+
+/// Circular convolution of two equal-length real sequences (Equation 4),
+/// computed directly in `O(n²)`.
+///
+/// # Panics
+/// Panics if the sequences have different lengths or are empty.
+pub fn circular_conv(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert_eq!(n, y.len(), "circular convolution requires equal lengths");
+    assert!(n > 0, "circular convolution of empty sequences is undefined");
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &xk) in x.iter().enumerate() {
+            // i - k modulo n, avoiding negative intermediate values.
+            let idx = (i + n - (k % n)) % n;
+            acc += xk * y[idx];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Circular convolution via the frequency domain in `O(n log n)`:
+/// `conv(x,y) = IDFT(√n · (X ∗ Y))`.
+///
+/// # Panics
+/// Panics if the sequences have different lengths or are empty.
+pub fn circular_conv_fft(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert_eq!(n, y.len(), "circular convolution requires equal lengths");
+    assert!(n > 0, "circular convolution of empty sequences is undefined");
+    let xs = fft::forward_real(x);
+    let ys = fft::forward_real(y);
+    let scale = (n as f64).sqrt();
+    let prod: Vec<Complex> = xs.iter().zip(&ys).map(|(a, b)| *a * *b * scale).collect();
+    fft::inverse_real(&prod)
+}
+
+/// Element-to-element vector multiplication `X ∗ Y` (the paper's `∗`
+/// operator on spectra).
+///
+/// # Panics
+/// Panics if the spectra have different lengths.
+pub fn pointwise(x: &[Complex], y: &[Complex]) -> Vec<Complex> {
+    assert_eq!(x.len(), y.len(), "pointwise product requires equal lengths");
+    x.iter().zip(y).map(|(a, b)| *a * *b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    #[test]
+    fn direct_and_fft_convolution_agree() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let y = [0.5, 0.25, 0.0, 0.0, 0.0, 0.0, 0.25];
+        let a = circular_conv(&x, &y);
+        let b = circular_conv_fft(&x, &y);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn convolution_multiplication_theorem_with_sqrt_n_factor() {
+        // DFT(conv(x,y)) == √n · (X ∗ Y) under the 1/√n convention.
+        let x = [3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, 6.0];
+        let y = [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let conv = circular_conv(&x, &y);
+        let lhs = dft::dft(&conv);
+        let xs = dft::dft(&x);
+        let ys = dft::dft(&y);
+        let scale = (x.len() as f64).sqrt();
+        for (f, l) in lhs.iter().enumerate() {
+            let r = xs[f] * ys[f] * scale;
+            assert!(l.approx_eq(r, 1e-9), "coef {f}: {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let x = [2.0, 4.0, 8.0, 16.0];
+        let delta = [1.0, 0.0, 0.0, 0.0];
+        assert_eq!(circular_conv(&x, &delta), x.to_vec());
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.2, 0.0, 0.3, 0.5, 0.0];
+        let a = circular_conv(&x, &y);
+        let b = circular_conv(&y, &x);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_kernel_rotates_sequence() {
+        // Convolving with δ shifted by 1 rotates the sequence: with kernel
+        // y = δ_1, out_i = x_{i-1 mod n}.
+        let x = [10.0, 20.0, 30.0, 40.0];
+        let y = [0.0, 1.0, 0.0, 0.0];
+        assert_eq!(circular_conv(&x, &y), vec![40.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        let _ = circular_conv(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pointwise_product() {
+        let a = [Complex::new(1.0, 1.0), Complex::new(2.0, 0.0)];
+        let b = [Complex::new(0.0, 1.0), Complex::new(3.0, 0.0)];
+        let p = pointwise(&a, &b);
+        assert_eq!(p[0], Complex::new(-1.0, 1.0));
+        assert_eq!(p[1], Complex::new(6.0, 0.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! The Discrete Fourier Transform with the paper's `1/√n` convention.
+//!
+//! The paper (following Agrawal–Faloutsos–Swami and
+//! Faloutsos–Ranganathan–Manolopoulos) defines
+//!
+//! ```text
+//! X_f = (1/√n) Σ_{t=0}^{n-1} x_t e^{-j2πtf/n}
+//! x_t = (1/√n) Σ_{f=0}^{n-1} X_f e^{+j2πtf/n}
+//! ```
+//!
+//! Under this *symmetric* normalization Parseval's relation holds in the
+//! plain form `E(x) = E(X)`, so the Euclidean distance between two series is
+//! *identical* in the time and frequency domains — the property that makes
+//! the k-coefficient index lossless with respect to dismissals (Lemma 1).
+//!
+//! [`dft`]/[`idft`] are the direct `O(n²)` reference implementations used by
+//! tests; [`crate::fft`] provides the fast path and both agree to within
+//! numerical tolerance for every length (property-tested).
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// Computes the normalized DFT of a real-valued sequence.
+///
+/// This is the `O(n²)` reference implementation of the paper's Equation 1.
+/// For indexing-scale work prefer [`crate::fft::forward_real`], which is
+/// algebraically identical.
+///
+/// An empty input produces an empty output.
+pub fn dft(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = Vec::with_capacity(n);
+    for f in 0..n {
+        let mut acc = Complex::ZERO;
+        for (t, &xt) in x.iter().enumerate() {
+            // e^{-j 2π t f / n}
+            let ang = -2.0 * PI * (t as f64) * (f as f64) / (n as f64);
+            acc += Complex::cis(ang) * xt;
+        }
+        out.push(acc * scale);
+    }
+    out
+}
+
+/// Computes the normalized DFT of a complex-valued sequence (Equation 1
+/// extended to complex inputs, used when chaining transforms in the
+/// frequency domain).
+pub fn dft_complex(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = Vec::with_capacity(n);
+    for f in 0..n {
+        let mut acc = Complex::ZERO;
+        for (t, &xt) in x.iter().enumerate() {
+            let ang = -2.0 * PI * (t as f64) * (f as f64) / (n as f64);
+            acc += Complex::cis(ang) * xt;
+        }
+        out.push(acc * scale);
+    }
+    out
+}
+
+/// Computes the normalized inverse DFT, returning a complex sequence
+/// (Equation 2). For real time series the imaginary parts are numerically
+/// zero; use [`idft_real`] to project them away.
+pub fn idft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut acc = Complex::ZERO;
+        for (f, &xf) in x.iter().enumerate() {
+            let ang = 2.0 * PI * (t as f64) * (f as f64) / (n as f64);
+            acc += Complex::cis(ang) * xf;
+        }
+        out.push(acc * scale);
+    }
+    out
+}
+
+/// Inverse DFT projected onto the reals.
+///
+/// Intended for spectra of real series (possibly after applying a
+/// transformation with conjugate-symmetric coefficients); the discarded
+/// imaginary parts are numerical noise in that case.
+pub fn idft_real(x: &[Complex]) -> Vec<f64> {
+    idft(x).into_iter().map(|z| z.re).collect()
+}
+
+/// Signal energy `E(x) = Σ |x_t|²` (Equation 3).
+pub fn energy(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Spectrum energy `E(X) = Σ |X_f|²`; equals [`energy`] of the time-domain
+/// signal by Parseval's relation (Equation 7).
+pub fn energy_complex(x: &[Complex]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Euclidean distance between two real sequences (the paper's `D`).
+///
+/// # Panics
+/// Panics if the sequences have different lengths; distance between
+/// different-length series is undefined in the model (use time warping to
+/// align lengths first).
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "euclidean distance requires equal-length sequences"
+    );
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Euclidean distance between two complex spectra; equals [`euclidean`] of
+/// the corresponding time series by Parseval (Equation 8).
+///
+/// # Panics
+/// Panics if the spectra have different lengths.
+pub fn euclidean_complex(x: &[Complex], y: &[Complex]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "euclidean distance requires equal-length spectra"
+    );
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (*a - *b).norm_sqr())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// City-block (L1) distance, the alternative ground metric the paper
+/// mentions in the introduction.
+///
+/// # Panics
+/// Panics if the sequences have different lengths.
+pub fn city_block(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "city-block distance requires equal-length sequences"
+    );
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dft_of_constant_concentrates_in_dc() {
+        let x = vec![5.0; 8];
+        let spec = dft(&x);
+        // DC term = (1/√8)·Σ5 = 40/√8 = 5·√8.
+        assert_close(spec[0].re, 5.0 * 8f64.sqrt(), 1e-9);
+        for z in &spec[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x = vec![1.0, -2.0, 3.5, 0.0, 7.25, -1.125, 2.0, 2.0, 9.0];
+        let back = idft_real(&dft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds_with_symmetric_normalization() {
+        let x = vec![36.0, 38.0, 40.0, 38.0, 42.0, 38.0, 36.0];
+        assert_close(energy(&x), energy_complex(&dft(&x)), 1e-8);
+    }
+
+    #[test]
+    fn distance_preserved_in_frequency_domain() {
+        // Equation 8: D(x,y) = D(X,Y).
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = vec![2.0, 2.0, 2.0, 5.0, 5.0, 5.0];
+        let d_time = euclidean(&x, &y);
+        let d_freq = euclidean_complex(&dft(&x), &dft(&y));
+        assert_close(d_time, d_freq, 1e-9);
+    }
+
+    #[test]
+    fn paper_example_1_1_distance() {
+        // Example 1.1: D(s1, s2) = 11.92 (to two decimals).
+        let s1 = [
+            36.0, 38.0, 40.0, 38.0, 42.0, 38.0, 36.0, 36.0, 37.0, 38.0, 39.0, 38.0, 40.0, 38.0,
+            37.0,
+        ];
+        let s2 = [
+            40.0, 37.0, 37.0, 42.0, 41.0, 35.0, 40.0, 35.0, 34.0, 42.0, 38.0, 35.0, 45.0, 36.0,
+            34.0,
+        ];
+        let d = euclidean(&s1, &s2);
+        assert_close(d, 11.92, 0.005);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_spectrum() {
+        assert!(dft(&[]).is_empty());
+        assert!(idft(&[]).is_empty());
+    }
+
+    #[test]
+    fn energy_of_empty_is_zero() {
+        assert_eq!(energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn city_block_simple() {
+        assert_eq!(city_block(&[1.0, 2.0], &[4.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn euclidean_rejects_mismatched_lengths() {
+        let _ = euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dft_complex_matches_real_dft_on_real_input() {
+        let x = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+        let xc: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+        let a = dft(&x);
+        let b = dft_complex(&xc);
+        for (p, q) in a.iter().zip(&b) {
+            assert!(p.approx_eq(*q, 1e-10));
+        }
+    }
+}

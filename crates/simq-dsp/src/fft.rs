@@ -1,0 +1,235 @@
+//! Fast Fourier Transform: radix-2 Cooley–Tukey with a Bluestein fallback
+//! for arbitrary lengths.
+//!
+//! All public entry points apply the same symmetric `1/√n` normalization as
+//! [`crate::dft`](mod@crate::dft), so [`forward`]/[`inverse`] are drop-in fast replacements
+//! for [`crate::dft::dft_complex`]/[`crate::dft::idft`]. Sequence lengths in
+//! the paper's experiments range from 64 to 1024 and are powers of two, but
+//! real stock series (e.g. 1,067 trading days) are not, so the arbitrary-`n`
+//! path is exercised in production, not just in tests.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// Returns true when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place unnormalized radix-2 FFT.
+///
+/// `inverse` selects the conjugate transform (positive exponent sign).
+/// The caller is responsible for normalization.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+fn fft_pow2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "fft_pow2 requires a power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = buf[start + k];
+                let v = buf[start + k + half] * w;
+                buf[start + k] = u + v;
+                buf[start + k + half] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Unnormalized DFT of arbitrary length via Bluestein's chirp-z algorithm.
+///
+/// Expresses an `n`-point DFT as a circular convolution of length `m ≥ 2n-1`
+/// (rounded up to a power of two) which is evaluated with [`fft_pow2`].
+fn bluestein(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    debug_assert!(n > 0);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = e^{sign·jπk²/n}. Compute k² mod 2n to avoid the loss of
+    // precision of large k² in floating point.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let kk = (k as u64 * k as u64) % (2 * n as u64);
+            Complex::cis(sign * PI * kk as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    // b must be symmetric: b[m - k] = b[k] for k = 1..n.
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+    fft_pow2(&mut a, false);
+    fft_pow2(&mut b, false);
+    for (ai, bi) in a.iter_mut().zip(&b) {
+        *ai *= *bi;
+    }
+    fft_pow2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k] * chirp[k] * scale).collect()
+}
+
+/// Unnormalized forward/inverse DFT dispatching between radix-2 and
+/// Bluestein.
+fn transform_unnormalized(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_power_of_two(n) {
+        let mut buf = x.to_vec();
+        fft_pow2(&mut buf, inverse);
+        buf
+    } else {
+        bluestein(x, inverse)
+    }
+}
+
+/// Normalized forward FFT of a complex sequence: identical to
+/// [`crate::dft::dft_complex`] (Equation 1) but `O(n log n)`.
+pub fn forward(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = transform_unnormalized(x, false);
+    for z in &mut out {
+        *z = *z * scale;
+    }
+    out
+}
+
+/// Normalized forward FFT of a real sequence.
+pub fn forward_real(x: &[f64]) -> Vec<Complex> {
+    let xc: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+    forward(&xc)
+}
+
+/// Normalized inverse FFT: identical to [`crate::dft::idft`] (Equation 2)
+/// but `O(n log n)`.
+pub fn inverse(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut out = transform_unnormalized(x, true);
+    for z in &mut out {
+        *z = *z * scale;
+    }
+    out
+}
+
+/// Normalized inverse FFT projected onto the reals (for spectra of real
+/// series).
+pub fn inverse_real(x: &[Complex]) -> Vec<f64> {
+    inverse(x).into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(b) {
+            assert!(p.approx_eq(*q, tol), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_on_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 64, 128] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + i as f64).collect();
+            assert_spectra_close(&forward_real(&x), &dft::dft(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_on_arbitrary_lengths() {
+        for n in [3usize, 5, 6, 7, 12, 15, 100, 127, 1067 / 7] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * i) % 17) as f64 - 8.0).collect();
+            assert_spectra_close(&forward_real(&x), &dft::dft(&x), 1e-7);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for n in [8usize, 10, 33, 128] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 3.0).collect();
+            let back = inverse_real(&forward_real(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-8, "{a} vs {b} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_through_fft() {
+        let x: Vec<f64> = (0..1024).map(|i| ((i % 91) as f64) / 7.0 - 6.0).collect();
+        let e_time = dft::energy(&x);
+        let e_freq = dft::energy_complex(&forward_real(&x));
+        assert!((e_time - e_freq).abs() / e_time < 1e-10);
+    }
+
+    #[test]
+    fn length_1067_stock_sized_series() {
+        // The real stock corpus in the paper has 1,067 series; a non-power-of-
+        // two length exercises Bluestein end to end.
+        let x: Vec<f64> = (0..1067).map(|i| 20.0 + ((i * 37) % 80) as f64).collect();
+        let spec = forward_real(&x);
+        let back = inverse_real(&spec);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(forward(&[]).is_empty());
+        assert!(inverse(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let spec = forward_real(&[42.0]);
+        assert!(spec[0].approx_eq(Complex::real(42.0), 1e-12));
+    }
+}

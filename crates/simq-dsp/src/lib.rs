@@ -1,0 +1,30 @@
+//! # simq-dsp — signal-processing substrate
+//!
+//! Everything the similarity-query stack needs from digital signal
+//! processing, implemented from scratch with the paper's conventions:
+//!
+//! * [`complex`] — complex arithmetic (rectangular and polar accessors).
+//! * [`dft`](mod@dft) — the Discrete Fourier Transform with the symmetric `1/√n`
+//!   normalization (paper Equations 1–2), energy, Parseval, Euclidean and
+//!   city-block distances.
+//! * [`fft`] — `O(n log n)` radix-2 and Bluestein transforms, numerically
+//!   identical to [`dft`](mod@dft).
+//! * [`conv`] — circular convolution and the convolution–multiplication
+//!   theorem (paper Equations 4 and 6), with the `√n` normalization factor
+//!   made explicit.
+//!
+//! The symmetric normalization is load-bearing: it makes Euclidean distance
+//! identical in the time and frequency domains (Equation 8), which is what
+//! lets the k-coefficient index guarantee no false dismissals (Lemma 1).
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod conv;
+pub mod dft;
+pub mod fft;
+
+pub use complex::Complex;
+pub use conv::{circular_conv, circular_conv_fft, pointwise};
+pub use dft::{city_block, dft, energy, energy_complex, euclidean, euclidean_complex, idft};
+pub use fft::{forward, forward_real, inverse, inverse_real};

@@ -1,0 +1,108 @@
+//! Property tests for the DSP substrate: transform identities that must
+//! hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use simq_dsp::complex::Complex;
+use simq_dsp::{circular_conv, circular_conv_fft, dft, energy, energy_complex, euclidean, fft};
+
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// forward ∘ inverse = id for arbitrary lengths (radix-2 + Bluestein).
+    #[test]
+    fn fft_roundtrip(x in series(96)) {
+        let back = fft::inverse_real(&fft::forward_real(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// FFT equals the O(n²) reference DFT.
+    #[test]
+    fn fft_matches_dft(x in series(48)) {
+        let a = fft::forward_real(&x);
+        let b = dft::dft(&x);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!(p.approx_eq(*q, 1e-6));
+        }
+    }
+
+    /// Parseval: energy is preserved by the symmetric normalization.
+    #[test]
+    fn parseval(x in series(96)) {
+        let e_time = energy(&x);
+        let e_freq = energy_complex(&fft::forward_real(&x));
+        prop_assert!((e_time - e_freq).abs() <= 1e-6 * (1.0 + e_time));
+    }
+
+    /// Distance preservation (Equation 8) for equal-length pairs.
+    #[test]
+    fn distance_preserved(pair in series(64).prop_flat_map(|x| {
+        let n = x.len();
+        (Just(x), prop::collection::vec(-100.0f64..100.0, n))
+    })) {
+        let (x, y) = pair;
+        let d_time = euclidean(&x, &y);
+        let d_freq = simq_dsp::euclidean_complex(
+            &fft::forward_real(&x),
+            &fft::forward_real(&y),
+        );
+        prop_assert!((d_time - d_freq).abs() <= 1e-6 * (1.0 + d_time));
+    }
+
+    /// Linearity of the DFT (Equation 5).
+    #[test]
+    fn linearity(pair in series(48).prop_flat_map(|x| {
+        let n = x.len();
+        (Just(x), prop::collection::vec(-100.0f64..100.0, n))
+    }), a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let (x, y) = pair;
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| a * p + b * q).collect();
+        let lhs = fft::forward_real(&combo);
+        let fx = fft::forward_real(&x);
+        let fy = fft::forward_real(&y);
+        for (i, l) in lhs.iter().enumerate() {
+            let r = fx[i] * a + fy[i] * b;
+            prop_assert!(l.approx_eq(r, 1e-6));
+        }
+    }
+
+    /// Direct and FFT-based circular convolution agree.
+    #[test]
+    fn convolution_agree(pair in series(48).prop_flat_map(|x| {
+        let n = x.len();
+        (Just(x), prop::collection::vec(-10.0f64..10.0, n))
+    })) {
+        let (x, y) = pair;
+        let a = circular_conv(&x, &y);
+        let b = circular_conv_fft(&x, &y);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-5, "{p} vs {q}");
+        }
+    }
+
+    /// Complex field identities: associativity/distributivity within
+    /// floating-point tolerance, conjugation anti-homomorphism.
+    #[test]
+    fn complex_identities(
+        ar in -50.0f64..50.0, ai in -50.0f64..50.0,
+        br in -50.0f64..50.0, bi in -50.0f64..50.0,
+        cr in -50.0f64..50.0, ci in -50.0f64..50.0,
+    ) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let c = Complex::new(cr, ci);
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        prop_assert!(lhs.approx_eq(rhs, 1e-6 * (1.0 + lhs.abs())));
+        let dist = a * (b + c);
+        let expand = a * b + a * c;
+        prop_assert!(dist.approx_eq(expand, 1e-6 * (1.0 + dist.abs())));
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9 * (1.0 + (a * b).abs())));
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() <= 1e-6 * (1.0 + a.abs() * b.abs()));
+    }
+}

@@ -1,0 +1,271 @@
+//! Spatial joins.
+//!
+//! The paper's all-pairs queries are spatial joins: "For an all-pairs
+//! query, we do a spatial join using the index. The only difference here is
+//! that we transform all objects used in the join predicate before we
+//! compute the predicate" — e.g. `T(a_i) ∩ T(b_j) ≠ ∅`.
+//!
+//! Two strategies are provided:
+//!
+//! * [`RTree::join_via_probes`] — the strategy of the paper's join
+//!   experiment (methods *c*/*d* of Table 1): scan one side sequentially
+//!   and pose each item, expanded to a search rectangle, as a range query
+//!   against the (transformed) index.
+//! * [`RTree::sync_join`] — the synchronized two-tree traversal that prunes
+//!   pairs of subtrees whose (transformed) MBRs cannot contribute; an
+//!   extension beyond the paper's evaluation, used by the ablation benches.
+
+use crate::geom::Rect;
+use crate::rstar::{Entry, RTree};
+use crate::search::SearchStats;
+use crate::transform::SpatialTransform;
+
+/// Expands a rectangle by `eps` in every dimension (the search-rectangle
+/// construction for joins on linear dimensions).
+pub fn expand(rect: &Rect, eps: f64) -> Rect {
+    Rect::new(
+        rect.lo.iter().map(|v| v - eps).collect(),
+        rect.hi.iter().map(|v| v + eps).collect(),
+    )
+}
+
+impl RTree {
+    /// Probe-based join (the paper's methods *c*/*d*): for every `(rect,
+    /// id)` in `probes`, transform the rectangle with `probe_transform`,
+    /// expand it by `eps`, and run a range query with `index_transform`
+    /// applied to the tree side. Returns candidate pairs
+    /// `(probe id, index id)`.
+    ///
+    /// With both transforms set to the same `T` this evaluates the
+    /// predicate `T(a_i) ∩ expand(T(b_j), eps) ≠ ∅`, a superset of the true
+    /// `ε`-join that the caller's postprocessing filters exactly (Lemma 1).
+    pub fn join_via_probes(
+        &self,
+        probes: &[(Rect, u64)],
+        probe_transform: &dyn SpatialTransform,
+        index_transform: &dyn SpatialTransform,
+        eps: f64,
+    ) -> (Vec<(u64, u64)>, SearchStats) {
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        for (rect, pid) in probes {
+            let query = expand(&probe_transform.apply_rect(rect), eps);
+            let (hits, s) = self.range_transformed(index_transform, &query);
+            stats.add(&s);
+            out.extend(hits.into_iter().map(|iid| (*pid, iid)));
+        }
+        (out, stats)
+    }
+
+    /// Synchronized tree-tree join: candidate pairs `(id_a, id_b)` whose
+    /// transformed rectangles, with the left side expanded by `eps`,
+    /// intersect under the tree's dimension semantics.
+    ///
+    /// For a self-join pass the same tree on both sides; pairs are then
+    /// deduplicated to `id_a < id_b`.
+    pub fn sync_join(
+        &self,
+        other: &RTree,
+        self_transform: &dyn SpatialTransform,
+        other_transform: &dyn SpatialTransform,
+        eps: f64,
+    ) -> (Vec<(u64, u64)>, SearchStats) {
+        assert_eq!(self.dims(), other.dims(), "join dimensionality mismatch");
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        if self.is_empty() || other.is_empty() {
+            return (out, stats);
+        }
+        let self_join = std::ptr::eq(self, other);
+        self.sync_join_rec(
+            self.root,
+            other,
+            other.root,
+            self_transform,
+            other_transform,
+            eps,
+            self_join,
+            &mut out,
+            &mut stats,
+        );
+        if self_join {
+            out.retain(|(a, b)| a < b);
+        }
+        (out, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sync_join_rec(
+        &self,
+        a_idx: usize,
+        other: &RTree,
+        b_idx: usize,
+        ta: &dyn SpatialTransform,
+        tb: &dyn SpatialTransform,
+        eps: f64,
+        self_join: bool,
+        out: &mut Vec<(u64, u64)>,
+        stats: &mut SearchStats,
+    ) {
+        let a = &self.nodes[a_idx];
+        let b = &other.nodes[b_idx];
+        stats.nodes_visited += 1;
+
+        // Descend the deeper tree first so both sides reach leaves together.
+        if a.level > 0 && (a.level >= b.level) {
+            for e in &a.entries {
+                if let Entry::Child { mbr, node } = e {
+                    stats.entries_tested += 1;
+                    let ea = expand(&ta.apply_rect(mbr), eps);
+                    let bm = tb.apply_rect(self_mbr(other, b_idx).as_ref());
+                    if self.space.intersects(&ea, &bm) {
+                        self.sync_join_rec(*node, other, b_idx, ta, tb, eps, self_join, out, stats);
+                    }
+                }
+            }
+            return;
+        }
+        if b.level > 0 {
+            for e in &b.entries {
+                if let Entry::Child { mbr, node } = e {
+                    stats.entries_tested += 1;
+                    let eb = tb.apply_rect(mbr);
+                    let am = expand(&ta.apply_rect(self_mbr(self, a_idx).as_ref()), eps);
+                    if self.space.intersects(&am, &eb) {
+                        self.sync_join_rec(a_idx, other, *node, ta, tb, eps, self_join, out, stats);
+                    }
+                }
+            }
+            return;
+        }
+
+        // Both leaves: test item pairs.
+        for ea in &a.entries {
+            if let Entry::Item { mbr: ma, id: ida } = ea {
+                let ra = expand(&ta.apply_rect(ma), eps);
+                for eb in &b.entries {
+                    if let Entry::Item { mbr: mb, id: idb } = eb {
+                        if self_join && ida == idb {
+                            continue;
+                        }
+                        stats.entries_tested += 1;
+                        if self.space.intersects(&ra, &tb.apply_rect(mb)) {
+                            out.push((*ida, *idb));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The MBR of a node (non-empty by construction during joins).
+fn self_mbr(tree: &RTree, idx: usize) -> Box<Rect> {
+    let node = &tree.nodes[idx];
+    let mut it = node.entries.iter();
+    let first = it
+        .next()
+        .expect("join visits non-empty nodes")
+        .mbr()
+        .clone();
+    Box::new(it.fold(first, |acc, e| acc.union(e.mbr())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{DiagonalAffine, IdentityTransform};
+
+    fn line_tree(coords: &[f64]) -> RTree {
+        let mut t = RTree::with_dims(1);
+        for (id, &x) in coords.iter().enumerate() {
+            t.insert_point(&[x], id as u64);
+        }
+        t
+    }
+
+    fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Brute-force ε-closeness pairs (L∞ on 1-d = absolute difference).
+    fn brute_pairs(coords: &[f64], eps: f64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for i in 0..coords.len() {
+            for j in (i + 1)..coords.len() {
+                if (coords[i] - coords[j]).abs() <= eps {
+                    out.push((i as u64, j as u64));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sync_self_join_matches_brute_force() {
+        let coords: Vec<f64> = (0..200).map(|i| ((i * 37) % 100) as f64 / 3.0).collect();
+        let t = line_tree(&coords);
+        let id = IdentityTransform::new(1);
+        let (pairs, _) = t.sync_join(&t, &id, &id, 0.5);
+        assert_eq!(sorted(pairs), sorted(brute_pairs(&coords, 0.5)));
+    }
+
+    #[test]
+    fn probe_join_matches_sync_join() {
+        let coords: Vec<f64> = (0..150).map(|i| ((i * 17) % 83) as f64 / 2.0).collect();
+        let t = line_tree(&coords);
+        let id = IdentityTransform::new(1);
+        let probes: Vec<(Rect, u64)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (Rect::point(&[x]), i as u64))
+            .collect();
+        let (mut probe_pairs, _) = t.join_via_probes(&probes, &id, &id, 0.75);
+        // The probe join returns ordered pairs including self and both
+        // directions; canonicalize.
+        probe_pairs.retain(|(a, b)| a < b);
+        let (sync_pairs, _) = t.sync_join(&t, &id, &id, 0.75);
+        assert_eq!(sorted(probe_pairs), sorted(sync_pairs));
+    }
+
+    #[test]
+    fn transformed_join_finds_reversed_pairs() {
+        // Data: x and −x pairs; joining r with T_rev(r) (scale −1) should
+        // pair each point with its negation.
+        let coords = [1.0, 2.0, 3.0, -1.0, -2.0, -3.0];
+        let t = line_tree(&coords);
+        let id = IdentityTransform::new(1);
+        let neg = DiagonalAffine::new(vec![-1.0], vec![0.0]);
+        let (pairs, _) = t.sync_join(&t, &id, &neg, 1e-9);
+        // (0 ↔ 3), (1 ↔ 4), (2 ↔ 5) in both orders minus dedup.
+        assert_eq!(sorted(pairs), vec![(0, 3), (1, 4), (2, 5)]);
+    }
+
+    #[test]
+    fn join_between_distinct_trees() {
+        let a = line_tree(&[0.0, 10.0, 20.0]);
+        let b = line_tree(&[0.4, 9.0, 40.0]);
+        let id = IdentityTransform::new(1);
+        let (pairs, _) = a.sync_join(&b, &id, &id, 0.5);
+        assert_eq!(sorted(pairs), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn expand_helper() {
+        let r = Rect::new(vec![1.0, 2.0], vec![3.0, 4.0]);
+        assert_eq!(
+            expand(&r, 0.5),
+            Rect::new(vec![0.5, 1.5], vec![3.5, 4.5])
+        );
+    }
+
+    #[test]
+    fn empty_join_sides() {
+        let a = line_tree(&[1.0]);
+        let empty = RTree::with_dims(1);
+        let id = IdentityTransform::new(1);
+        let (pairs, _) = a.sync_join(&empty, &id, &id, 10.0);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,417 @@
+//! Nearest-neighbour search with MINDIST/MINMAXDIST pruning
+//! (Roussopoulos, Kelley, Vincent — SIGMOD 1995), with optional on-the-fly
+//! transformation.
+//!
+//! "For a nearest neighbor query, the search starts from the root and
+//! proceeds down the tree. As we go down the tree, we apply T to all
+//! entries of the node we visit. We can then use any kind of metric (such
+//! as MINDIST or MINMAXDIST …) for pruning the search."
+//!
+//! The implementation is the standard best-first traversal over a priority
+//! queue ordered by MINDIST, which visits the minimum possible number of
+//! nodes for the given tree. Distances are Euclidean over the index
+//! dimensions, so kNN is meaningful for linear feature spaces (the
+//! rectangular representation `S_rect`); the polar representation uses
+//! range queries with search rectangles instead.
+
+use crate::rstar::{Entry, RTree};
+use crate::search::SearchStats;
+use crate::transform::SpatialTransform;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A nearest-neighbour hit: item id and squared Euclidean distance in the
+/// (transformed) index space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Item identifier.
+    pub id: u64,
+    /// Squared Euclidean distance from the query point.
+    pub dist_sq: f64,
+}
+
+enum QueueItem {
+    Node { idx: usize, min_dist_sq: f64 },
+    Item { id: u64, dist_sq: f64 },
+}
+
+impl QueueItem {
+    fn key(&self) -> f64 {
+        match self {
+            QueueItem::Node { min_dist_sq, .. } => *min_dist_sq,
+            QueueItem::Item { dist_sq, .. } => *dist_sq,
+        }
+    }
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; items before nodes at equal distance so
+        // results pop as early as possible.
+        other
+            .key()
+            .partial_cmp(&self.key())
+            .expect("distances are finite")
+            .then_with(|| match (self, other) {
+                (QueueItem::Item { .. }, QueueItem::Node { .. }) => Ordering::Greater,
+                (QueueItem::Node { .. }, QueueItem::Item { .. }) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl RTree {
+    /// The `k` items nearest to `q` in Euclidean distance, ascending (ties
+    /// broken by id for determinism).
+    pub fn nearest(&self, q: &[f64], k: usize) -> (Vec<Neighbor>, SearchStats) {
+        self.nearest_impl(q, k, None)
+    }
+
+    /// The `k` items whose *transformed* positions are nearest to `q`.
+    pub fn nearest_transformed(
+        &self,
+        transform: &dyn SpatialTransform,
+        q: &[f64],
+        k: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        self.nearest_impl(q, k, Some(transform))
+    }
+
+    fn nearest_impl(
+        &self,
+        q: &[f64],
+        k: usize,
+        transform: Option<&dyn SpatialTransform>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert_eq!(q.len(), self.dims(), "query dimensionality mismatch");
+        let mut stats = SearchStats::default();
+        let mut out: Vec<Neighbor> = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return (out, stats);
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueItem::Node {
+            idx: self.root,
+            min_dist_sq: 0.0,
+        });
+
+        // Distance of the k-th collected item; ties at exactly this
+        // distance are still collected so the final (distance, id) sort is
+        // deterministic regardless of heap pop order.
+        let mut worst = f64::INFINITY;
+        while let Some(top) = heap.pop() {
+            if out.len() >= k && top.key() > worst {
+                break;
+            }
+            match top {
+                QueueItem::Item { id, dist_sq } => {
+                    out.push(Neighbor { id, dist_sq });
+                    if out.len() == k {
+                        worst = dist_sq;
+                    }
+                }
+                QueueItem::Node { idx, min_dist_sq } => {
+                    if out.len() >= k && min_dist_sq > worst {
+                        continue;
+                    }
+                    let node = &self.nodes[idx];
+                    stats.nodes_visited += 1;
+                    if node.level == 0 {
+                        stats.leaves_visited += 1;
+                    }
+                    for e in &node.entries {
+                        stats.entries_tested += 1;
+                        let mbr;
+                        let rect = match transform {
+                            Some(t) => {
+                                mbr = t.apply_rect(e.mbr());
+                                &mbr
+                            }
+                            None => e.mbr(),
+                        };
+                        let d = rect.min_dist_sq(q);
+                        match e {
+                            Entry::Child { node, .. } => heap.push(QueueItem::Node {
+                                idx: *node,
+                                min_dist_sq: d,
+                            }),
+                            Entry::Item { id, .. } => heap.push(QueueItem::Item {
+                                id: *id,
+                                dist_sq: d,
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        // Deterministic tie order.
+        out.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
+        });
+        out.truncate(k);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::DiagonalAffine;
+
+    fn grid_tree(n: usize) -> RTree {
+        let mut t = RTree::with_dims(2);
+        let mut id = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                t.insert_point(&[i as f64, j as f64], id);
+                id += 1;
+            }
+        }
+        t
+    }
+
+    fn brute_knn(n: usize, q: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = (0..n * n)
+            .map(|id| {
+                let p = [(id / n) as f64, (id % n) as f64];
+                let dist_sq: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                Neighbor {
+                    id: id as u64,
+                    dist_sq,
+                }
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let n = 20;
+        let t = grid_tree(n);
+        for (q, k) in [
+            ([3.2, 7.8], 1usize),
+            ([0.0, 0.0], 5),
+            ([10.5, 10.5], 8),
+            ([-5.0, 25.0], 3),
+        ] {
+            let (got, _) = t.nearest(&q, k);
+            let want = brute_knn(n, &q, k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id, "q={q:?} k={k}");
+                assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_visits_few_nodes() {
+        let t = grid_tree(40); // 1600 points
+        let (hits, stats) = t.nearest(&[20.0, 20.0], 1);
+        assert_eq!(hits.len(), 1);
+        // Best-first search should touch a small fraction of nodes.
+        assert!(stats.nodes_visited < (t.len() as u64) / 10);
+    }
+
+    #[test]
+    fn transformed_knn_matches_materialized() {
+        let n = 15;
+        let t = grid_tree(n);
+        let affine = DiagonalAffine::new(vec![-1.0, 2.0], vec![5.0, -3.0]);
+        let q = [2.0, 4.0];
+        let (via_transform, _) = t.nearest_transformed(&affine, &q, 5);
+
+        // Reference: transform all points, brute force.
+        use crate::transform::SpatialTransform;
+        let mut all: Vec<Neighbor> = (0..n * n)
+            .map(|id| {
+                let p = affine.apply_point(&[(id / n) as f64, (id % n) as f64]);
+                let dist_sq: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                Neighbor {
+                    id: id as u64,
+                    dist_sq,
+                }
+            })
+            .collect();
+        all.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap().then(a.id.cmp(&b.id)));
+        all.truncate(5);
+
+        assert_eq!(via_transform.len(), 5);
+        for (g, w) in via_transform.iter().zip(&all) {
+            assert_eq!(g.id, w.id);
+            assert!((g.dist_sq - w.dist_sq).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let t = grid_tree(5);
+        assert!(t.nearest(&[0.0, 0.0], 0).0.is_empty());
+        let empty = RTree::with_dims(2);
+        assert!(empty.nearest(&[0.0, 0.0], 3).0.is_empty());
+    }
+
+    #[test]
+    fn k_exceeding_len_returns_all() {
+        let t = grid_tree(3);
+        let (hits, _) = t.nearest(&[1.0, 1.0], 100);
+        assert_eq!(hits.len(), 9);
+    }
+}
+
+/// Best-first nearest-neighbour search under a caller-supplied lower-bound
+/// function.
+///
+/// `bound(rect)` must return a lower bound on the caller's true distance
+/// from the query to any item whose (transformed) index rectangle is
+/// `rect`; for leaf entries (degenerate rectangles) it should return the
+/// caller's exact index-space distance. This generalizes MINDIST-based kNN
+/// to non-Euclidean feature layouts — the polar representation's
+/// magnitude/phase pairs in particular, where the true complex-plane
+/// distance to an annular sector is computable but is not the Euclidean
+/// distance of the raw coordinates.
+impl RTree {
+    /// Returns the `k` items with the smallest `bound` values, ascending
+    /// (ties by id), with search statistics.
+    pub fn nearest_by(
+        &self,
+        bound: &dyn Fn(&crate::geom::Rect) -> f64,
+        transform: Option<&dyn SpatialTransform>,
+        k: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut out: Vec<Neighbor> = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return (out, stats);
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueItem::Node {
+            idx: self.root,
+            min_dist_sq: 0.0,
+        });
+        let mut worst = f64::INFINITY;
+        while let Some(top) = heap.pop() {
+            if out.len() >= k && top.key() > worst {
+                break;
+            }
+            match top {
+                QueueItem::Item { id, dist_sq } => {
+                    out.push(Neighbor { id, dist_sq });
+                    if out.len() == k {
+                        worst = dist_sq;
+                    }
+                }
+                QueueItem::Node { idx, min_dist_sq } => {
+                    if out.len() >= k && min_dist_sq > worst {
+                        continue;
+                    }
+                    let node = &self.nodes[idx];
+                    stats.nodes_visited += 1;
+                    if node.level == 0 {
+                        stats.leaves_visited += 1;
+                    }
+                    for e in &node.entries {
+                        stats.entries_tested += 1;
+                        let mbr;
+                        let rect = match transform {
+                            Some(t) => {
+                                mbr = t.apply_rect(e.mbr());
+                                &mbr
+                            }
+                            None => e.mbr(),
+                        };
+                        let d = bound(rect);
+                        match e {
+                            Entry::Child { node, .. } => heap.push(QueueItem::Node {
+                                idx: *node,
+                                min_dist_sq: d,
+                            }),
+                            Entry::Item { id, .. } => heap.push(QueueItem::Item {
+                                id: *id,
+                                dist_sq: d,
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
+        });
+        out.truncate(k);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod nearest_by_tests {
+    use super::*;
+    use crate::geom::Rect;
+
+    #[test]
+    fn nearest_by_with_euclidean_bound_matches_nearest() {
+        let mut t = RTree::with_dims(2);
+        for i in 0..300u64 {
+            let x = ((i * 29) % 97) as f64;
+            let y = ((i * 31) % 89) as f64;
+            t.insert_point(&[x, y], i);
+        }
+        let q = [40.0, 40.0];
+        let bound = |r: &Rect| r.min_dist_sq(&q);
+        let (via_by, _) = t.nearest_by(&bound, None, 7);
+        let (via_builtin, _) = t.nearest(&q, 7);
+        assert_eq!(via_by.len(), via_builtin.len());
+        for (a, b) in via_by.iter().zip(&via_builtin) {
+            assert_eq!(a.id, b.id);
+        }
+    }
+
+    #[test]
+    fn nearest_by_respects_custom_metric() {
+        // Manhattan-style bound: results ordered by L1, not L2.
+        let mut t = RTree::with_dims(2);
+        t.insert_point(&[3.0, 0.0], 1); // L1=3, L2=3
+        t.insert_point(&[2.0, 2.0], 2); // L1=4, L2=2.83
+        let q = [0.0, 0.0];
+        let l1_bound = |r: &Rect| -> f64 {
+            (0..2)
+                .map(|d| {
+                    if q[d] < r.lo[d] {
+                        r.lo[d] - q[d]
+                    } else if q[d] > r.hi[d] {
+                        q[d] - r.hi[d]
+                    } else {
+                        0.0
+                    }
+                })
+                .sum()
+        };
+        let (hits, _) = t.nearest_by(&l1_bound, None, 1);
+        assert_eq!(hits[0].id, 1);
+    }
+}

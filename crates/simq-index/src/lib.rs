@@ -1,0 +1,38 @@
+//! # simq-index — multidimensional indexing for similarity queries
+//!
+//! A from-scratch R*-tree (Beckmann et al., SIGMOD 1990 — the index the
+//! paper's experiments run on) extended with the paper's contribution: the
+//! ability to traverse the index *as if* a safe transformation had been
+//! applied to every bounding rectangle (Algorithms 1 and 2), so one
+//! physical index serves arbitrarily many transformed views of the data
+//! with no extra disk overhead.
+//!
+//! * [`geom`] — rectangles, dimension semantics (including circular phase
+//!   angles), MINDIST/MINMAXDIST.
+//! * [`transform`] — spatial transformations ([`DiagonalAffine`] is the
+//!   normal form every safe transformation reduces to).
+//! * [`rstar`] — the tree structure: ChooseSubtree, forced reinsertion, R*
+//!   split, deletion with condense.
+//! * [`search`] — range queries, plain and transformed, with node-access
+//!   statistics.
+//! * [`knn`] — best-first nearest neighbours with MINDIST pruning, plain
+//!   and transformed.
+//! * [`join`] — probe-based (the paper's Table 1 methods) and synchronized
+//!   tree-tree spatial joins.
+//! * [`bulk`] — STR bulk loading.
+
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod geom;
+pub mod join;
+pub mod knn;
+pub mod rstar;
+pub mod search;
+pub mod transform;
+
+pub use geom::{circular_overlap, DimSemantics, Rect, Space};
+pub use knn::Neighbor;
+pub use rstar::{RTree, RTreeConfig};
+pub use search::SearchStats;
+pub use transform::{DiagonalAffine, IdentityTransform, SpatialTransform};

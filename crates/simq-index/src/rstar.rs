@@ -1,0 +1,797 @@
+//! The R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990).
+//!
+//! The paper runs its experiments "on top of Norbert Beckmann's Version 2
+//! implementation of the R*-tree"; this module is the from-scratch Rust
+//! equivalent: ChooseSubtree with overlap minimization at the leaf level,
+//! the margin-driven split axis choice, and forced reinsertion on first
+//! overflow per level. Nodes live in an arena (`Vec<Node>`) with index
+//! handles; there is no unsafe code.
+//!
+//! Search, nearest-neighbour, join and bulk-loading live in sibling modules
+//! ([`crate::search`], [`crate::knn`], [`crate::join`], [`crate::bulk`]);
+//! this module owns the structure and its update algorithms.
+
+use crate::geom::{Rect, Space};
+
+/// Tuning parameters of the tree.
+#[derive(Debug, Clone)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum fill fraction (`m = ⌈max · min_fill⌉`), typically 0.4.
+    pub min_fill: f64,
+    /// Fraction of entries removed on forced reinsertion, typically 0.3.
+    pub reinsert_fraction: f64,
+    /// Whether forced reinsertion is enabled (the ablation benches switch
+    /// it off to quantify its effect).
+    pub forced_reinsert: bool,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 32,
+            min_fill: 0.4,
+            reinsert_fraction: 0.3,
+            forced_reinsert: true,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// Minimum entries per node implied by the fill factor (at least 2).
+    pub fn min_entries(&self) -> usize {
+        (((self.max_entries as f64) * self.min_fill).ceil() as usize).max(2)
+    }
+
+    /// Entries removed by one forced reinsertion (at least 1).
+    pub fn reinsert_count(&self) -> usize {
+        (((self.max_entries as f64) * self.reinsert_fraction).floor() as usize).max(1)
+    }
+}
+
+/// An entry of a node: a child subtree or a data item.
+#[derive(Debug, Clone)]
+pub(crate) enum Entry {
+    /// Internal entry: bounding rectangle and arena index of the child.
+    Child {
+        /// MBR of the subtree.
+        mbr: Rect,
+        /// Arena index of the child node.
+        node: usize,
+    },
+    /// Leaf entry: bounding rectangle (a point for point data) and the
+    /// caller's item identifier.
+    Item {
+        /// MBR (or point) of the item.
+        mbr: Rect,
+        /// Caller-supplied identifier.
+        id: u64,
+    },
+}
+
+impl Entry {
+    pub(crate) fn mbr(&self) -> &Rect {
+        match self {
+            Entry::Child { mbr, .. } | Entry::Item { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// A tree node. `level` 0 is the leaf level.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) level: u32,
+    pub(crate) entries: Vec<Entry>,
+}
+
+impl Node {
+    fn mbr(&self) -> Option<Rect> {
+        let mut it = self.entries.iter();
+        let first = it.next()?.mbr().clone();
+        Some(it.fold(first, |acc, e| acc.union(e.mbr())))
+    }
+}
+
+/// An R*-tree over points/rectangles in a [`Space`].
+///
+/// Item identifiers are caller-managed `u64`s (row ids of a relation).
+#[derive(Debug, Clone)]
+pub struct RTree {
+    pub(crate) config: RTreeConfig,
+    pub(crate) space: Space,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: usize,
+    pub(crate) len: usize,
+    free: Vec<usize>,
+}
+
+impl RTree {
+    /// Creates an empty tree over the given space.
+    pub fn new(space: Space, config: RTreeConfig) -> Self {
+        let root = Node {
+            level: 0,
+            entries: Vec::new(),
+        };
+        RTree {
+            config,
+            space,
+            nodes: vec![root],
+            root: 0,
+            len: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Creates an empty tree with default configuration over a linear space.
+    pub fn with_dims(dims: usize) -> Self {
+        Self::new(Space::linear(dims), RTreeConfig::default())
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The space the tree indexes.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Dimensionality of the indexed space.
+    pub fn dims(&self) -> usize {
+        self.space.dims()
+    }
+
+    /// Height of the tree (root level + 1); an empty tree has height 1.
+    pub fn height(&self) -> u32 {
+        self.nodes[self.root].level + 1
+    }
+
+    /// Bounding rectangle of all stored items, or `None` when empty.
+    pub fn bounds(&self) -> Option<Rect> {
+        self.nodes[self.root].mbr()
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Inserts a point item.
+    ///
+    /// # Panics
+    /// Panics if the point dimensionality disagrees with the space.
+    pub fn insert_point(&mut self, p: &[f64], id: u64) {
+        assert_eq!(p.len(), self.dims(), "point dimensionality mismatch");
+        self.insert(Rect::point(p), id);
+    }
+
+    /// Inserts a rectangle item.
+    ///
+    /// # Panics
+    /// Panics if the rectangle dimensionality disagrees with the space.
+    pub fn insert(&mut self, rect: Rect, id: u64) {
+        assert_eq!(rect.dims(), self.dims(), "rect dimensionality mismatch");
+        let height = self.nodes[self.root].level;
+        let mut reinserted = vec![false; height as usize + 1];
+        self.insert_at_level(Entry::Item { mbr: rect, id }, 0, &mut reinserted);
+        self.len += 1;
+    }
+
+    /// Core insertion: place `entry` at `target_level`, handling overflow
+    /// by forced reinsertion (once per level per top-level insert) or split.
+    fn insert_at_level(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
+        // Descend, recording the path (node index, entry index in parent).
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        let mut current = self.root;
+        while self.nodes[current].level > target_level {
+            let child_pos = self.choose_subtree(current, entry.mbr());
+            path.push((current, child_pos));
+            current = match &self.nodes[current].entries[child_pos] {
+                Entry::Child { node, .. } => *node,
+                Entry::Item { .. } => unreachable!("internal node holds child entries"),
+            };
+        }
+
+        self.nodes[current].entries.push(entry);
+
+        // Walk back up, fixing MBRs and treating overflows.
+        let mut node_idx = current;
+        loop {
+            let overflow = self.nodes[node_idx].entries.len() > self.config.max_entries;
+            if overflow {
+                let level = self.nodes[node_idx].level as usize;
+                let is_root = node_idx == self.root;
+                if !is_root
+                    && self.config.forced_reinsert
+                    && level < reinserted.len()
+                    && !reinserted[level]
+                {
+                    reinserted[level] = true;
+                    self.reinsert(node_idx, &path, reinserted);
+                    // Reinsertion fixed ancestors' MBRs itself; start over
+                    // from the parent MBR fix below is unnecessary: the tree
+                    // is consistent after reinsert.
+                    return;
+                }
+                let (split_mbr, split_node) = self.split(node_idx);
+                if is_root {
+                    // Grow a new root above both halves.
+                    let old_root_mbr = self.nodes[self.root]
+                        .mbr()
+                        .expect("split node is non-empty");
+                    let level = self.nodes[self.root].level + 1;
+                    let new_root = self.alloc(Node {
+                        level,
+                        entries: vec![
+                            Entry::Child {
+                                mbr: old_root_mbr,
+                                node: self.root,
+                            },
+                            Entry::Child {
+                                mbr: split_mbr,
+                                node: split_node,
+                            },
+                        ],
+                    });
+                    self.root = new_root;
+                    return;
+                }
+                // Push the new sibling into the parent, then continue the
+                // upward walk from the parent.
+                let (parent_idx, entry_pos) = *path.last().expect("non-root has a parent");
+                let child_mbr = self.nodes[node_idx].mbr().expect("non-empty after split");
+                match &mut self.nodes[parent_idx].entries[entry_pos] {
+                    Entry::Child { mbr, .. } => *mbr = child_mbr,
+                    Entry::Item { .. } => unreachable!(),
+                }
+                self.nodes[parent_idx].entries.push(Entry::Child {
+                    mbr: split_mbr,
+                    node: split_node,
+                });
+                path.pop();
+                node_idx = parent_idx;
+                continue;
+            }
+            // No overflow: update the parent's MBR for this child and move up.
+            match path.pop() {
+                None => return,
+                Some((parent_idx, entry_pos)) => {
+                    let child_mbr = self.nodes[node_idx].mbr().expect("non-empty child");
+                    match &mut self.nodes[parent_idx].entries[entry_pos] {
+                        Entry::Child { mbr, .. } => *mbr = child_mbr,
+                        Entry::Item { .. } => unreachable!(),
+                    }
+                    node_idx = parent_idx;
+                }
+            }
+        }
+    }
+
+    /// R* ChooseSubtree: overlap-minimizing at the level just above the
+    /// leaves, area-minimizing elsewhere. Returns the entry position.
+    fn choose_subtree(&self, node_idx: usize, rect: &Rect) -> usize {
+        let node = &self.nodes[node_idx];
+        debug_assert!(node.level > 0);
+        let children_are_leaves = node.level == 1;
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (pos, e) in node.entries.iter().enumerate() {
+            let mbr = e.mbr();
+            let enlarged = mbr.union(rect);
+            let area_enlargement = enlarged.area() - mbr.area();
+            let key = if children_are_leaves {
+                // Overlap enlargement against sibling MBRs.
+                let mut before = 0.0;
+                let mut after = 0.0;
+                for (other_pos, other) in node.entries.iter().enumerate() {
+                    if other_pos == pos {
+                        continue;
+                    }
+                    before += mbr.overlap_area(other.mbr());
+                    after += enlarged.overlap_area(other.mbr());
+                }
+                (after - before, area_enlargement, mbr.area())
+            } else {
+                (area_enlargement, mbr.area(), 0.0)
+            };
+            if key < best_key {
+                best_key = key;
+                best = pos;
+            }
+        }
+        best
+    }
+
+    /// Forced reinsertion: remove the `p` entries of `node_idx` whose
+    /// centers are farthest from the node's center, fix ancestor MBRs, and
+    /// reinsert the removed entries ("close reinsert": nearest first).
+    fn reinsert(&mut self, node_idx: usize, path: &[(usize, usize)], reinserted: &mut Vec<bool>) {
+        let p = self
+            .config
+            .reinsert_count()
+            .min(self.nodes[node_idx].entries.len().saturating_sub(1));
+        let level = self.nodes[node_idx].level;
+        let center = self.nodes[node_idx]
+            .mbr()
+            .expect("overflowing node is non-empty")
+            .center();
+        let dist_sq = |r: &Rect| -> f64 {
+            r.center()
+                .iter()
+                .zip(&center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        // Sort ascending by distance; the tail holds the farthest p entries.
+        self.nodes[node_idx]
+            .entries
+            .sort_by(|a, b| {
+                dist_sq(a.mbr())
+                    .partial_cmp(&dist_sq(b.mbr()))
+                    .expect("finite coordinates")
+            });
+        let keep = self.nodes[node_idx].entries.len() - p;
+        let removed: Vec<Entry> = self.nodes[node_idx].entries.split_off(keep);
+
+        // Fix MBRs on the recorded path (bottom-up).
+        let mut child = node_idx;
+        for &(parent_idx, entry_pos) in path.iter().rev() {
+            let child_mbr = self.nodes[child].mbr().expect("kept entries non-empty");
+            match &mut self.nodes[parent_idx].entries[entry_pos] {
+                Entry::Child { mbr, .. } => *mbr = child_mbr,
+                Entry::Item { .. } => unreachable!(),
+            }
+            child = parent_idx;
+        }
+
+        // Close reinsert: nearest-to-center first (removed is sorted
+        // ascending already because split_off kept order).
+        for entry in removed {
+            self.insert_at_level(entry, level, reinserted);
+        }
+    }
+
+    /// R* split: choose the axis minimizing total margin over all valid
+    /// distributions, then the distribution minimizing overlap (ties:
+    /// area). Returns the new sibling's `(mbr, arena index)`; `node_idx`
+    /// keeps the first group.
+    fn split(&mut self, node_idx: usize) -> (Rect, usize) {
+        let min = self.config.min_entries();
+        let entries = std::mem::take(&mut self.nodes[node_idx].entries);
+        let total = entries.len();
+        debug_assert!(total > self.config.max_entries);
+        let dims = self.dims();
+        let level = self.nodes[node_idx].level;
+
+        // For each axis and each sorting (by lower then by upper value),
+        // evaluate margin sums over the distributions.
+        let mut best_axis = 0usize;
+        let mut best_axis_margin = f64::INFINITY;
+        let mut best_axis_order: Vec<usize> = Vec::new();
+
+        for axis in 0..dims {
+            for by_upper in [false, true] {
+                let mut order: Vec<usize> = (0..total).collect();
+                order.sort_by(|&a, &b| {
+                    let (ka, kb) = if by_upper {
+                        (entries[a].mbr().hi[axis], entries[b].mbr().hi[axis])
+                    } else {
+                        (entries[a].mbr().lo[axis], entries[b].mbr().lo[axis])
+                    };
+                    ka.partial_cmp(&kb).expect("finite coordinates")
+                });
+                let mut margin_sum = 0.0;
+                for k in min..=(total - min) {
+                    let left = group_mbr(&entries, &order[..k]);
+                    let right = group_mbr(&entries, &order[k..]);
+                    margin_sum += left.margin() + right.margin();
+                }
+                if margin_sum < best_axis_margin {
+                    best_axis_margin = margin_sum;
+                    best_axis = axis;
+                    best_axis_order = order;
+                }
+            }
+        }
+        let _ = best_axis; // axis is implied by the retained order
+
+        // Choose the distribution along the winning order.
+        let order = best_axis_order;
+        let mut best_k = min;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for k in min..=(total - min) {
+            let left = group_mbr(&entries, &order[..k]);
+            let right = group_mbr(&entries, &order[k..]);
+            let key = (left.overlap_area(&right), left.area() + right.area());
+            if key < best_key {
+                best_key = key;
+                best_k = k;
+            }
+        }
+
+        let mut left_entries = Vec::with_capacity(best_k);
+        let mut right_entries = Vec::with_capacity(total - best_k);
+        let mut in_left = vec![false; total];
+        for &i in &order[..best_k] {
+            in_left[i] = true;
+        }
+        for (i, e) in entries.into_iter().enumerate() {
+            if in_left[i] {
+                left_entries.push(e);
+            } else {
+                right_entries.push(e);
+            }
+        }
+
+        self.nodes[node_idx].entries = left_entries;
+        let sibling = Node {
+            level,
+            entries: right_entries,
+        };
+        let mbr = sibling.mbr().expect("right group non-empty");
+        let idx = self.alloc(sibling);
+        (mbr, idx)
+    }
+
+    /// Removes the item with the given rectangle and id. Returns true if it
+    /// was present. Underfull nodes are dissolved and their entries
+    /// reinserted (the classical condense-tree step).
+    pub fn remove(&mut self, rect: &Rect, id: u64) -> bool {
+        let Some(leaf_path) = self.find_leaf(self.root, rect, id, &mut Vec::new()) else {
+            return false;
+        };
+        let leaf = *leaf_path.last().expect("path ends at leaf");
+        let pos = self.nodes[leaf]
+            .entries
+            .iter()
+            .position(|e| matches!(e, Entry::Item { mbr, id: eid } if eid == &id && mbr == rect))
+            .expect("find_leaf located the item");
+        self.nodes[leaf].entries.swap_remove(pos);
+        self.len -= 1;
+        self.condense(&leaf_path);
+        true
+    }
+
+    /// Depth-first search for the leaf containing `(rect, id)`; returns the
+    /// node-index path from root to leaf.
+    fn find_leaf(
+        &self,
+        node_idx: usize,
+        rect: &Rect,
+        id: u64,
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        path.push(node_idx);
+        let node = &self.nodes[node_idx];
+        if node.level == 0 {
+            if node
+                .entries
+                .iter()
+                .any(|e| matches!(e, Entry::Item { mbr, id: eid } if eid == &id && mbr == rect))
+            {
+                return Some(path.clone());
+            }
+        } else {
+            for e in &node.entries {
+                if let Entry::Child { mbr, node: child } = e {
+                    if mbr.intersects_linear(rect) {
+                        if let Some(found) = self.find_leaf(*child, rect, id, path) {
+                            return Some(found);
+                        }
+                    }
+                }
+            }
+        }
+        path.pop();
+        None
+    }
+
+    /// Condense after a removal along `path` (root first): dissolve
+    /// underfull non-root nodes, reinsert their entries, fix MBRs, and
+    /// shrink the root when it has a single child.
+    fn condense(&mut self, path: &[usize]) {
+        let min = self.config.min_entries();
+        let mut orphans: Vec<(u32, Entry)> = Vec::new();
+
+        // Walk from the leaf upward.
+        for i in (1..path.len()).rev() {
+            let node_idx = path[i];
+            let parent_idx = path[i - 1];
+            let underfull = self.nodes[node_idx].entries.len() < min;
+            let pos = self.nodes[parent_idx]
+                .entries
+                .iter()
+                .position(|e| matches!(e, Entry::Child { node, .. } if *node == node_idx))
+                .expect("path parent holds child");
+            if underfull {
+                let level = self.nodes[node_idx].level;
+                let removed = std::mem::take(&mut self.nodes[node_idx].entries);
+                orphans.extend(removed.into_iter().map(|e| (level, e)));
+                self.nodes[parent_idx].entries.swap_remove(pos);
+                self.free.push(node_idx);
+            } else {
+                let child_mbr = self.nodes[node_idx].mbr().expect("non-underfull node");
+                match &mut self.nodes[parent_idx].entries[pos] {
+                    Entry::Child { mbr, .. } => *mbr = child_mbr,
+                    Entry::Item { .. } => unreachable!(),
+                }
+            }
+        }
+
+        // Shrink the root while it is an internal node with one child.
+        while self.nodes[self.root].level > 0 && self.nodes[self.root].entries.len() == 1 {
+            let child = match &self.nodes[self.root].entries[0] {
+                Entry::Child { node, .. } => *node,
+                Entry::Item { .. } => unreachable!(),
+            };
+            self.free.push(self.root);
+            self.root = child;
+        }
+        // An empty internal root degenerates to an empty leaf.
+        if self.nodes[self.root].entries.is_empty() {
+            self.nodes[self.root].level = 0;
+        }
+
+        // Reinsert orphaned entries at their original levels.
+        for (level, entry) in orphans {
+            let height = self.nodes[self.root].level;
+            let mut reinserted = vec![false; height as usize + 1];
+            if level > height {
+                // The tree shrank below the orphan's level; re-add items
+                // individually (only possible for Child orphans, whose
+                // subtrees we flatten).
+                self.flatten_into_items(entry, &mut reinserted);
+            } else {
+                self.insert_at_level(entry, level, &mut reinserted);
+            }
+        }
+    }
+
+    /// Recursively reinserts every item of an orphaned subtree.
+    fn flatten_into_items(&mut self, entry: Entry, reinserted: &mut Vec<bool>) {
+        match entry {
+            Entry::Item { mbr, id } => {
+                self.insert_at_level(Entry::Item { mbr, id }, 0, reinserted)
+            }
+            Entry::Child { node, .. } => {
+                let children = std::mem::take(&mut self.nodes[node].entries);
+                self.free.push(node);
+                for c in children {
+                    self.flatten_into_items(c, reinserted);
+                }
+            }
+        }
+    }
+
+    /// Iterates over all `(rect, id)` items (in arbitrary order).
+    pub fn items(&self) -> Vec<(Rect, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            for e in &self.nodes[idx].entries {
+                match e {
+                    Entry::Child { node, .. } => stack.push(*node),
+                    Entry::Item { mbr, id } => out.push((mbr.clone(), *id)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates structural invariants (for tests): MBR containment, entry
+    /// counts, uniform leaf depth. Returns a description of the first
+    /// violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = &self.nodes[self.root];
+        if root.entries.len() > self.config.max_entries {
+            return Err("root overfull".into());
+        }
+        self.check_node(self.root, None, true)?;
+        let mut count = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            for e in &self.nodes[idx].entries {
+                match e {
+                    Entry::Child { node, .. } => stack.push(*node),
+                    Entry::Item { .. } => count += 1,
+                }
+            }
+        }
+        if count != self.len {
+            return Err(format!("len {} but {} items reachable", self.len, count));
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, idx: usize, expected_mbr: Option<&Rect>, is_root: bool) -> Result<(), String> {
+        let node = &self.nodes[idx];
+        if !is_root {
+            let min = self.config.min_entries();
+            if node.entries.len() < min {
+                return Err(format!(
+                    "node {idx} underfull: {} < {min}",
+                    node.entries.len()
+                ));
+            }
+        }
+        if node.entries.len() > self.config.max_entries {
+            return Err(format!("node {idx} overfull"));
+        }
+        if let Some(expected) = expected_mbr {
+            let actual = node.mbr().ok_or_else(|| format!("node {idx} empty"))?;
+            if &actual != expected {
+                return Err(format!("node {idx} MBR stale: {actual} vs {expected}"));
+            }
+        }
+        for e in &node.entries {
+            match e {
+                Entry::Child { mbr, node: child } => {
+                    if self.nodes[*child].level + 1 != node.level {
+                        return Err(format!("level mismatch at node {idx}"));
+                    }
+                    self.check_node(*child, Some(mbr), false)?;
+                }
+                Entry::Item { .. } => {
+                    if node.level != 0 {
+                        return Err(format!("item in internal node {idx}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// MBR of a subset of entries selected by indices.
+fn group_mbr(entries: &[Entry], idx: &[usize]) -> Rect {
+    let mut it = idx.iter();
+    let first = entries[*it.next().expect("non-empty group")].mbr().clone();
+    it.fold(first, |acc, &i| acc.union(entries[i].mbr()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_tree(n: usize) -> RTree {
+        let mut t = RTree::with_dims(2);
+        let mut id = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                t.insert_point(&[i as f64, j as f64], id);
+                id += 1;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::with_dims(3);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.bounds().is_none());
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn inserts_maintain_invariants() {
+        let t = grid_tree(20); // 400 points, multiple levels
+        assert_eq!(t.len(), 400);
+        assert!(t.height() >= 2);
+        t.check_invariants().unwrap();
+        assert_eq!(
+            t.bounds().unwrap(),
+            Rect::new(vec![0.0, 0.0], vec![19.0, 19.0])
+        );
+    }
+
+    #[test]
+    fn all_items_reachable() {
+        let t = grid_tree(15);
+        let mut ids: Vec<u64> = t.items().into_iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..225).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn forced_reinsert_can_be_disabled() {
+        let config = RTreeConfig {
+            forced_reinsert: false,
+            ..RTreeConfig::default()
+        };
+        let mut t = RTree::new(Space::linear(2), config);
+        for i in 0..500u64 {
+            let x = (i % 31) as f64;
+            let y = (i / 31) as f64;
+            t.insert_point(&[x, y], i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn remove_items() {
+        let mut t = grid_tree(10);
+        assert_eq!(t.len(), 100);
+        // Remove the even ids.
+        for i in 0..10 {
+            for j in 0..10 {
+                let id = (i * 10 + j) as u64;
+                if id.is_multiple_of(2) {
+                    assert!(t.remove(&Rect::point(&[i as f64, j as f64]), id));
+                }
+            }
+        }
+        assert_eq!(t.len(), 50);
+        t.check_invariants().unwrap();
+        let mut ids: Vec<u64> = t.items().into_iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        assert!(ids.iter().all(|id| id % 2 == 1));
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn remove_missing_is_noop() {
+        let mut t = grid_tree(3);
+        assert!(!t.remove(&Rect::point(&[99.0, 99.0]), 0));
+        assert!(!t.remove(&Rect::point(&[0.0, 0.0]), 999));
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let mut t = grid_tree(8);
+        for (rect, id) in t.items() {
+            assert!(t.remove(&rect, id));
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+        // The tree remains usable.
+        t.insert_point(&[1.0, 1.0], 7);
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_supported() {
+        let mut t = RTree::with_dims(1);
+        for id in 0..100 {
+            t.insert_point(&[5.0], id);
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rectangles_as_items() {
+        let mut t = RTree::with_dims(2);
+        for i in 0..50u64 {
+            let x = (i % 10) as f64;
+            let y = (i / 10) as f64;
+            t.insert(Rect::new(vec![x, y], vec![x + 0.5, y + 0.5]), i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_rejected() {
+        let mut t = RTree::with_dims(2);
+        t.insert_point(&[1.0], 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the query pipeline.
+
+use simq_series::error::SeriesError;
+use std::fmt;
+
+/// Errors from lexing, parsing, planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Parse error at a byte offset (or end of input).
+    Parse {
+        /// Byte offset of the problem, or `None` at end of input.
+        offset: Option<usize>,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The referenced relation does not exist.
+    UnknownRelation(String),
+    /// The referenced row (by id or name) does not exist.
+    UnknownRow(String),
+    /// The query series has the wrong length for the relation.
+    QueryLengthMismatch {
+        /// Length the relation requires.
+        expected: usize,
+        /// Length the query provided.
+        actual: usize,
+    },
+    /// A domain operation failed (invalid window, constant series, …).
+    Series(SeriesError),
+    /// The query demanded the index (`FORCE INDEX`) but no index-safe plan
+    /// exists; the reason explains what failed.
+    IndexUnavailable(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            QueryError::Parse { offset, message } => match offset {
+                Some(o) => write!(f, "parse error at byte {o}: {message}"),
+                None => write!(f, "parse error at end of input: {message}"),
+            },
+            QueryError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            QueryError::UnknownRow(what) => write!(f, "unknown row {what}"),
+            QueryError::QueryLengthMismatch { expected, actual } => write!(
+                f,
+                "query series has length {actual} but the relation stores length {expected}"
+            ),
+            QueryError::Series(e) => write!(f, "{e}"),
+            QueryError::IndexUnavailable(reason) => {
+                write!(f, "index execution unavailable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SeriesError> for QueryError {
+    fn from(e: SeriesError) -> Self {
+        QueryError::Series(e)
+    }
+}

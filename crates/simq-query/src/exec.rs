@@ -1,0 +1,772 @@
+//! Query execution.
+//!
+//! Index-based range evaluation is the paper's Algorithm 2:
+//!
+//! 1. *Preprocessing* — bring the query into the frequency domain, build
+//!    its search rectangle (Section 3.1);
+//! 2. *Search* — traverse the R*-tree applying the lowered transformation
+//!    to every bounding rectangle and leaf point;
+//! 3. *Postprocessing* — for every candidate, compute the exact distance
+//!    on the full stored spectrum and keep those within ε.
+//!
+//! Lemma 1 guarantees step 2 returns a superset of the answer (no false
+//! dismissals); step 3 removes the false hits. The property tests in
+//! `tests/lemma1.rs` pin the end-to-end guarantee against brute force.
+
+use crate::ast::{Query, QuerySource, StatsWindow};
+use crate::error::QueryError;
+use crate::plan::{explain, plan, AccessPath, Database, Plan, StoredRelation};
+use simq_dsp::complex::Complex;
+use simq_series::transform::SeriesTransform;
+use simq_storage::scan;
+
+/// Work counters accumulated across the whole execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Index nodes visited (proxy for disk accesses).
+    pub nodes_visited: u64,
+    /// Leaf nodes among them.
+    pub leaves_visited: u64,
+    /// Index entries tested.
+    pub entries_tested: u64,
+    /// Rows read by sequential scans.
+    pub rows_scanned: u64,
+    /// Complex coefficients compared by scans / postprocessing.
+    pub coefficients_compared: u64,
+    /// Candidates produced by the filter step.
+    pub candidates: u64,
+    /// Candidates that survived exact verification.
+    pub verified: u64,
+}
+
+/// A range/kNN hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Row id.
+    pub id: u64,
+    /// Row name attribute.
+    pub name: String,
+    /// Exact distance.
+    pub distance: f64,
+}
+
+/// An all-pairs hit (canonicalized to `a < b`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairHit {
+    /// First row id.
+    pub a: u64,
+    /// Second row id.
+    pub b: u64,
+    /// Exact distance.
+    pub distance: f64,
+}
+
+/// What a query returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Range and kNN results, ordered by (distance, id).
+    Hits(Vec<Hit>),
+    /// All-pairs results, ordered by (a, b).
+    Pairs(Vec<PairHit>),
+    /// `EXPLAIN` rendering.
+    Plan(String),
+}
+
+/// A completed query: output, the plan that produced it, statistics.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result rows.
+    pub output: QueryOutput,
+    /// The plan used.
+    pub plan: Plan,
+    /// Work counters.
+    pub stats: ExecStats,
+}
+
+/// Parses, plans and executes a query text.
+///
+/// # Errors
+/// Any [`QueryError`] from the pipeline.
+pub fn execute(db: &Database, input: &str) -> Result<QueryResult, QueryError> {
+    let query = crate::parse::parse(input)?;
+    run(db, &query)
+}
+
+/// Plans and executes a parsed query.
+///
+/// # Errors
+/// Any [`QueryError`] from planning or execution.
+pub fn run(db: &Database, query: &Query) -> Result<QueryResult, QueryError> {
+    let the_plan = plan(db, query)?;
+    match query {
+        Query::Explain(inner) => Ok(QueryResult {
+            output: QueryOutput::Plan(explain(inner, &the_plan)),
+            plan: the_plan,
+            stats: ExecStats::default(),
+        }),
+        Query::Range {
+            source,
+            relation,
+            transform,
+            on_both,
+            eps,
+            stats_window,
+            ..
+        } => {
+            let stored = db
+                .relation(relation)
+                .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
+            let ctx = resolve_query(stored, source, transform, *on_both)?;
+            range(stored, transform, &ctx, *eps, *stats_window, &the_plan)
+        }
+        Query::Knn {
+            k,
+            source,
+            relation,
+            transform,
+            on_both,
+            ..
+        } => {
+            let stored = db
+                .relation(relation)
+                .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
+            let ctx = resolve_query(stored, source, transform, *on_both)?;
+            knn(stored, transform, &ctx.spectrum, *k, &the_plan)
+        }
+        Query::AllPairs {
+            relation,
+            left,
+            right,
+            eps,
+            ..
+        } => {
+            let stored = db
+                .relation(relation)
+                .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
+            all_pairs(stored, left, right, *eps, &the_plan)
+        }
+    }
+}
+
+/// The resolved query: comparison spectrum plus the query series'
+/// statistics (needed by GK95 MEAN/STD windows).
+struct QueryContext {
+    spectrum: Vec<Complex>,
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Resolves the query source: the normal-form spectrum of the query series
+/// (transformed when `ON BOTH` was given) and its statistics.
+fn resolve_query(
+    stored: &StoredRelation,
+    source: &QuerySource,
+    transform: &SeriesTransform,
+    on_both: bool,
+) -> Result<QueryContext, QueryError> {
+    let n = stored.relation.series_len();
+    let (spectrum, mean, std_dev) = match source {
+        QuerySource::Literal(values) => {
+            if values.len() != n {
+                return Err(QueryError::QueryLengthMismatch {
+                    expected: n,
+                    actual: values.len(),
+                });
+            }
+            let f = stored.relation.scheme().extract(values)?;
+            (f.spectrum, f.mean, f.std_dev)
+        }
+        QuerySource::RowId(id) => {
+            let row = stored
+                .relation
+                .row(*id)
+                .ok_or_else(|| QueryError::UnknownRow(format!("id {id}")))?;
+            (
+                row.features.spectrum.clone(),
+                row.features.mean,
+                row.features.std_dev,
+            )
+        }
+        QuerySource::RowName(name) => {
+            let row = stored
+                .relation
+                .rows()
+                .find(|r| r.name == *name)
+                .ok_or_else(|| QueryError::UnknownRow(format!("name {name:?}")))?;
+            (
+                row.features.spectrum.clone(),
+                row.features.mean,
+                row.features.std_dev,
+            )
+        }
+    };
+    let spectrum = if on_both {
+        transform.apply_spectrum(&spectrum, n)?
+    } else {
+        spectrum
+    };
+    Ok(QueryContext {
+        spectrum,
+        mean,
+        std_dev,
+    })
+}
+
+/// Pads a search radius by one part in 10⁹ plus one absolute ulp-scale
+/// nudge. Transformed index coordinates are computed by different
+/// floating-point routes than query coordinates (e.g. `angle + π` vs
+/// `atan2` of the negated coefficient), so an exact-boundary match can
+/// round to either side; the pad keeps such items in the candidate set,
+/// where exact verification decides. Padding never adds false dismissals —
+/// it can only widen the candidate superset of Lemma 1.
+fn pad(radius: f64) -> f64 {
+    radius * (1.0 + 1e-9) + 1e-9
+}
+
+/// Exact squared distance between a row's transformed spectrum and the
+/// query spectrum. With `abandon_over` (a squared bound) the accumulation
+/// stops once the partial sum provably exceeds it and `f64::INFINITY` is
+/// returned — the candidate is outside the range either way; the same
+/// early-abandoning idea the paper applies to sequential scans. Working in
+/// squared distances end to end avoids `sqrt`-roundtrip boundary errors
+/// when a bound is derived from a previously computed distance.
+fn exact_distance_sq(
+    row_spectrum: &[Complex],
+    multipliers: &[Complex],
+    q: &[Complex],
+    abandon_over: Option<f64>,
+    compared: &mut u64,
+) -> f64 {
+    let mut acc = (row_spectrum[0] - q[0]).norm_sqr();
+    *compared += 1;
+    for f in 1..row_spectrum.len() {
+        acc += (row_spectrum[f] * multipliers[f - 1] - q[f]).norm_sqr();
+        *compared += 1;
+        if let Some(limit) = abandon_over {
+            if acc > limit {
+                return f64::INFINITY;
+            }
+        }
+    }
+    acc
+}
+
+/// [`exact_distance_sq`] with the square root taken for finite results.
+fn exact_distance(
+    row_spectrum: &[Complex],
+    multipliers: &[Complex],
+    q: &[Complex],
+    abandon_over: Option<f64>,
+    compared: &mut u64,
+) -> f64 {
+    exact_distance_sq(row_spectrum, multipliers, q, abandon_over, compared).sqrt()
+}
+
+fn range(
+    stored: &StoredRelation,
+    transform: &SeriesTransform,
+    ctx: &QueryContext,
+    eps: f64,
+    window: StatsWindow,
+    the_plan: &Plan,
+) -> Result<QueryResult, QueryError> {
+    let rel = &stored.relation;
+    let n = rel.series_len();
+    let q_spec: &[Complex] = &ctx.spectrum;
+    let mut stats = ExecStats::default();
+    let action = transform.action(n, n.saturating_sub(1))?;
+    // GK95 window test on the *transformed* row statistics — consistent
+    // with the index traversal, which applies the lowered affine to the
+    // statistics dimensions too.
+    let window_ok = |mean: f64, std_dev: f64| -> bool {
+        let t_mean = action.mean_scale * mean + action.mean_shift;
+        let t_std = action.std_scale * std_dev;
+        window.mean.is_none_or(|tol| (t_mean - ctx.mean).abs() <= tol)
+            && window.std_dev.is_none_or(|tol| (t_std - ctx.std_dev).abs() <= tol)
+    };
+
+    let mut hits: Vec<Hit> = match the_plan.access {
+        AccessPath::IndexScan => {
+            let index = stored.index.as_ref().expect("planned index exists");
+            let scheme = rel.scheme();
+            // The search rectangle is built around the features of the
+            // comparison spectrum; statistics dimensions are unbounded
+            // unless a MEAN/STD window constrains them.
+            let q_point = scheme.point_from_spectrum(ctx.mean, ctx.std_dev, q_spec)?;
+            let rect = if window.is_empty() {
+                scheme.search_rect(&q_point, pad(eps))
+            } else {
+                scheme.search_rect_with_stats(
+                    &q_point,
+                    pad(eps),
+                    Some((
+                        pad(window.mean.unwrap_or(f64::INFINITY)),
+                        pad(window.std_dev.unwrap_or(f64::INFINITY)),
+                    )),
+                )
+            };
+            let lowered = transform.lower(scheme, n)?;
+            let (candidates, s) = index.range_transformed(&lowered, &rect);
+            stats.nodes_visited = s.nodes_visited;
+            stats.leaves_visited = s.leaves_visited;
+            stats.entries_tested = s.entries_tested;
+            stats.candidates = candidates.len() as u64;
+            let mut out = Vec::new();
+            for id in candidates {
+                let row = rel.row(id).expect("index ids are valid");
+                if !window_ok(row.features.mean, row.features.std_dev) {
+                    continue;
+                }
+                let d = exact_distance(
+                    &row.features.spectrum,
+                    &action.multipliers,
+                    q_spec,
+                    Some(eps * eps),
+                    &mut stats.coefficients_compared,
+                );
+                if d <= eps {
+                    out.push(Hit {
+                        id,
+                        name: row.name.clone(),
+                        distance: d,
+                    });
+                }
+            }
+            out
+        }
+        AccessPath::SeqScan { early_abandon } => {
+            let (scan_hits, s) = scan::scan_range(rel, transform, q_spec, eps, early_abandon)?;
+            stats.rows_scanned = s.rows_scanned;
+            stats.coefficients_compared = s.coefficients_compared;
+            stats.candidates = s.rows_scanned;
+            scan_hits
+                .into_iter()
+                .filter(|h| {
+                    let row = rel.row(h.id).expect("scan ids are valid");
+                    window_ok(row.features.mean, row.features.std_dev)
+                })
+                .map(|h| Hit {
+                    id: h.id,
+                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    distance: h.distance,
+                })
+                .collect()
+        }
+        _ => unreachable!("range queries plan to IndexScan or SeqScan"),
+    };
+
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+    stats.verified = hits.len() as u64;
+    Ok(QueryResult {
+        output: QueryOutput::Hits(hits),
+        plan: the_plan.clone(),
+        stats,
+    })
+}
+
+fn knn(
+    stored: &StoredRelation,
+    transform: &SeriesTransform,
+    q_spec: &[Complex],
+    k: usize,
+    the_plan: &Plan,
+) -> Result<QueryResult, QueryError> {
+    let rel = &stored.relation;
+    let n = rel.series_len();
+    let mut stats = ExecStats::default();
+
+    let hits: Vec<Hit> = match the_plan.access {
+        AccessPath::IndexScan => {
+            // Two-step kNN (Korn et al.): (1) k candidates ordered by the
+            // spectral MINDIST lower bound (annular-sector geometry in the
+            // polar representation); (2) the k-th candidate's exact
+            // distance bounds a range query that yields every possible
+            // better row; (3) exact distances decide.
+            let index = stored.index.as_ref().expect("planned index exists");
+            let scheme = rel.scheme();
+            let q_point = scheme.point_from_spectrum(0.0, 0.0, q_spec)?;
+            let q_coeffs = scheme.coefficients_of_point(&q_point);
+            let lowered = transform.lower(scheme, n)?;
+            let action = transform.action(n, n.saturating_sub(1))?;
+
+            let bound = |rect: &simq_index::Rect| -> f64 {
+                simq_series::spectral_mindist(scheme, &q_coeffs, rect)
+            };
+            let (step1, s1) = index.nearest_by(&bound, Some(&lowered), k);
+            stats.nodes_visited += s1.nodes_visited;
+            stats.leaves_visited += s1.leaves_visited;
+            stats.entries_tested += s1.entries_tested;
+            if step1.is_empty() {
+                Vec::new()
+            } else {
+                let mut radius_sq = 0.0f64;
+                for nb in &step1 {
+                    let row = rel.row(nb.id).expect("index ids are valid");
+                    let d_sq = exact_distance_sq(
+                        &row.features.spectrum,
+                        &action.multipliers,
+                        q_spec,
+                        None,
+                        &mut stats.coefficients_compared,
+                    );
+                    radius_sq = radius_sq.max(d_sq);
+                }
+                let rect = scheme.search_rect(&q_point, pad(radius_sq.sqrt()));
+                let (candidates, s2) = index.range_transformed(&lowered, &rect);
+                stats.nodes_visited += s2.nodes_visited;
+                stats.leaves_visited += s2.leaves_visited;
+                stats.entries_tested += s2.entries_tested;
+                stats.candidates = candidates.len() as u64;
+                let mut out: Vec<Hit> = candidates
+                    .into_iter()
+                    .filter_map(|id| {
+                        let row = rel.row(id).expect("index ids are valid");
+                        let d_sq = exact_distance_sq(
+                            &row.features.spectrum,
+                            &action.multipliers,
+                            q_spec,
+                            Some(radius_sq),
+                            &mut stats.coefficients_compared,
+                        );
+                        d_sq.is_finite().then(|| Hit {
+                            id,
+                            name: row.name.clone(),
+                            distance: d_sq.sqrt(),
+                        })
+                    })
+                    .collect();
+                out.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .expect("finite distances")
+                        .then(a.id.cmp(&b.id))
+                });
+                out.truncate(k);
+                out
+            }
+        }
+        AccessPath::SeqScan { .. } => {
+            let (scan_hits, s) = scan::scan_knn(rel, transform, q_spec, k)?;
+            stats.rows_scanned = s.rows_scanned;
+            stats.coefficients_compared = s.coefficients_compared;
+            stats.candidates = s.rows_scanned;
+            scan_hits
+                .into_iter()
+                .map(|h| Hit {
+                    id: h.id,
+                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    distance: h.distance,
+                })
+                .collect()
+        }
+        _ => unreachable!("kNN queries plan to IndexScan or SeqScan"),
+    };
+    stats.verified = hits.len() as u64;
+    Ok(QueryResult {
+        output: QueryOutput::Hits(hits),
+        plan: the_plan.clone(),
+        stats,
+    })
+}
+
+fn all_pairs(
+    stored: &StoredRelation,
+    left: &SeriesTransform,
+    right: &SeriesTransform,
+    eps: f64,
+    the_plan: &Plan,
+) -> Result<QueryResult, QueryError> {
+    let rel = &stored.relation;
+    let n = rel.series_len();
+    let mut stats = ExecStats::default();
+    let symmetric = left == right;
+
+    let mut pairs: Vec<PairHit> = match the_plan.access {
+        AccessPath::ScanJoin { early_abandon } => {
+            let (found, s) = scan::scan_all_pairs_two(rel, left, right, eps, early_abandon)?;
+            stats.rows_scanned = s.rows_scanned;
+            stats.coefficients_compared = s.coefficients_compared;
+            found
+                .into_iter()
+                .map(|(a, b, distance)| PairHit { a, b, distance })
+                .collect()
+        }
+        AccessPath::IndexProbeJoin { transformed } => {
+            let index = stored.index.as_ref().expect("planned index exists");
+            let scheme = rel.scheme();
+            let (eff_left, eff_right) = if transformed {
+                (left.clone(), right.clone())
+            } else {
+                (SeriesTransform::Identity, SeriesTransform::Identity)
+            };
+            // The index side carries `right` (Algorithm 2); probe spectra
+            // carry `left`, applied outside the index. Both actions are
+            // computed once — per-probe recomputation of the coefficient
+            // vectors would dominate the join.
+            let lowered = eff_right.lower(scheme, n)?;
+            let action = eff_right.action(n, n.saturating_sub(1))?;
+            let left_action = eff_left.action(n, n.saturating_sub(1))?;
+            // For asymmetric joins both orientations of each unordered pair
+            // are discovered (once from each probe); keep the smaller
+            // distance per canonical (min, max) key.
+            let mut found: std::collections::BTreeMap<(u64, u64), f64> =
+                std::collections::BTreeMap::new();
+            let mut probe_spec: Vec<Complex> = Vec::new();
+            for row in rel.rows() {
+                probe_spec.clear();
+                probe_spec.push(row.features.spectrum[0]);
+                probe_spec.extend(
+                    row.features.spectrum[1..]
+                        .iter()
+                        .zip(&left_action.multipliers)
+                        .map(|(x, a)| *x * *a),
+                );
+                let probe_point = scheme.point_from_spectrum(0.0, 0.0, &probe_spec)?;
+                let rect = scheme.search_rect(&probe_point, pad(eps));
+                let (candidates, s) = index.range_transformed(&lowered, &rect);
+                stats.nodes_visited += s.nodes_visited;
+                stats.leaves_visited += s.leaves_visited;
+                stats.entries_tested += s.entries_tested;
+                stats.candidates += candidates.len() as u64;
+                for id in candidates {
+                    if symmetric {
+                        // Symmetric joins need each unordered pair once.
+                        if id <= row.id {
+                            continue;
+                        }
+                    } else if id == row.id {
+                        continue;
+                    }
+                    let other = rel.row(id).expect("index ids are valid");
+                    let d = exact_distance(
+                        &other.features.spectrum,
+                        &action.multipliers,
+                        &probe_spec,
+                        Some(eps * eps),
+                        &mut stats.coefficients_compared,
+                    );
+                    if d <= eps {
+                        let key = (row.id.min(id), row.id.max(id));
+                        let entry = found.entry(key).or_insert(d);
+                        if d < *entry {
+                            *entry = d;
+                        }
+                    }
+                }
+            }
+            found
+                .into_iter()
+                .map(|((a, b), distance)| PairHit { a, b, distance })
+                .collect()
+        }
+        _ => unreachable!("all-pairs queries plan to joins"),
+    };
+
+    pairs.sort_by_key(|x| (x.a, x.b));
+    stats.verified = pairs.len() as u64;
+    Ok(QueryResult {
+        output: QueryOutput::Pairs(pairs),
+        plan: the_plan.clone(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simq_series::features::{FeatureScheme, Representation};
+    use simq_storage::SeriesRelation;
+
+    fn make_db(rows: usize, indexed: bool) -> Database {
+        let mut rel = SeriesRelation::new("stocks", 64, FeatureScheme::paper_default());
+        for i in 0..rows {
+            let series: Vec<f64> = (0..64)
+                .map(|t| {
+                    25.0 + ((t as f64) * (0.07 + 0.011 * (i % 7) as f64)).sin() * 4.0
+                        + (i as f64 * 0.3)
+                        + ((t * t) as f64 * 0.001 * (i % 3) as f64)
+                })
+                .collect();
+            rel.insert(format!("S{i:04}"), series).unwrap();
+        }
+        let mut db = Database::new();
+        if indexed {
+            db.add_relation_indexed(rel);
+        } else {
+            db.add_relation(rel);
+        }
+        db
+    }
+
+    fn hits(result: &QueryResult) -> Vec<u64> {
+        match &result.output {
+            QueryOutput::Hits(h) => h.iter().map(|x| x.id).collect(),
+            other => panic!("expected hits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_and_scan_agree_on_identity_range() {
+        let db = make_db(60, true);
+        let via_index =
+            execute(&db, "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0").unwrap();
+        assert_eq!(via_index.plan.access, AccessPath::IndexScan);
+        let via_scan =
+            execute(&db, "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0 FORCE SCAN").unwrap();
+        assert!(matches!(via_scan.plan.access, AccessPath::SeqScan { .. }));
+        assert_eq!(hits(&via_index), hits(&via_scan));
+        assert!(hits(&via_index).contains(&5));
+    }
+
+    #[test]
+    fn index_and_scan_agree_on_transformed_range() {
+        let db = make_db(60, true);
+        let q = "FIND SIMILAR TO ROW 3 IN stocks USING mavg(8) ON BOTH EPSILON 2.0";
+        let via_index = execute(&db, q).unwrap();
+        assert_eq!(via_index.plan.access, AccessPath::IndexScan);
+        let via_scan = execute(&db, &format!("{q} FORCE SCAN")).unwrap();
+        assert_eq!(hits(&via_index), hits(&via_scan));
+    }
+
+    #[test]
+    fn unindexed_relation_falls_back_to_scan() {
+        let db = make_db(20, false);
+        let r = execute(&db, "FIND SIMILAR TO ROW 0 IN stocks EPSILON 1").unwrap();
+        assert!(matches!(r.plan.access, AccessPath::SeqScan { .. }));
+        assert!(r.plan.reason.contains("no index"));
+    }
+
+    #[test]
+    fn force_index_fails_without_index() {
+        let db = make_db(20, false);
+        let err = execute(&db, "FIND SIMILAR TO ROW 0 IN stocks EPSILON 1 FORCE INDEX")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::IndexUnavailable(_)));
+    }
+
+    #[test]
+    fn knn_index_path_matches_scan() {
+        // Rectangular scheme without stats: index kNN is allowed.
+        let mut rel = SeriesRelation::new(
+            "r",
+            64,
+            FeatureScheme::new(3, Representation::Rectangular, false),
+        );
+        for i in 0..50 {
+            let series: Vec<f64> = (0..64)
+                .map(|t| 10.0 + ((t as f64) * (0.1 + 0.005 * i as f64)).sin() * 3.0 + i as f64 * 0.1)
+                .collect();
+            rel.insert(format!("S{i}"), series).unwrap();
+        }
+        let mut db = Database::new();
+        db.add_relation_indexed(rel);
+        let via_index = execute(&db, "FIND 7 NEAREST TO ROW 10 IN r").unwrap();
+        assert_eq!(via_index.plan.access, AccessPath::IndexScan);
+        let via_scan = execute(&db, "FIND 7 NEAREST TO ROW 10 IN r FORCE SCAN").unwrap();
+        assert_eq!(hits(&via_index), hits(&via_scan));
+        assert_eq!(hits(&via_index)[0], 10);
+    }
+
+    #[test]
+    fn knn_on_polar_scheme_uses_index_and_matches_scan() {
+        let db = make_db(30, true);
+        let r = execute(&db, "FIND 3 NEAREST TO ROW 0 IN stocks").unwrap();
+        assert_eq!(r.plan.access, AccessPath::IndexScan);
+        let s = execute(&db, "FIND 3 NEAREST TO ROW 0 IN stocks FORCE SCAN").unwrap();
+        assert_eq!(hits(&r), hits(&s));
+        assert_eq!(hits(&r)[0], 0);
+    }
+
+    #[test]
+    fn knn_on_polar_scheme_with_transform_matches_scan() {
+        let db = make_db(40, true);
+        let q = "FIND 5 NEAREST TO ROW 3 IN stocks USING mavg(8) ON BOTH";
+        let r = execute(&db, q).unwrap();
+        assert_eq!(r.plan.access, AccessPath::IndexScan);
+        let s = execute(&db, &format!("{q} FORCE SCAN")).unwrap();
+        assert_eq!(hits(&r), hits(&s));
+    }
+
+    #[test]
+    fn all_pairs_methods_b_and_d_agree() {
+        let db = make_db(40, true);
+        let b = execute(&db, "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD b").unwrap();
+        let d = execute(&db, "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD d").unwrap();
+        let (QueryOutput::Pairs(pb), QueryOutput::Pairs(pd)) = (&b.output, &d.output) else {
+            panic!("expected pairs");
+        };
+        assert_eq!(pb.len(), pd.len());
+        for (x, y) in pb.iter().zip(pd) {
+            assert_eq!((x.a, x.b), (y.a, y.b));
+            assert!((x.distance - y.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn method_c_ignores_transformation() {
+        let db = make_db(40, true);
+        let c = execute(&db, "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD c").unwrap();
+        let id = execute(&db, "FIND PAIRS IN stocks EPSILON 1.5 METHOD d").unwrap();
+        // Method c on a transformed query equals method d on the identity.
+        assert_eq!(
+            format!("{:?}", c.output),
+            format!("{:?}", id.output)
+        );
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let db = make_db(10, true);
+        let r = execute(
+            &db,
+            "EXPLAIN FIND SIMILAR TO ROW 0 IN stocks USING mavg(20) EPSILON 1",
+        )
+        .unwrap();
+        let QueryOutput::Plan(text) = &r.output else {
+            panic!("expected plan output");
+        };
+        assert!(text.contains("IndexScan"), "{text}");
+        assert!(text.contains("mavg(20)"), "{text}");
+    }
+
+    #[test]
+    fn literal_query_with_wrong_length_rejected() {
+        let db = make_db(5, true);
+        let err = execute(&db, "FIND SIMILAR TO [1, 2, 3] IN stocks EPSILON 1").unwrap_err();
+        assert!(matches!(err, QueryError::QueryLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_and_row() {
+        let db = make_db(5, true);
+        assert!(matches!(
+            execute(&db, "FIND SIMILAR TO ROW 0 IN nope EPSILON 1"),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            execute(&db, "FIND SIMILAR TO ROW 999 IN stocks EPSILON 1"),
+            Err(QueryError::UnknownRow(_))
+        ));
+        assert!(matches!(
+            execute(&db, "FIND SIMILAR TO NAME missing IN stocks EPSILON 1"),
+            Err(QueryError::UnknownRow(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_access_path() {
+        let db = make_db(80, true);
+        let via_index = execute(&db, "FIND SIMILAR TO ROW 1 IN stocks EPSILON 0.5").unwrap();
+        assert!(via_index.stats.nodes_visited > 0);
+        assert_eq!(via_index.stats.rows_scanned, 0);
+        let via_scan =
+            execute(&db, "FIND SIMILAR TO ROW 1 IN stocks EPSILON 0.5 FORCE SCAN").unwrap();
+        assert_eq!(via_scan.stats.nodes_visited, 0);
+        assert_eq!(via_scan.stats.rows_scanned, 80);
+    }
+}

@@ -1,0 +1,33 @@
+//! # simq-query — the query language `L`
+//!
+//! A small declarative language for similarity queries over time-series
+//! relations, covering the three query forms of the framework:
+//!
+//! ```text
+//! FIND SIMILAR TO [36, 38, …] IN stocks USING mavg(3) EPSILON 0.5
+//! FIND 5 NEAREST TO NAME S0042 IN stocks
+//! FIND PAIRS IN stocks USING reverse THEN mavg(20) EPSILON 3 METHOD d
+//! EXPLAIN FIND SIMILAR TO ROW 7 IN stocks USING warp(2) EPSILON 1
+//! ```
+//!
+//! Pipeline: [`token`] → [`parse()`](parse()) → [`plan`] → [`exec`]. The planner
+//! chooses between the transformed R*-tree traversal (Algorithm 2) and the
+//! early-abandoning frequency-domain scan, driven by the safety theorems:
+//! a transformation that does not lower safely to the relation's feature
+//! representation silently falls back to the scan (and `EXPLAIN` tells you
+//! why). `FORCE SCAN` / `FORCE INDEX` override the choice for experiments.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod parse;
+pub mod plan;
+pub mod token;
+
+pub use ast::{JoinMethod, Query, QuerySource, Strategy};
+pub use error::QueryError;
+pub use exec::{execute, run, ExecStats, Hit, PairHit, QueryOutput, QueryResult};
+pub use parse::parse;
+pub use plan::{explain, plan as plan_query, AccessPath, Database, Plan, StoredRelation};

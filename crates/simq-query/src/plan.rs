@@ -1,0 +1,287 @@
+//! The database catalog and the query planner.
+//!
+//! The planner's one non-trivial decision is the access path for range and
+//! kNN queries: use the R*-tree with an on-the-fly transformation
+//! (Algorithm 2), or fall back to the early-abandoning sequential scan.
+//! The index is usable exactly when the transformation *lowers safely* to
+//! the relation's feature representation (Theorems 2 and 3) — e.g. a
+//! moving average is index-accelerable over a polar index but not over a
+//! rectangular one. The plan records the reason for the choice, and
+//! `EXPLAIN` surfaces it.
+
+use crate::ast::{JoinMethod, Query, Strategy};
+use crate::error::QueryError;
+use simq_index::{RTree, RTreeConfig};
+use simq_series::features::Representation;
+use simq_storage::SeriesRelation;
+use std::collections::BTreeMap;
+
+/// A relation together with its optional index.
+#[derive(Debug, Clone)]
+pub struct StoredRelation {
+    /// The relation.
+    pub relation: SeriesRelation,
+    /// The R*-tree over the relation's feature points, if built.
+    pub index: Option<RTree>,
+}
+
+/// A named collection of relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, StoredRelation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a relation without an index.
+    pub fn add_relation(&mut self, relation: SeriesRelation) {
+        self.relations.insert(
+            relation.name().to_string(),
+            StoredRelation {
+                relation,
+                index: None,
+            },
+        );
+    }
+
+    /// Registers a relation and bulk-loads an index over it.
+    pub fn add_relation_indexed(&mut self, relation: SeriesRelation) {
+        let index = relation.build_index(RTreeConfig::default());
+        self.relations.insert(
+            relation.name().to_string(),
+            StoredRelation {
+                relation,
+                index: Some(index),
+            },
+        );
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation(&self, name: &str) -> Option<&StoredRelation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable lookup (to build or drop indexes).
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut StoredRelation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Names of all relations.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+}
+
+/// The chosen access path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Transformed R*-tree traversal (Algorithm 2) plus exact
+    /// postprocessing.
+    IndexScan,
+    /// Sequential scan over frequency-domain storage.
+    SeqScan {
+        /// Whether per-row distance computation abandons early.
+        early_abandon: bool,
+    },
+    /// Probe join: one range query per row (the paper's methods *c*/*d*).
+    IndexProbeJoin {
+        /// Whether the transformation is pushed into the probes (method
+        /// *d*) or ignored (method *c*).
+        transformed: bool,
+    },
+    /// Nested-loop scan join (methods *a*/*b*).
+    ScanJoin {
+        /// Early abandoning (method *b*).
+        early_abandon: bool,
+    },
+}
+
+/// A planned query.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The access path.
+    pub access: AccessPath,
+    /// Why the planner chose it.
+    pub reason: String,
+}
+
+/// Plans a (non-EXPLAIN) query against the database.
+///
+/// # Errors
+/// [`QueryError::UnknownRelation`] for missing relations;
+/// [`QueryError::IndexUnavailable`] when `FORCE INDEX` (or an index-only
+/// join method) cannot be satisfied.
+pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
+    let stored = db
+        .relation(query.relation())
+        .ok_or_else(|| QueryError::UnknownRelation(query.relation().to_string()))?;
+    let scheme = stored.relation.scheme();
+    let n = stored.relation.series_len();
+
+    match query {
+        Query::Explain(inner) => plan(db, inner),
+        Query::Range {
+            transform,
+            strategy,
+            stats_window,
+            ..
+        } => {
+            if *strategy == Strategy::ForceScan {
+                return Ok(Plan {
+                    access: AccessPath::SeqScan { early_abandon: true },
+                    reason: "FORCE SCAN requested".into(),
+                });
+            }
+            let index_reason = if !stats_window.is_empty() && !scheme.include_stats {
+                Err("MEAN/STD windows require a scheme with statistics dimensions".to_string())
+            } else {
+                match (&stored.index, transform.lower(scheme, n)) {
+                    (None, _) => Err("no index on relation".to_string()),
+                    (Some(_), Err(e)) => Err(format!("transformation not index-safe: {e}")),
+                    (Some(_), Ok(_)) => Ok(()),
+                }
+            };
+            match index_reason {
+                Ok(()) => Ok(Plan {
+                    access: AccessPath::IndexScan,
+                    reason: format!(
+                        "transformation {} lowers safely to the {} representation",
+                        transform.name(),
+                        rep_name(scheme.rep)
+                    ),
+                }),
+                Err(why) if *strategy == Strategy::ForceIndex => {
+                    Err(QueryError::IndexUnavailable(why))
+                }
+                Err(why) => Ok(Plan {
+                    access: AccessPath::SeqScan { early_abandon: true },
+                    reason: why,
+                }),
+            }
+        }
+        Query::Knn {
+            transform,
+            strategy,
+            ..
+        } => {
+            if *strategy == Strategy::ForceScan {
+                return Ok(Plan {
+                    access: AccessPath::SeqScan { early_abandon: false },
+                    reason: "FORCE SCAN requested".into(),
+                });
+            }
+            // Index kNN works on both representations via the spectral
+            // MINDIST lower bound (annular sectors in the polar layout);
+            // statistics dimensions are skipped by the bound. Only a safe
+            // lowering of the transformation is required.
+            let index_reason = if stored.index.is_none() {
+                Err("no index on relation".to_string())
+            } else {
+                match transform.lower(scheme, n) {
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(format!("transformation not index-safe: {e}")),
+                }
+            };
+            match index_reason {
+                Ok(()) => Ok(Plan {
+                    access: AccessPath::IndexScan,
+                    reason: format!(
+                        "two-step kNN with spectral MINDIST over the {} index",
+                        rep_name(scheme.rep)
+                    ),
+                }),
+                Err(why) if *strategy == Strategy::ForceIndex => {
+                    Err(QueryError::IndexUnavailable(why))
+                }
+                Err(why) => Ok(Plan {
+                    access: AccessPath::SeqScan { early_abandon: false },
+                    reason: why,
+                }),
+            }
+        }
+        Query::AllPairs { method, right, .. } => match method {
+            JoinMethod::A => Ok(Plan {
+                access: AccessPath::ScanJoin { early_abandon: false },
+                reason: "METHOD a: naive nested-loop scan".into(),
+            }),
+            JoinMethod::B => Ok(Plan {
+                access: AccessPath::ScanJoin { early_abandon: true },
+                reason: "METHOD b: nested-loop scan with early abandoning".into(),
+            }),
+            JoinMethod::C | JoinMethod::D => {
+                if stored.index.is_none() {
+                    return Err(QueryError::IndexUnavailable(
+                        "join methods c and d require an index".into(),
+                    ));
+                }
+                let transformed = *method == JoinMethod::D;
+                if transformed {
+                    // Only the index side (right) needs a safe lowering;
+                    // probe spectra are transformed outside the index.
+                    right
+                        .lower(scheme, n)
+                        .map_err(|e| QueryError::IndexUnavailable(e.to_string()))?;
+                }
+                Ok(Plan {
+                    access: AccessPath::IndexProbeJoin { transformed },
+                    reason: format!(
+                        "METHOD {}: one range probe per row{}",
+                        if transformed { "d" } else { "c" },
+                        if transformed {
+                            " with the transformation pushed into the index"
+                        } else {
+                            " ignoring the transformation"
+                        }
+                    ),
+                })
+            }
+        },
+    }
+}
+
+fn rep_name(rep: Representation) -> &'static str {
+    match rep {
+        Representation::Polar => "polar",
+        Representation::Rectangular => "rectangular",
+    }
+}
+
+/// Renders a plan for `EXPLAIN` output.
+pub fn explain(query: &Query, plan: &Plan) -> String {
+    let access = match &plan.access {
+        AccessPath::IndexScan => "IndexScan (transformed R*-tree traversal + exact postprocess)",
+        AccessPath::SeqScan { early_abandon: true } => {
+            "SeqScan (frequency domain, early abandoning)"
+        }
+        AccessPath::SeqScan { early_abandon: false } => "SeqScan (frequency domain, full distances)",
+        AccessPath::IndexProbeJoin { transformed: true } => {
+            "IndexProbeJoin (transformed probes, Algorithm 2 per row)"
+        }
+        AccessPath::IndexProbeJoin { transformed: false } => {
+            "IndexProbeJoin (untransformed probes)"
+        }
+        AccessPath::ScanJoin { early_abandon: true } => "ScanJoin (early abandoning)",
+        AccessPath::ScanJoin { early_abandon: false } => "ScanJoin (full distances)",
+    };
+    let what = match query {
+        Query::Range { eps, transform, .. } => {
+            format!("Range query, eps={eps}, transform={}", transform.name())
+        }
+        Query::Knn { k, transform, .. } => {
+            format!("kNN query, k={k}, transform={}", transform.name())
+        }
+        Query::AllPairs { eps, left, right, .. } => {
+            format!(
+                "All-pairs query, eps={eps}, left={}, right={}",
+                left.name(),
+                right.name()
+            )
+        }
+        Query::Explain(_) => "Explain".to_string(),
+    };
+    format!("{what}\n  access: {access}\n  reason: {}", plan.reason)
+}

@@ -1,0 +1,189 @@
+//! Lexer for the similarity query language.
+//!
+//! Keywords are case-insensitive; identifiers, numbers and punctuation are
+//! tokenized with byte offsets so parse errors can point at their source.
+
+use crate::error::QueryError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare word: keyword or identifier (keywords are resolved by the
+    /// parser, case-insensitively).
+    Word(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+        }
+    }
+}
+
+/// A token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where it starts.
+    pub offset: usize,
+}
+
+/// Tokenizes a query string.
+///
+/// # Errors
+/// [`QueryError::Lex`] on unexpected characters or malformed numbers.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, offset: i });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '-' | '+' | '.' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    let exponent_sign = (d == '-' || d == '+')
+                        && matches!(bytes[i - 1] as char, 'e' | 'E');
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exponent_sign {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|_| QueryError::Lex {
+                    offset: start,
+                    message: format!("malformed number {text:?}"),
+                })?;
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Word(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_query() {
+        let toks = words("FIND SIMILAR TO [1, 2.5, -3] IN stocks EPSILON 0.5");
+        assert_eq!(toks[0], Token::Word("FIND".into()));
+        assert_eq!(toks[3], Token::LBracket);
+        assert_eq!(toks[4], Token::Number(1.0));
+        assert_eq!(toks[6], Token::Number(2.5));
+        assert_eq!(toks[8], Token::Number(-3.0));
+        assert_eq!(*toks.last().unwrap(), Token::Number(0.5));
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(words("1e3"), vec![Token::Number(1000.0)]);
+        assert_eq!(words("-2.5E-2"), vec![Token::Number(-0.025)]);
+    }
+
+    #[test]
+    fn parens_and_commas() {
+        assert_eq!(
+            words("mavg(20)"),
+            vec![
+                Token::Word("mavg".into()),
+                Token::LParen,
+                Token::Number(20.0),
+                Token::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_track_positions() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("find ?").is_err());
+        assert!(tokenize("1.2.3.4e").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Lower bounds on spectral distance from feature-space rectangles —
+//! the MINDIST that makes index-served kNN possible on *both* feature
+//! representations.
+//!
+//! For a query with kept coefficients `q_1..q_k` and an index rectangle
+//! `R` (possibly already transformed by Algorithm 1), any item inside `R`
+//! has its coefficient `i` confined to a region of the complex plane:
+//!
+//! * rectangular representation — an axis-aligned box over (re, im);
+//! * polar representation — an **annular sector** (magnitude interval ×
+//!   angle arc, the arc possibly wrapping past ±π).
+//!
+//! The Euclidean distance from `q_i` to that region lower-bounds
+//! `|X_i − q_i|`, so the root-sum over features lower-bounds the full
+//! spectral distance (the remaining frequencies only add energy). This is
+//! the geometry the paper's MINDIST remark ("we can then use any kind of
+//! metric … for pruning the search") needs to apply to `S_pol`, where raw
+//! coordinate distance is *not* Euclidean.
+
+use crate::features::{FeatureScheme, Representation};
+use simq_dsp::complex::Complex;
+use simq_index::geom::{circular_overlap, Rect};
+use std::f64::consts::PI;
+
+/// Distance from `q` to the interval `[lo, hi]` (0 when inside).
+#[inline]
+fn interval_dist(q: f64, lo: f64, hi: f64) -> f64 {
+    if q < lo {
+        lo - q
+    } else if q > hi {
+        q - hi
+    } else {
+        0.0
+    }
+}
+
+/// Euclidean distance from a complex point to the annular sector
+/// `{ r·e^{jθ} : r ∈ [r_lo, r_hi], θ ∈ [a_lo, a_hi] }`.
+///
+/// The angle interval is on the circle: a width of `2π` or more means all
+/// angles. Magnitudes below zero are clamped away (real coefficients have
+/// non-negative magnitude, so the clamp never excludes an actual item).
+pub fn sector_distance(q: Complex, r_lo: f64, r_hi: f64, a_lo: f64, a_hi: f64) -> f64 {
+    let r_lo = r_lo.max(0.0);
+    let r_hi = r_hi.max(r_lo);
+    let qr = q.abs();
+    let qa = q.angle();
+    // Inside the arc: the nearest sector point is radial.
+    if a_hi - a_lo >= 2.0 * PI || circular_overlap(a_lo, a_hi, qa, qa, 2.0 * PI) {
+        return interval_dist(qr, r_lo, r_hi);
+    }
+    // Outside the arc: nearest point lies on one of the two bounding radial
+    // segments [r_lo, r_hi]·e^{jθ}.
+    let mut best = f64::INFINITY;
+    for theta in [a_lo, a_hi] {
+        let u = Complex::cis(theta);
+        // Project q onto the ray and clamp to the segment.
+        let t = (q.re * u.re + q.im * u.im).clamp(r_lo, r_hi);
+        let p = u * t;
+        best = best.min(q.dist(p));
+    }
+    best
+}
+
+/// Lower bound on the distance between the full spectra of the query and
+/// any item whose (transformed) index rectangle is `rect`.
+///
+/// `q_coeffs` are the query's kept coefficients (frequencies `1..=k`, as
+/// returned by [`FeatureScheme::coefficients_of_point`]). Statistics
+/// dimensions, when present, are ignored — they are not part of the
+/// spectral distance.
+///
+/// # Panics
+/// Panics if `rect` does not match the scheme's dimensionality or
+/// `q_coeffs` is shorter than `k`.
+pub fn spectral_mindist(scheme: &FeatureScheme, q_coeffs: &[Complex], rect: &Rect) -> f64 {
+    assert_eq!(rect.dims(), scheme.dims(), "rect dimensionality mismatch");
+    assert!(q_coeffs.len() >= scheme.k, "not enough query coefficients");
+    let base = scheme.stats_dims();
+    let mut acc = 0.0;
+    for (i, q) in q_coeffs.iter().take(scheme.k).enumerate() {
+        let d0 = base + 2 * i;
+        let d1 = d0 + 1;
+        let d = match scheme.rep {
+            Representation::Rectangular => {
+                let dre = interval_dist(q.re, rect.lo[d0], rect.hi[d0]);
+                let dim = interval_dist(q.im, rect.lo[d1], rect.hi[d1]);
+                (dre * dre + dim * dim).sqrt()
+            }
+            Representation::Polar => {
+                sector_distance(*q, rect.lo[d0], rect.hi[d0], rect.lo[d1], rect.hi[d1])
+            }
+        };
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simq_dsp::euclidean_complex;
+
+    #[test]
+    fn sector_distance_inside_is_zero() {
+        let q = Complex::from_polar(2.0, 0.5);
+        assert_eq!(sector_distance(q, 1.0, 3.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn sector_distance_radial_cases() {
+        let q = Complex::from_polar(5.0, 0.5);
+        // Outside radially, inside the arc: distance is |5 − 3| = 2.
+        assert!((sector_distance(q, 1.0, 3.0, 0.0, 1.0) - 2.0).abs() < 1e-12);
+        let q = Complex::from_polar(0.5, 0.5);
+        assert!((sector_distance(q, 1.0, 3.0, 0.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sector_distance_angular_case() {
+        // Query at angle π/2, sector arc [0, 0.1]: nearest point is on the
+        // θ = 0.1 radial segment.
+        let q = Complex::from_polar(2.0, PI / 2.0);
+        let d = sector_distance(q, 1.0, 3.0, 0.0, 0.1);
+        // Reference: distance to the segment computed by sampling.
+        let mut best = f64::INFINITY;
+        for i in 0..=10_000 {
+            let r = 1.0 + 2.0 * (i as f64) / 10_000.0;
+            best = best.min(q.dist(Complex::from_polar(r, 0.1)));
+        }
+        assert!((d - best).abs() < 1e-4, "{d} vs {best}");
+    }
+
+    #[test]
+    fn sector_distance_wrapping_arc() {
+        // Arc crossing ±π: [π − 0.1, π + 0.1]; query at angle −π + 0.05 is
+        // inside (circularly).
+        let q = Complex::from_polar(2.0, -PI + 0.05);
+        assert_eq!(sector_distance(q, 1.0, 3.0, PI - 0.1, PI + 0.1), 0.0);
+    }
+
+    #[test]
+    fn sector_distance_full_circle_is_radial() {
+        let q = Complex::from_polar(4.0, 1.0);
+        let d = sector_distance(q, 1.0, 2.0, -PI, PI);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sector_distance_is_sound_lower_bound_by_sampling() {
+        // For random sectors and query points: distance to every sampled
+        // sector point is ≥ the computed sector distance.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..200 {
+            let r_lo = rnd() * 2.0;
+            let r_hi = r_lo + rnd() * 2.0;
+            let a_lo = (rnd() - 0.5) * 2.0 * PI;
+            let a_hi = a_lo + rnd() * PI;
+            let q = Complex::from_polar(rnd() * 4.0, (rnd() - 0.5) * 2.0 * PI);
+            let d = sector_distance(q, r_lo, r_hi, a_lo, a_hi);
+            for i in 0..40 {
+                for j in 0..40 {
+                    let r = r_lo + (r_hi - r_lo) * (i as f64) / 39.0;
+                    let a = a_lo + (a_hi - a_lo) * (j as f64) / 39.0;
+                    let p = Complex::from_polar(r, a);
+                    assert!(
+                        q.dist(p) >= d - 1e-9,
+                        "point in sector closer than bound: {} < {d}",
+                        q.dist(p)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_mindist_lower_bounds_true_distance() {
+        // Extract features for random series; the mindist from any point's
+        // degenerate rect must lower-bound the true spectral distance.
+        for rep in [Representation::Polar, Representation::Rectangular] {
+            let scheme = FeatureScheme::new(3, rep, true);
+            let series_a: Vec<f64> = (0..64).map(|i| 20.0 + ((i * 7) % 13) as f64).collect();
+            let series_b: Vec<f64> = (0..64).map(|i| 30.0 + ((i * 11) % 17) as f64).collect();
+            let fa = scheme.extract(&series_a).unwrap();
+            let fb = scheme.extract(&series_b).unwrap();
+            let q_coeffs = scheme.coefficients_of_point(&fa.point);
+            let rect = Rect::point(&fb.point);
+            let bound = spectral_mindist(&scheme, &q_coeffs, &rect);
+            let true_dist = euclidean_complex(&fa.spectrum, &fb.spectrum);
+            assert!(bound <= true_dist + 1e-9, "{rep:?}: {bound} > {true_dist}");
+        }
+    }
+
+    #[test]
+    fn spectral_mindist_zero_for_self() {
+        let scheme = FeatureScheme::paper_default();
+        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 5.0 + 30.0).collect();
+        let f = scheme.extract(&series).unwrap();
+        let q_coeffs = scheme.coefficients_of_point(&f.point);
+        let d = spectral_mindist(&scheme, &q_coeffs, &Rect::point(&f.point));
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn stats_dims_are_ignored() {
+        let scheme = FeatureScheme::paper_default();
+        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos() * 5.0 + 30.0).collect();
+        let f = scheme.extract(&series).unwrap();
+        let q_coeffs = scheme.coefficients_of_point(&f.point);
+        let mut far_stats = f.point.clone();
+        far_stats[0] += 1e6;
+        far_stats[1] += 1e6;
+        let d = spectral_mindist(&scheme, &q_coeffs, &Rect::point(&far_stats));
+        assert!(d < 1e-9);
+    }
+}

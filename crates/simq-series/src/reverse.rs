@@ -1,0 +1,58 @@
+//! Series reversal — `T_rev = (−1, 0)` (paper Example 2.2).
+//!
+//! Multiplying every closing price by −1 turns anti-correlated series into
+//! correlated ones; the paper uses this to find hedging pairs ("all the
+//! pairs of series that move in opposite directions") as a spatial join
+//! between `r` and `T_rev(r)`.
+
+use simq_dsp::complex::Complex;
+
+/// Negates every sample: the time-domain action of `T_rev`.
+pub fn reverse(s: &[f64]) -> Vec<f64> {
+    s.iter().map(|v| -v).collect()
+}
+
+/// Frequency-domain coefficients of `T_rev` for `count` coefficients:
+/// `a_f = −1` for all `f` (by linearity of the DFT, Equation 5).
+pub fn reverse_coefficients(count: usize) -> Vec<Complex> {
+    vec![Complex::real(-1.0); count]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simq_dsp::fft;
+
+    #[test]
+    fn reverse_negates() {
+        assert_eq!(reverse(&[1.0, -2.0, 3.0]), vec![-1.0, 2.0, -3.0]);
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        let s = [4.0, 5.0, 6.0];
+        assert_eq!(reverse(&reverse(&s)), s.to_vec());
+    }
+
+    #[test]
+    fn frequency_coefficients_match_time_domain() {
+        // DFT(−s) == (−1) ∗ DFT(s), elementwise.
+        let s = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let spec = fft::forward_real(&s);
+        let coef = reverse_coefficients(s.len());
+        let lhs = fft::forward_real(&reverse(&s));
+        for ((x, a), l) in spec.iter().zip(&coef).zip(&lhs) {
+            assert!((*x * *a).approx_eq(*l, 1e-10));
+        }
+    }
+
+    #[test]
+    fn anti_correlated_series_become_close_after_reversal() {
+        // The Example 2.2 scenario in miniature: y ≈ −x ⇒ reverse(y) ≈ x.
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v + 0.01).collect();
+        let d_raw = simq_dsp::euclidean(&x, &y);
+        let d_rev = simq_dsp::euclidean(&x, &reverse(&y));
+        assert!(d_rev < d_raw / 10.0);
+    }
+}

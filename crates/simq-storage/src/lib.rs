@@ -1,0 +1,22 @@
+//! # simq-storage — relations and scan baselines
+//!
+//! In-memory unary relations of time series, stored simultaneously in the
+//! time domain (raw), the frequency domain (normal-form spectra — what the
+//! paper's improved sequential scan reads), and the feature space (index
+//! points).
+//!
+//! * [`relation`] — [`SeriesRelation`]: rows, feature extraction on
+//!   insert, index construction (bulk-loaded or incremental).
+//! * [`scan`] — sequential-scan query evaluation with and without early
+//!   abandoning (methods *a*/*b* of the paper's Table 1).
+//! * [`persist`] — a tiny dependency-free text format with exact `f64`
+//!   round-tripping.
+
+#![warn(missing_docs)]
+
+pub mod persist;
+pub mod relation;
+pub mod scan;
+
+pub use relation::{SeriesRelation, SeriesRow};
+pub use scan::{scan_all_pairs, scan_all_pairs_two, scan_knn, scan_range, ScanHit, ScanStats};

@@ -1,0 +1,230 @@
+//! Plain-text persistence for relations.
+//!
+//! A deliberately tiny line format (no external dependencies):
+//!
+//! ```text
+//! # simq-relation v1
+//! # name=<relation> len=<series length> k=<coeffs> rep=<polar|rect> stats=<0|1>
+//! <row name>,<v1>,<v2>,…,<vn>
+//! ```
+//!
+//! Values round-trip through `f64`'s shortest-exact formatting, so
+//! save → load reproduces the relation bit-for-bit.
+
+use crate::relation::SeriesRelation;
+use simq_series::features::{FeatureScheme, Representation};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes a relation to the text format.
+pub fn to_string(relation: &SeriesRelation) -> String {
+    let scheme = relation.scheme();
+    let rep = match scheme.rep {
+        Representation::Polar => "polar",
+        Representation::Rectangular => "rect",
+    };
+    let mut out = String::new();
+    out.push_str("# simq-relation v1\n");
+    let _ = writeln!(
+        out,
+        "# name={} len={} k={} rep={} stats={}",
+        relation.name(),
+        relation.series_len(),
+        scheme.k,
+        rep,
+        u8::from(scheme.include_stats),
+    );
+    for row in relation.rows() {
+        out.push_str(&row.name);
+        for v in &row.raw {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Errors from parsing the text format.
+#[derive(Debug)]
+pub enum LoadError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file, with a human-readable reason.
+    Format(String),
+    /// A row failed feature extraction.
+    Series(simq_series::error::SeriesError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Format(m) => write!(f, "format error: {m}"),
+            LoadError::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses a relation from the text format.
+pub fn from_str(text: &str) -> Result<SeriesRelation, LoadError> {
+    let mut lines = text.lines();
+    let magic = lines
+        .next()
+        .ok_or_else(|| LoadError::Format("empty file".into()))?;
+    if magic.trim() != "# simq-relation v1" {
+        return Err(LoadError::Format(format!("bad magic line: {magic:?}")));
+    }
+    let header = lines
+        .next()
+        .ok_or_else(|| LoadError::Format("missing header".into()))?;
+    let mut name = String::new();
+    let mut len = 0usize;
+    let mut k = 0usize;
+    let mut rep = Representation::Polar;
+    let mut stats = true;
+    for field in header.trim_start_matches('#').split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| LoadError::Format(format!("bad header field {field:?}")))?;
+        match key {
+            "name" => name = value.to_string(),
+            "len" => {
+                len = value
+                    .parse()
+                    .map_err(|_| LoadError::Format(format!("bad len {value:?}")))?
+            }
+            "k" => {
+                k = value
+                    .parse()
+                    .map_err(|_| LoadError::Format(format!("bad k {value:?}")))?
+            }
+            "rep" => {
+                rep = match value {
+                    "polar" => Representation::Polar,
+                    "rect" => Representation::Rectangular,
+                    other => {
+                        return Err(LoadError::Format(format!("unknown representation {other:?}")))
+                    }
+                }
+            }
+            "stats" => stats = value != "0",
+            other => return Err(LoadError::Format(format!("unknown header key {other:?}"))),
+        }
+    }
+    if len == 0 || k == 0 {
+        return Err(LoadError::Format("header missing len or k".into()));
+    }
+    let scheme = FeatureScheme::new(k, rep, stats);
+    let mut relation = SeriesRelation::new(name, len, scheme);
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let row_name = parts
+            .next()
+            .ok_or_else(|| LoadError::Format(format!("line {}: empty", lineno + 3)))?;
+        let values: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+        let values =
+            values.map_err(|e| LoadError::Format(format!("line {}: {e}", lineno + 3)))?;
+        relation
+            .insert(row_name, values)
+            .map_err(LoadError::Series)?;
+    }
+    Ok(relation)
+}
+
+/// Saves a relation to a file.
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn save(relation: &SeriesRelation, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_string(relation))
+}
+
+/// Loads a relation from a file.
+///
+/// # Errors
+/// [`LoadError`] on I/O or parse failure.
+pub fn load(path: impl AsRef<Path>) -> Result<SeriesRelation, LoadError> {
+    from_str(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation() -> SeriesRelation {
+        let mut rel = SeriesRelation::new("demo", 16, FeatureScheme::new(2, Representation::Polar, true));
+        for i in 0..5 {
+            let s: Vec<f64> = (0..16)
+                .map(|t| 10.0 + i as f64 * 0.5 + ((t + i) as f64 * 0.7).sin())
+                .collect();
+            rel.insert(format!("row{i}"), s).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let rel = sample_relation();
+        let text = to_string(&rel);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.name(), rel.name());
+        assert_eq!(back.len(), rel.len());
+        assert_eq!(back.series_len(), rel.series_len());
+        assert_eq!(back.scheme(), rel.scheme());
+        for (a, b) in rel.rows().zip(back.rows()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.raw, b.raw); // bit-exact
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let rel = sample_relation();
+        let dir = std::env::temp_dir().join("simq-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rel.txt");
+        save(&rel, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), rel.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(from_str("nope"), Err(LoadError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let text = "# simq-relation v1\n# name=x len=4 k=1 rep=polar stats=1\nrow,1,2,3,abc\n";
+        assert!(matches!(from_str(text), Err(LoadError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_length_row() {
+        let text = "# simq-relation v1\n# name=x len=4 k=1 rep=polar stats=1\nrow,1,2,3\n";
+        assert!(matches!(from_str(text), Err(LoadError::Series(_))));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let rel = sample_relation();
+        let mut text = to_string(&rel);
+        text.push_str("\n# trailing comment\n\n");
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.len(), rel.len());
+    }
+}

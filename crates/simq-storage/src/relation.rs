@@ -1,0 +1,229 @@
+//! Relations of time series.
+//!
+//! "We assume relations are unary, that is, they are simply sets of
+//! sequences; in practice of course they may have other attributes, such
+//! as source of the data, time period covered, etc." — each row carries a
+//! name attribute alongside the sequence.
+//!
+//! A relation stores, per row, the raw series, the extracted features
+//! (index point, mean, standard deviation) and the full normal-form
+//! spectrum — the frequency-domain storage the paper's improved sequential
+//! scan operates on.
+
+use simq_dsp::complex::Complex;
+use simq_index::geom::Rect;
+use simq_index::{RTree, RTreeConfig};
+use simq_series::error::SeriesError;
+use simq_series::features::{FeatureScheme, SeriesFeatures};
+
+/// One stored series with its derived data.
+#[derive(Debug, Clone)]
+pub struct SeriesRow {
+    /// Row identifier, unique within the relation.
+    pub id: u64,
+    /// Name attribute (ticker, station id, …).
+    pub name: String,
+    /// The raw series as inserted.
+    pub raw: Vec<f64>,
+    /// Extracted features: index point, statistics, normal-form spectrum.
+    pub features: SeriesFeatures,
+}
+
+/// A unary relation of equal-length time series.
+#[derive(Debug, Clone)]
+pub struct SeriesRelation {
+    name: String,
+    series_len: usize,
+    scheme: FeatureScheme,
+    rows: Vec<SeriesRow>,
+}
+
+impl SeriesRelation {
+    /// Creates an empty relation for series of length `series_len` indexed
+    /// under `scheme`.
+    ///
+    /// # Panics
+    /// Panics if `series_len` cannot support the scheme (`series_len ≤ k`).
+    pub fn new(name: impl Into<String>, series_len: usize, scheme: FeatureScheme) -> Self {
+        assert!(
+            series_len > scheme.k,
+            "series of length {series_len} cannot provide {} coefficients",
+            scheme.k
+        );
+        SeriesRelation {
+            name: name.into(),
+            series_len,
+            scheme,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Length every stored series must have.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// The feature scheme rows are extracted under.
+    pub fn scheme(&self) -> &FeatureScheme {
+        &self.scheme
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a series; returns its row id.
+    ///
+    /// # Errors
+    /// [`SeriesError::DimensionMismatch`] when the length differs from the
+    /// relation's; feature-extraction errors otherwise (constant series
+    /// have no normal form).
+    pub fn insert(&mut self, name: impl Into<String>, series: Vec<f64>) -> Result<u64, SeriesError> {
+        if series.len() != self.series_len {
+            return Err(SeriesError::DimensionMismatch {
+                expected: self.series_len,
+                actual: series.len(),
+            });
+        }
+        let features = self.scheme.extract(&series)?;
+        let id = self.rows.len() as u64;
+        self.rows.push(SeriesRow {
+            id,
+            name: name.into(),
+            raw: series,
+            features,
+        });
+        Ok(id)
+    }
+
+    /// Row access by id.
+    pub fn row(&self, id: u64) -> Option<&SeriesRow> {
+        self.rows.get(id as usize)
+    }
+
+    /// Iterates over rows in id order.
+    pub fn rows(&self) -> impl Iterator<Item = &SeriesRow> {
+        self.rows.iter()
+    }
+
+    /// The stored normal-form spectrum of a row.
+    pub fn spectrum(&self, id: u64) -> Option<&[Complex]> {
+        self.row(id).map(|r| r.features.spectrum.as_slice())
+    }
+
+    /// Builds an R*-tree over the feature points (bulk-loaded).
+    pub fn build_index(&self, config: RTreeConfig) -> RTree {
+        let items: Vec<(Rect, u64)> = self
+            .rows
+            .iter()
+            .map(|r| (Rect::point(&r.features.point), r.id))
+            .collect();
+        RTree::bulk_load(self.scheme.space(), config, items)
+    }
+
+    /// Builds the index by repeated insertion (for the ablation comparing
+    /// insertion-built and bulk-loaded trees).
+    pub fn build_index_incremental(&self, config: RTreeConfig) -> RTree {
+        let mut tree = RTree::new(self.scheme.space(), config);
+        for r in &self.rows {
+            tree.insert_point(&r.features.point, r.id);
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simq_series::features::Representation;
+
+    fn test_relation(n_rows: usize) -> SeriesRelation {
+        let scheme = FeatureScheme::paper_default();
+        let mut rel = SeriesRelation::new("stocks", 64, scheme);
+        for i in 0..n_rows {
+            let series: Vec<f64> = (0..64)
+                .map(|t| 30.0 + (i as f64) + ((t * (i + 2)) as f64 * 0.1).sin() * 5.0)
+                .collect();
+            rel.insert(format!("S{i}"), series).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let rel = test_relation(10);
+        assert_eq!(rel.len(), 10);
+        let row = rel.row(3).unwrap();
+        assert_eq!(row.name, "S3");
+        assert_eq!(row.raw.len(), 64);
+        assert_eq!(row.features.point.len(), 6);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let mut rel = test_relation(1);
+        let err = rel.insert("bad", vec![1.0; 32]).unwrap_err();
+        assert!(matches!(err, SeriesError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn constant_series_rejected() {
+        let mut rel = test_relation(0);
+        assert!(matches!(
+            rel.insert("flat", vec![5.0; 64]),
+            Err(SeriesError::ZeroVariance)
+        ));
+    }
+
+    #[test]
+    fn index_contains_every_row() {
+        let rel = test_relation(50);
+        let tree = rel.build_index(RTreeConfig::default());
+        assert_eq!(tree.len(), 50);
+        let mut ids: Vec<u64> = tree.items().into_iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn incremental_and_bulk_index_agree_on_queries() {
+        let rel = test_relation(80);
+        let bulk = rel.build_index(RTreeConfig::default());
+        let incr = rel.build_index_incremental(RTreeConfig::default());
+        let q = &rel.row(5).unwrap().features.point;
+        let rect = rel.scheme().search_rect(q, 2.0);
+        let (mut a, _) = bulk.range(&rect);
+        let (mut b, _) = incr.range(&rect);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rect_scheme_relation() {
+        let scheme = FeatureScheme::new(3, Representation::Rectangular, false);
+        let mut rel = SeriesRelation::new("r", 32, scheme);
+        let id = rel
+            .insert("x", (0..32).map(|t| (t as f64 * 0.5).cos() * 3.0 + 10.0).collect())
+            .unwrap();
+        assert_eq!(rel.row(id).unwrap().features.point.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot provide")]
+    fn scheme_too_wide_for_length() {
+        let scheme = FeatureScheme::new(64, Representation::Polar, false);
+        let _ = SeriesRelation::new("bad", 64, scheme);
+    }
+}

@@ -1,0 +1,372 @@
+//! Sequential-scan baselines.
+//!
+//! Two scan strategies, matching methods *a* and *b* of the paper's join
+//! experiment and the scan side of Figures 10–12:
+//!
+//! * **naive** — compute the full transformed distance for every row;
+//! * **early-abandoning** — "we stop the distance computation process as
+//!   soon as the distance exceeds ε. In addition, we do the sequential
+//!   scanning on the relation that stores the series in the frequency
+//!   domain, not the time domain. Because each series in the frequency
+//!   domain has its larger coefficients at the beginning, the distance
+//!   computation process can skip many sequences within the first few
+//!   coefficients."
+//!
+//! Both operate on stored normal-form spectra; distances equal time-domain
+//! normal-form distances by Parseval.
+
+use crate::relation::SeriesRelation;
+use simq_dsp::complex::Complex;
+use simq_series::error::SeriesError;
+use simq_series::transform::SeriesTransform;
+
+/// Work counters for scans, comparable with index search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Rows examined.
+    pub rows_scanned: u64,
+    /// Complex coefficients compared.
+    pub coefficients_compared: u64,
+    /// Rows abandoned before the full distance was computed.
+    pub early_abandoned: u64,
+}
+
+/// Pairs produced by all-pairs scans: `(id_a, id_b, distance)` with
+/// `id_a < id_b`.
+pub type PairList = Vec<(u64, u64, f64)>;
+
+/// A scan hit: row id and exact distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanHit {
+    /// Row id.
+    pub id: u64,
+    /// Euclidean distance between the (transformed) stored spectrum and
+    /// the query spectrum.
+    pub distance: f64,
+}
+
+/// Exact distance between a transformed spectrum and a query spectrum,
+/// given the precomputed multipliers (frequency 0 is compared untouched —
+/// normal forms have zero DC).
+fn transformed_distance_sq(
+    spectrum: &[Complex],
+    multipliers: &[Complex],
+    query: &[Complex],
+    abandon_at: Option<f64>,
+    compared: &mut u64,
+) -> (f64, bool) {
+    debug_assert_eq!(spectrum.len(), query.len());
+    let mut acc = (spectrum[0] - query[0]).norm_sqr();
+    *compared += 1;
+    if let Some(limit) = abandon_at {
+        if acc > limit {
+            return (acc, true);
+        }
+    }
+    for f in 1..spectrum.len() {
+        acc += (spectrum[f] * multipliers[f - 1] - query[f]).norm_sqr();
+        *compared += 1;
+        if let Some(limit) = abandon_at {
+            if acc > limit {
+                return (acc, true);
+            }
+        }
+    }
+    (acc, false)
+}
+
+/// Range query by sequential scan over the frequency-domain relation.
+///
+/// Finds every row whose transformed normal-form spectrum lies within
+/// `eps` of `query_spectrum`. With `early_abandon` the per-row computation
+/// stops as soon as the partial sum exceeds `eps²` (method *b*); without
+/// it the full distance is always computed (method *a*).
+///
+/// # Errors
+/// Transformation-domain errors (invalid window for the relation's series
+/// length, etc.).
+pub fn scan_range(
+    relation: &SeriesRelation,
+    transform: &SeriesTransform,
+    query_spectrum: &[Complex],
+    eps: f64,
+    early_abandon: bool,
+) -> Result<(Vec<ScanHit>, ScanStats), SeriesError> {
+    let n = relation.series_len();
+    let action = transform.action(n, n.saturating_sub(1))?;
+    let mut hits = Vec::new();
+    let mut stats = ScanStats::default();
+    let limit = early_abandon.then_some(eps * eps);
+    for row in relation.rows() {
+        stats.rows_scanned += 1;
+        let (d_sq, abandoned) = transformed_distance_sq(
+            &row.features.spectrum,
+            &action.multipliers,
+            query_spectrum,
+            limit,
+            &mut stats.coefficients_compared,
+        );
+        if abandoned {
+            stats.early_abandoned += 1;
+            continue;
+        }
+        if d_sq.sqrt() <= eps {
+            hits.push(ScanHit {
+                id: row.id,
+                distance: d_sq.sqrt(),
+            });
+        }
+    }
+    Ok((hits, stats))
+}
+
+/// All-pairs query by nested-loop scan: every unordered pair `(i, j)`,
+/// `i < j`, whose transformed spectra lie within `eps` of each other
+/// (both sides transformed, as in the paper's join methods *a*/*b*).
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_all_pairs(
+    relation: &SeriesRelation,
+    transform: &SeriesTransform,
+    eps: f64,
+    early_abandon: bool,
+) -> Result<(PairList, ScanStats), SeriesError> {
+    scan_all_pairs_two(relation, transform, transform, eps, early_abandon)
+}
+
+/// All-pairs scan between `L(r)` and `R(r)` with independent
+/// transformations per side — the general join of the query language
+/// (`MATCHING L AGAINST R`). A pair qualifies when *either* orientation
+/// `D(L(x̂_i), R(x̂_j))` or `D(L(x̂_j), R(x̂_i))` is within `eps`; the
+/// smaller distance is reported. When `left == right` the orientations
+/// coincide and only one is computed.
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_all_pairs_two(
+    relation: &SeriesRelation,
+    left: &SeriesTransform,
+    right: &SeriesTransform,
+    eps: f64,
+    early_abandon: bool,
+) -> Result<(PairList, ScanStats), SeriesError> {
+    let n = relation.series_len();
+    let count = n.saturating_sub(1);
+    let left_action = left.action(n, count)?;
+    let right_action = right.action(n, count)?;
+    let symmetric = left == right;
+    let mut out = Vec::new();
+    let mut stats = ScanStats::default();
+    let limit = early_abandon.then_some(eps * eps);
+    let rows: Vec<_> = relation.rows().collect();
+    // Pre-transform all spectra once per side (the scan reads each row
+    // many times).
+    let apply = |mults: &[Complex]| -> Vec<Vec<Complex>> {
+        rows.iter()
+            .map(|r| {
+                let mut s = Vec::with_capacity(r.features.spectrum.len());
+                s.push(r.features.spectrum[0]);
+                for (x, a) in r.features.spectrum[1..].iter().zip(mults) {
+                    s.push(*x * *a);
+                }
+                s
+            })
+            .collect()
+    };
+    let lefts = apply(&left_action.multipliers);
+    let rights = if symmetric {
+        Vec::new()
+    } else {
+        apply(&right_action.multipliers)
+    };
+    let rights: &[Vec<Complex>] = if symmetric { &lefts } else { &rights };
+    let identity = vec![Complex::ONE; count];
+    for i in 0..rows.len() {
+        stats.rows_scanned += 1;
+        for j in (i + 1)..rows.len() {
+            let mut best: Option<f64> = None;
+            let mut check = |a: &[Complex], b: &[Complex], stats: &mut ScanStats| {
+                let (d_sq, abandoned) = transformed_distance_sq(
+                    a,
+                    &identity,
+                    b,
+                    limit,
+                    &mut stats.coefficients_compared,
+                );
+                if abandoned {
+                    stats.early_abandoned += 1;
+                    return;
+                }
+                let d = d_sq.sqrt();
+                if d <= eps && best.is_none_or(|cur| d < cur) {
+                    best = Some(d);
+                }
+            };
+            check(&lefts[i], &rights[j], &mut stats);
+            if !symmetric {
+                check(&lefts[j], &rights[i], &mut stats);
+            }
+            if let Some(d) = best {
+                out.push((rows[i].id, rows[j].id, d));
+            }
+        }
+    }
+    Ok((out, stats))
+}
+
+/// k-nearest-neighbour query by full scan (the exact reference answer for
+/// index-based kNN). Ties broken by id.
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_knn(
+    relation: &SeriesRelation,
+    transform: &SeriesTransform,
+    query_spectrum: &[Complex],
+    k: usize,
+) -> Result<(Vec<ScanHit>, ScanStats), SeriesError> {
+    let n = relation.series_len();
+    let action = transform.action(n, n.saturating_sub(1))?;
+    let mut stats = ScanStats::default();
+    let mut all: Vec<ScanHit> = Vec::with_capacity(relation.len());
+    for row in relation.rows() {
+        stats.rows_scanned += 1;
+        let (d_sq, _) = transformed_distance_sq(
+            &row.features.spectrum,
+            &action.multipliers,
+            query_spectrum,
+            None,
+            &mut stats.coefficients_compared,
+        );
+        all.push(ScanHit {
+            id: row.id,
+            distance: d_sq.sqrt(),
+        });
+    }
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    Ok((all, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::SeriesRelation;
+    use simq_series::features::FeatureScheme;
+
+    fn relation_with(seedlings: usize) -> SeriesRelation {
+        let mut rel = SeriesRelation::new("r", 64, FeatureScheme::paper_default());
+        for i in 0..seedlings {
+            let series: Vec<f64> = (0..64)
+                .map(|t| {
+                    20.0 + (t as f64 * (0.1 + i as f64 * 0.013)).sin() * 4.0
+                        + (t as f64 * 0.31).cos() * (i % 5) as f64
+                })
+                .collect();
+            rel.insert(format!("S{i}"), series).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn early_abandon_matches_naive() {
+        let rel = relation_with(60);
+        let q = rel.row(10).unwrap().features.spectrum.clone();
+        let t = SeriesTransform::Identity;
+        for eps in [0.1, 1.0, 5.0, 100.0] {
+            let (mut naive, _) = scan_range(&rel, &t, &q, eps, false).unwrap();
+            let (mut fast, fast_stats) = scan_range(&rel, &t, &q, eps, true).unwrap();
+            naive.sort_by_key(|h| h.id);
+            fast.sort_by_key(|h| h.id);
+            assert_eq!(naive.len(), fast.len(), "eps {eps}");
+            for (a, b) in naive.iter().zip(&fast) {
+                assert_eq!(a.id, b.id);
+                assert!((a.distance - b.distance).abs() < 1e-12);
+            }
+            if eps < 5.0 {
+                assert!(fast_stats.early_abandoned > 0, "eps {eps} abandoned none");
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_compares_fewer_coefficients() {
+        let rel = relation_with(100);
+        let q = rel.row(0).unwrap().features.spectrum.clone();
+        let t = SeriesTransform::Identity;
+        let (_, naive) = scan_range(&rel, &t, &q, 0.5, false).unwrap();
+        let (_, fast) = scan_range(&rel, &t, &q, 0.5, true).unwrap();
+        assert!(fast.coefficients_compared < naive.coefficients_compared / 2);
+    }
+
+    #[test]
+    fn query_finds_itself_at_distance_zero() {
+        let rel = relation_with(20);
+        let q = rel.row(7).unwrap().features.spectrum.clone();
+        let (hits, _) = scan_range(&rel, &SeriesTransform::Identity, &q, 1e-9, true).unwrap();
+        assert!(hits.iter().any(|h| h.id == 7 && h.distance < 1e-9));
+    }
+
+    #[test]
+    fn transformed_scan_matches_time_domain_reference() {
+        // Distance after mavg(5) on normal forms: frequency-domain scan
+        // must equal the time-domain computation (Parseval + Equation 11).
+        let rel = relation_with(15);
+        let t = SeriesTransform::MovingAverage { window: 5 };
+        let q_row = rel.row(3).unwrap();
+        let q_spec = t
+            .apply_spectrum(&q_row.features.spectrum, 64)
+            .unwrap();
+        let (hits, _) = scan_range(&rel, &t, &q_spec, 100.0, false).unwrap();
+        for h in &hits {
+            let row = rel.row(h.id).unwrap();
+            let nf_a = simq_series::normal_form(&row.raw).unwrap();
+            let nf_q = simq_series::normal_form(&q_row.raw).unwrap();
+            let ta = t.apply_time(&nf_a).unwrap();
+            let tq = t.apply_time(&nf_q).unwrap();
+            let expected = simq_dsp::euclidean(&ta, &tq);
+            assert!(
+                (h.distance - expected).abs() < 1e-8,
+                "row {}: {} vs {expected}",
+                h.id,
+                h.distance
+            );
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric_free_and_complete() {
+        let rel = relation_with(25);
+        let (pairs, _) = scan_all_pairs(&rel, &SeriesTransform::Identity, 3.0, true).unwrap();
+        // Each unordered pair at most once, i < j.
+        for (i, j, _) in &pairs {
+            assert!(i < j);
+        }
+        // Cross-check against range queries.
+        for (i, j, d) in &pairs {
+            let q = rel.row(*i).unwrap().features.spectrum.clone();
+            let (hits, _) =
+                scan_range(&rel, &SeriesTransform::Identity, &q, 3.0, false).unwrap();
+            let hit = hits.iter().find(|h| h.id == *j).expect("pair member found");
+            assert!((hit.distance - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_scan_orders_by_distance() {
+        let rel = relation_with(30);
+        let q = rel.row(0).unwrap().features.spectrum.clone();
+        let (hits, _) = scan_knn(&rel, &SeriesTransform::Identity, &q, 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].id, 0);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+}

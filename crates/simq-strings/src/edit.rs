@@ -1,0 +1,194 @@
+//! Weighted edit distance by dynamic programming.
+//!
+//! For rule systems consisting only of single-character inserts, deletes
+//! and replaces, the minimum-cost reduction distance of the framework has
+//! the classical `O(|a|·|b|)` dynamic program. The generic uniform-cost
+//! search ([`crate::rewrite`]) computes the same value for these systems —
+//! property-tested — but handles arbitrary substring rules; the DP is the
+//! fast path and the baseline of the `frame` benchmark.
+
+/// Cost table for the classical edit operations.
+#[derive(Debug, Clone)]
+pub struct EditCosts {
+    /// Cost of inserting a character.
+    pub insert: f64,
+    /// Cost of deleting a character.
+    pub delete: f64,
+    /// Cost of replacing one character by another.
+    pub replace: f64,
+}
+
+impl Default for EditCosts {
+    fn default() -> Self {
+        EditCosts {
+            insert: 1.0,
+            delete: 1.0,
+            replace: 1.0,
+        }
+    }
+}
+
+/// Classical Levenshtein distance (unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    weighted_edit_distance(a, b, &EditCosts::default()) as usize
+}
+
+/// Weighted edit distance with uniform per-operation costs.
+///
+/// Symmetric when `insert == delete` (an insert on one side is a delete on
+/// the other).
+pub fn weighted_edit_distance(a: &str, b: &str, costs: &EditCosts) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    // Rolling one-row DP.
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64 * costs.insert).collect();
+    let mut cur = vec![0.0f64; m + 1];
+    for i in 1..=n {
+        cur[0] = i as f64 * costs.delete;
+        for j in 1..=m {
+            let sub = if av[i - 1] == bv[j - 1] {
+                prev[j - 1]
+            } else {
+                prev[j - 1] + costs.replace
+            };
+            cur[j] = sub
+                .min(prev[j] + costs.delete)
+                .min(cur[j - 1] + costs.insert);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Edit distance with an early-exit bound: returns `None` when the
+/// distance provably exceeds `bound` (the string analogue of the
+/// early-abandoning scan).
+pub fn bounded_edit_distance(a: &str, b: &str, bound: f64, costs: &EditCosts) -> Option<f64> {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    // Cheap length-difference lower bound.
+    let len_gap = n.abs_diff(m) as f64 * costs.insert.min(costs.delete);
+    if len_gap > bound {
+        return None;
+    }
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64 * costs.insert).collect();
+    let mut cur = vec![0.0f64; m + 1];
+    for i in 1..=n {
+        cur[0] = i as f64 * costs.delete;
+        let mut row_min = cur[0];
+        for j in 1..=m {
+            let sub = if av[i - 1] == bv[j - 1] {
+                prev[j - 1]
+            } else {
+                prev[j - 1] + costs.replace
+            };
+            cur[j] = sub
+                .min(prev[j] + costs.delete)
+                .min(cur[j - 1] + costs.insert);
+            row_min = row_min.min(cur[j]);
+        }
+        if row_min > bound {
+            return None; // every extension only grows
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= bound).then_some(prev[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn weighted_costs_respected() {
+        let costs = EditCosts {
+            insert: 0.5,
+            delete: 2.0,
+            replace: 1.5,
+        };
+        // "a" → "b": replace (1.5) beats delete+insert (2.5).
+        assert_eq!(weighted_edit_distance("a", "b", &costs), 1.5);
+        // "" → "aa": two inserts.
+        assert_eq!(weighted_edit_distance("", "aa", &costs), 1.0);
+        // "aa" → "": two deletes.
+        assert_eq!(weighted_edit_distance("aa", "", &costs), 4.0);
+    }
+
+    #[test]
+    fn expensive_replace_decomposes() {
+        // When replace costs more than insert+delete the DP must route
+        // around it.
+        let costs = EditCosts {
+            insert: 1.0,
+            delete: 1.0,
+            replace: 5.0,
+        };
+        assert_eq!(weighted_edit_distance("a", "b", &costs), 2.0);
+    }
+
+    #[test]
+    fn symmetric_for_symmetric_costs() {
+        let costs = EditCosts::default();
+        for (a, b) in [("abc", "acb"), ("hello", "yellow"), ("x", "")] {
+            assert_eq!(
+                weighted_edit_distance(a, b, &costs),
+                weighted_edit_distance(b, a, &costs)
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let costs = EditCosts::default();
+        let words = ["cat", "cart", "art", "tart", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = weighted_edit_distance(a, b, &costs);
+                    let bc = weighted_edit_distance(b, c, &costs);
+                    let ac = weighted_edit_distance(a, c, &costs);
+                    assert!(ac <= ab + bc + 1e-12, "{a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_within_bound() {
+        let costs = EditCosts::default();
+        for (a, b) in [("kitten", "sitting"), ("abc", "abc"), ("", "xyz")] {
+            let full = weighted_edit_distance(a, b, &costs);
+            assert_eq!(bounded_edit_distance(a, b, full, &costs), Some(full));
+            assert_eq!(bounded_edit_distance(a, b, full + 1.0, &costs), Some(full));
+            if full > 0.0 {
+                assert_eq!(bounded_edit_distance(a, b, full - 0.5, &costs), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_exits_early_on_length_gap() {
+        let costs = EditCosts::default();
+        assert_eq!(
+            bounded_edit_distance("a", &"b".repeat(1000), 3.0, &costs),
+            None
+        );
+    }
+
+    #[test]
+    fn unicode_strings() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # simq-strings — the string instantiation of the similarity model
+//!
+//! The framework's classical example domain: similarity between symbol
+//! strings defined by costed rewrite rules.
+//!
+//! * [`rules`] — the transformation language: rewrite rules
+//!   `from → to @ cost`, with the classical edit operations as special
+//!   cases and [`rules::RuleSet::unit_edits`] as the stock system.
+//! * [`rewrite`] — the reduction distance (uniform-cost search with cost
+//!   budget), the similarity predicate, and witness paths.
+//! * [`edit`] — the `O(nm)` dynamic program for single-character systems
+//!   (weighted and bounded variants), property-tested to agree with the
+//!   generic search.
+//! * [`pattern`] — a wildcard pattern language (`?`, `*`, escapes)
+//!   implementing the core [`simq_core::Pattern`] trait.
+
+#![warn(missing_docs)]
+
+pub mod edit;
+pub mod pattern;
+pub mod rewrite;
+pub mod rules;
+
+pub use edit::{bounded_edit_distance, levenshtein, weighted_edit_distance, EditCosts};
+pub use pattern::StringPattern;
+pub use rewrite::{rewrite_distance, within, RewriteBudget, RewriteResult};
+pub use rules::{RewriteRule, RuleSet};

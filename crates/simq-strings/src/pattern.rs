@@ -1,0 +1,191 @@
+//! A wildcard pattern language for strings — an instantiation of the
+//! framework's pattern language `P` richer than the trivial
+//! constant-or-everything language.
+//!
+//! Syntax: `?` matches any single character, `*` matches any (possibly
+//! empty) substring, everything else is literal. `\` escapes the next
+//! character.
+
+use simq_core::{Pattern, SymbolString};
+
+/// A compiled wildcard pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StringPattern {
+    source: String,
+    atoms: Vec<Atom>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Atom {
+    Literal(char),
+    AnyChar,
+    AnyRun,
+}
+
+impl StringPattern {
+    /// Compiles a pattern. Never fails: a trailing backslash matches a
+    /// literal backslash.
+    pub fn compile(pattern: &str) -> Self {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '?' => atoms.push(Atom::AnyChar),
+                '*' => {
+                    // Collapse runs of `*`.
+                    if atoms.last() != Some(&Atom::AnyRun) {
+                        atoms.push(Atom::AnyRun);
+                    }
+                }
+                '\\' => atoms.push(Atom::Literal(chars.next().unwrap_or('\\'))),
+                other => atoms.push(Atom::Literal(other)),
+            }
+        }
+        StringPattern {
+            source: pattern.to_string(),
+            atoms,
+        }
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the pattern match the whole string?
+    pub fn is_match(&self, s: &str) -> bool {
+        let text: Vec<char> = s.chars().collect();
+        // DP over (atom index, text index): reachable[j] = text[..j]
+        // matchable by atoms[..i].
+        let mut reachable = vec![false; text.len() + 1];
+        reachable[0] = true;
+        for atom in &self.atoms {
+            let mut next = vec![false; text.len() + 1];
+            match atom {
+                Atom::Literal(c) => {
+                    for j in 0..text.len() {
+                        if reachable[j] && text[j] == *c {
+                            next[j + 1] = true;
+                        }
+                    }
+                }
+                Atom::AnyChar => {
+                    for j in 0..text.len() {
+                        if reachable[j] {
+                            next[j + 1] = true;
+                        }
+                    }
+                }
+                Atom::AnyRun => {
+                    // Everything at or after the first reachable position.
+                    let mut on = false;
+                    for j in 0..=text.len() {
+                        on = on || reachable[j];
+                        next[j] = on;
+                    }
+                }
+            }
+            reachable = next;
+        }
+        reachable[text.len()]
+    }
+}
+
+impl Pattern<SymbolString> for StringPattern {
+    fn matches(&self, obj: &SymbolString) -> bool {
+        self.is_match(obj.as_str())
+    }
+
+    fn describe(&self) -> String {
+        format!("glob({:?})", self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns() {
+        let p = StringPattern::compile("cat");
+        assert!(p.is_match("cat"));
+        assert!(!p.is_match("cats"));
+        assert!(!p.is_match("ca"));
+    }
+
+    #[test]
+    fn question_mark_matches_one_char() {
+        let p = StringPattern::compile("c?t");
+        assert!(p.is_match("cat"));
+        assert!(p.is_match("cut"));
+        assert!(!p.is_match("ct"));
+        assert!(!p.is_match("cart"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        let p = StringPattern::compile("c*t");
+        assert!(p.is_match("ct"));
+        assert!(p.is_match("cat"));
+        assert!(p.is_match("carrot"));
+        assert!(!p.is_match("cab"));
+    }
+
+    #[test]
+    fn leading_and_trailing_stars() {
+        let p = StringPattern::compile("*ban*");
+        assert!(p.is_match("banana"));
+        assert!(p.is_match("urban"));
+        assert!(p.is_match("ban"));
+        assert!(!p.is_match("bnana"));
+    }
+
+    #[test]
+    fn multiple_stars_collapse() {
+        let a = StringPattern::compile("a**b");
+        let b = StringPattern::compile("a*b");
+        assert_eq!(a.atoms, b.atoms);
+        assert!(a.is_match("axyzb"));
+    }
+
+    #[test]
+    fn escapes() {
+        let p = StringPattern::compile(r"100\*");
+        assert!(p.is_match("100*"));
+        assert!(!p.is_match("100x"));
+        let q = StringPattern::compile(r"a\?");
+        assert!(q.is_match("a?"));
+        assert!(!q.is_match("ab"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_only() {
+        let p = StringPattern::compile("");
+        assert!(p.is_match(""));
+        assert!(!p.is_match("a"));
+    }
+
+    #[test]
+    fn star_alone_matches_everything() {
+        let p = StringPattern::compile("*");
+        assert!(p.is_match(""));
+        assert!(p.is_match("anything at all"));
+    }
+
+    #[test]
+    fn unicode() {
+        let p = StringPattern::compile("日*語");
+        assert!(p.is_match("日本語"));
+        assert!(p.is_match("日語"));
+        assert!(!p.is_match("日本"));
+    }
+
+    #[test]
+    fn implements_core_pattern_trait() {
+        use simq_core::Pattern as _;
+        let p = StringPattern::compile("S*");
+        assert!(p.matches(&SymbolString::from("S0042")));
+        assert!(!p.matches(&SymbolString::from("X")));
+        assert_eq!(p.describe(), "glob(\"S*\")");
+    }
+}

@@ -1,0 +1,264 @@
+//! The generic rule-rewriting distance: minimum total cost of a sequence
+//! of rewrite-rule applications transforming one string into another.
+//!
+//! This is the framework's similarity notion in its purest form — "an
+//! object A is considered similar to an object B if B can be reduced to it
+//! by a sequence of transformations" — computed by uniform-cost search
+//! over the rewrite graph. Unlike the edit-distance DP it handles
+//! arbitrary substring rules (`"St" → "Saint"`), asymmetric systems, and
+//! cost budgets; the DP is the fast path for the single-character case and
+//! the two are property-tested against each other.
+
+use crate::rules::RuleSet;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Bounds for the rewrite search.
+#[derive(Debug, Clone)]
+pub struct RewriteBudget {
+    /// Maximum total rule cost (the `c` of `sim(o, e, t, c)`).
+    pub max_cost: f64,
+    /// Maximum intermediate string length (rewrites can grow strings;
+    /// this keeps the state space finite).
+    pub max_len: usize,
+    /// Safety valve on distinct states expanded.
+    pub max_states: usize,
+}
+
+impl RewriteBudget {
+    /// A budget bounded by cost, with string growth limited to
+    /// `max(|a|, |b|) + slack`.
+    pub fn with_cost(max_cost: f64) -> Self {
+        RewriteBudget {
+            max_cost,
+            max_len: usize::MAX,
+            max_states: 200_000,
+        }
+    }
+}
+
+/// Result of a rewrite-distance computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteResult {
+    /// Minimum total cost, or `None` when the target is unreachable within
+    /// the budget.
+    pub cost: Option<f64>,
+    /// The witnessing sequence of intermediate strings (including start
+    /// and target) when reachable.
+    pub path: Vec<String>,
+    /// Distinct states expanded.
+    pub states_expanded: usize,
+}
+
+struct HeapEntry {
+    cost: f64,
+    value: String,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+    }
+}
+
+/// Minimum-cost transformation of `start` into `target` using `rules`,
+/// within `budget`. One-sided reduction (rules apply to `start`'s side
+/// only), matching the JMM95 definition; apply it twice for a symmetric
+/// notion, or use the core framework's two-sided distance.
+pub fn rewrite_distance(
+    start: &str,
+    target: &str,
+    rules: &RuleSet,
+    budget: &RewriteBudget,
+) -> RewriteResult {
+    // Default growth cap: the search never needs strings much longer than
+    // both endpoints unless rules shrink through a detour; allow slack.
+    let max_len = if budget.max_len == usize::MAX {
+        start.len().max(target.len()) + 8
+    } else {
+        budget.max_len
+    };
+
+    let mut best: HashMap<String, f64> = HashMap::new();
+    let mut parent: HashMap<String, String> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    best.insert(start.to_string(), 0.0);
+    heap.push(HeapEntry {
+        cost: 0.0,
+        value: start.to_string(),
+    });
+    let mut expanded = 0usize;
+
+    while let Some(HeapEntry { cost, value }) = heap.pop() {
+        if let Some(&known) = best.get(&value) {
+            if known < cost {
+                continue; // stale entry
+            }
+        }
+        if value == target {
+            // Reconstruct the witness path.
+            let mut path = vec![value.clone()];
+            let mut cur = value;
+            while let Some(p) = parent.get(&cur) {
+                path.push(p.clone());
+                cur = p.clone();
+            }
+            path.reverse();
+            return RewriteResult {
+                cost: Some(cost),
+                path,
+                states_expanded: expanded,
+            };
+        }
+        expanded += 1;
+        if expanded > budget.max_states {
+            break;
+        }
+        for rule in rules.rules() {
+            let next_cost = cost + rule.cost;
+            if next_cost > budget.max_cost {
+                continue;
+            }
+            for next in rule.applications(&value) {
+                if next.len() > max_len {
+                    continue;
+                }
+                let better = best.get(&next).is_none_or(|&c| next_cost < c);
+                if better {
+                    best.insert(next.clone(), next_cost);
+                    parent.insert(next.clone(), value.clone());
+                    heap.push(HeapEntry {
+                        cost: next_cost,
+                        value: next,
+                    });
+                }
+            }
+        }
+    }
+
+    RewriteResult {
+        cost: None,
+        path: Vec::new(),
+        states_expanded: expanded,
+    }
+}
+
+/// The similarity predicate: can `start` be rewritten into `target` at
+/// cost at most `budget.max_cost`?
+pub fn within(start: &str, target: &str, rules: &RuleSet, budget: &RewriteBudget) -> bool {
+    rewrite_distance(start, target, rules, budget).cost.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{weighted_edit_distance, EditCosts};
+    use crate::rules::RewriteRule;
+
+    #[test]
+    fn identity_is_free() {
+        let rules = RuleSet::unit_edits("ab");
+        let r = rewrite_distance("ab", "ab", &rules, &RewriteBudget::with_cost(5.0));
+        assert_eq!(r.cost, Some(0.0));
+        assert_eq!(r.path, vec!["ab"]);
+    }
+
+    #[test]
+    fn matches_edit_distance_dp_on_unit_systems() {
+        let rules = RuleSet::unit_edits("abcs");
+        let costs = EditCosts::default();
+        for (a, b) in [("cat", "cast"), ("abc", "cba"), ("", "ab"), ("sba", "abs")] {
+            let dp = weighted_edit_distance(a, b, &costs);
+            let search = rewrite_distance(a, b, &rules, &RewriteBudget::with_cost(10.0));
+            assert_eq!(search.cost, Some(dp), "{a} → {b}");
+        }
+    }
+
+    #[test]
+    fn substring_rules_beat_character_edits() {
+        // colour → color: one cheap domain rule vs a unit deletion.
+        let rules = RuleSet::unit_edits("coloru")
+            .with(RewriteRule::new("colour", "color", 0.1));
+        let r = rewrite_distance(
+            "colourful",
+            "colorful",
+            &rules,
+            &RewriteBudget::with_cost(5.0),
+        );
+        assert_eq!(r.cost, Some(0.1));
+        assert_eq!(r.path, vec!["colourful", "colorful"]);
+    }
+
+    #[test]
+    fn budget_cuts_off_expensive_targets() {
+        let rules = RuleSet::unit_edits("ab");
+        let r = rewrite_distance("", "aaaa", &rules, &RewriteBudget::with_cost(3.0));
+        assert_eq!(r.cost, None);
+        let r = rewrite_distance("", "aaaa", &rules, &RewriteBudget::with_cost(4.0));
+        assert_eq!(r.cost, Some(4.0));
+    }
+
+    #[test]
+    fn asymmetric_systems() {
+        // Only expansion rules: "St" → "Saint" reachable, reverse is not.
+        let rules = RuleSet::new().with(RewriteRule::new("St", "Saint", 1.0));
+        let budget = RewriteBudget::with_cost(2.0);
+        assert!(within("St Petersburg", "Saint Petersburg", &rules, &budget));
+        assert!(!within("Saint Petersburg", "St Petersburg", &rules, &budget));
+    }
+
+    #[test]
+    fn witness_path_is_valid() {
+        let rules = RuleSet::unit_edits("abc");
+        let r = rewrite_distance("abc", "cab", &rules, &RewriteBudget::with_cost(5.0));
+        let path = r.path;
+        assert_eq!(path.first().map(String::as_str), Some("abc"));
+        assert_eq!(path.last().map(String::as_str), Some("cab"));
+        // Each consecutive pair differs by one rule application.
+        for w in path.windows(2) {
+            let reachable = rules
+                .rules()
+                .iter()
+                .any(|rule| rule.applications(&w[0]).contains(&w[1]));
+            assert!(reachable, "{} -> {} not a single application", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_cost_rules_terminate_via_length_and_state_bounds() {
+        // A zero-cost growth rule would loop; the length cap contains it.
+        let rules = RuleSet::new()
+            .with(RewriteRule::new("a", "aa", 0.0))
+            .with(RewriteRule::new("a", "b", 1.0));
+        let budget = RewriteBudget {
+            max_cost: 2.0,
+            max_len: 6,
+            max_states: 10_000,
+        };
+        let r = rewrite_distance("a", "bb", &rules, &budget);
+        // a → aa (free) → ab → bb: cost 2.
+        assert_eq!(r.cost, Some(2.0));
+    }
+
+    #[test]
+    fn unreachable_targets_report_none() {
+        let rules = RuleSet::new().with(RewriteRule::replace('a', 'b', 1.0));
+        let r = rewrite_distance("aaa", "xyz", &rules, &RewriteBudget::with_cost(100.0));
+        assert_eq!(r.cost, None);
+        assert!(r.states_expanded > 0);
+    }
+}

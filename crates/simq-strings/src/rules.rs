@@ -1,0 +1,231 @@
+//! Costed rewrite rules over strings — the transformation language `T`
+//! instantiated for the framework's classical example domain.
+//!
+//! A [`RewriteRule`] replaces one occurrence of a pattern substring with a
+//! replacement, at a cost. The classical string edit operations are the
+//! special cases with empty or single-character sides:
+//!
+//! * insert `c`  — `"" → "c"`
+//! * delete `c`  — `"c" → ""`
+//! * replace `a` by `b` — `"a" → "b"`
+//!
+//! but rules may rewrite arbitrary substrings (`"colour" → "color"`,
+//! `"St" → "Saint"`), which is what distinguishes the framework's notion
+//! of similarity from plain edit distance.
+
+use std::fmt;
+
+/// A single rewrite rule `from → to` with a non-negative cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteRule {
+    /// Substring to replace (may be empty: insertion).
+    pub from: String,
+    /// Replacement (may be empty: deletion).
+    pub to: String,
+    /// Cost charged per application.
+    pub cost: f64,
+}
+
+impl RewriteRule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    /// Panics if the cost is negative or non-finite, or if both sides are
+    /// empty (the rule would do nothing at positive cost, or loop at zero).
+    pub fn new(from: impl Into<String>, to: impl Into<String>, cost: f64) -> Self {
+        let (from, to) = (from.into(), to.into());
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "rule cost must be finite and non-negative"
+        );
+        assert!(
+            !(from.is_empty() && to.is_empty()),
+            "a rule must rewrite something"
+        );
+        RewriteRule { from, to, cost }
+    }
+
+    /// Insertion of a character.
+    pub fn insert(c: char, cost: f64) -> Self {
+        Self::new("", c.to_string(), cost)
+    }
+
+    /// Deletion of a character.
+    pub fn delete(c: char, cost: f64) -> Self {
+        Self::new(c.to_string(), "", cost)
+    }
+
+    /// Replacement of one character by another.
+    pub fn replace(a: char, b: char, cost: f64) -> Self {
+        Self::new(a.to_string(), b.to_string(), cost)
+    }
+
+    /// All strings obtainable by applying this rule once to `s`, i.e. by
+    /// rewriting one occurrence of `from` (for empty `from`: inserting `to`
+    /// at any position).
+    pub fn applications(&self, s: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.from.is_empty() {
+            // Insert `to` at every boundary (char-aligned).
+            for (pos, _) in s.char_indices().chain(std::iter::once((s.len(), ' '))) {
+                let mut t = String::with_capacity(s.len() + self.to.len());
+                t.push_str(&s[..pos]);
+                t.push_str(&self.to);
+                t.push_str(&s[pos..]);
+                out.push(t);
+            }
+        } else {
+            let mut start = 0;
+            while let Some(found) = s[start..].find(&self.from) {
+                let pos = start + found;
+                let mut t = String::with_capacity(s.len());
+                t.push_str(&s[..pos]);
+                t.push_str(&self.to);
+                t.push_str(&s[pos + self.from.len()..]);
+                out.push(t);
+                // Advance by one char to find overlapping occurrences.
+                start = pos + s[pos..].chars().next().map_or(1, char::len_utf8);
+                if start > s.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RewriteRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}→{:?}@{}", self.from, self.to, self.cost)
+    }
+}
+
+/// A finite set of rewrite rules.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<RewriteRule>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Adds a rule, builder-style.
+    pub fn with(mut self, rule: RewriteRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The classical unit-cost edit system over an alphabet: insert,
+    /// delete and replace any of the given characters at cost 1.
+    pub fn unit_edits(alphabet: &str) -> Self {
+        let mut rules = Vec::new();
+        for c in alphabet.chars() {
+            rules.push(RewriteRule::insert(c, 1.0));
+            rules.push(RewriteRule::delete(c, 1.0));
+        }
+        for a in alphabet.chars() {
+            for b in alphabet.chars() {
+                if a != b {
+                    rules.push(RewriteRule::replace(a, b, 1.0));
+                }
+            }
+        }
+        RuleSet { rules }
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[RewriteRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The smallest strictly positive cost, if any (search termination
+    /// reasoning, as in the core framework).
+    pub fn min_positive_cost(&self) -> Option<f64> {
+        self.rules
+            .iter()
+            .map(|r| r.cost)
+            .filter(|c| *c > 0.0)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite costs"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_applications_cover_every_position() {
+        let r = RewriteRule::insert('x', 1.0);
+        let apps = r.applications("ab");
+        assert_eq!(apps, vec!["xab", "axb", "abx"]);
+    }
+
+    #[test]
+    fn delete_applications_cover_every_occurrence() {
+        let r = RewriteRule::delete('a', 1.0);
+        assert_eq!(r.applications("aba"), vec!["ba", "ab"]);
+    }
+
+    #[test]
+    fn replace_applications() {
+        let r = RewriteRule::replace('a', 'o', 1.0);
+        assert_eq!(r.applications("banana"), vec!["bonana", "banona", "banano"]);
+    }
+
+    #[test]
+    fn substring_rewrite() {
+        let r = RewriteRule::new("colour", "color", 0.1);
+        assert_eq!(r.applications("colourful"), vec!["colorful"]);
+        assert!(r.applications("colorful").is_empty());
+    }
+
+    #[test]
+    fn overlapping_occurrences_found() {
+        let r = RewriteRule::new("aa", "b", 1.0);
+        // "aaa": occurrences at 0 and 1.
+        assert_eq!(r.applications("aaa"), vec!["ba", "ab"]);
+    }
+
+    #[test]
+    fn unit_edit_count() {
+        let rs = RuleSet::unit_edits("abc");
+        // 3 inserts + 3 deletes + 6 replaces.
+        assert_eq!(rs.len(), 12);
+        assert_eq!(rs.min_positive_cost(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewrite something")]
+    fn empty_rule_rejected() {
+        let _ = RewriteRule::new("", "", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cost_rejected() {
+        let _ = RewriteRule::new("a", "b", -0.5);
+    }
+
+    #[test]
+    fn multibyte_safe() {
+        let r = RewriteRule::insert('é', 1.0);
+        let apps = r.applications("añb");
+        assert_eq!(apps.len(), 4);
+        for a in apps {
+            assert_eq!(a.chars().count(), 4);
+        }
+    }
+}

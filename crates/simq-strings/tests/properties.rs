@@ -1,0 +1,91 @@
+//! Property tests for the string instantiation: the generic rewrite search
+//! against the dynamic program, and metric axioms of the edit distance.
+
+use proptest::prelude::*;
+use simq_strings::{
+    bounded_edit_distance, levenshtein, rewrite_distance, weighted_edit_distance, EditCosts,
+    RewriteBudget, RuleSet, StringPattern,
+};
+
+fn word() -> impl Strategy<Value = String> {
+    // Short words over a 3-letter alphabet: the uniform-cost search must
+    // exhaust every state cheaper than the answer, which grows
+    // exponentially in the distance — keep the regime where that is
+    // tractable (the DP covers the rest; see `edit.rs`).
+    "[abc]{0,4}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generic uniform-cost rewrite search computes exactly the DP
+    /// edit distance on unit-cost single-character systems.
+    #[test]
+    fn search_equals_dp(a in word(), b in word()) {
+        let rules = RuleSet::unit_edits("abc");
+        let dp = weighted_edit_distance(&a, &b, &EditCosts::default());
+        let search = rewrite_distance(&a, &b, &rules, &RewriteBudget::with_cost(dp + 0.5));
+        prop_assert_eq!(search.cost, Some(dp), "{} -> {}", a, b);
+    }
+
+    /// Metric axioms: identity, symmetry, triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(a in word(), b in word(), c in word()) {
+        let costs = EditCosts::default();
+        let ab = weighted_edit_distance(&a, &b, &costs);
+        let ba = weighted_edit_distance(&b, &a, &costs);
+        let bc = weighted_edit_distance(&b, &c, &costs);
+        let ac = weighted_edit_distance(&a, &c, &costs);
+        prop_assert_eq!(weighted_edit_distance(&a, &a, &costs), 0.0);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ac <= ab + bc + 1e-12);
+        if a != b {
+            prop_assert!(ab >= 1.0);
+        }
+    }
+
+    /// The bounded DP agrees with the full DP on both sides of the bound.
+    #[test]
+    fn bounded_agrees(a in word(), b in word(), bound in 0.0f64..8.0) {
+        let costs = EditCosts::default();
+        let full = weighted_edit_distance(&a, &b, &costs);
+        match bounded_edit_distance(&a, &b, bound, &costs) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(full > bound),
+        }
+    }
+
+    /// Levenshtein length bounds: |len(a) − len(b)| ≤ d ≤ max(len).
+    #[test]
+    fn levenshtein_bounds(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d >= la.abs_diff(lb));
+        prop_assert!(d <= la.max(lb));
+    }
+
+    /// Every string matches the pattern made of itself with wildcards off,
+    /// and the universal pattern.
+    #[test]
+    fn pattern_self_match(s in "[a-z ]{0,12}") {
+        prop_assert!(StringPattern::compile(&s).is_match(&s));
+        prop_assert!(StringPattern::compile("*").is_match(&s));
+        let padded = StringPattern::compile(&format!("*{}*", s));
+        let self_hit = padded.is_match(&s);
+        let embedded = format!("xx{}yy", s);
+        let embedded_hit = padded.is_match(&embedded);
+        prop_assert!(self_hit);
+        prop_assert!(embedded_hit);
+    }
+
+    /// `?` matches exactly one character: pattern of n `?`s matches only
+    /// length-n strings.
+    #[test]
+    fn question_marks_count(s in "[a-z]{0,8}", n in 0usize..8) {
+        let p = StringPattern::compile(&"?".repeat(n));
+        prop_assert_eq!(p.is_match(&s), s.chars().count() == n);
+    }
+}

@@ -1,0 +1,115 @@
+//! A tour of the query language: every query form, EXPLAIN output, the
+//! planner's safety-driven fallback, and relation persistence.
+//!
+//! ```sh
+//! cargo run --release --example query_language
+//! ```
+
+use similarity_queries::prelude::*;
+use similarity_queries::storage::persist;
+
+fn main() {
+    // Build a corpus and persist it to the tiny text format.
+    let mut gen = WalkGenerator::new(11);
+    let mut relation = SeriesRelation::new("walks", 64, FeatureScheme::paper_default());
+    for i in 0..300 {
+        relation.insert(format!("W{i:03}"), gen.series(64)).unwrap();
+    }
+    let path = std::env::temp_dir().join("simq-demo-relation.txt");
+    persist::save(&relation, &path).expect("writable temp dir");
+    let reloaded = persist::load(&path).expect("round-trip");
+    println!(
+        "persisted and reloaded {} series from {}",
+        reloaded.len(),
+        path.display()
+    );
+
+    let mut db = Database::new();
+    db.add_relation_indexed(reloaded);
+
+    // Also register the same data under a rectangular scheme without
+    // statistics dimensions, to show planner differences.
+    let mut rect_rel = SeriesRelation::new(
+        "walks_rect",
+        64,
+        FeatureScheme::new(3, Representation::Rectangular, false),
+    );
+    let mut gen = WalkGenerator::new(11);
+    for i in 0..300 {
+        rect_rel.insert(format!("W{i:03}"), gen.series(64)).unwrap();
+    }
+    db.add_relation_indexed(rect_rel);
+
+    let queries = [
+        // Range, identity, index-served.
+        "FIND SIMILAR TO ROW 42 IN walks EPSILON 2.0",
+        // Range with a chained transformation, polar-safe.
+        "FIND SIMILAR TO ROW 42 IN walks USING reverse THEN mavg(10) ON BOTH EPSILON 2.0",
+        // The same over the rectangular scheme: mavg multipliers are
+        // complex, Theorem 2 forbids them, the planner falls back to scan.
+        "FIND SIMILAR TO ROW 42 IN walks_rect USING mavg(10) ON BOTH EPSILON 2.0",
+        // Reverse has real multipliers: index-safe in both representations.
+        "FIND SIMILAR TO ROW 42 IN walks_rect USING reverse EPSILON 5.0",
+        // kNN: index-served on the rectangular scheme…
+        "FIND 3 NEAREST TO ROW 42 IN walks_rect",
+        // …and on the polar scheme too, via the annular-sector MINDIST.
+        "FIND 3 NEAREST TO ROW 42 IN walks",
+        // All-pairs with all four methods of the paper's Table 1.
+        "FIND PAIRS IN walks USING mavg(20) EPSILON 1.0 METHOD a",
+        "FIND PAIRS IN walks USING mavg(20) EPSILON 1.0 METHOD b",
+        "FIND PAIRS IN walks USING mavg(20) EPSILON 1.0 METHOD c",
+        "FIND PAIRS IN walks USING mavg(20) EPSILON 1.0 METHOD d",
+        // Asymmetric hedging join.
+        "FIND PAIRS IN walks MATCHING mavg(20) AGAINST reverse THEN mavg(20) EPSILON 1.0",
+        // GK95 shift/scale window: similar shape AND similar price level.
+        "FIND SIMILAR TO ROW 42 IN walks EPSILON 3.0 MEAN WITHIN 5.0 STD WITHIN 2.0",
+    ];
+
+    for q in queries {
+        println!("\n>> {q}");
+        match execute(&db, &format!("EXPLAIN {q}")) {
+            Ok(explained) => {
+                if let QueryOutput::Plan(text) = explained.output {
+                    for line in text.lines() {
+                        println!("   | {line}");
+                    }
+                }
+            }
+            Err(e) => {
+                println!("   ! plan error: {e}");
+                continue;
+            }
+        }
+        match execute(&db, q) {
+            Ok(result) => {
+                let summary = match &result.output {
+                    QueryOutput::Hits(h) => format!("{} hits", h.len()),
+                    QueryOutput::Pairs(p) => format!("{} pairs", p.len()),
+                    QueryOutput::Plan(_) => unreachable!(),
+                };
+                println!(
+                    "   = {summary}  [nodes={} rows={} candidates={} verified={}]",
+                    result.stats.nodes_visited,
+                    result.stats.rows_scanned,
+                    result.stats.candidates,
+                    result.stats.verified
+                );
+            }
+            Err(e) => println!("   ! exec error: {e}"),
+        }
+    }
+
+    // Parse errors carry byte offsets.
+    println!("\nerror reporting:");
+    for bad in [
+        "FIND SIMILAR TO ROW 0 IN walks",           // missing EPSILON
+        "FIND SIMILAR TO ROW 0 IN walks EPSILON x", // not a number
+        "FIND PAIRS IN walks USING bogus(3) EPSILON 1",
+    ] {
+        if let Err(e) = execute(&db, bad) {
+            println!("  {bad:?}\n    -> {e}");
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a relation, index it, and run similarity queries
+//! through the query language.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use similarity_queries::prelude::*;
+
+fn main() {
+    // 1. Generate a corpus of random-walk "price" series (the paper's
+    //    synthetic workload) and load it into a relation.
+    let mut gen = WalkGenerator::new(42);
+    let mut relation = SeriesRelation::new("walks", 128, FeatureScheme::paper_default());
+    for i in 0..1000 {
+        let series = gen.series(128);
+        relation
+            .insert(format!("W{i:04}"), series)
+            .expect("random walks are never constant");
+    }
+    println!("loaded {} series of length {}", relation.len(), relation.series_len());
+
+    // 2. Register the relation with an R*-tree over its 6-d feature space
+    //    (mean, std, and two complex DFT coefficients in polar form).
+    let mut db = Database::new();
+    db.add_relation_indexed(relation);
+
+    // 3. A plain range query: series similar to row 17 as-is.
+    let result = execute(&db, "FIND SIMILAR TO ROW 17 IN walks EPSILON 4.0").unwrap();
+    report("plain range query", &result);
+
+    // 4. The same query smoothed by a 20-day moving average: short-term
+    //    fluctuations stop mattering, so more series qualify.
+    let result = execute(
+        &db,
+        "FIND SIMILAR TO ROW 17 IN walks USING mavg(20) ON BOTH EPSILON 4.0",
+    )
+    .unwrap();
+    report("20-day moving average", &result);
+
+    // 5. Ask the planner what it did, and why.
+    let explained = execute(
+        &db,
+        "EXPLAIN FIND SIMILAR TO ROW 17 IN walks USING mavg(20) ON BOTH EPSILON 4.0",
+    )
+    .unwrap();
+    if let QueryOutput::Plan(text) = explained.output {
+        println!("\nEXPLAIN:\n{text}");
+    }
+
+    // 6. Nearest neighbours — index-served even on the polar scheme,
+    //    using the annular-sector spectral MINDIST lower bound.
+    let result = execute(&db, "FIND 5 NEAREST TO ROW 17 IN walks").unwrap();
+    report("5 nearest neighbours", &result);
+}
+
+fn report(title: &str, result: &QueryResult) {
+    println!("\n== {title} ==");
+    println!("   plan: {:?} ({})", result.plan.access, result.plan.reason);
+    match &result.output {
+        QueryOutput::Hits(hits) => {
+            println!("   {} hits", hits.len());
+            for h in hits.iter().take(5) {
+                println!("     {} (id {}) at distance {:.3}", h.name, h.id, h.distance);
+            }
+            if hits.len() > 5 {
+                println!("     …");
+            }
+        }
+        QueryOutput::Pairs(pairs) => println!("   {} pairs", pairs.len()),
+        QueryOutput::Plan(p) => println!("{p}"),
+    }
+    println!(
+        "   work: {} index nodes, {} rows scanned, {} candidates, {} verified",
+        result.stats.nodes_visited,
+        result.stats.rows_scanned,
+        result.stats.candidates,
+        result.stats.verified
+    );
+}

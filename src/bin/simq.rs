@@ -1,0 +1,172 @@
+//! `simq` — an interactive shell for similarity queries.
+//!
+//! ```sh
+//! cargo run --release --bin simq                     # demo corpus
+//! cargo run --release --bin simq -- relation.txt …   # load saved relations
+//! ```
+//!
+//! Each line is a query in the language of `simq-query`
+//! (`FIND SIMILAR TO … EPSILON …`, `FIND k NEAREST TO …`,
+//! `FIND PAIRS … METHOD …`, `EXPLAIN …`) or one of the shell commands
+//! `\relations`, `\rows <relation>`, `\save <relation> <path>`, `\help`,
+//! `\quit`.
+
+use similarity_queries::data::WalkGenerator;
+use similarity_queries::prelude::*;
+use similarity_queries::query::QueryOutput;
+use similarity_queries::storage::persist;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        let mut gen = WalkGenerator::new(42);
+        let mut rel = SeriesRelation::new("walks", 128, FeatureScheme::paper_default());
+        for i in 0..1000 {
+            rel.insert(format!("W{i:04}"), gen.series(128))
+                .expect("random walks are never constant");
+        }
+        db.add_relation_indexed(rel);
+        println!("loaded demo relation `walks` (1000 × 128, indexed)");
+    } else {
+        for path in &args {
+            match persist::load(path) {
+                Ok(rel) => {
+                    println!(
+                        "loaded `{}` ({} × {}, indexed) from {path}",
+                        rel.name(),
+                        rel.len(),
+                        rel.series_len()
+                    );
+                    db.add_relation_indexed(rel);
+                }
+                Err(e) => {
+                    eprintln!("cannot load {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("type a query, or \\help");
+
+    let stdin = io::stdin();
+    loop {
+        print!("simq> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            if !shell_command(&db, cmd) {
+                break;
+            }
+            continue;
+        }
+        let start = std::time::Instant::now();
+        match execute(&db, line) {
+            Ok(result) => {
+                let elapsed = start.elapsed();
+                match &result.output {
+                    QueryOutput::Hits(hits) => {
+                        println!("{} hits:", hits.len());
+                        for h in hits.iter().take(20) {
+                            println!("  {:<12} id={:<6} distance={:.4}", h.name, h.id, h.distance);
+                        }
+                        if hits.len() > 20 {
+                            println!("  … {} more", hits.len() - 20);
+                        }
+                    }
+                    QueryOutput::Pairs(pairs) => {
+                        println!("{} pairs:", pairs.len());
+                        for p in pairs.iter().take(20) {
+                            println!("  ({}, {}) distance={:.4}", p.a, p.b, p.distance);
+                        }
+                        if pairs.len() > 20 {
+                            println!("  … {} more", pairs.len() - 20);
+                        }
+                    }
+                    QueryOutput::Plan(text) => println!("{text}"),
+                }
+                println!(
+                    "({:.3} ms; plan {:?}; nodes={} rows={} candidates={})",
+                    elapsed.as_secs_f64() * 1e3,
+                    result.plan.access,
+                    result.stats.nodes_visited,
+                    result.stats.rows_scanned,
+                    result.stats.candidates,
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Handles a backslash command; returns false to quit.
+fn shell_command(db: &Database, cmd: &str) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next() {
+        Some("q" | "quit" | "exit") => return false,
+        Some("help") => {
+            println!(
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save <rel> <path>  \\quit"
+            );
+        }
+        Some("relations") => {
+            for name in db.relation_names() {
+                let stored = db.relation(name).expect("listed relation exists");
+                println!(
+                    "  {name}: {} series × {} days, index: {}",
+                    stored.relation.len(),
+                    stored.relation.series_len(),
+                    if stored.index.is_some() { "yes" } else { "no" }
+                );
+            }
+        }
+        Some("rows") => match parts.next().and_then(|n| db.relation(n)) {
+            Some(stored) => {
+                for row in stored.relation.rows().take(15) {
+                    let head: Vec<String> =
+                        row.raw.iter().take(6).map(|v| format!("{v:.2}")).collect();
+                    println!(
+                        "  id={:<5} {:<12} mean={:<8.3} std={:<8.3} [{}, …]",
+                        row.id,
+                        row.name,
+                        row.features.mean,
+                        row.features.std_dev,
+                        head.join(", ")
+                    );
+                }
+                if stored.relation.len() > 15 {
+                    println!("  … {} more", stored.relation.len() - 15);
+                }
+            }
+            None => println!("usage: \\rows <relation>"),
+        },
+        Some("save") => {
+            let (Some(name), Some(path)) = (parts.next(), parts.next()) else {
+                println!("usage: \\save <relation> <path>");
+                return true;
+            };
+            match db.relation(name) {
+                Some(stored) => match persist::save(&stored.relation, path) {
+                    Ok(()) => println!("saved {name} to {path}"),
+                    Err(e) => println!("save failed: {e}"),
+                },
+                None => println!("unknown relation {name:?}"),
+            }
+        }
+        other => println!("unknown command {other:?}; try \\help"),
+    }
+    true
+}

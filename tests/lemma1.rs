@@ -1,0 +1,218 @@
+//! Lemma 1 as an executable property: "the k-index approach enhanced with
+//! transformations always returns a superset of the answer set" — and
+//! after exact postprocessing, *exactly* the answer set.
+//!
+//! Property-tests the full index pipeline (feature extraction → search
+//! rectangle → transformed R*-tree traversal → postprocessing) against the
+//! brute-force scan over random corpora, random transformations and random
+//! thresholds, in both feature representations.
+
+use proptest::prelude::*;
+use similarity_queries::prelude::*;
+use similarity_queries::query::QueryOutput;
+
+/// Builds a deterministic corpus of random-walk series.
+fn corpus(seed: u64, rows: usize, len: usize) -> Vec<Vec<f64>> {
+    let mut gen = WalkGenerator::new(seed);
+    (0..rows).map(|_| gen.series(len)).collect()
+}
+
+fn db_with(series: &[Vec<f64>], scheme: FeatureScheme) -> Database {
+    let mut rel = SeriesRelation::new("r", series[0].len(), scheme);
+    for (i, s) in series.iter().enumerate() {
+        rel.insert(format!("S{i}"), s.clone()).unwrap();
+    }
+    let mut db = Database::new();
+    db.add_relation_indexed(rel);
+    db
+}
+
+fn hit_ids(db: &Database, q: &str) -> Vec<u64> {
+    let result = execute(db, q).unwrap();
+    match result.output {
+        QueryOutput::Hits(h) => h.into_iter().map(|x| x.id).collect(),
+        other => panic!("expected hits, got {other:?}"),
+    }
+}
+
+/// A strategy generating polar-safe transformation expressions.
+fn polar_safe_transform() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("USING mavg(3)".to_string()),
+        Just("USING mavg(20)".to_string()),
+        Just("USING reverse".to_string()),
+        Just("USING scale(-2.5)".to_string()),
+        Just("USING shift(4)".to_string()),
+        Just("USING reverse THEN mavg(10)".to_string()),
+        Just("USING wmavg(0.5, 0.3, 0.2)".to_string()),
+        Just("USING warp(2)".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Index answers == scan answers, for every polar-safe transformation
+    /// and threshold (range queries, transformation applied to both sides).
+    #[test]
+    fn index_range_equals_scan_range_polar(
+        seed in 0u64..500,
+        row in 0usize..30,
+        eps in 0.05f64..6.0,
+        t in polar_safe_transform(),
+    ) {
+        let series = corpus(seed, 30, 64);
+        let db = db_with(&series, FeatureScheme::paper_default());
+        let clause = if t.is_empty() {
+            String::new()
+        } else {
+            format!("{t} ON BOTH ")
+        };
+        let q = format!("FIND SIMILAR TO ROW {row} IN r {clause}EPSILON {eps}");
+        let via_index = hit_ids(&db, &q);
+        let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// Same in the rectangular representation with real-multiplier
+    /// transformations (the Theorem 2 safe cases).
+    #[test]
+    fn index_range_equals_scan_range_rect(
+        seed in 0u64..500,
+        row in 0usize..25,
+        eps in 0.05f64..6.0,
+        t in prop_oneof![
+            Just(""),
+            Just("USING reverse"),
+            Just("USING scale(3)"),
+            Just("USING scale(-1)"),
+        ],
+    ) {
+        let series = corpus(seed.wrapping_add(1000), 25, 32);
+        let db = db_with(&series, FeatureScheme::new(3, Representation::Rectangular, false));
+        let both = if t.is_empty() { String::new() } else { format!("{t} ON BOTH") };
+        let q = format!("FIND SIMILAR TO ROW {row} IN r {both} EPSILON {eps}");
+        let via_index = hit_ids(&db, &q);
+        let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// The transformed traversal's candidate set is a superset of the
+    /// answer set (the raw Lemma 1 statement, before postprocessing).
+    #[test]
+    fn candidates_superset_of_answers(
+        seed in 0u64..300,
+        row in 0usize..20,
+        eps in 0.1f64..4.0,
+    ) {
+        let series = corpus(seed.wrapping_add(7), 20, 64);
+        let db = db_with(&series, FeatureScheme::paper_default());
+        let q = format!(
+            "FIND SIMILAR TO ROW {row} IN r USING mavg(5) ON BOTH EPSILON {eps}"
+        );
+        let result = execute(&db, &q).unwrap();
+        prop_assert!(result.stats.candidates >= result.stats.verified);
+        // And the verified set matches the scan.
+        let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
+        let QueryOutput::Hits(hits) = result.output else { unreachable!() };
+        prop_assert_eq!(hits.len(), via_scan.len());
+    }
+
+    /// kNN via the rectangular index equals kNN via scan.
+    #[test]
+    fn index_knn_equals_scan_knn(
+        seed in 0u64..300,
+        row in 0usize..25,
+        k in 1usize..10,
+    ) {
+        let series = corpus(seed.wrapping_add(31), 25, 32);
+        let db = db_with(&series, FeatureScheme::new(2, Representation::Rectangular, false));
+        let via_index = hit_ids(&db, &format!("FIND {k} NEAREST TO ROW {row} IN r"));
+        let via_scan = hit_ids(&db, &format!("FIND {k} NEAREST TO ROW {row} IN r FORCE SCAN"));
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    /// All four join methods agree where they answer the same question:
+    /// b == a, d == b; c == d-with-identity.
+    #[test]
+    fn join_methods_consistent(
+        seed in 0u64..200,
+        eps in 0.2f64..3.0,
+    ) {
+        let series = corpus(seed.wrapping_add(77), 20, 64);
+        let db = db_with(&series, FeatureScheme::paper_default());
+        let get = |m: char| -> Vec<(u64, u64)> {
+            let r = execute(
+                &db,
+                &format!("FIND PAIRS IN r USING mavg(8) EPSILON {eps} METHOD {m}"),
+            )
+            .unwrap();
+            match r.output {
+                QueryOutput::Pairs(p) => p.into_iter().map(|x| (x.a, x.b)).collect(),
+                other => panic!("expected pairs, got {other:?}"),
+            }
+        };
+        let a = get('a');
+        let b = get('b');
+        let d = get('d');
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &d);
+    }
+}
+
+/// Non-random regression: a transformation that rotates coefficients past
+/// ±π must not lose answers (the circular-angle-dimension fix).
+#[test]
+fn rotation_heavy_transform_loses_nothing() {
+    // Reversal shifts every phase by π — the worst case for angle wrap.
+    let series = corpus(99, 200, 128);
+    let db = db_with(&series, FeatureScheme::paper_default());
+    for row in [0, 10, 50, 199] {
+        for eps in [0.5, 2.0, 5.0] {
+            let q =
+                format!("FIND SIMILAR TO ROW {row} IN r USING reverse ON BOTH EPSILON {eps}");
+            let via_index = hit_ids(&db, &q);
+            let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
+            assert_eq!(via_index, via_scan, "row {row} eps {eps}");
+        }
+    }
+}
+
+/// Larger corpus smoke check at the paper's scale.
+#[test]
+fn paper_scale_corpus_agrees() {
+    let series = corpus(7, 1067, 128);
+    let db = db_with(&series, FeatureScheme::paper_default());
+    for (row, eps) in [(0, 1.0), (500, 3.0), (1066, 8.0)] {
+        let q = format!("FIND SIMILAR TO ROW {row} IN r USING mavg(20) ON BOTH EPSILON {eps}");
+        let via_index = hit_ids(&db, &q);
+        let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
+        assert_eq!(via_index, via_scan, "row {row} eps {eps}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// kNN via the polar index (annular-sector MINDIST) equals kNN via
+    /// scan, with and without transformations.
+    #[test]
+    fn polar_index_knn_equals_scan_knn(
+        seed in 0u64..300,
+        row in 0usize..25,
+        k in 1usize..8,
+        t in prop_oneof![
+            Just(""),
+            Just("USING mavg(5) ON BOTH"),
+            Just("USING reverse ON BOTH"),
+        ],
+    ) {
+        let series = corpus(seed.wrapping_add(91), 25, 64);
+        let db = db_with(&series, FeatureScheme::paper_default());
+        let q = format!("FIND {k} NEAREST TO ROW {row} IN r {t}");
+        let via_index = hit_ids(&db, &q);
+        let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
+        prop_assert_eq!(via_index, via_scan);
+    }
+}
