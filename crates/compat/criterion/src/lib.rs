@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace benches use: benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `bench_with_input` with [`BenchmarkId`], `Bencher::iter`, [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: one warm-up phase, then timed batches until the
+//! measurement window closes; the mean wall-clock per iteration is printed
+//! as `group/function/param … time: <mean>`. There are no statistics,
+//! plots, baselines or HTML reports. Passing `--test` (as `cargo test
+//! --benches` does) runs each registered benchmark exactly once so CI can
+//! smoke-test the targets cheaply.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.run(id, f);
+        group.finish();
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples (kept for API compatibility; the stand-in
+    /// only uses it to scale the measurement batches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Duration of the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Duration of the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        self.run(id.id, f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<P: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) {
+        self.run(id.id, |b| f(b, input));
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up
+            },
+            measurement: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement
+            },
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{}/{id}: ok (test mode, 1 iteration)", self.name);
+        } else {
+            println!(
+                "{}/{id}  time: {:>12}   ({} iterations)",
+                self.name,
+                format_duration(bencher.mean),
+                bencher.iters,
+            );
+        }
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs the closure under timing; see [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Always run once (correctness smoke + test mode).
+        black_box(f());
+        if self.measurement.is_zero() {
+            self.mean = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let measure_end = start + self.measurement;
+        while Instant::now() < measure_end {
+            black_box(f());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean = elapsed / u32::try_from(self.iters).unwrap_or(u32::MAX);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0usize;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        let input = 3usize;
+        group.bench_with_input(BenchmarkId::new("g2", input), &input, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+    }
+}

@@ -17,11 +17,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("index_plain", count), &count, |b, _| {
             b.iter(|| execute(&db, "FIND SIMILAR TO ROW 7 IN r EPSILON 1.0").unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("index_transform", count), &count, |b, _| {
-            b.iter(|| {
-                execute(&db, "FIND SIMILAR TO ROW 7 IN r USING identity EPSILON 1.0").unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("index_transform", count),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    execute(&db, "FIND SIMILAR TO ROW 7 IN r USING identity EPSILON 1.0").unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -21,7 +21,11 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
-    let which: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "quick").collect();
+    let which: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "quick")
+        .collect();
     let run = |name: &str| which.is_empty() || which.contains(&name) || which.contains(&"all");
 
     if run("fig8") {
@@ -87,9 +91,21 @@ fn run_queries(
 /// transformation; index traversal with vs without the transformation
 /// machinery. The difference must be CPU-only (same node accesses).
 fn fig8(quick: bool) {
-    println!("\n=== fig8: time per query vs sequence length (1,000 sequences, identity transform) ===");
-    let lengths: &[usize] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512, 1024] };
-    header(&["length", "plain ms", "transform ms", "plain nodes", "t nodes"]);
+    println!(
+        "\n=== fig8: time per query vs sequence length (1,000 sequences, identity transform) ==="
+    );
+    let lengths: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    header(&[
+        "length",
+        "plain ms",
+        "transform ms",
+        "plain nodes",
+        "t nodes",
+    ]);
     for &len in lengths {
         let db = indexed_db(walk_relation("r", 1000, len));
         let (t_plain, n_plain, _) = run_queries(
@@ -111,16 +127,31 @@ fn fig8(quick: bool) {
             n_plain.to_string(),
             n_id.to_string(),
         ]);
-        assert_eq!(n_plain, n_id, "identity transform must not change node accesses");
+        assert_eq!(
+            n_plain, n_id,
+            "identity transform must not change node accesses"
+        );
     }
     println!("(expected shape: two nearly flat curves separated by a small CPU constant)");
 }
 
 /// Figure 9: the same comparison varying the number of sequences.
 fn fig9(quick: bool) {
-    println!("\n=== fig9: time per query vs number of sequences (length 128, identity transform) ===");
-    let counts: &[usize] = if quick { &[500, 2000] } else { &[500, 2000, 4000, 8000, 12000] };
-    header(&["sequences", "plain ms", "transform ms", "plain nodes", "t nodes"]);
+    println!(
+        "\n=== fig9: time per query vs number of sequences (length 128, identity transform) ==="
+    );
+    let counts: &[usize] = if quick {
+        &[500, 2000]
+    } else {
+        &[500, 2000, 4000, 8000, 12000]
+    };
+    header(&[
+        "sequences",
+        "plain ms",
+        "transform ms",
+        "plain nodes",
+        "t nodes",
+    ]);
     for &count in counts {
         let db = indexed_db(walk_relation("r", count, 128));
         let (t_plain, n_plain, _) = run_queries(
@@ -151,7 +182,11 @@ fn fig9(quick: bool) {
 /// sequence length (mavg(20) pushed into both).
 fn fig10(quick: bool) {
     println!("\n=== fig10: index vs sequential scan, varying sequence length (1,000 sequences, mavg(20)) ===");
-    let lengths: &[usize] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512, 1024] };
+    let lengths: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
     header(&["length", "index ms", "scan ms", "index pages", "scan pages"]);
     for &len in lengths {
         let db = indexed_db(walk_relation("r", 1000, len));
@@ -191,8 +226,18 @@ fn pages(rows: u64, len: usize) -> u64 {
 /// Figure 11: the same comparison varying the number of sequences.
 fn fig11(quick: bool) {
     println!("\n=== fig11: index vs sequential scan, varying number of sequences (length 128, mavg(20)) ===");
-    let counts: &[usize] = if quick { &[500, 2000] } else { &[500, 2000, 4000, 8000, 12000] };
-    header(&["sequences", "index ms", "scan ms", "index pages", "scan pages"]);
+    let counts: &[usize] = if quick {
+        &[500, 2000]
+    } else {
+        &[500, 2000, 4000, 8000, 12000]
+    };
+    header(&[
+        "sequences",
+        "index ms",
+        "scan ms",
+        "index pages",
+        "scan pages",
+    ]);
     for &count in counts {
         let db = indexed_db(walk_relation("r", count, 128));
         let (t_index, nodes, _) = run_queries(
@@ -229,7 +274,13 @@ fn fig12(quick: bool) {
     println!("\n=== fig12: time per query vs answer-set size (1,067 stocks × 128 days) ===");
     let stocks = if quick { 400 } else { 1067 };
     let db = indexed_db(stock_relation("stocks", stocks, 128));
-    header(&["answer size", "index ms", "scan ms", "index pages", "scan pages"]);
+    header(&[
+        "answer size",
+        "index ms",
+        "scan ms",
+        "index pages",
+        "scan pages",
+    ]);
     let eps_values = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 13.0, 16.0];
     for eps in eps_values {
         let probe = execute(
@@ -237,7 +288,9 @@ fn fig12(quick: bool) {
             &format!("FIND SIMILAR TO ROW 0 IN stocks USING mavg(20) ON BOTH EPSILON {eps}"),
         )
         .unwrap();
-        let QueryOutput::Hits(hits) = probe.output else { unreachable!() };
+        let QueryOutput::Hits(hits) = probe.output else {
+            unreachable!()
+        };
         let answer = hits.len();
         // Index I/O = node reads + one record fetch per candidate during
         // postprocessing (the cost source of the paper's crossover).
@@ -282,7 +335,9 @@ fn table1(quick: bool) {
             &format!("FIND PAIRS IN stocks USING mavg(20) EPSILON {eps} METHOD b"),
         )
         .unwrap();
-        let QueryOutput::Pairs(p) = r.output else { unreachable!() };
+        let QueryOutput::Pairs(p) = r.output else {
+            unreachable!()
+        };
         if (10..=80).contains(&p.len()) || eps > 2.0 {
             break;
         }
@@ -298,7 +353,9 @@ fn table1(quick: bool) {
     ] {
         let query = format!("FIND PAIRS IN stocks USING mavg(20) EPSILON {eps} METHOD {m}");
         let (elapsed, result) = time_mean(1, || execute(&db, &query).unwrap());
-        let QueryOutput::Pairs(p) = result.output else { unreachable!() };
+        let QueryOutput::Pairs(p) = result.output else {
+            unreachable!()
+        };
         // The paper counts method d's output as ordered pairs (×2).
         let size = if m == 'd' {
             format!("{} (= {}x2 ordered)", p.len(), p.len())
@@ -316,7 +373,10 @@ fn warp_demo() {
     let p = [20.0, 21.0, 20.0, 23.0];
     let s = simq_series::warp(&p, 2).unwrap();
     println!("warp((20,21,20,23), 2) = {s:?}");
-    println!("D(warp(p,2), figure-2-series) = {}", euclidean(&s, &[20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0]));
+    println!(
+        "D(warp(p,2), figure-2-series) = {}",
+        euclidean(&s, &[20.0, 20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0])
+    );
     let coeffs = simq_series::warp_coefficients(p.len(), 2, p.len()).unwrap();
     let p_spec = simq_dsp::forward_real(&p);
     let s_spec = simq_dsp::forward_real(&s);
@@ -359,7 +419,10 @@ fn ex2() {
     let pb = &market.stocks[b].prices;
     let na = normal_form(pa).unwrap();
     let nb = normal_form(pb).unwrap();
-    println!("Example 2.1 (same sector: {} vs {}):", market.stocks[a].name, market.stocks[b].name);
+    println!(
+        "Example 2.1 (same sector: {} vs {}):",
+        market.stocks[a].name, market.stocks[b].name
+    );
     println!("  original        D = {:8.2}", euclidean(pa, pb));
     println!("  normal form     D = {:8.2}", euclidean(&na, &nb));
     println!(
@@ -552,7 +615,9 @@ fn ablation_tree(quick: bool) {
 /// Framework benchmark: DP edit distance vs the generic rewrite search.
 fn framework() {
     println!("\n=== frame: edit-distance DP vs generic rewrite search ===");
-    use simq_strings::{rewrite_distance, weighted_edit_distance, EditCosts, RewriteBudget, RuleSet};
+    use simq_strings::{
+        rewrite_distance, weighted_edit_distance, EditCosts, RewriteBudget, RuleSet,
+    };
     // The search must exhaust every state cheaper than the answer, which
     // grows exponentially in the distance — the DP's raison d'être. Keep
     // the pairs in the regime where both terminate.

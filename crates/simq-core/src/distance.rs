@@ -392,8 +392,7 @@ mod tests {
 
     #[test]
     fn zero_cost_rules_require_depth_bound() {
-        let rules =
-            TransformationSet::empty().with(shift(1.0, 0.0));
+        let rules = TransformationSet::empty().with(shift(1.0, 0.0));
         let a = RealSequence::new(vec![0.0]);
         let b = RealSequence::new(vec![5.0]);
         let err = similarity_distance(&a, &b, &rules, &SearchConfig::with_budget(10.0));

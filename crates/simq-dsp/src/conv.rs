@@ -27,7 +27,10 @@ use crate::fft;
 pub fn circular_conv(x: &[f64], y: &[f64]) -> Vec<f64> {
     let n = x.len();
     assert_eq!(n, y.len(), "circular convolution requires equal lengths");
-    assert!(n > 0, "circular convolution of empty sequences is undefined");
+    assert!(
+        n > 0,
+        "circular convolution of empty sequences is undefined"
+    );
     let mut out = vec![0.0; n];
     for (i, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
@@ -49,7 +52,10 @@ pub fn circular_conv(x: &[f64], y: &[f64]) -> Vec<f64> {
 pub fn circular_conv_fft(x: &[f64], y: &[f64]) -> Vec<f64> {
     let n = x.len();
     assert_eq!(n, y.len(), "circular convolution requires equal lengths");
-    assert!(n > 0, "circular convolution of empty sequences is undefined");
+    assert!(
+        n > 0,
+        "circular convolution of empty sequences is undefined"
+    );
     let xs = fft::forward_real(x);
     let ys = fft::forward_real(y);
     let scale = (n as f64).sqrt();

@@ -26,7 +26,10 @@ pub fn is_power_of_two(n: usize) -> bool {
 /// Panics if `buf.len()` is not a power of two.
 fn fft_pow2(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
-    assert!(is_power_of_two(n), "fft_pow2 requires a power-of-two length");
+    assert!(
+        is_power_of_two(n),
+        "fft_pow2 requires a power-of-two length"
+    );
     if n <= 1 {
         return;
     }

@@ -180,11 +180,7 @@ impl Rect {
 
     /// Volume (product of extents). Zero for degenerate rectangles.
     pub fn area(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
     /// Margin (sum of extents) — the R* split criterion.

@@ -254,10 +254,7 @@ mod tests {
     #[test]
     fn expand_helper() {
         let r = Rect::new(vec![1.0, 2.0], vec![3.0, 4.0]);
-        assert_eq!(
-            expand(&r, 0.5),
-            Rect::new(vec![0.5, 1.5], vec![3.5, 4.5])
-        );
+        assert_eq!(expand(&r, 0.5), Rect::new(vec![0.5, 1.5], vec![3.5, 4.5]));
     }
 
     #[test]

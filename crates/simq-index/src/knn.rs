@@ -255,7 +255,12 @@ mod tests {
                 }
             })
             .collect();
-        all.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap().then(a.id.cmp(&b.id)));
+        all.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
         all.truncate(5);
 
         assert_eq!(via_transform.len(), 5);

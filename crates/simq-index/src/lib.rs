@@ -20,6 +20,10 @@
 //! * [`join`] — probe-based (the paper's Table 1 methods) and synchronized
 //!   tree-tree spatial joins.
 //! * [`bulk`] — STR bulk loading.
+//! * [`parallel`] — multi-threaded read-only traversals: parallel subtree
+//!   descent for range queries, work-stealing best-first kNN with a shared
+//!   pruning bound, chunked probe joins. Results are exactly equal to the
+//!   serial traversals.
 
 #![warn(missing_docs)]
 
@@ -27,12 +31,14 @@ pub mod bulk;
 pub mod geom;
 pub mod join;
 pub mod knn;
+pub mod parallel;
 pub mod rstar;
 pub mod search;
 pub mod transform;
 
 pub use geom::{circular_overlap, DimSemantics, Rect, Space};
 pub use knn::Neighbor;
+pub use parallel::ParallelStats;
 pub use rstar::{RTree, RTreeConfig};
 pub use search::SearchStats;
 pub use transform::{DiagonalAffine, IdentityTransform, SpatialTransform};

@@ -1,0 +1,697 @@
+//! Parallel read-only traversals of the R*-tree.
+//!
+//! The tree is immutable during queries, so concurrency needs no locks on
+//! the structure itself — only coordination of *work*:
+//!
+//! * **Range search** ([`RTree::range_parallel`],
+//!   [`RTree::range_transformed_parallel`]) expands a frontier of
+//!   overlapping subtrees breadth-first on the calling thread, then lets
+//!   worker threads claim subtrees from a shared cursor and descend them
+//!   independently (parallel subtree descent).
+//! * **Nearest neighbours** ([`RTree::nearest_parallel`],
+//!   [`RTree::nearest_by_parallel`]) run a best-first search over a shared
+//!   priority queue of node tasks; workers steal the globally most
+//!   promising subtree and prune against a shared atomic bound on the
+//!   `k`-th best distance found so far, published by every thread as its
+//!   local top-`k` fills.
+//! * **Probe joins** ([`RTree::join_via_probes_parallel`]) split the probe
+//!   list into contiguous chunks, one serial probe loop per worker.
+//!
+//! Every function returns *exactly* the serial answer set: ranges sort ids
+//! ascending, nearest-neighbour results are sorted by `(distance, id)` and
+//! tie-retention around the `k`-th distance is handled explicitly, and
+//! probe joins preserve probe order. Distances are bitwise identical to
+//! the serial paths because every per-item computation is the same code on
+//! the same operands — only the schedule differs. Work counters are
+//! returned merged *and* per worker thread.
+
+use crate::geom::Rect;
+use crate::join::expand;
+use crate::knn::Neighbor;
+use crate::rstar::{Entry, RTree};
+use crate::search::SearchStats;
+use crate::transform::SpatialTransform;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work counters of one parallel traversal: the merged totals plus each
+/// worker thread's share (`per_thread[0]` also includes the frontier /
+/// coordination work done on the calling thread).
+#[derive(Debug, Clone, Default)]
+pub struct ParallelStats {
+    /// Totals across all threads — comparable with the serial counters.
+    pub merged: SearchStats,
+    /// One entry per worker thread.
+    pub per_thread: Vec<SearchStats>,
+}
+
+impl ParallelStats {
+    fn from_parts(coordinator: SearchStats, mut workers: Vec<SearchStats>) -> Self {
+        if workers.is_empty() {
+            workers.push(SearchStats::default());
+        }
+        workers[0].add(&coordinator);
+        let mut merged = SearchStats::default();
+        for w in &workers {
+            merged.add(w);
+        }
+        ParallelStats {
+            merged,
+            per_thread: workers,
+        }
+    }
+}
+
+/// Lock-free monotone minimum over non-negative `f64`s — the shared
+/// pruning bound of the parallel kNN searches here and of the parallel
+/// kNN scan in `simq-storage`.
+pub struct AtomicF64Min(AtomicU64);
+
+impl AtomicF64Min {
+    /// A new cell holding `v` (typically `f64::INFINITY`).
+    pub fn new(v: f64) -> Self {
+        AtomicF64Min(AtomicU64::new(v.to_bits()))
+    }
+
+    /// The current minimum.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the cell to `v` if `v` is smaller.
+    pub fn fetch_min(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v < f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// A subtree in the shared best-first queue, ordered by ascending bound.
+struct NodeTask {
+    key: f64,
+    idx: usize,
+}
+
+impl PartialEq for NodeTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for NodeTask {}
+impl PartialOrd for NodeTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NodeTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key.
+        other.key.partial_cmp(&self.key).expect("finite bounds")
+    }
+}
+
+/// Tracks the k-th smallest distance seen by one thread (an upper bound on
+/// the global k-th), publishing improvements to the shared bound.
+struct LocalKth<'a> {
+    heap: BinaryHeap<OrdF64>, // max-heap of the k best distances
+    k: usize,
+    shared: &'a AtomicF64Min,
+}
+
+#[derive(PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distances")
+    }
+}
+
+impl<'a> LocalKth<'a> {
+    fn new(k: usize, shared: &'a AtomicF64Min) -> Self {
+        LocalKth {
+            heap: BinaryHeap::with_capacity(k + 1),
+            k,
+            shared,
+        }
+    }
+
+    fn offer(&mut self, d: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(OrdF64(d));
+        } else if d < self.heap.peek().expect("k > 0").0 {
+            self.heap.pop();
+            self.heap.push(OrdF64(d));
+        } else {
+            return;
+        }
+        if self.heap.len() == self.k {
+            self.shared.fetch_min(self.heap.peek().expect("k > 0").0);
+        }
+    }
+}
+
+impl RTree {
+    /// Parallel [`RTree::range`]: same answer set, ids sorted ascending.
+    ///
+    /// `threads == 1` (or a tree small enough that no frontier forms)
+    /// degrades to the serial traversal on the calling thread.
+    pub fn range_parallel(&self, query: &Rect, threads: usize) -> (Vec<u64>, ParallelStats) {
+        self.range_parallel_impl(None, query, threads)
+    }
+
+    /// Parallel [`RTree::range_transformed`]: same answer set, ids sorted
+    /// ascending.
+    pub fn range_transformed_parallel(
+        &self,
+        transform: &dyn SpatialTransform,
+        query: &Rect,
+        threads: usize,
+    ) -> (Vec<u64>, ParallelStats) {
+        assert_eq!(
+            transform.dims(),
+            self.dims(),
+            "transform dimensionality mismatch"
+        );
+        self.range_parallel_impl(Some(transform), query, threads)
+    }
+
+    fn range_parallel_impl(
+        &self,
+        transform: Option<&dyn SpatialTransform>,
+        query: &Rect,
+        threads: usize,
+    ) -> (Vec<u64>, ParallelStats) {
+        assert_eq!(query.dims(), self.dims(), "query dimensionality mismatch");
+        let threads = threads.max(1);
+        let mut coordinator = SearchStats::default();
+        let mut out = Vec::new();
+
+        // Breadth-first frontier expansion on the calling thread until
+        // there are enough disjoint subtrees to keep every worker busy.
+        let target = threads * 4;
+        let mut queue: Vec<usize> = vec![self.root];
+        let mut head = 0usize;
+        let mut scratch = Rect::point(&vec![0.0; self.dims()]);
+        while head < queue.len() && (queue.len() - head) < target {
+            let idx = queue[head];
+            head += 1;
+            let node = &self.nodes[idx];
+            coordinator.nodes_visited += 1;
+            if node.level == 0 {
+                coordinator.leaves_visited += 1;
+            }
+            for e in &node.entries {
+                coordinator.entries_tested += 1;
+                let overlaps = match transform {
+                    Some(t) => {
+                        t.apply_rect_into(e.mbr(), &mut scratch);
+                        self.space.intersects(&scratch, query)
+                    }
+                    None => self.space.intersects(e.mbr(), query),
+                };
+                if !overlaps {
+                    continue;
+                }
+                match e {
+                    Entry::Child { node, .. } => queue.push(*node),
+                    Entry::Item { id, .. } => out.push(*id),
+                }
+            }
+        }
+
+        let pending = &queue[head..];
+        let workers: Vec<(Vec<u64>, SearchStats)> = if pending.is_empty() || threads == 1 {
+            // Nothing left or nothing to parallelize: finish serially.
+            let mut stats = SearchStats::default();
+            let mut ids = Vec::new();
+            for idx in pending {
+                self.descend(*idx, query, transform, &mut scratch, &mut ids, &mut stats);
+            }
+            vec![(ids, stats)]
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut stats = SearchStats::default();
+                            let mut ids = Vec::new();
+                            let mut scratch = Rect::point(&vec![0.0; self.dims()]);
+                            loop {
+                                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                                if j >= pending.len() {
+                                    break;
+                                }
+                                self.descend(
+                                    pending[j],
+                                    query,
+                                    transform,
+                                    &mut scratch,
+                                    &mut ids,
+                                    &mut stats,
+                                );
+                            }
+                            (ids, stats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("range worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut per_thread = Vec::with_capacity(workers.len());
+        for (ids, stats) in workers {
+            out.extend(ids);
+            per_thread.push(stats);
+        }
+        out.sort_unstable();
+        (out, ParallelStats::from_parts(coordinator, per_thread))
+    }
+
+    /// Serial recursive descent of one subtree (the worker body of the
+    /// parallel range search — identical tests to `range_rec`).
+    fn descend(
+        &self,
+        node_idx: usize,
+        query: &Rect,
+        transform: Option<&dyn SpatialTransform>,
+        scratch: &mut Rect,
+        out: &mut Vec<u64>,
+        stats: &mut SearchStats,
+    ) {
+        let node = &self.nodes[node_idx];
+        stats.nodes_visited += 1;
+        if node.level == 0 {
+            stats.leaves_visited += 1;
+        }
+        for e in &node.entries {
+            stats.entries_tested += 1;
+            let overlaps = match transform {
+                Some(t) => {
+                    t.apply_rect_into(e.mbr(), scratch);
+                    self.space.intersects(scratch, query)
+                }
+                None => self.space.intersects(e.mbr(), query),
+            };
+            if !overlaps {
+                continue;
+            }
+            match e {
+                Entry::Child { node, .. } => {
+                    self.descend(*node, query, transform, scratch, out, stats)
+                }
+                Entry::Item { id, .. } => out.push(*id),
+            }
+        }
+    }
+
+    /// Parallel [`RTree::nearest`]: identical results (same `(distance,
+    /// id)` order, same tie handling).
+    pub fn nearest_parallel(
+        &self,
+        q: &[f64],
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Neighbor>, ParallelStats) {
+        assert_eq!(q.len(), self.dims(), "query dimensionality mismatch");
+        let bound = move |r: &Rect| r.min_dist_sq(q);
+        self.nearest_by_parallel(&bound, None, k, threads)
+    }
+
+    /// Parallel [`RTree::nearest_transformed`].
+    pub fn nearest_transformed_parallel(
+        &self,
+        transform: &dyn SpatialTransform,
+        q: &[f64],
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Neighbor>, ParallelStats) {
+        assert_eq!(q.len(), self.dims(), "query dimensionality mismatch");
+        let bound = move |r: &Rect| r.min_dist_sq(q);
+        self.nearest_by_parallel(&bound, Some(transform), k, threads)
+    }
+
+    /// Parallel [`RTree::nearest_by`]: work-stealing best-first search.
+    ///
+    /// Workers pop the globally most promising subtree from a shared
+    /// priority queue, expand it, and push child subtrees back; leaf items
+    /// are collected locally. A shared atomic upper bound on the `k`-th
+    /// best distance — the minimum over every thread's local `k`-th best —
+    /// prunes subtrees on all threads at once. Items are kept whenever
+    /// their distance does not exceed the bound at visit time, which keeps
+    /// every candidate the serial search would keep (including ties at the
+    /// `k`-th distance); the final `(distance, id)` sort and truncation
+    /// make the result exactly equal to the serial one.
+    pub fn nearest_by_parallel(
+        &self,
+        bound: &(dyn Fn(&Rect) -> f64 + Sync),
+        transform: Option<&dyn SpatialTransform>,
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Neighbor>, ParallelStats) {
+        let threads = threads.max(1);
+        if k == 0 || self.is_empty() {
+            return (
+                Vec::new(),
+                ParallelStats::from_parts(SearchStats::default(), Vec::new()),
+            );
+        }
+        if threads == 1 {
+            let (out, stats) = self.nearest_by(bound, transform, k);
+            return (
+                out,
+                ParallelStats::from_parts(SearchStats::default(), vec![stats]),
+            );
+        }
+
+        let pool: Mutex<BinaryHeap<NodeTask>> = Mutex::new(BinaryHeap::new());
+        pool.lock().expect("pool lock").push(NodeTask {
+            key: 0.0,
+            idx: self.root,
+        });
+        let shared_bound = AtomicF64Min::new(f64::INFINITY);
+        let in_flight = AtomicUsize::new(0);
+
+        let workers: Vec<(Vec<Neighbor>, SearchStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut stats = SearchStats::default();
+                        let mut found: Vec<Neighbor> = Vec::new();
+                        let mut kth = LocalKth::new(k, &shared_bound);
+                        // Backoff for idle polls: yield first, then sleep
+                        // with exponential growth so starved workers stop
+                        // contending on the pool mutex when one deep
+                        // subtree holds all the work.
+                        let mut idle_us: u64 = 0;
+                        loop {
+                            let task = {
+                                let mut guard = pool.lock().expect("pool lock");
+                                let t = guard.pop();
+                                if t.is_some() {
+                                    // Counted before the lock drops so an
+                                    // empty pool with zero in-flight tasks
+                                    // really means "done".
+                                    in_flight.fetch_add(1, Ordering::SeqCst);
+                                }
+                                t
+                            };
+                            let Some(task) = task else {
+                                if in_flight.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                if idle_us == 0 {
+                                    std::thread::yield_now();
+                                    idle_us = 1;
+                                } else {
+                                    std::thread::sleep(std::time::Duration::from_micros(idle_us));
+                                    idle_us = (idle_us * 2).min(200);
+                                }
+                                continue;
+                            };
+                            idle_us = 0;
+                            if task.key <= shared_bound.get() {
+                                let node = &self.nodes[task.idx];
+                                stats.nodes_visited += 1;
+                                if node.level == 0 {
+                                    stats.leaves_visited += 1;
+                                }
+                                let mut children: Vec<NodeTask> = Vec::new();
+                                for e in &node.entries {
+                                    stats.entries_tested += 1;
+                                    let mbr;
+                                    let rect = match transform {
+                                        Some(t) => {
+                                            mbr = t.apply_rect(e.mbr());
+                                            &mbr
+                                        }
+                                        None => e.mbr(),
+                                    };
+                                    let d = bound(rect);
+                                    match e {
+                                        Entry::Child { node, .. } => {
+                                            if d <= shared_bound.get() {
+                                                children.push(NodeTask { key: d, idx: *node });
+                                            }
+                                        }
+                                        Entry::Item { id, .. } => {
+                                            if d <= shared_bound.get() {
+                                                found.push(Neighbor {
+                                                    id: *id,
+                                                    dist_sq: d,
+                                                });
+                                                kth.offer(d);
+                                            }
+                                        }
+                                    }
+                                }
+                                if !children.is_empty() {
+                                    let mut guard = pool.lock().expect("pool lock");
+                                    for c in children {
+                                        guard.push(c);
+                                    }
+                                }
+                            }
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        (found, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kNN worker panicked"))
+                .collect()
+        });
+
+        let mut out = Vec::new();
+        let mut per_thread = Vec::with_capacity(workers.len());
+        for (found, stats) in workers {
+            out.extend(found);
+            per_thread.push(stats);
+        }
+        out.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
+        });
+        out.truncate(k);
+        (
+            out,
+            ParallelStats::from_parts(SearchStats::default(), per_thread),
+        )
+    }
+
+    /// Parallel [`RTree::join_via_probes`]: contiguous chunks of the probe
+    /// list are scanned by independent workers, so the concatenated result
+    /// preserves the serial pair order exactly.
+    pub fn join_via_probes_parallel(
+        &self,
+        probes: &[(Rect, u64)],
+        probe_transform: &dyn SpatialTransform,
+        index_transform: &dyn SpatialTransform,
+        eps: f64,
+        threads: usize,
+    ) -> (Vec<(u64, u64)>, ParallelStats) {
+        let threads = threads.max(1).min(probes.len().max(1));
+        if threads == 1 {
+            let (out, stats) = self.join_via_probes(probes, probe_transform, index_transform, eps);
+            return (
+                out,
+                ParallelStats::from_parts(SearchStats::default(), vec![stats]),
+            );
+        }
+        let chunk = probes.len().div_ceil(threads);
+        let workers: Vec<(Vec<(u64, u64)>, SearchStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = probes
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut stats = SearchStats::default();
+                        for (rect, pid) in slice {
+                            let query = expand(&probe_transform.apply_rect(rect), eps);
+                            let (hits, s) = self.range_transformed(index_transform, &query);
+                            stats.add(&s);
+                            out.extend(hits.into_iter().map(|iid| (*pid, iid)));
+                        }
+                        (out, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        let mut per_thread = Vec::with_capacity(workers.len());
+        for (pairs, stats) in workers {
+            out.extend(pairs);
+            per_thread.push(stats);
+        }
+        (
+            out,
+            ParallelStats::from_parts(SearchStats::default(), per_thread),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{DiagonalAffine, IdentityTransform};
+
+    fn grid_tree(n: usize) -> RTree {
+        let mut t = RTree::with_dims(2);
+        let mut id = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                t.insert_point(&[i as f64, j as f64], id);
+                id += 1;
+            }
+        }
+        t
+    }
+
+    fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn parallel_range_equals_serial() {
+        let t = grid_tree(25);
+        for query in [
+            Rect::new(vec![2.5, 3.5], vec![7.5, 9.0]),
+            Rect::new(vec![-5.0, -5.0], vec![100.0, 100.0]),
+            Rect::new(vec![50.0, 50.0], vec![60.0, 60.0]),
+        ] {
+            let (serial, s_stats) = t.range(&query);
+            for threads in [1, 2, 4, 8] {
+                let (par, p_stats) = t.range_parallel(&query, threads);
+                assert_eq!(par, sorted(serial.clone()), "threads {threads}");
+                assert_eq!(
+                    p_stats.merged.nodes_visited, s_stats.nodes_visited,
+                    "parallel visits the same node set (threads {threads})"
+                );
+                assert_eq!(p_stats.merged.entries_tested, s_stats.entries_tested);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transformed_range_equals_serial() {
+        let t = grid_tree(20);
+        let affine = DiagonalAffine::new(vec![2.0, -1.0], vec![10.0, 3.0]);
+        let query = Rect::new(vec![15.0, -10.0], vec![30.0, 0.0]);
+        let (serial, _) = t.range_transformed(&affine, &query);
+        let (par, _) = t.range_transformed_parallel(&affine, &query, 4);
+        assert_eq!(par, sorted(serial));
+    }
+
+    #[test]
+    fn parallel_nearest_equals_serial() {
+        let t = grid_tree(20);
+        for (q, k) in [
+            ([3.2, 7.8], 1usize),
+            ([0.0, 0.0], 5),
+            ([10.5, 10.5], 8),
+            ([-5.0, 25.0], 3),
+            ([7.0, 7.0], 50),
+        ] {
+            let (serial, _) = t.nearest(&q, k);
+            for threads in [1, 2, 4] {
+                let (par, _) = t.nearest_parallel(&q, k, threads);
+                assert_eq!(par.len(), serial.len(), "q={q:?} k={k} threads={threads}");
+                for (a, b) in par.iter().zip(&serial) {
+                    assert_eq!(a.id, b.id, "q={q:?} k={k} threads={threads}");
+                    assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_nearest_transformed_equals_serial() {
+        let t = grid_tree(15);
+        let affine = DiagonalAffine::new(vec![-1.0, 2.0], vec![5.0, -3.0]);
+        let q = [2.0, 4.0];
+        let (serial, _) = t.nearest_transformed(&affine, &q, 5);
+        let (par, _) = t.nearest_transformed_parallel(&affine, &q, 5, 3);
+        assert_eq!(par.len(), serial.len());
+        for (a, b) in par.iter().zip(&serial) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_join_equals_serial() {
+        let coords: Vec<f64> = (0..150).map(|i| ((i * 17) % 83) as f64 / 2.0).collect();
+        let mut t = RTree::with_dims(1);
+        for (id, &x) in coords.iter().enumerate() {
+            t.insert_point(&[x], id as u64);
+        }
+        let id = IdentityTransform::new(1);
+        let probes: Vec<(Rect, u64)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (Rect::point(&[x]), i as u64))
+            .collect();
+        let (serial, _) = t.join_via_probes(&probes, &id, &id, 0.75);
+        for threads in [1, 2, 4, 7] {
+            let (par, stats) = t.join_via_probes_parallel(&probes, &id, &id, 0.75, threads);
+            assert_eq!(par, serial, "threads {threads}");
+            assert!(!stats.per_thread.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let empty = RTree::with_dims(2);
+        let (ids, _) = empty.range_parallel(&Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]), 4);
+        assert!(ids.is_empty());
+        let (nn, _) = empty.nearest_parallel(&[0.0, 0.0], 3, 4);
+        assert!(nn.is_empty());
+        let t = grid_tree(3);
+        let (nn, _) = t.nearest_parallel(&[1.0, 1.0], 0, 4);
+        assert!(nn.is_empty());
+        let (all, _) = t.nearest_parallel(&[1.0, 1.0], 100, 4);
+        assert_eq!(all.len(), 9);
+        let (ids, _) = t.range_parallel(&Rect::new(vec![-1.0, -1.0], vec![3.0, 3.0]), 16);
+        assert_eq!(ids.len(), 9);
+    }
+
+    #[test]
+    fn per_thread_stats_sum_to_merged() {
+        let t = grid_tree(30);
+        let query = Rect::new(vec![0.0, 0.0], vec![29.0, 29.0]);
+        let (_, stats) = t.range_parallel(&query, 4);
+        let mut sum = SearchStats::default();
+        for s in &stats.per_thread {
+            sum.add(s);
+        }
+        assert_eq!(sum, stats.merged);
+    }
+}

@@ -335,13 +335,11 @@ impl RTree {
                 .sum()
         };
         // Sort ascending by distance; the tail holds the farthest p entries.
-        self.nodes[node_idx]
-            .entries
-            .sort_by(|a, b| {
-                dist_sq(a.mbr())
-                    .partial_cmp(&dist_sq(b.mbr()))
-                    .expect("finite coordinates")
-            });
+        self.nodes[node_idx].entries.sort_by(|a, b| {
+            dist_sq(a.mbr())
+                .partial_cmp(&dist_sq(b.mbr()))
+                .expect("finite coordinates")
+        });
         let keep = self.nodes[node_idx].entries.len() - p;
         let removed: Vec<Entry> = self.nodes[node_idx].entries.split_off(keep);
 
@@ -562,9 +560,7 @@ impl RTree {
     /// Recursively reinserts every item of an orphaned subtree.
     fn flatten_into_items(&mut self, entry: Entry, reinserted: &mut Vec<bool>) {
         match entry {
-            Entry::Item { mbr, id } => {
-                self.insert_at_level(Entry::Item { mbr, id }, 0, reinserted)
-            }
+            Entry::Item { mbr, id } => self.insert_at_level(Entry::Item { mbr, id }, 0, reinserted),
             Entry::Child { node, .. } => {
                 let children = std::mem::take(&mut self.nodes[node].entries);
                 self.free.push(node);
@@ -615,7 +611,12 @@ impl RTree {
         Ok(())
     }
 
-    fn check_node(&self, idx: usize, expected_mbr: Option<&Rect>, is_root: bool) -> Result<(), String> {
+    fn check_node(
+        &self,
+        idx: usize,
+        expected_mbr: Option<&Rect>,
+        is_root: bool,
+    ) -> Result<(), String> {
         let node = &self.nodes[idx];
         if !is_root {
             let min = self.config.min_entries();

@@ -62,7 +62,14 @@ impl RTree {
         let mut out = Vec::new();
         let mut stats = SearchStats::default();
         let mut scratch = Rect::point(&vec![0.0; self.dims()]);
-        self.range_rec(self.root, query, Some(transform), &mut scratch, &mut out, &mut stats);
+        self.range_rec(
+            self.root,
+            query,
+            Some(transform),
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
         (out, stats)
     }
 
@@ -228,7 +235,7 @@ mod tests {
         let space = Space::new(vec![DimSemantics::Circular { period: 2.0 * PI }]);
         let mut t = RTree::new(space, RTreeConfig::default());
         t.insert_point(&[PI - 0.1], 1); // near +π
-        // Rotate by +0.4: the point moves to π + 0.3 ≡ −π + 0.3.
+                                        // Rotate by +0.4: the point moves to π + 0.3 ≡ −π + 0.3.
         let rot = DiagonalAffine::new(vec![1.0], vec![0.4]);
         // Canonical query around −π + 0.3.
         let query = Rect::new(vec![-PI + 0.2], vec![-PI + 0.4]);

@@ -15,7 +15,11 @@ use crate::geom::Rect;
 /// Implementations must preserve the containment direction
 /// `x ∈ R ⇒ apply_point(x) ∈ apply_rect(R)` — the property that makes
 /// transformed search return a superset of the true answer (Lemma 1).
-pub trait SpatialTransform {
+///
+/// `Send + Sync` is required so one transformation can be shared by the
+/// worker threads of the parallel traversals ([`crate::parallel`]);
+/// implementations are plain data, so this costs nothing.
+pub trait SpatialTransform: Send + Sync {
     /// Number of dimensions the transform expects.
     fn dims(&self) -> usize;
 

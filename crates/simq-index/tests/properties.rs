@@ -2,11 +2,12 @@
 //! structural invariants under random workloads.
 
 use proptest::prelude::*;
-use simq_index::{Rect, RTree, RTreeConfig, Space};
+use simq_index::{RTree, RTreeConfig, Rect, Space};
 
 fn points(max: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
     prop::collection::vec(
-        ((-100.0f64..100.0), (-100.0f64..100.0), (-100.0f64..100.0)).prop_map(|(a, b, c)| [a, b, c]),
+        ((-100.0f64..100.0), (-100.0f64..100.0), (-100.0f64..100.0))
+            .prop_map(|(a, b, c)| [a, b, c]),
         1..max,
     )
 }

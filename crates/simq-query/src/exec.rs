@@ -37,6 +37,115 @@ pub struct ExecStats {
     pub candidates: u64,
     /// Candidates that survived exact verification.
     pub verified: u64,
+    /// Worker threads that actually carried out query work — the widest
+    /// per-thread fan-out any execution phase reached. 1 means the query
+    /// ran serially, including when a parallel plan degraded (too few
+    /// rows or candidates to split, or a frontier the coordinator
+    /// exhausted on its own).
+    pub threads_used: u64,
+}
+
+impl ExecStats {
+    fn add_search(&mut self, s: &simq_index::SearchStats) {
+        self.nodes_visited += s.nodes_visited;
+        self.leaves_visited += s.leaves_visited;
+        self.entries_tested += s.entries_tested;
+    }
+
+    fn add_scan(&mut self, s: &scan::ScanStats) {
+        self.rows_scanned += s.rows_scanned;
+        self.coefficients_compared += s.coefficients_compared;
+    }
+
+    /// Accumulates another block's work counters (`verified` and
+    /// `threads_used` are query-level, not additive).
+    fn add_work(&mut self, o: &ExecStats) {
+        self.nodes_visited += o.nodes_visited;
+        self.leaves_visited += o.leaves_visited;
+        self.entries_tested += o.entries_tested;
+        self.rows_scanned += o.rows_scanned;
+        self.coefficients_compared += o.coefficients_compared;
+        self.candidates += o.candidates;
+    }
+}
+
+/// Folds one parallel phase's per-thread work counters.
+fn fold_exec(per: &mut Vec<ExecStats>, phase: &[ExecStats]) {
+    if per.len() < phase.len() {
+        per.resize(phase.len(), ExecStats::default());
+    }
+    for (acc, s) in per.iter_mut().zip(phase) {
+        acc.add_work(s);
+    }
+}
+
+/// Folds one parallel phase's per-thread search counters into the
+/// query-level per-thread accumulators.
+fn fold_search(per: &mut Vec<ExecStats>, phase: &[simq_index::SearchStats]) {
+    if per.len() < phase.len() {
+        per.resize(phase.len(), ExecStats::default());
+    }
+    for (acc, s) in per.iter_mut().zip(phase) {
+        acc.add_search(s);
+    }
+}
+
+/// Folds one parallel phase's per-thread scan counters.
+fn fold_scan(per: &mut Vec<ExecStats>, phase: &[scan::ScanStats]) {
+    if per.len() < phase.len() {
+        per.resize(phase.len(), ExecStats::default());
+    }
+    for (acc, s) in per.iter_mut().zip(phase) {
+        acc.add_scan(s);
+    }
+}
+
+/// Folds per-thread postprocessing coefficient counts.
+fn fold_coefficients(per: &mut Vec<ExecStats>, counts: &[u64]) {
+    if per.len() < counts.len() {
+        per.resize(counts.len(), ExecStats::default());
+    }
+    for (acc, c) in per.iter_mut().zip(counts) {
+        acc.coefficients_compared += c;
+    }
+}
+
+/// Runs a per-candidate exact-verification closure over contiguous chunks
+/// of `candidates` on `threads` worker threads (used by the index paths of
+/// range and kNN queries). Returns the concatenated hits, the merged
+/// coefficient-comparison count, and the per-thread counts.
+fn parallel_verify(
+    candidates: &[u64],
+    threads: usize,
+    verify: &(dyn Fn(&[u64], &mut u64) -> Vec<Hit> + Sync),
+) -> (Vec<Hit>, u64, Vec<u64>) {
+    let bounds = scan::chunk_bounds(candidates.len(), threads);
+    let workers: Vec<(Vec<Hit>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                let ids = &candidates[lo..hi];
+                scope.spawn(move || {
+                    let mut compared = 0u64;
+                    let out = verify(ids, &mut compared);
+                    (out, compared)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verify worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    let mut total = 0u64;
+    let mut counts = Vec::with_capacity(workers.len());
+    for (hits, compared) in workers {
+        out.extend(hits);
+        total += compared;
+        counts.push(compared);
+    }
+    (out, total, counts)
 }
 
 /// A range/kNN hit.
@@ -79,8 +188,12 @@ pub struct QueryResult {
     pub output: QueryOutput,
     /// The plan used.
     pub plan: Plan,
-    /// Work counters.
+    /// Work counters (merged across threads).
     pub stats: ExecStats,
+    /// Per-worker-thread counters for parallel executions (empty when the
+    /// query ran serially). Entry 0 also carries coordination work done on
+    /// the calling thread.
+    pub per_thread: Vec<ExecStats>,
 }
 
 /// Parses, plans and executes a query text.
@@ -101,8 +214,14 @@ pub fn run(db: &Database, query: &Query) -> Result<QueryResult, QueryError> {
     match query {
         Query::Explain(inner) => Ok(QueryResult {
             output: QueryOutput::Plan(explain(inner, &the_plan)),
+            stats: ExecStats {
+                // EXPLAIN executes no query work; the planned parallelism
+                // is in the rendered plan text.
+                threads_used: 1,
+                ..ExecStats::default()
+            },
             plan: the_plan,
-            stats: ExecStats::default(),
+            per_thread: Vec::new(),
         }),
         Query::Range {
             source,
@@ -273,7 +392,9 @@ fn range(
     let rel = &stored.relation;
     let n = rel.series_len();
     let q_spec: &[Complex] = &ctx.spectrum;
+    let threads = the_plan.threads.max(1);
     let mut stats = ExecStats::default();
+    let mut per_thread: Vec<ExecStats> = Vec::new();
     let action = transform.action(n, n.saturating_sub(1))?;
     // GK95 window test on the *transformed* row statistics — consistent
     // with the index traversal, which applies the lowered affine to the
@@ -281,8 +402,12 @@ fn range(
     let window_ok = |mean: f64, std_dev: f64| -> bool {
         let t_mean = action.mean_scale * mean + action.mean_shift;
         let t_std = action.std_scale * std_dev;
-        window.mean.is_none_or(|tol| (t_mean - ctx.mean).abs() <= tol)
-            && window.std_dev.is_none_or(|tol| (t_std - ctx.std_dev).abs() <= tol)
+        window
+            .mean
+            .is_none_or(|tol| (t_mean - ctx.mean).abs() <= tol)
+            && window
+                .std_dev
+                .is_none_or(|tol| (t_std - ctx.std_dev).abs() <= tol)
     };
 
     let mut hits: Vec<Hit> = match the_plan.access {
@@ -306,39 +431,71 @@ fn range(
                 )
             };
             let lowered = transform.lower(scheme, n)?;
-            let (candidates, s) = index.range_transformed(&lowered, &rect);
+            let (candidates, s) = if threads > 1 {
+                let (candidates, p) = index.range_transformed_parallel(&lowered, &rect, threads);
+                fold_search(&mut per_thread, &p.per_thread);
+                (candidates, p.merged)
+            } else {
+                index.range_transformed(&lowered, &rect)
+            };
             stats.nodes_visited = s.nodes_visited;
             stats.leaves_visited = s.leaves_visited;
             stats.entries_tested = s.entries_tested;
             stats.candidates = candidates.len() as u64;
-            let mut out = Vec::new();
-            for id in candidates {
-                let row = rel.row(id).expect("index ids are valid");
-                if !window_ok(row.features.mean, row.features.std_dev) {
-                    continue;
+
+            let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
+                let mut out = Vec::new();
+                for &id in ids {
+                    let row = rel.row(id).expect("index ids are valid");
+                    if !window_ok(row.features.mean, row.features.std_dev) {
+                        continue;
+                    }
+                    let d = exact_distance(
+                        &row.features.spectrum,
+                        &action.multipliers,
+                        q_spec,
+                        Some(eps * eps),
+                        compared,
+                    );
+                    if d <= eps {
+                        out.push(Hit {
+                            id,
+                            name: row.name.clone(),
+                            distance: d,
+                        });
+                    }
                 }
-                let d = exact_distance(
-                    &row.features.spectrum,
-                    &action.multipliers,
-                    q_spec,
-                    Some(eps * eps),
-                    &mut stats.coefficients_compared,
-                );
-                if d <= eps {
-                    out.push(Hit {
-                        id,
-                        name: row.name.clone(),
-                        distance: d,
-                    });
+                out
+            };
+            if threads > 1 && candidates.len() >= 2 * threads {
+                let (out, total, counts) = parallel_verify(&candidates, threads, &verify);
+                stats.coefficients_compared += total;
+                fold_coefficients(&mut per_thread, &counts);
+                out
+            } else {
+                let mut compared = 0u64;
+                let out = verify(&candidates, &mut compared);
+                stats.coefficients_compared += compared;
+                if !per_thread.is_empty() {
+                    // Calling-thread work counts against entry 0 so the
+                    // per-thread shares still sum to the merged totals.
+                    fold_coefficients(&mut per_thread, &[compared]);
                 }
+                out
             }
-            out
         }
         AccessPath::SeqScan { early_abandon } => {
-            let (scan_hits, s) = scan::scan_range(rel, transform, q_spec, eps, early_abandon)?;
-            stats.rows_scanned = s.rows_scanned;
-            stats.coefficients_compared = s.coefficients_compared;
-            stats.candidates = s.rows_scanned;
+            let (scan_hits, merged) = if threads > 1 {
+                let (scan_hits, p) =
+                    scan::scan_range_parallel(rel, transform, q_spec, eps, early_abandon, threads)?;
+                fold_scan(&mut per_thread, &p.per_thread);
+                (scan_hits, p.merged)
+            } else {
+                scan::scan_range(rel, transform, q_spec, eps, early_abandon)?
+            };
+            stats.rows_scanned = merged.rows_scanned;
+            stats.coefficients_compared = merged.coefficients_compared;
+            stats.candidates = merged.rows_scanned;
             scan_hits
                 .into_iter()
                 .filter(|h| {
@@ -362,10 +519,12 @@ fn range(
             .then(a.id.cmp(&b.id))
     });
     stats.verified = hits.len() as u64;
+    stats.threads_used = per_thread.len().max(1) as u64;
     Ok(QueryResult {
         output: QueryOutput::Hits(hits),
         plan: the_plan.clone(),
         stats,
+        per_thread,
     })
 }
 
@@ -378,7 +537,9 @@ fn knn(
 ) -> Result<QueryResult, QueryError> {
     let rel = &stored.relation;
     let n = rel.series_len();
+    let threads = the_plan.threads.max(1);
     let mut stats = ExecStats::default();
+    let mut per_thread: Vec<ExecStats> = Vec::new();
 
     let hits: Vec<Hit> = match the_plan.access {
         AccessPath::IndexScan => {
@@ -397,14 +558,19 @@ fn knn(
             let bound = |rect: &simq_index::Rect| -> f64 {
                 simq_series::spectral_mindist(scheme, &q_coeffs, rect)
             };
-            let (step1, s1) = index.nearest_by(&bound, Some(&lowered), k);
-            stats.nodes_visited += s1.nodes_visited;
-            stats.leaves_visited += s1.leaves_visited;
-            stats.entries_tested += s1.entries_tested;
+            let (step1, s1) = if threads > 1 {
+                let (step1, p) = index.nearest_by_parallel(&bound, Some(&lowered), k, threads);
+                fold_search(&mut per_thread, &p.per_thread);
+                (step1, p.merged)
+            } else {
+                index.nearest_by(&bound, Some(&lowered), k)
+            };
+            stats.add_search(&s1);
             if step1.is_empty() {
                 Vec::new()
             } else {
                 let mut radius_sq = 0.0f64;
+                let mut radius_compared = 0u64;
                 for nb in &step1 {
                     let row = rel.row(nb.id).expect("index ids are valid");
                     let d_sq = exact_distance_sq(
@@ -412,34 +578,59 @@ fn knn(
                         &action.multipliers,
                         q_spec,
                         None,
-                        &mut stats.coefficients_compared,
+                        &mut radius_compared,
                     );
                     radius_sq = radius_sq.max(d_sq);
                 }
+                stats.coefficients_compared += radius_compared;
+                if !per_thread.is_empty() {
+                    fold_coefficients(&mut per_thread, &[radius_compared]);
+                }
                 let rect = scheme.search_rect(&q_point, pad(radius_sq.sqrt()));
-                let (candidates, s2) = index.range_transformed(&lowered, &rect);
-                stats.nodes_visited += s2.nodes_visited;
-                stats.leaves_visited += s2.leaves_visited;
-                stats.entries_tested += s2.entries_tested;
+                let (candidates, s2) = if threads > 1 {
+                    let (candidates, p) =
+                        index.range_transformed_parallel(&lowered, &rect, threads);
+                    fold_search(&mut per_thread, &p.per_thread);
+                    (candidates, p.merged)
+                } else {
+                    index.range_transformed(&lowered, &rect)
+                };
+                stats.add_search(&s2);
                 stats.candidates = candidates.len() as u64;
-                let mut out: Vec<Hit> = candidates
-                    .into_iter()
-                    .filter_map(|id| {
-                        let row = rel.row(id).expect("index ids are valid");
-                        let d_sq = exact_distance_sq(
-                            &row.features.spectrum,
-                            &action.multipliers,
-                            q_spec,
-                            Some(radius_sq),
-                            &mut stats.coefficients_compared,
-                        );
-                        d_sq.is_finite().then(|| Hit {
-                            id,
-                            name: row.name.clone(),
-                            distance: d_sq.sqrt(),
+
+                let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
+                    ids.iter()
+                        .filter_map(|&id| {
+                            let row = rel.row(id).expect("index ids are valid");
+                            let d_sq = exact_distance_sq(
+                                &row.features.spectrum,
+                                &action.multipliers,
+                                q_spec,
+                                Some(radius_sq),
+                                compared,
+                            );
+                            d_sq.is_finite().then(|| Hit {
+                                id,
+                                name: row.name.clone(),
+                                distance: d_sq.sqrt(),
+                            })
                         })
-                    })
-                    .collect();
+                        .collect()
+                };
+                let mut out: Vec<Hit> = if threads > 1 && candidates.len() >= 2 * threads {
+                    let (out, total, counts) = parallel_verify(&candidates, threads, &verify);
+                    stats.coefficients_compared += total;
+                    fold_coefficients(&mut per_thread, &counts);
+                    out
+                } else {
+                    let mut compared = 0u64;
+                    let out = verify(&candidates, &mut compared);
+                    stats.coefficients_compared += compared;
+                    if !per_thread.is_empty() {
+                        fold_coefficients(&mut per_thread, &[compared]);
+                    }
+                    out
+                };
                 out.sort_by(|a, b| {
                     a.distance
                         .partial_cmp(&b.distance)
@@ -451,10 +642,16 @@ fn knn(
             }
         }
         AccessPath::SeqScan { .. } => {
-            let (scan_hits, s) = scan::scan_knn(rel, transform, q_spec, k)?;
-            stats.rows_scanned = s.rows_scanned;
-            stats.coefficients_compared = s.coefficients_compared;
-            stats.candidates = s.rows_scanned;
+            let (scan_hits, merged) = if threads > 1 {
+                let (scan_hits, p) = scan::scan_knn_parallel(rel, transform, q_spec, k, threads)?;
+                fold_scan(&mut per_thread, &p.per_thread);
+                (scan_hits, p.merged)
+            } else {
+                scan::scan_knn(rel, transform, q_spec, k)?
+            };
+            stats.rows_scanned = merged.rows_scanned;
+            stats.coefficients_compared = merged.coefficients_compared;
+            stats.candidates = merged.rows_scanned;
             scan_hits
                 .into_iter()
                 .map(|h| Hit {
@@ -467,10 +664,12 @@ fn knn(
         _ => unreachable!("kNN queries plan to IndexScan or SeqScan"),
     };
     stats.verified = hits.len() as u64;
+    stats.threads_used = per_thread.len().max(1) as u64;
     Ok(QueryResult {
         output: QueryOutput::Hits(hits),
         plan: the_plan.clone(),
         stats,
+        per_thread,
     })
 }
 
@@ -483,14 +682,29 @@ fn all_pairs(
 ) -> Result<QueryResult, QueryError> {
     let rel = &stored.relation;
     let n = rel.series_len();
+    let threads = the_plan.threads.max(1);
     let mut stats = ExecStats::default();
+    let mut per_thread: Vec<ExecStats> = Vec::new();
     let symmetric = left == right;
 
     let mut pairs: Vec<PairHit> = match the_plan.access {
         AccessPath::ScanJoin { early_abandon } => {
-            let (found, s) = scan::scan_all_pairs_two(rel, left, right, eps, early_abandon)?;
-            stats.rows_scanned = s.rows_scanned;
-            stats.coefficients_compared = s.coefficients_compared;
+            let (found, merged) = if threads > 1 {
+                let (found, p) = scan::scan_all_pairs_two_parallel(
+                    rel,
+                    left,
+                    right,
+                    eps,
+                    early_abandon,
+                    threads,
+                )?;
+                fold_scan(&mut per_thread, &p.per_thread);
+                (found, p.merged)
+            } else {
+                scan::scan_all_pairs_two(rel, left, right, eps, early_abandon)?
+            };
+            stats.rows_scanned = merged.rows_scanned;
+            stats.coefficients_compared = merged.coefficients_compared;
             found
                 .into_iter()
                 .map(|(a, b, distance)| PairHit { a, b, distance })
@@ -511,13 +725,18 @@ fn all_pairs(
             let lowered = eff_right.lower(scheme, n)?;
             let action = eff_right.action(n, n.saturating_sub(1))?;
             let left_action = eff_left.action(n, n.saturating_sub(1))?;
-            // For asymmetric joins both orientations of each unordered pair
-            // are discovered (once from each probe); keep the smaller
-            // distance per canonical (min, max) key.
-            let mut found: std::collections::BTreeMap<(u64, u64), f64> =
-                std::collections::BTreeMap::new();
-            let mut probe_spec: Vec<Complex> = Vec::new();
-            for row in rel.rows() {
+            // One probe per row; for asymmetric joins both orientations of
+            // each unordered pair are discovered (once from each probe);
+            // keep the smaller distance per canonical (min, max) key.
+            // Worker threads process contiguous row chunks and merge their
+            // maps; `min` is commutative, so the merged map is identical
+            // to the serial one.
+            let rows: Vec<&simq_storage::SeriesRow> = rel.rows().collect();
+            let probe = |row: &simq_storage::SeriesRow,
+                         probe_spec: &mut Vec<Complex>,
+                         found: &mut std::collections::BTreeMap<(u64, u64), f64>,
+                         stats: &mut ExecStats|
+             -> Result<(), QueryError> {
                 probe_spec.clear();
                 probe_spec.push(row.features.spectrum[0]);
                 probe_spec.extend(
@@ -526,12 +745,10 @@ fn all_pairs(
                         .zip(&left_action.multipliers)
                         .map(|(x, a)| *x * *a),
                 );
-                let probe_point = scheme.point_from_spectrum(0.0, 0.0, &probe_spec)?;
+                let probe_point = scheme.point_from_spectrum(0.0, 0.0, probe_spec)?;
                 let rect = scheme.search_rect(&probe_point, pad(eps));
                 let (candidates, s) = index.range_transformed(&lowered, &rect);
-                stats.nodes_visited += s.nodes_visited;
-                stats.leaves_visited += s.leaves_visited;
-                stats.entries_tested += s.entries_tested;
+                stats.add_search(&s);
                 stats.candidates += candidates.len() as u64;
                 for id in candidates {
                     if symmetric {
@@ -546,7 +763,7 @@ fn all_pairs(
                     let d = exact_distance(
                         &other.features.spectrum,
                         &action.multipliers,
-                        &probe_spec,
+                        probe_spec,
                         Some(eps * eps),
                         &mut stats.coefficients_compared,
                     );
@@ -558,7 +775,60 @@ fn all_pairs(
                         }
                     }
                 }
-            }
+                Ok(())
+            };
+
+            let found: std::collections::BTreeMap<(u64, u64), f64> = if threads > 1
+                && rows.len() >= 2 * threads
+            {
+                let bounds = scan::chunk_bounds(rows.len(), threads);
+                type ProbeOut =
+                    Result<(std::collections::BTreeMap<(u64, u64), f64>, ExecStats), QueryError>;
+                let workers: Vec<ProbeOut> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = bounds
+                        .iter()
+                        .map(|&(lo, hi)| {
+                            let rows = &rows[lo..hi];
+                            let probe = &probe;
+                            scope.spawn(move || -> ProbeOut {
+                                let mut local = std::collections::BTreeMap::new();
+                                let mut local_stats = ExecStats::default();
+                                let mut probe_spec: Vec<Complex> = Vec::new();
+                                for row in rows {
+                                    probe(row, &mut probe_spec, &mut local, &mut local_stats)?;
+                                }
+                                Ok((local, local_stats))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("probe worker panicked"))
+                        .collect()
+                });
+                let mut found = std::collections::BTreeMap::new();
+                let mut phase = Vec::with_capacity(workers.len());
+                for w in workers {
+                    let (local, local_stats) = w?;
+                    for (key, d) in local {
+                        let entry = found.entry(key).or_insert(d);
+                        if d < *entry {
+                            *entry = d;
+                        }
+                    }
+                    stats.add_work(&local_stats);
+                    phase.push(local_stats);
+                }
+                fold_exec(&mut per_thread, &phase);
+                found
+            } else {
+                let mut found = std::collections::BTreeMap::new();
+                let mut probe_spec: Vec<Complex> = Vec::new();
+                for row in &rows {
+                    probe(row, &mut probe_spec, &mut found, &mut stats)?;
+                }
+                found
+            };
             found
                 .into_iter()
                 .map(|((a, b), distance)| PairHit { a, b, distance })
@@ -569,10 +839,12 @@ fn all_pairs(
 
     pairs.sort_by_key(|x| (x.a, x.b));
     stats.verified = pairs.len() as u64;
+    stats.threads_used = per_thread.len().max(1) as u64;
     Ok(QueryResult {
         output: QueryOutput::Pairs(pairs),
         plan: the_plan.clone(),
         stats,
+        per_thread,
     })
 }
 
@@ -613,11 +885,13 @@ mod tests {
     #[test]
     fn index_and_scan_agree_on_identity_range() {
         let db = make_db(60, true);
-        let via_index =
-            execute(&db, "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0").unwrap();
+        let via_index = execute(&db, "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0").unwrap();
         assert_eq!(via_index.plan.access, AccessPath::IndexScan);
-        let via_scan =
-            execute(&db, "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0 FORCE SCAN").unwrap();
+        let via_scan = execute(
+            &db,
+            "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0 FORCE SCAN",
+        )
+        .unwrap();
         assert!(matches!(via_scan.plan.access, AccessPath::SeqScan { .. }));
         assert_eq!(hits(&via_index), hits(&via_scan));
         assert!(hits(&via_index).contains(&5));
@@ -644,8 +918,8 @@ mod tests {
     #[test]
     fn force_index_fails_without_index() {
         let db = make_db(20, false);
-        let err = execute(&db, "FIND SIMILAR TO ROW 0 IN stocks EPSILON 1 FORCE INDEX")
-            .unwrap_err();
+        let err =
+            execute(&db, "FIND SIMILAR TO ROW 0 IN stocks EPSILON 1 FORCE INDEX").unwrap_err();
         assert!(matches!(err, QueryError::IndexUnavailable(_)));
     }
 
@@ -659,7 +933,9 @@ mod tests {
         );
         for i in 0..50 {
             let series: Vec<f64> = (0..64)
-                .map(|t| 10.0 + ((t as f64) * (0.1 + 0.005 * i as f64)).sin() * 3.0 + i as f64 * 0.1)
+                .map(|t| {
+                    10.0 + ((t as f64) * (0.1 + 0.005 * i as f64)).sin() * 3.0 + i as f64 * 0.1
+                })
                 .collect();
             rel.insert(format!("S{i}"), series).unwrap();
         }
@@ -695,8 +971,16 @@ mod tests {
     #[test]
     fn all_pairs_methods_b_and_d_agree() {
         let db = make_db(40, true);
-        let b = execute(&db, "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD b").unwrap();
-        let d = execute(&db, "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD d").unwrap();
+        let b = execute(
+            &db,
+            "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD b",
+        )
+        .unwrap();
+        let d = execute(
+            &db,
+            "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD d",
+        )
+        .unwrap();
         let (QueryOutput::Pairs(pb), QueryOutput::Pairs(pd)) = (&b.output, &d.output) else {
             panic!("expected pairs");
         };
@@ -710,13 +994,14 @@ mod tests {
     #[test]
     fn method_c_ignores_transformation() {
         let db = make_db(40, true);
-        let c = execute(&db, "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD c").unwrap();
+        let c = execute(
+            &db,
+            "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD c",
+        )
+        .unwrap();
         let id = execute(&db, "FIND PAIRS IN stocks EPSILON 1.5 METHOD d").unwrap();
         // Method c on a transformed query equals method d on the identity.
-        assert_eq!(
-            format!("{:?}", c.output),
-            format!("{:?}", id.output)
-        );
+        assert_eq!(format!("{:?}", c.output), format!("{:?}", id.output));
     }
 
     #[test]
@@ -759,13 +1044,94 @@ mod tests {
     }
 
     #[test]
+    fn parallel_execution_equals_serial_for_every_access_path() {
+        use crate::plan::Parallelism;
+        let mut db = make_db(80, true);
+        let queries = [
+            "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0",
+            "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0 FORCE SCAN",
+            "FIND SIMILAR TO ROW 3 IN stocks USING mavg(8) ON BOTH EPSILON 2.0",
+            "FIND 7 NEAREST TO ROW 10 IN stocks",
+            "FIND 7 NEAREST TO ROW 10 IN stocks FORCE SCAN",
+            "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD b",
+            "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD d",
+        ];
+        for q in queries {
+            db.set_parallelism(Parallelism::Serial);
+            let serial = execute(&db, q).unwrap();
+            assert_eq!(serial.stats.threads_used, 1, "{q}");
+            assert!(serial.per_thread.is_empty(), "{q}");
+            for threads in [2, 4] {
+                db.set_parallelism(Parallelism::Fixed(threads));
+                let par = execute(&db, q).unwrap();
+                // threads_used reports actual fan-out, which a degraded
+                // parallel plan may cap below the configured count.
+                assert!(
+                    (1..=threads as u64).contains(&par.stats.threads_used),
+                    "{q}: threads_used {}",
+                    par.stats.threads_used
+                );
+                match (&serial.output, &par.output) {
+                    (QueryOutput::Hits(a), QueryOutput::Hits(b)) => {
+                        assert_eq!(a.len(), b.len(), "{q} threads {threads}");
+                        for (x, y) in a.iter().zip(b) {
+                            assert_eq!(x.id, y.id, "{q} threads {threads}");
+                            assert_eq!(x.name, y.name);
+                            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                        }
+                    }
+                    (QueryOutput::Pairs(a), QueryOutput::Pairs(b)) => {
+                        assert_eq!(a.len(), b.len(), "{q} threads {threads}");
+                        for (x, y) in a.iter().zip(b) {
+                            assert_eq!((x.a, x.b), (y.a, y.b), "{q} threads {threads}");
+                            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                        }
+                    }
+                    other => panic!("mismatched outputs for {q}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_reports_per_thread_stats() {
+        use crate::plan::Parallelism;
+        let mut db = make_db(120, true);
+        db.set_parallelism(Parallelism::Fixed(4));
+        let r = execute(
+            &db,
+            "FIND SIMILAR TO ROW 1 IN stocks EPSILON 5.0 FORCE SCAN",
+        )
+        .unwrap();
+        assert!(!r.per_thread.is_empty());
+        let scanned: u64 = r.per_thread.iter().map(|s| s.rows_scanned).sum();
+        assert_eq!(scanned, r.stats.rows_scanned);
+        assert_eq!(r.stats.rows_scanned, 120);
+    }
+
+    #[test]
+    fn explain_shows_parallelism() {
+        use crate::plan::Parallelism;
+        let mut db = make_db(10, true);
+        db.set_parallelism(Parallelism::Fixed(8));
+        let r = execute(&db, "EXPLAIN FIND SIMILAR TO ROW 0 IN stocks EPSILON 1").unwrap();
+        let QueryOutput::Plan(text) = &r.output else {
+            panic!("expected plan output");
+        };
+        assert!(text.contains("parallelism: 8 threads"), "{text}");
+    }
+
+    #[test]
     fn stats_reflect_access_path() {
         let db = make_db(80, true);
         let via_index = execute(&db, "FIND SIMILAR TO ROW 1 IN stocks EPSILON 0.5").unwrap();
         assert!(via_index.stats.nodes_visited > 0);
         assert_eq!(via_index.stats.rows_scanned, 0);
-        let via_scan =
-            execute(&db, "FIND SIMILAR TO ROW 1 IN stocks EPSILON 0.5 FORCE SCAN").unwrap();
+        let via_scan = execute(
+            &db,
+            "FIND SIMILAR TO ROW 1 IN stocks EPSILON 0.5 FORCE SCAN",
+        )
+        .unwrap();
         assert_eq!(via_scan.stats.nodes_visited, 0);
         assert_eq!(via_scan.stats.rows_scanned, 80);
     }

@@ -30,4 +30,6 @@ pub use ast::{JoinMethod, Query, QuerySource, Strategy};
 pub use error::QueryError;
 pub use exec::{execute, run, ExecStats, Hit, PairHit, QueryOutput, QueryResult};
 pub use parse::parse;
-pub use plan::{explain, plan as plan_query, AccessPath, Database, Plan, StoredRelation};
+pub use plan::{
+    explain, plan as plan_query, AccessPath, Database, Parallelism, Plan, StoredRelation,
+};

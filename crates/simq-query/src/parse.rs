@@ -60,7 +60,10 @@ impl Parser {
     /// Consumes a keyword (case-insensitive) or fails.
     fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
         match self.next() {
-            Some(Spanned { token: Token::Word(w), .. }) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(Spanned {
+                token: Token::Word(w),
+                ..
+            }) if w.eq_ignore_ascii_case(kw) => Ok(()),
             Some(other) => Err(QueryError::Parse {
                 offset: Some(other.offset),
                 message: format!("expected {kw}, found {:?}", other.token.to_string()),
@@ -74,7 +77,11 @@ impl Parser {
 
     /// Consumes a keyword if present.
     fn eat_kw(&mut self, kw: &str) -> bool {
-        if let Some(Spanned { token: Token::Word(w), .. }) = self.peek() {
+        if let Some(Spanned {
+            token: Token::Word(w),
+            ..
+        }) = self.peek()
+        {
             if w.eq_ignore_ascii_case(kw) {
                 self.pos += 1;
                 return true;
@@ -85,7 +92,10 @@ impl Parser {
 
     fn number(&mut self) -> Result<f64, QueryError> {
         match self.next() {
-            Some(Spanned { token: Token::Number(n), .. }) => Ok(n),
+            Some(Spanned {
+                token: Token::Number(n),
+                ..
+            }) => Ok(n),
             Some(other) => Err(QueryError::Parse {
                 offset: Some(other.offset),
                 message: format!("expected a number, found {:?}", other.token.to_string()),
@@ -111,7 +121,10 @@ impl Parser {
 
     fn ident(&mut self, what: &str) -> Result<String, QueryError> {
         match self.next() {
-            Some(Spanned { token: Token::Word(w), .. }) => Ok(w),
+            Some(Spanned {
+                token: Token::Word(w),
+                ..
+            }) => Ok(w),
             Some(other) => Err(QueryError::Parse {
                 offset: Some(other.offset),
                 message: format!("expected {what}, found {:?}", other.token.to_string()),
@@ -212,23 +225,22 @@ impl Parser {
     fn pairs_query(&mut self) -> Result<Query, QueryError> {
         self.expect_kw("IN")?;
         let relation = self.ident("a relation name")?;
-        let (left, right) = if self.eat_kw("MATCHING") {
-            let l = self.transform_chain()?;
-            self.expect_kw("AGAINST")?;
-            let r = self.transform_chain()?;
-            (l, r)
-        } else {
-            let (transform, target) = self.using_clause_target()?;
-            match target {
-                UsingTarget::One => (SeriesTransform::Identity, transform),
-                UsingTarget::Data => (transform.clone(), transform),
-                UsingTarget::Both => {
-                    return Err(self.error(
+        let (left, right) =
+            if self.eat_kw("MATCHING") {
+                let l = self.transform_chain()?;
+                self.expect_kw("AGAINST")?;
+                let r = self.transform_chain()?;
+                (l, r)
+            } else {
+                let (transform, target) = self.using_clause_target()?;
+                match target {
+                    UsingTarget::One => (SeriesTransform::Identity, transform),
+                    UsingTarget::Data => (transform.clone(), transform),
+                    UsingTarget::Both => return Err(self.error(
                         "ON BOTH is implicit for FIND PAIRS; use ON ONE or MATCHING … AGAINST …",
-                    ))
+                    )),
                 }
-            }
-        };
+            };
         let mut eps = None;
         let mut method = JoinMethod::default();
         loop {
@@ -295,14 +307,23 @@ impl Parser {
             return Ok(QuerySource::RowName(self.ident("a row name")?));
         }
         match self.next() {
-            Some(Spanned { token: Token::LBracket, .. }) => {
+            Some(Spanned {
+                token: Token::LBracket,
+                ..
+            }) => {
                 let mut values = Vec::new();
                 if !matches!(self.peek().map(|s| &s.token), Some(Token::RBracket)) {
                     loop {
                         values.push(self.number()?);
                         match self.next() {
-                            Some(Spanned { token: Token::Comma, .. }) => continue,
-                            Some(Spanned { token: Token::RBracket, .. }) => break,
+                            Some(Spanned {
+                                token: Token::Comma,
+                                ..
+                            }) => continue,
+                            Some(Spanned {
+                                token: Token::RBracket,
+                                ..
+                            }) => break,
                             Some(other) => {
                                 return Err(QueryError::Parse {
                                     offset: Some(other.offset),
@@ -411,7 +432,10 @@ impl Parser {
 
     fn paren_open(&mut self) -> Result<(), QueryError> {
         match self.next() {
-            Some(Spanned { token: Token::LParen, .. }) => Ok(()),
+            Some(Spanned {
+                token: Token::LParen,
+                ..
+            }) => Ok(()),
             other => Err(QueryError::Parse {
                 offset: other.map(|s| s.offset),
                 message: "expected (".into(),
@@ -421,7 +445,10 @@ impl Parser {
 
     fn paren_close(&mut self) -> Result<(), QueryError> {
         match self.next() {
-            Some(Spanned { token: Token::RParen, .. }) => Ok(()),
+            Some(Spanned {
+                token: Token::RParen,
+                ..
+            }) => Ok(()),
             other => Err(QueryError::Parse {
                 offset: other.map(|s| s.offset),
                 message: "expected )".into(),
@@ -460,10 +487,9 @@ mod tests {
 
     #[test]
     fn parses_chained_transform_on_both() {
-        let q = parse(
-            "find similar to row 7 in stocks using reverse then mavg(20) on both epsilon 3",
-        )
-        .unwrap();
+        let q =
+            parse("find similar to row 7 in stocks using reverse then mavg(20) on both epsilon 3")
+                .unwrap();
         match q {
             Query::Range {
                 source,
@@ -553,7 +579,9 @@ mod tests {
         assert!(matches!(err, QueryError::Parse { offset: None, .. }));
         let err = parse("FIND SIMILAR XX ROW").unwrap_err();
         match err {
-            QueryError::Parse { offset: Some(o), .. } => assert_eq!(o, 13),
+            QueryError::Parse {
+                offset: Some(o), ..
+            } => assert_eq!(o, 13),
             other => panic!("wrong error {other:?}"),
         }
     }
@@ -646,10 +674,8 @@ mod stats_window_tests {
 
     #[test]
     fn parses_mean_and_std_windows() {
-        let q = parse(
-            "FIND SIMILAR TO ROW 1 IN r EPSILON 2 MEAN WITHIN 0.5 STD WITHIN 0.1",
-        )
-        .unwrap();
+        let q =
+            parse("FIND SIMILAR TO ROW 1 IN r EPSILON 2 MEAN WITHIN 0.5 STD WITHIN 0.1").unwrap();
         match q {
             Query::Range { stats_window, .. } => {
                 assert_eq!(stats_window.mean, Some(0.5));

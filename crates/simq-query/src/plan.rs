@@ -25,10 +25,52 @@ pub struct StoredRelation {
     pub index: Option<RTree>,
 }
 
+/// How many threads query execution may use.
+///
+/// The default is [`Parallelism::Serial`]: exactly the single-threaded
+/// code paths, no coordination overhead. Parallel execution returns
+/// *identical* results (hit sets, distances, ordering) for every query
+/// form — the equivalence property tests pin this — so the knob is purely
+/// a throughput decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded execution (the default).
+    #[default]
+    Serial,
+    /// Exactly this many worker threads (values < 1 behave as 1).
+    Fixed(usize),
+    /// One worker per available hardware thread.
+    Auto,
+}
+
+impl Parallelism {
+    /// The concrete thread count this setting resolves to.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Serial => write!(f, "serial"),
+            Parallelism::Fixed(n) => write!(f, "{} threads", n.max(&1)),
+            Parallelism::Auto => write!(f, "auto ({} threads)", self.threads()),
+        }
+    }
+}
+
 /// A named collection of relations.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, StoredRelation>,
+    parallelism: Parallelism,
 }
 
 impl Database {
@@ -74,6 +116,23 @@ impl Database {
     pub fn relation_names(&self) -> Vec<&str> {
         self.relations.keys().map(String::as_str).collect()
     }
+
+    /// The current execution parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Sets the execution parallelism for subsequent queries.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Builder-style [`Database::set_parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// The chosen access path.
@@ -107,6 +166,9 @@ pub struct Plan {
     pub access: AccessPath,
     /// Why the planner chose it.
     pub reason: String,
+    /// Worker threads execution will use (from the database's
+    /// [`Parallelism`] at planning time; 1 = serial).
+    pub threads: usize,
 }
 
 /// Plans a (non-EXPLAIN) query against the database.
@@ -121,6 +183,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
         .ok_or_else(|| QueryError::UnknownRelation(query.relation().to_string()))?;
     let scheme = stored.relation.scheme();
     let n = stored.relation.series_len();
+    let threads = db.parallelism().threads();
 
     match query {
         Query::Explain(inner) => plan(db, inner),
@@ -132,8 +195,11 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
         } => {
             if *strategy == Strategy::ForceScan {
                 return Ok(Plan {
-                    access: AccessPath::SeqScan { early_abandon: true },
+                    access: AccessPath::SeqScan {
+                        early_abandon: true,
+                    },
                     reason: "FORCE SCAN requested".into(),
+                    threads,
                 });
             }
             let index_reason = if !stats_window.is_empty() && !scheme.include_stats {
@@ -153,13 +219,17 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                         transform.name(),
                         rep_name(scheme.rep)
                     ),
+                    threads,
                 }),
                 Err(why) if *strategy == Strategy::ForceIndex => {
                     Err(QueryError::IndexUnavailable(why))
                 }
                 Err(why) => Ok(Plan {
-                    access: AccessPath::SeqScan { early_abandon: true },
+                    access: AccessPath::SeqScan {
+                        early_abandon: true,
+                    },
                     reason: why,
+                    threads,
                 }),
             }
         }
@@ -170,8 +240,11 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
         } => {
             if *strategy == Strategy::ForceScan {
                 return Ok(Plan {
-                    access: AccessPath::SeqScan { early_abandon: false },
+                    access: AccessPath::SeqScan {
+                        early_abandon: false,
+                    },
                     reason: "FORCE SCAN requested".into(),
+                    threads,
                 });
             }
             // Index kNN works on both representations via the spectral
@@ -193,24 +266,34 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                         "two-step kNN with spectral MINDIST over the {} index",
                         rep_name(scheme.rep)
                     ),
+                    threads,
                 }),
                 Err(why) if *strategy == Strategy::ForceIndex => {
                     Err(QueryError::IndexUnavailable(why))
                 }
                 Err(why) => Ok(Plan {
-                    access: AccessPath::SeqScan { early_abandon: false },
+                    access: AccessPath::SeqScan {
+                        early_abandon: false,
+                    },
                     reason: why,
+                    threads,
                 }),
             }
         }
         Query::AllPairs { method, right, .. } => match method {
             JoinMethod::A => Ok(Plan {
-                access: AccessPath::ScanJoin { early_abandon: false },
+                access: AccessPath::ScanJoin {
+                    early_abandon: false,
+                },
                 reason: "METHOD a: naive nested-loop scan".into(),
+                threads,
             }),
             JoinMethod::B => Ok(Plan {
-                access: AccessPath::ScanJoin { early_abandon: true },
+                access: AccessPath::ScanJoin {
+                    early_abandon: true,
+                },
                 reason: "METHOD b: nested-loop scan with early abandoning".into(),
+                threads,
             }),
             JoinMethod::C | JoinMethod::D => {
                 if stored.index.is_none() {
@@ -237,6 +320,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                             " ignoring the transformation"
                         }
                     ),
+                    threads,
                 })
             }
         },
@@ -254,18 +338,24 @@ fn rep_name(rep: Representation) -> &'static str {
 pub fn explain(query: &Query, plan: &Plan) -> String {
     let access = match &plan.access {
         AccessPath::IndexScan => "IndexScan (transformed R*-tree traversal + exact postprocess)",
-        AccessPath::SeqScan { early_abandon: true } => {
-            "SeqScan (frequency domain, early abandoning)"
-        }
-        AccessPath::SeqScan { early_abandon: false } => "SeqScan (frequency domain, full distances)",
+        AccessPath::SeqScan {
+            early_abandon: true,
+        } => "SeqScan (frequency domain, early abandoning)",
+        AccessPath::SeqScan {
+            early_abandon: false,
+        } => "SeqScan (frequency domain, full distances)",
         AccessPath::IndexProbeJoin { transformed: true } => {
             "IndexProbeJoin (transformed probes, Algorithm 2 per row)"
         }
         AccessPath::IndexProbeJoin { transformed: false } => {
             "IndexProbeJoin (untransformed probes)"
         }
-        AccessPath::ScanJoin { early_abandon: true } => "ScanJoin (early abandoning)",
-        AccessPath::ScanJoin { early_abandon: false } => "ScanJoin (full distances)",
+        AccessPath::ScanJoin {
+            early_abandon: true,
+        } => "ScanJoin (early abandoning)",
+        AccessPath::ScanJoin {
+            early_abandon: false,
+        } => "ScanJoin (full distances)",
     };
     let what = match query {
         Query::Range { eps, transform, .. } => {
@@ -274,7 +364,9 @@ pub fn explain(query: &Query, plan: &Plan) -> String {
         Query::Knn { k, transform, .. } => {
             format!("kNN query, k={k}, transform={}", transform.name())
         }
-        Query::AllPairs { eps, left, right, .. } => {
+        Query::AllPairs {
+            eps, left, right, ..
+        } => {
             format!(
                 "All-pairs query, eps={eps}, left={}, right={}",
                 left.name(),
@@ -283,5 +375,10 @@ pub fn explain(query: &Query, plan: &Plan) -> String {
         }
         Query::Explain(_) => "Explain".to_string(),
     };
-    format!("{what}\n  access: {access}\n  reason: {}", plan.reason)
+    format!(
+        "{what}\n  access: {access}\n  reason: {}\n  parallelism: {} thread{}",
+        plan.reason,
+        plan.threads,
+        if plan.threads == 1 { "" } else { "s" },
+    )
 }

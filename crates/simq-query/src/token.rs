@@ -62,23 +62,38 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { token: Token::LBracket, offset: i });
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { token: Token::RBracket, offset: i });
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' | '+' | '.' | '0'..='9' => {
@@ -86,8 +101,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
                 i += 1;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
-                    let exponent_sign = (d == '-' || d == '+')
-                        && matches!(bytes[i - 1] as char, 'e' | 'E');
+                    let exponent_sign =
+                        (d == '-' || d == '+') && matches!(bytes[i - 1] as char, 'e' | 'E');
                     if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || exponent_sign {
                         i += 1;
                     } else {
@@ -135,7 +150,11 @@ mod tests {
     use super::*;
 
     fn words(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

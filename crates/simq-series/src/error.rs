@@ -53,10 +53,16 @@ impl fmt::Display for SeriesError {
                 write!(f, "warp factor must be ≥ 1, got {m}")
             }
             SeriesError::ZeroVariance => {
-                write!(f, "normal form undefined for constant series (zero variance)")
+                write!(
+                    f,
+                    "normal form undefined for constant series (zero variance)"
+                )
             }
             SeriesError::TooFewSamples { k, len } => {
-                write!(f, "cannot extract {k} coefficients from series of length {len}")
+                write!(
+                    f,
+                    "cannot extract {k} coefficients from series of length {len}"
+                )
             }
             SeriesError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")

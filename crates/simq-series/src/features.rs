@@ -290,11 +290,7 @@ impl FeatureScheme {
     pub fn lower_bound_distance(&self, a: &[f64], b: &[f64]) -> f64 {
         let ca = self.coefficients_of_point(a);
         let cb = self.coefficients_of_point(b);
-        let sum: f64 = ca
-            .iter()
-            .zip(&cb)
-            .map(|(x, y)| (*x - *y).norm_sqr())
-            .sum();
+        let sum: f64 = ca.iter().zip(&cb).map(|(x, y)| (*x - *y).norm_sqr()).sum();
         (2.0 * sum).sqrt()
     }
 }

@@ -84,7 +84,9 @@ pub fn plain_moving_average(s: &[f64], window: usize) -> Result<Vec<f64>, Series
         });
     }
     let inv = 1.0 / window as f64;
-    Ok(s.windows(window).map(|w| w.iter().sum::<f64>() * inv).collect())
+    Ok(s.windows(window)
+        .map(|w| w.iter().sum::<f64>() * inv)
+        .collect())
 }
 
 /// Closed-form frequency-domain coefficients of the circular weighted
@@ -133,7 +135,11 @@ pub fn weighted_mavg_coefficients(
 ///
 /// # Errors
 /// Same conditions as [`weighted_mavg_coefficients`].
-pub fn mavg_coefficients(n: usize, window: usize, count: usize) -> Result<Vec<Complex>, SeriesError> {
+pub fn mavg_coefficients(
+    n: usize,
+    window: usize,
+    count: usize,
+) -> Result<Vec<Complex>, SeriesError> {
     let weights = vec![1.0 / window.max(1) as f64; window];
     if window == 0 {
         return Err(SeriesError::InvalidWindow { window, len: n });

@@ -198,7 +198,9 @@ mod tests {
     #[test]
     fn spectral_mindist_zero_for_self() {
         let scheme = FeatureScheme::paper_default();
-        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 5.0 + 30.0).collect();
+        let series: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).sin() * 5.0 + 30.0)
+            .collect();
         let f = scheme.extract(&series).unwrap();
         let q_coeffs = scheme.coefficients_of_point(&f.point);
         let d = spectral_mindist(&scheme, &q_coeffs, &Rect::point(&f.point));
@@ -208,7 +210,9 @@ mod tests {
     #[test]
     fn stats_dims_are_ignored() {
         let scheme = FeatureScheme::paper_default();
-        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).cos() * 5.0 + 30.0).collect();
+        let series: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).cos() * 5.0 + 30.0)
+            .collect();
         let f = scheme.extract(&series).unwrap();
         let q_coeffs = scheme.coefficients_of_point(&f.point);
         let mut far_stats = f.point.clone();

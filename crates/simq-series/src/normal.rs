@@ -86,10 +86,7 @@ pub fn normalize(s: &[f64]) -> Result<NormalForm, SeriesError> {
 
 /// Reconstructs the original series from a [`NormalForm`].
 pub fn denormalize(nf: &NormalForm) -> Vec<f64> {
-    nf.series
-        .iter()
-        .map(|v| v * nf.std_dev + nf.mean)
-        .collect()
+    nf.series.iter().map(|v| v * nf.std_dev + nf.mean).collect()
 }
 
 #[cfg(test)]

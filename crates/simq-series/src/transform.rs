@@ -203,7 +203,11 @@ impl SeriesTransform {
     ///
     /// # Errors
     /// Domain errors of the coefficient constructions.
-    pub fn apply_spectrum(&self, spectrum: &[Complex], n: usize) -> Result<Vec<Complex>, SeriesError> {
+    pub fn apply_spectrum(
+        &self,
+        spectrum: &[Complex],
+        n: usize,
+    ) -> Result<Vec<Complex>, SeriesError> {
         let count = spectrum.len().saturating_sub(1);
         let action = self.action(n, count)?;
         let mut out = Vec::with_capacity(spectrum.len());

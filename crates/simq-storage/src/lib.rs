@@ -19,4 +19,8 @@ pub mod relation;
 pub mod scan;
 
 pub use relation::{SeriesRelation, SeriesRow};
-pub use scan::{scan_all_pairs, scan_all_pairs_two, scan_knn, scan_range, ScanHit, ScanStats};
+pub use scan::{
+    scan_all_pairs, scan_all_pairs_parallel, scan_all_pairs_two, scan_all_pairs_two_parallel,
+    scan_knn, scan_knn_parallel, scan_range, scan_range_parallel, ParallelScanStats, ScanHit,
+    ScanStats,
+};

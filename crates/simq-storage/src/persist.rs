@@ -113,7 +113,9 @@ pub fn from_str(text: &str) -> Result<SeriesRelation, LoadError> {
                     "polar" => Representation::Polar,
                     "rect" => Representation::Rectangular,
                     other => {
-                        return Err(LoadError::Format(format!("unknown representation {other:?}")))
+                        return Err(LoadError::Format(format!(
+                            "unknown representation {other:?}"
+                        )))
                     }
                 }
             }
@@ -135,8 +137,7 @@ pub fn from_str(text: &str) -> Result<SeriesRelation, LoadError> {
             .next()
             .ok_or_else(|| LoadError::Format(format!("line {}: empty", lineno + 3)))?;
         let values: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
-        let values =
-            values.map_err(|e| LoadError::Format(format!("line {}: {e}", lineno + 3)))?;
+        let values = values.map_err(|e| LoadError::Format(format!("line {}: {e}", lineno + 3)))?;
         relation
             .insert(row_name, values)
             .map_err(LoadError::Series)?;
@@ -165,7 +166,11 @@ mod tests {
     use super::*;
 
     fn sample_relation() -> SeriesRelation {
-        let mut rel = SeriesRelation::new("demo", 16, FeatureScheme::new(2, Representation::Polar, true));
+        let mut rel = SeriesRelation::new(
+            "demo",
+            16,
+            FeatureScheme::new(2, Representation::Polar, true),
+        );
         for i in 0..5 {
             let s: Vec<f64> = (0..16)
                 .map(|t| 10.0 + i as f64 * 0.5 + ((t + i) as f64 * 0.7).sin())

@@ -89,7 +89,11 @@ impl SeriesRelation {
     /// [`SeriesError::DimensionMismatch`] when the length differs from the
     /// relation's; feature-extraction errors otherwise (constant series
     /// have no normal form).
-    pub fn insert(&mut self, name: impl Into<String>, series: Vec<f64>) -> Result<u64, SeriesError> {
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        series: Vec<f64>,
+    ) -> Result<u64, SeriesError> {
         if series.len() != self.series_len {
             return Err(SeriesError::DimensionMismatch {
                 expected: self.series_len,
@@ -215,7 +219,12 @@ mod tests {
         let scheme = FeatureScheme::new(3, Representation::Rectangular, false);
         let mut rel = SeriesRelation::new("r", 32, scheme);
         let id = rel
-            .insert("x", (0..32).map(|t| (t as f64 * 0.5).cos() * 3.0 + 10.0).collect())
+            .insert(
+                "x",
+                (0..32)
+                    .map(|t| (t as f64 * 0.5).cos() * 3.0 + 10.0)
+                    .collect(),
+            )
             .unwrap();
         assert_eq!(rel.row(id).unwrap().features.point.len(), 6);
     }

@@ -35,6 +35,10 @@ pub struct ScanStats {
 /// `id_a < id_b`.
 pub type PairList = Vec<(u64, u64, f64)>;
 
+/// Pairs produced from one outer row, tagged with the row's position so
+/// parallel workers' output can be reassembled in serial order.
+type RowPairs = (usize, PairList);
+
 /// A scan hit: row id and exact distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScanHit {
@@ -151,68 +155,114 @@ pub fn scan_all_pairs_two(
     eps: f64,
     early_abandon: bool,
 ) -> Result<(PairList, ScanStats), SeriesError> {
-    let n = relation.series_len();
-    let count = n.saturating_sub(1);
-    let left_action = left.action(n, count)?;
-    let right_action = right.action(n, count)?;
-    let symmetric = left == right;
+    let ctx = PairScan::prepare(relation, left, right, eps, early_abandon)?;
+    let rows: Vec<_> = relation.rows().collect();
     let mut out = Vec::new();
     let mut stats = ScanStats::default();
-    let limit = early_abandon.then_some(eps * eps);
-    let rows: Vec<_> = relation.rows().collect();
-    // Pre-transform all spectra once per side (the scan reads each row
-    // many times).
-    let apply = |mults: &[Complex]| -> Vec<Vec<Complex>> {
-        rows.iter()
-            .map(|r| {
-                let mut s = Vec::with_capacity(r.features.spectrum.len());
-                s.push(r.features.spectrum[0]);
-                for (x, a) in r.features.spectrum[1..].iter().zip(mults) {
-                    s.push(*x * *a);
-                }
-                s
-            })
-            .collect()
-    };
-    let lefts = apply(&left_action.multipliers);
-    let rights = if symmetric {
-        Vec::new()
-    } else {
-        apply(&right_action.multipliers)
-    };
-    let rights: &[Vec<Complex>] = if symmetric { &lefts } else { &rights };
-    let identity = vec![Complex::ONE; count];
     for i in 0..rows.len() {
         stats.rows_scanned += 1;
         for j in (i + 1)..rows.len() {
-            let mut best: Option<f64> = None;
-            let mut check = |a: &[Complex], b: &[Complex], stats: &mut ScanStats| {
-                let (d_sq, abandoned) = transformed_distance_sq(
-                    a,
-                    &identity,
-                    b,
-                    limit,
-                    &mut stats.coefficients_compared,
-                );
-                if abandoned {
-                    stats.early_abandoned += 1;
-                    return;
-                }
-                let d = d_sq.sqrt();
-                if d <= eps && best.is_none_or(|cur| d < cur) {
-                    best = Some(d);
-                }
-            };
-            check(&lefts[i], &rights[j], &mut stats);
-            if !symmetric {
-                check(&lefts[j], &rights[i], &mut stats);
-            }
-            if let Some(d) = best {
+            if let Some(d) = ctx.pair_distance(i, j, &mut stats) {
                 out.push((rows[i].id, rows[j].id, d));
             }
         }
     }
     Ok((out, stats))
+}
+
+/// Shared machinery of the serial and parallel all-pairs scans: the
+/// per-side pre-transformed spectra and the per-pair predicate live in one
+/// place so the two paths cannot drift numerically (their exact equality
+/// is a documented guarantee).
+struct PairScan {
+    lefts: Vec<Vec<Complex>>,
+    /// Empty when the join is symmetric (`lefts` serves both sides).
+    rights: Vec<Vec<Complex>>,
+    symmetric: bool,
+    identity: Vec<Complex>,
+    limit: Option<f64>,
+    eps: f64,
+}
+
+impl PairScan {
+    /// Computes both transformation actions and pre-transforms every
+    /// stored spectrum once per side (the scan reads each row many
+    /// times).
+    fn prepare(
+        relation: &SeriesRelation,
+        left: &SeriesTransform,
+        right: &SeriesTransform,
+        eps: f64,
+        early_abandon: bool,
+    ) -> Result<Self, SeriesError> {
+        let n = relation.series_len();
+        let count = n.saturating_sub(1);
+        let left_action = left.action(n, count)?;
+        let right_action = right.action(n, count)?;
+        let symmetric = left == right;
+        let apply = |mults: &[Complex]| -> Vec<Vec<Complex>> {
+            relation
+                .rows()
+                .map(|r| {
+                    let mut s = Vec::with_capacity(r.features.spectrum.len());
+                    s.push(r.features.spectrum[0]);
+                    for (x, a) in r.features.spectrum[1..].iter().zip(mults) {
+                        s.push(*x * *a);
+                    }
+                    s
+                })
+                .collect()
+        };
+        Ok(PairScan {
+            lefts: apply(&left_action.multipliers),
+            rights: if symmetric {
+                Vec::new()
+            } else {
+                apply(&right_action.multipliers)
+            },
+            symmetric,
+            identity: vec![Complex::ONE; count],
+            limit: early_abandon.then_some(eps * eps),
+            eps,
+        })
+    }
+
+    fn rights(&self) -> &[Vec<Complex>] {
+        if self.symmetric {
+            &self.lefts
+        } else {
+            &self.rights
+        }
+    }
+
+    /// The all-pairs predicate for rows `(i, j)`: the smaller qualifying
+    /// orientation distance, or `None` when neither orientation is within
+    /// `eps`.
+    fn pair_distance(&self, i: usize, j: usize, stats: &mut ScanStats) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        let mut check = |a: &[Complex], b: &[Complex], stats: &mut ScanStats| {
+            let (d_sq, abandoned) = transformed_distance_sq(
+                a,
+                &self.identity,
+                b,
+                self.limit,
+                &mut stats.coefficients_compared,
+            );
+            if abandoned {
+                stats.early_abandoned += 1;
+                return;
+            }
+            let d = d_sq.sqrt();
+            if d <= self.eps && best.is_none_or(|cur| d < cur) {
+                best = Some(d);
+            }
+        };
+        check(&self.lefts[i], &self.rights()[j], stats);
+        if !self.symmetric {
+            check(&self.lefts[j], &self.rights()[i], stats);
+        }
+        best
+    }
 }
 
 /// k-nearest-neighbour query by full scan (the exact reference answer for
@@ -252,6 +302,309 @@ pub fn scan_knn(
     });
     all.truncate(k);
     Ok((all, stats))
+}
+
+/// Work counters of one parallel scan: merged totals plus each worker
+/// thread's share.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelScanStats {
+    /// Totals across all threads — comparable with the serial counters.
+    pub merged: ScanStats,
+    /// One entry per worker thread.
+    pub per_thread: Vec<ScanStats>,
+}
+
+impl ParallelScanStats {
+    fn from_workers(workers: Vec<ScanStats>) -> Self {
+        let mut merged = ScanStats::default();
+        for w in &workers {
+            merged.rows_scanned += w.rows_scanned;
+            merged.coefficients_compared += w.coefficients_compared;
+            merged.early_abandoned += w.early_abandoned;
+        }
+        ParallelScanStats {
+            merged,
+            per_thread: workers,
+        }
+    }
+}
+
+/// Splits `n` work items into at most `threads` contiguous, non-empty
+/// `[lo, hi)` chunks (shared by the parallel scans here and the parallel
+/// verification phases in `simq-query`).
+pub fn chunk_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Parallel [`scan_range`]: contiguous row chunks are scanned by
+/// independent threads, so the concatenated hit list preserves the serial
+/// row order and every distance is computed by exactly the serial code.
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_range_parallel(
+    relation: &SeriesRelation,
+    transform: &SeriesTransform,
+    query_spectrum: &[Complex],
+    eps: f64,
+    early_abandon: bool,
+    threads: usize,
+) -> Result<(Vec<ScanHit>, ParallelScanStats), SeriesError> {
+    let n = relation.series_len();
+    let action = transform.action(n, n.saturating_sub(1))?;
+    let rows: Vec<&crate::relation::SeriesRow> = relation.rows().collect();
+    let limit = early_abandon.then_some(eps * eps);
+    let bounds = chunk_bounds(rows.len(), threads);
+    if bounds.len() <= 1 {
+        let (hits, stats) = scan_range(relation, transform, query_spectrum, eps, early_abandon)?;
+        return Ok((hits, ParallelScanStats::from_workers(vec![stats])));
+    }
+    let workers: Vec<(Vec<ScanHit>, ScanStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                let rows = &rows[lo..hi];
+                let action = &action;
+                scope.spawn(move || {
+                    let mut hits = Vec::new();
+                    let mut stats = ScanStats::default();
+                    for row in rows {
+                        stats.rows_scanned += 1;
+                        let (d_sq, abandoned) = transformed_distance_sq(
+                            &row.features.spectrum,
+                            &action.multipliers,
+                            query_spectrum,
+                            limit,
+                            &mut stats.coefficients_compared,
+                        );
+                        if abandoned {
+                            stats.early_abandoned += 1;
+                            continue;
+                        }
+                        if d_sq.sqrt() <= eps {
+                            hits.push(ScanHit {
+                                id: row.id,
+                                distance: d_sq.sqrt(),
+                            });
+                        }
+                    }
+                    (hits, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+    let mut hits = Vec::new();
+    let mut per_thread = Vec::with_capacity(workers.len());
+    for (h, s) in workers {
+        hits.extend(h);
+        per_thread.push(s);
+    }
+    Ok((hits, ParallelScanStats::from_workers(per_thread)))
+}
+
+/// Parallel [`scan_knn`] with a merged early-abandon bound.
+///
+/// Each thread scans a contiguous chunk keeping its local top-`k` (plus
+/// ties); the `k`-th best distance any thread has seen is published to a
+/// shared atomic bound, letting *every* thread abandon a row as soon as
+/// its partial sum provably exceeds the global `k`-th best. Rows abandoned
+/// this way are strictly worse than `k` already-found rows, so the merged,
+/// `(distance, id)`-sorted, truncated result equals the serial scan
+/// exactly — while comparing far fewer coefficients.
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_knn_parallel(
+    relation: &SeriesRelation,
+    transform: &SeriesTransform,
+    query_spectrum: &[Complex],
+    k: usize,
+    threads: usize,
+) -> Result<(Vec<ScanHit>, ParallelScanStats), SeriesError> {
+    use simq_index::parallel::AtomicF64Min;
+
+    let n = relation.series_len();
+    let action = transform.action(n, n.saturating_sub(1))?;
+    let rows: Vec<&crate::relation::SeriesRow> = relation.rows().collect();
+    let bounds = chunk_bounds(rows.len(), threads);
+    if k == 0 {
+        return Ok((Vec::new(), ParallelScanStats::from_workers(Vec::new())));
+    }
+    if bounds.len() <= 1 {
+        let (hits, stats) = scan_knn(relation, transform, query_spectrum, k)?;
+        return Ok((hits, ParallelScanStats::from_workers(vec![stats])));
+    }
+
+    // Shared upper bound on the k-th smallest squared distance (monotone
+    // decreasing).
+    let global_kth_sq = AtomicF64Min::new(f64::INFINITY);
+
+    let workers: Vec<(Vec<ScanHit>, ScanStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                let rows = &rows[lo..hi];
+                let action = &action;
+                let global_kth_sq = &global_kth_sq;
+                scope.spawn(move || {
+                    let mut stats = ScanStats::default();
+                    // Candidates kept: everything not provably outside the
+                    // global top-k at visit time (superset of the answer).
+                    let mut kept: Vec<ScanHit> = Vec::new();
+                    // Local k smallest squared distances (max-heap) — the
+                    // source of published bounds.
+                    let mut local: std::collections::BinaryHeap<u64> =
+                        std::collections::BinaryHeap::with_capacity(k + 1);
+                    for row in rows {
+                        stats.rows_scanned += 1;
+                        let bound = global_kth_sq.get();
+                        let limit = bound.is_finite().then_some(bound);
+                        let (d_sq, abandoned) = transformed_distance_sq(
+                            &row.features.spectrum,
+                            &action.multipliers,
+                            query_spectrum,
+                            limit,
+                            &mut stats.coefficients_compared,
+                        );
+                        if abandoned {
+                            stats.early_abandoned += 1;
+                            continue;
+                        }
+                        kept.push(ScanHit {
+                            id: row.id,
+                            distance: d_sq.sqrt(),
+                        });
+                        if local.len() < k {
+                            local.push(d_sq.to_bits());
+                        } else if d_sq.to_bits() < *local.peek().expect("k > 0") {
+                            local.pop();
+                            local.push(d_sq.to_bits());
+                        }
+                        if local.len() == k {
+                            global_kth_sq.fetch_min(f64::from_bits(*local.peek().expect("k > 0")));
+                        }
+                    }
+                    (kept, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kNN scan worker panicked"))
+            .collect()
+    });
+
+    let mut all = Vec::new();
+    let mut per_thread = Vec::with_capacity(workers.len());
+    for (kept, s) in workers {
+        all.extend(kept);
+        per_thread.push(s);
+    }
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    Ok((all, ParallelScanStats::from_workers(per_thread)))
+}
+
+/// Parallel [`scan_all_pairs_two`]: threads claim outer rows from a shared
+/// cursor (the triangular inner loop makes static chunks unbalanced) and
+/// the per-row pair lists are reassembled in row order, reproducing the
+/// serial output exactly.
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_all_pairs_two_parallel(
+    relation: &SeriesRelation,
+    left: &SeriesTransform,
+    right: &SeriesTransform,
+    eps: f64,
+    early_abandon: bool,
+    threads: usize,
+) -> Result<(PairList, ParallelScanStats), SeriesError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let rows: Vec<&crate::relation::SeriesRow> = relation.rows().collect();
+    let threads = threads.max(1).min(rows.len().max(1));
+    if threads <= 1 {
+        let (pairs, stats) = scan_all_pairs_two(relation, left, right, eps, early_abandon)?;
+        return Ok((pairs, ParallelScanStats::from_workers(vec![stats])));
+    }
+
+    // The exact machinery the serial scan uses, shared read-only.
+    let ctx = PairScan::prepare(relation, left, right, eps, early_abandon)?;
+
+    let cursor = AtomicUsize::new(0);
+    let workers: Vec<(Vec<RowPairs>, ScanStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let rows = &rows;
+                let ctx = &ctx;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut stats = ScanStats::default();
+                    let mut produced: Vec<RowPairs> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= rows.len() {
+                            break;
+                        }
+                        stats.rows_scanned += 1;
+                        let mut local = Vec::new();
+                        for j in (i + 1)..rows.len() {
+                            if let Some(d) = ctx.pair_distance(i, j, &mut stats) {
+                                local.push((rows[i].id, rows[j].id, d));
+                            }
+                        }
+                        if !local.is_empty() {
+                            produced.push((i, local));
+                        }
+                    }
+                    (produced, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("all-pairs worker panicked"))
+            .collect()
+    });
+
+    let mut grouped: Vec<RowPairs> = Vec::new();
+    let mut per_thread = Vec::with_capacity(workers.len());
+    for (produced, s) in workers {
+        grouped.extend(produced);
+        per_thread.push(s);
+    }
+    grouped.sort_by_key(|(i, _)| *i);
+    let out: PairList = grouped.into_iter().flat_map(|(_, v)| v).collect();
+    Ok((out, ParallelScanStats::from_workers(per_thread)))
+}
+
+/// Parallel [`scan_all_pairs`] (both sides under one transformation).
+///
+/// # Errors
+/// Transformation-domain errors.
+pub fn scan_all_pairs_parallel(
+    relation: &SeriesRelation,
+    transform: &SeriesTransform,
+    eps: f64,
+    early_abandon: bool,
+    threads: usize,
+) -> Result<(PairList, ParallelScanStats), SeriesError> {
+    scan_all_pairs_two_parallel(relation, transform, transform, eps, early_abandon, threads)
 }
 
 #[cfg(test)]
@@ -320,9 +673,7 @@ mod tests {
         let rel = relation_with(15);
         let t = SeriesTransform::MovingAverage { window: 5 };
         let q_row = rel.row(3).unwrap();
-        let q_spec = t
-            .apply_spectrum(&q_row.features.spectrum, 64)
-            .unwrap();
+        let q_spec = t.apply_spectrum(&q_row.features.spectrum, 64).unwrap();
         let (hits, _) = scan_range(&rel, &t, &q_spec, 100.0, false).unwrap();
         for h in &hits {
             let row = rel.row(h.id).unwrap();
@@ -351,8 +702,7 @@ mod tests {
         // Cross-check against range queries.
         for (i, j, d) in &pairs {
             let q = rel.row(*i).unwrap().features.spectrum.clone();
-            let (hits, _) =
-                scan_range(&rel, &SeriesTransform::Identity, &q, 3.0, false).unwrap();
+            let (hits, _) = scan_range(&rel, &SeriesTransform::Identity, &q, 3.0, false).unwrap();
             let hit = hits.iter().find(|h| h.id == *j).expect("pair member found");
             assert!((hit.distance - d).abs() < 1e-9);
         }
@@ -368,5 +718,92 @@ mod tests {
         for w in hits.windows(2) {
             assert!(w[0].distance <= w[1].distance);
         }
+    }
+
+    #[test]
+    fn parallel_range_scan_equals_serial() {
+        let rel = relation_with(97);
+        let q = rel.row(13).unwrap().features.spectrum.clone();
+        let t = SeriesTransform::MovingAverage { window: 5 };
+        let q_spec = t.apply_spectrum(&q, 64).unwrap();
+        for eps in [0.2, 1.5, 20.0] {
+            for abandon in [false, true] {
+                let (serial, s_stats) = scan_range(&rel, &t, &q_spec, eps, abandon).unwrap();
+                for threads in [1, 2, 4, 8] {
+                    let (par, p_stats) =
+                        scan_range_parallel(&rel, &t, &q_spec, eps, abandon, threads).unwrap();
+                    assert_eq!(par.len(), serial.len());
+                    for (a, b) in par.iter().zip(&serial) {
+                        assert_eq!(a.id, b.id);
+                        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                    }
+                    assert_eq!(p_stats.merged, s_stats, "threads {threads} eps {eps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_knn_scan_equals_serial() {
+        let rel = relation_with(120);
+        let q = rel.row(7).unwrap().features.spectrum.clone();
+        let t = SeriesTransform::Identity;
+        for k in [1, 5, 17, 120, 200] {
+            let (serial, _) = scan_knn(&rel, &t, &q, k).unwrap();
+            for threads in [2, 3, 8] {
+                let (par, _) = scan_knn_parallel(&rel, &t, &q, k, threads).unwrap();
+                assert_eq!(par.len(), serial.len(), "k {k} threads {threads}");
+                for (a, b) in par.iter().zip(&serial) {
+                    assert_eq!(a.id, b.id, "k {k} threads {threads}");
+                    assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_knn_scan_abandons_with_shared_bound() {
+        let rel = relation_with(200);
+        let q = rel.row(0).unwrap().features.spectrum.clone();
+        let (_, stats) = scan_knn_parallel(&rel, &SeriesTransform::Identity, &q, 3, 4).unwrap();
+        // The shared bound lets most rows abandon early, unlike the serial
+        // scan which always computes full distances.
+        assert!(
+            stats.merged.early_abandoned > 0,
+            "expected shared-bound abandoning, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_all_pairs_equals_serial() {
+        let rel = relation_with(40);
+        let left = SeriesTransform::MovingAverage { window: 5 };
+        let right = SeriesTransform::Identity;
+        for (l, r) in [(&left, &left), (&left, &right)] {
+            let (serial, _) = scan_all_pairs_two(&rel, l, r, 6.0, true).unwrap();
+            for threads in [1, 2, 4, 9] {
+                let (par, _) = scan_all_pairs_two_parallel(&rel, l, r, 6.0, true, threads).unwrap();
+                assert_eq!(par.len(), serial.len(), "threads {threads}");
+                for (a, b) in par.iter().zip(&serial) {
+                    assert_eq!((a.0, a.1), (b.0, b.1));
+                    assert_eq!(a.2.to_bits(), b.2.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_per_thread_sum_to_merged() {
+        let rel = relation_with(50);
+        let q = rel.row(2).unwrap().features.spectrum.clone();
+        let (_, stats) =
+            scan_range_parallel(&rel, &SeriesTransform::Identity, &q, 3.0, true, 4).unwrap();
+        let mut sum = ScanStats::default();
+        for s in &stats.per_thread {
+            sum.rows_scanned += s.rows_scanned;
+            sum.coefficients_compared += s.coefficients_compared;
+            sum.early_abandoned += s.early_abandoned;
+        }
+        assert_eq!(sum, stats.merged);
     }
 }

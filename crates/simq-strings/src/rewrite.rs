@@ -160,7 +160,9 @@ pub fn rewrite_distance(
 /// The similarity predicate: can `start` be rewritten into `target` at
 /// cost at most `budget.max_cost`?
 pub fn within(start: &str, target: &str, rules: &RuleSet, budget: &RewriteBudget) -> bool {
-    rewrite_distance(start, target, rules, budget).cost.is_some()
+    rewrite_distance(start, target, rules, budget)
+        .cost
+        .is_some()
 }
 
 #[cfg(test)]
@@ -191,8 +193,7 @@ mod tests {
     #[test]
     fn substring_rules_beat_character_edits() {
         // colour → color: one cheap domain rule vs a unit deletion.
-        let rules = RuleSet::unit_edits("coloru")
-            .with(RewriteRule::new("colour", "color", 0.1));
+        let rules = RuleSet::unit_edits("coloru").with(RewriteRule::new("colour", "color", 0.1));
         let r = rewrite_distance(
             "colourful",
             "colorful",
@@ -218,7 +219,12 @@ mod tests {
         let rules = RuleSet::new().with(RewriteRule::new("St", "Saint", 1.0));
         let budget = RewriteBudget::with_cost(2.0);
         assert!(within("St Petersburg", "Saint Petersburg", &rules, &budget));
-        assert!(!within("Saint Petersburg", "St Petersburg", &rules, &budget));
+        assert!(!within(
+            "Saint Petersburg",
+            "St Petersburg",
+            &rules,
+            &budget
+        ));
     }
 
     #[test]

@@ -40,7 +40,9 @@ fn main() {
 
     let mut relation = SeriesRelation::new("market", 128, FeatureScheme::paper_default());
     for stock in &market.stocks {
-        relation.insert(stock.name.clone(), stock.prices.clone()).unwrap();
+        relation
+            .insert(stock.name.clone(), stock.prices.clone())
+            .unwrap();
     }
     let mut db = Database::new();
     db.add_relation_indexed(relation);
@@ -53,7 +55,9 @@ fn main() {
         "FIND PAIRS IN market MATCHING mavg(20) AGAINST reverse THEN mavg(20) EPSILON 0.6 METHOD d",
     )
     .unwrap();
-    let QueryOutput::Pairs(pairs) = &result.output else { unreachable!() };
+    let QueryOutput::Pairs(pairs) = &result.output else {
+        unreachable!()
+    };
     println!(
         "join returned {} candidate pairs ({} index nodes read)",
         pairs.len(),
@@ -63,17 +67,14 @@ fn main() {
     // How many planted mirrors did the join recover?
     let mut recovered = 0;
     for (a, b) in &planted {
-        let found = pairs
-            .iter()
-            .any(|p| (p.a as usize, p.b as usize) == (*a, *b) || (p.b as usize, p.a as usize) == (*a, *b));
+        let found = pairs.iter().any(|p| {
+            (p.a as usize, p.b as usize) == (*a, *b) || (p.b as usize, p.a as usize) == (*a, *b)
+        });
         if found {
             recovered += 1;
         }
     }
-    println!(
-        "recovered {recovered}/{} planted pairs",
-        planted.len()
-    );
+    println!("recovered {recovered}/{} planted pairs", planted.len());
     for p in pairs.iter().take(8) {
         let na = &market.stocks[p.a as usize].name;
         let nb = &market.stocks[p.b as usize].name;
@@ -86,7 +87,9 @@ fn main() {
         "FIND PAIRS IN market MATCHING mavg(20) AGAINST reverse THEN mavg(20) EPSILON 0.6 METHOD b",
     )
     .unwrap();
-    let QueryOutput::Pairs(scan_pairs) = &scan.output else { unreachable!() };
+    let QueryOutput::Pairs(scan_pairs) = &scan.output else {
+        unreachable!()
+    };
     assert_eq!(pairs.len(), scan_pairs.len(), "methods b and d must agree");
     println!(
         "\nmethod b (scan) compared {} coefficients; method d read {} index nodes",

@@ -18,7 +18,11 @@ fn main() {
             .insert(format!("W{i:04}"), series)
             .expect("random walks are never constant");
     }
-    println!("loaded {} series of length {}", relation.len(), relation.series_len());
+    println!(
+        "loaded {} series of length {}",
+        relation.len(),
+        relation.series_len()
+    );
 
     // 2. Register the relation with an R*-tree over its 6-d feature space
     //    (mean, std, and two complex DFT coefficients in polar form).
@@ -61,7 +65,10 @@ fn report(title: &str, result: &QueryResult) {
         QueryOutput::Hits(hits) => {
             println!("   {} hits", hits.len());
             for h in hits.iter().take(5) {
-                println!("     {} (id {}) at distance {:.3}", h.name, h.id, h.distance);
+                println!(
+                    "     {} (id {}) at distance {:.3}",
+                    h.name, h.id, h.distance
+                );
             }
             if hits.len() > 5 {
                 println!("     …");

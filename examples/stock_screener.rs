@@ -46,7 +46,9 @@ fn main() {
     // -- Screen the whole market through the query language. -------------
     let mut relation = SeriesRelation::new("market", 128, FeatureScheme::paper_default());
     for stock in &market.stocks {
-        relation.insert(stock.name.clone(), stock.prices.clone()).unwrap();
+        relation
+            .insert(stock.name.clone(), stock.prices.clone())
+            .unwrap();
     }
     let mut db = Database::new();
     db.add_relation_indexed(relation);
@@ -55,7 +57,9 @@ fn main() {
     println!("\nscreening for stocks tracking {target} (normal forms, 20-day mavg):");
     let q = format!("FIND SIMILAR TO NAME {target} IN market USING mavg(20) ON BOTH EPSILON 2.0");
     let result = execute(&db, &q).unwrap();
-    let QueryOutput::Hits(hits) = &result.output else { unreachable!() };
+    let QueryOutput::Hits(hits) = &result.output else {
+        unreachable!()
+    };
     println!(
         "  {} matches via {:?} ({} index nodes read)",
         hits.len(),

@@ -83,15 +83,15 @@ fn main() {
     // rules become framework transformations. (The dedicated search in
     // simq-strings is faster; this shows the shared abstraction.)
     use similarity_queries::core::{FnTransformation, SearchConfig, TransformationSet};
-    let swap_rule = FnTransformation::fallible(
-        "St→Saint",
-        0.2,
-        |s: &SymbolString| {
-            s.as_str()
-                .find("St ")
-                .map(|i| SymbolString::new(format!("{}Saint {}", &s.as_str()[..i], &s.as_str()[i + 3..])))
-        },
-    );
+    let swap_rule = FnTransformation::fallible("St→Saint", 0.2, |s: &SymbolString| {
+        s.as_str().find("St ").map(|i| {
+            SymbolString::new(format!(
+                "{}Saint {}",
+                &s.as_str()[..i],
+                &s.as_str()[i + 3..]
+            ))
+        })
+    });
     let t = TransformationSet::empty().with(swap_rule);
     let d = similarity_distance(
         &SymbolString::from("St Petersburg"),

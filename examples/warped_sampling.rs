@@ -43,7 +43,9 @@ fn main() {
     let mut gen = WalkGenerator::new(3);
     let mut relation = SeriesRelation::new("daily", 128, FeatureScheme::paper_default());
     for i in 0..500 {
-        relation.insert(format!("D{i:03}"), gen.series(128)).unwrap();
+        relation
+            .insert(format!("D{i:03}"), gen.series(128))
+            .unwrap();
     }
     // Plant a series that is exactly the 2-warp of a sparse pattern.
     let sparse = gen.series(64);
@@ -61,7 +63,9 @@ fn main() {
         .join(", ");
     let q = format!("FIND SIMILAR TO [{literal}] IN daily EPSILON 0.2");
     let result = execute(&db, &q).unwrap();
-    let QueryOutput::Hits(hits) = &result.output else { unreachable!() };
+    let QueryOutput::Hits(hits) = &result.output else {
+        unreachable!()
+    };
     println!("\nsearching 501 daily series for the warped sparse pattern:");
     for h in hits {
         println!("  {} at distance {:.4}", h.name, h.distance);
@@ -73,7 +77,9 @@ fn main() {
     let mut gen2 = WalkGenerator::new(4);
     let mut sparse_rel = SeriesRelation::new("sparse", 64, FeatureScheme::paper_default());
     for i in 0..500 {
-        sparse_rel.insert(format!("W{i:03}"), gen2.series(64)).unwrap();
+        sparse_rel
+            .insert(format!("W{i:03}"), gen2.series(64))
+            .unwrap();
     }
     let needle = gen2.series(64);
     sparse_rel.insert("NEEDLE", needle.clone()).unwrap();
@@ -97,7 +103,9 @@ fn main() {
         "FIND SIMILAR TO NAME NEEDLE IN sparse USING warp(2) ON BOTH EPSILON 0.1",
     )
     .unwrap();
-    let QueryOutput::Hits(hits) = &result.output else { unreachable!() };
+    let QueryOutput::Hits(hits) = &result.output else {
+        unreachable!()
+    };
     println!("warp(2)-space matches of NEEDLE: {}", hits.len());
     assert!(hits.iter().any(|h| h.name == "NEEDLE"));
 }

@@ -8,8 +8,11 @@
 //! Each line is a query in the language of `simq-query`
 //! (`FIND SIMILAR TO … EPSILON …`, `FIND k NEAREST TO …`,
 //! `FIND PAIRS … METHOD …`, `EXPLAIN …`) or one of the shell commands
-//! `\relations`, `\rows <relation>`, `\save <relation> <path>`, `\help`,
-//! `\quit`.
+//! `\relations`, `\rows <relation>`, `\save <relation> <path>`,
+//! `\threads <n|auto|serial>`, `\help`, `\quit`.
+//!
+//! The `SIMQ_THREADS` environment variable (`4`, `auto`, `serial`) sets
+//! the initial execution parallelism.
 
 use similarity_queries::data::WalkGenerator;
 use similarity_queries::prelude::*;
@@ -17,8 +20,30 @@ use similarity_queries::query::QueryOutput;
 use similarity_queries::storage::persist;
 use std::io::{self, BufRead, Write};
 
+/// Parses a parallelism word: a thread count, `auto`, or `serial`.
+fn parse_parallelism(word: &str) -> Option<Parallelism> {
+    match word {
+        "serial" | "1" => Some(Parallelism::Serial),
+        "auto" => Some(Parallelism::Auto),
+        n => n
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 1)
+            .map(Parallelism::Fixed),
+    }
+}
+
 fn main() {
     let mut db = Database::new();
+    if let Ok(setting) = std::env::var("SIMQ_THREADS") {
+        match parse_parallelism(setting.trim()) {
+            Some(p) => {
+                db.set_parallelism(p);
+                println!("parallelism: {p} (from SIMQ_THREADS)");
+            }
+            None => eprintln!("ignoring invalid SIMQ_THREADS={setting:?}"),
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         let mut gen = WalkGenerator::new(42);
@@ -68,7 +93,7 @@ fn main() {
             continue;
         }
         if let Some(cmd) = line.strip_prefix('\\') {
-            if !shell_command(&db, cmd) {
+            if !shell_command(&mut db, cmd) {
                 break;
             }
             continue;
@@ -99,13 +124,22 @@ fn main() {
                     QueryOutput::Plan(text) => println!("{text}"),
                 }
                 println!(
-                    "({:.3} ms; plan {:?}; nodes={} rows={} candidates={})",
+                    "({:.3} ms; plan {:?}; nodes={} rows={} candidates={} threads={})",
                     elapsed.as_secs_f64() * 1e3,
                     result.plan.access,
                     result.stats.nodes_visited,
                     result.stats.rows_scanned,
                     result.stats.candidates,
+                    result.stats.threads_used,
                 );
+                if !result.per_thread.is_empty() {
+                    let shares: Vec<String> = result
+                        .per_thread
+                        .iter()
+                        .map(|t| format!("{}n/{}r", t.nodes_visited, t.rows_scanned))
+                        .collect();
+                    println!("  per-thread nodes/rows: [{}]", shares.join(", "));
+                }
             }
             Err(e) => println!("error: {e}"),
         }
@@ -113,15 +147,25 @@ fn main() {
 }
 
 /// Handles a backslash command; returns false to quit.
-fn shell_command(db: &Database, cmd: &str) -> bool {
+fn shell_command(db: &mut Database, cmd: &str) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save <rel> <path>  \\quit"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save <rel> <path>  \\threads <n|auto|serial>  \\quit"
             );
         }
+        Some("threads") => match parts.next() {
+            Some(word) => match parse_parallelism(word) {
+                Some(p) => {
+                    db.set_parallelism(p);
+                    println!("parallelism: {p}");
+                }
+                None => println!("usage: \\threads <n|auto|serial>"),
+            },
+            None => println!("parallelism: {}", db.parallelism()),
+        },
         Some("relations") => {
             for name in db.relation_names() {
                 let stored = db.relation(name).expect("listed relation exists");

@@ -59,14 +59,14 @@ pub use simq_strings as strings;
 /// The most common imports in one place.
 pub mod prelude {
     pub use simq_core::{
-        similarity_distance, DataObject, RealSequence, SearchConfig, SimilarityModel,
-        SymbolString, TransformationSet,
+        similarity_distance, DataObject, RealSequence, SearchConfig, SimilarityModel, SymbolString,
+        TransformationSet,
     };
     pub use simq_data::{StockMarket, WalkGenerator};
     pub use simq_dsp::{euclidean, Complex};
     pub use simq_index::{RTree, RTreeConfig, Rect};
     pub use simq_query::{
-        execute, parse, plan_query, AccessPath, Database, QueryOutput, QueryResult,
+        execute, parse, plan_query, AccessPath, Database, Parallelism, QueryOutput, QueryResult,
     };
     pub use simq_series::{
         moving_average, normal_form, warp, FeatureScheme, Representation, SeriesTransform,

@@ -61,7 +61,11 @@ fn persistence_preserves_query_results() {
     ] {
         let r1 = execute(&db1, q).unwrap();
         let r2 = execute(&db2, q).unwrap();
-        assert_eq!(format!("{:?}", r1.output), format!("{:?}", r2.output), "{q}");
+        assert_eq!(
+            format!("{:?}", r1.output),
+            format!("{:?}", r2.output),
+            "{q}"
+        );
     }
 }
 
@@ -94,8 +98,7 @@ fn framework_and_domain_agree_on_moving_average_distance() {
     .unwrap();
     // Search applies the rule to both sides (cost 0.02) when that helps.
     assert!(
-        (result.distance - (direct + 0.02)).abs() < 1e-9
-            || result.distance <= direct + 0.02 + 1e-9,
+        (result.distance - (direct + 0.02)).abs() < 1e-9 || result.distance <= direct + 0.02 + 1e-9,
         "framework {} vs domain {}",
         result.distance,
         direct
@@ -118,8 +121,15 @@ fn table_1_shape_at_small_scale() {
                 &format!("FIND PAIRS IN r USING mavg(20) EPSILON 1.5 METHOD {m}"),
             )
             .unwrap();
-            let QueryOutput::Pairs(p) = r.output else { unreachable!() };
-            (*m, p.len(), r.stats.coefficients_compared, r.stats.nodes_visited)
+            let QueryOutput::Pairs(p) = r.output else {
+                unreachable!()
+            };
+            (
+                *m,
+                p.len(),
+                r.stats.coefficients_compared,
+                r.stats.nodes_visited,
+            )
         })
         .collect();
     let (_, n_a, coeff_a, _) = counts[0];

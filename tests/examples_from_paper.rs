@@ -29,7 +29,11 @@ fn example_1_1_numbers() {
 /// only the query itself.
 #[test]
 fn example_1_1_as_queries() {
-    let mut rel = SeriesRelation::new("stocks", 15, FeatureScheme::new(2, Representation::Polar, true));
+    let mut rel = SeriesRelation::new(
+        "stocks",
+        15,
+        FeatureScheme::new(2, Representation::Polar, true),
+    );
     rel.insert("s1", S1.to_vec()).unwrap();
     rel.insert("s2", S2.to_vec()).unwrap();
     let mut db = Database::new();
@@ -38,7 +42,9 @@ fn example_1_1_as_queries() {
     // Raw: only s1 itself within ε = 1 (normal-form distance of the two
     // series is large as well).
     let raw = execute(&db, "FIND SIMILAR TO NAME s1 IN stocks EPSILON 1.5").unwrap();
-    let QueryOutput::Hits(raw_hits) = raw.output else { unreachable!() };
+    let QueryOutput::Hits(raw_hits) = raw.output else {
+        unreachable!()
+    };
     assert_eq!(raw_hits.len(), 1);
 
     // Smoothed: both series qualify. (The engine works on normal forms;
@@ -48,7 +54,9 @@ fn example_1_1_as_queries() {
         "FIND SIMILAR TO NAME s1 IN stocks USING mavg(3) ON BOTH EPSILON 1.5",
     )
     .unwrap();
-    let QueryOutput::Hits(smoothed_hits) = smoothed.output else { unreachable!() };
+    let QueryOutput::Hits(smoothed_hits) = smoothed.output else {
+        unreachable!()
+    };
     assert_eq!(smoothed_hits.len(), 2, "{smoothed_hits:?}");
 }
 
@@ -159,28 +167,49 @@ fn example_2_3_smoothing_does_not_fake_similarity() {
         },
         13,
     );
-    let (a, b) = (0..market.stocks.len())
-        .flat_map(|i| ((i + 1)..market.stocks.len()).map(move |j| (i, j)))
-        .find(|&(i, j)| {
-            matches!(
-                (market.stocks[i].kind, market.stocks[j].kind),
-                (StockKind::Sectoral { sector: x }, StockKind::Sectoral { sector: y }) if x != y
-            )
+    // The claim is statistical — individual pairs vary — so measure it
+    // over every cross-sector pair rather than one arbitrary draw.
+    let smoothed: Vec<Option<Vec<f64>>> = market
+        .stocks
+        .iter()
+        .map(|s| {
+            let mut nf = normal_form(&s.prices).ok()?;
+            for _ in 0..10 {
+                nf = moving_average(&nf, 20).ok()?;
+            }
+            Some(nf)
         })
-        .expect("cross-sector pair exists");
-    let mut na = normal_form(&market.stocks[a].prices).unwrap();
-    let mut nb = normal_form(&market.stocks[b].prices).unwrap();
-    let initial = euclidean(&na, &nb);
-    for _ in 0..10 {
-        na = moving_average(&na, 20).unwrap();
-        nb = moving_average(&nb, 20).unwrap();
+        .collect();
+    let mut initial_sum = 0.0;
+    let mut after_sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..market.stocks.len() {
+        for j in (i + 1)..market.stocks.len() {
+            let (StockKind::Sectoral { sector: si }, StockKind::Sectoral { sector: sj }) =
+                (market.stocks[i].kind, market.stocks[j].kind)
+            else {
+                continue;
+            };
+            if si == sj {
+                continue;
+            }
+            let (Some(a), Some(b)) = (&smoothed[i], &smoothed[j]) else {
+                continue;
+            };
+            initial_sum += euclidean(
+                &normal_form(&market.stocks[i].prices).unwrap(),
+                &normal_form(&market.stocks[j].prices).unwrap(),
+            );
+            after_sum += euclidean(a, b);
+            pairs += 1;
+        }
     }
-    let after_ten = euclidean(&na, &nb);
+    assert!(pairs > 100, "only {pairs} cross-sector pairs");
     // Distances shrink slowly — after ten rounds a substantial fraction
-    // remains (the paper reports 11.06 → 6.57 after ten).
+    // remains on average (the paper reports 11.06 → 6.57 after ten).
     assert!(
-        after_ten > initial * 0.25,
-        "ten smoothings erased too much: {initial} → {after_ten}"
+        after_sum > initial_sum * 0.25,
+        "ten smoothings erased too much: {initial_sum} → {after_sum} over {pairs} pairs"
     );
 }
 

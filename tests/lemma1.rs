@@ -170,8 +170,7 @@ fn rotation_heavy_transform_loses_nothing() {
     let db = db_with(&series, FeatureScheme::paper_default());
     for row in [0, 10, 50, 199] {
         for eps in [0.5, 2.0, 5.0] {
-            let q =
-                format!("FIND SIMILAR TO ROW {row} IN r USING reverse ON BOTH EPSILON {eps}");
+            let q = format!("FIND SIMILAR TO ROW {row} IN r USING reverse ON BOTH EPSILON {eps}");
             let via_index = hit_ids(&db, &q);
             let via_scan = hit_ids(&db, &format!("{q} FORCE SCAN"));
             assert_eq!(via_index, via_scan, "row {row} eps {eps}");

@@ -1,0 +1,157 @@
+//! Parallel/serial equivalence as an executable property: for every query
+//! form (range, kNN, all-pairs join), every access path, and any thread
+//! count, parallel execution returns *identical* hit sets and identical
+//! (bitwise) distances to the serial paths on random-walk corpora.
+//!
+//! This is the contract that makes [`Parallelism`] a pure throughput knob:
+//! the parallel subsystem only reschedules the exact serial per-row /
+//! per-node computations and merges deterministically.
+
+use proptest::prelude::*;
+use similarity_queries::prelude::*;
+use similarity_queries::query::QueryOutput;
+
+/// Builds a deterministic corpus of random-walk series.
+fn corpus(seed: u64, rows: usize, len: usize) -> Vec<Vec<f64>> {
+    let mut gen = WalkGenerator::new(seed);
+    (0..rows).map(|_| gen.series(len)).collect()
+}
+
+fn db_with(series: &[Vec<f64>], scheme: FeatureScheme) -> Database {
+    let mut rel = SeriesRelation::new("r", series[0].len(), scheme);
+    for (i, s) in series.iter().enumerate() {
+        rel.insert(format!("S{i}"), s.clone()).unwrap();
+    }
+    let mut db = Database::new();
+    db.add_relation_indexed(rel);
+    db
+}
+
+/// Runs `query` serially and at `threads`, asserting identical outputs.
+fn assert_equivalent(db: &mut Database, query: &str, threads: usize) {
+    db.set_parallelism(Parallelism::Serial);
+    let serial = execute(db, query).unwrap();
+    db.set_parallelism(Parallelism::Fixed(threads));
+    let parallel = execute(db, query).unwrap();
+    // threads_used reports the actual fan-out; a degraded parallel plan
+    // (few rows, tiny frontier) may cap it below the configured count.
+    assert!(
+        (1..=threads as u64).contains(&parallel.stats.threads_used),
+        "{query}: threads_used {}",
+        parallel.stats.threads_used
+    );
+    match (&serial.output, &parallel.output) {
+        (QueryOutput::Hits(a), QueryOutput::Hits(b)) => {
+            assert_eq!(a.len(), b.len(), "{query} (threads {threads})");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.id, y.id, "{query} (threads {threads})");
+                assert_eq!(
+                    x.distance.to_bits(),
+                    y.distance.to_bits(),
+                    "{query} (threads {threads}): {} vs {}",
+                    x.distance,
+                    y.distance
+                );
+            }
+        }
+        (QueryOutput::Pairs(a), QueryOutput::Pairs(b)) => {
+            assert_eq!(a.len(), b.len(), "{query} (threads {threads})");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!((x.a, x.b), (y.a, y.b), "{query} (threads {threads})");
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+        other => panic!("mismatched outputs for {query}: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Range queries: identical hits and distances, 1 vs N threads, on
+    /// both access paths and with transformations.
+    #[test]
+    fn range_parallel_equals_serial(
+        seed in 0u64..400,
+        row in 0usize..40,
+        eps in 0.1f64..8.0,
+        threads in 2usize..9,
+        force_scan in prop_oneof![Just(""), Just(" FORCE SCAN")],
+        t in prop_oneof![
+            Just(""),
+            Just(" USING mavg(5) ON BOTH"),
+            Just(" USING reverse ON BOTH"),
+        ],
+    ) {
+        let series = corpus(seed, 40, 64);
+        let mut db = db_with(&series, FeatureScheme::paper_default());
+        let q = format!("FIND SIMILAR TO ROW {row} IN r{t} EPSILON {eps}{force_scan}");
+        assert_equivalent(&mut db, &q, threads);
+    }
+
+    /// kNN queries: identical neighbour lists, 1 vs N threads, on both
+    /// access paths.
+    #[test]
+    fn knn_parallel_equals_serial(
+        seed in 0u64..400,
+        row in 0usize..30,
+        k in 1usize..12,
+        threads in 2usize..9,
+        force_scan in prop_oneof![Just(""), Just(" FORCE SCAN")],
+    ) {
+        let series = corpus(seed.wrapping_add(13), 30, 64);
+        let mut db = db_with(&series, FeatureScheme::paper_default());
+        let q = format!("FIND {k} NEAREST TO ROW {row} IN r{force_scan}");
+        assert_equivalent(&mut db, &q, threads);
+    }
+
+    /// All-pairs joins: identical pair sets and distances, 1 vs N threads,
+    /// for the scan methods (a, b) and the probe-join methods (c, d).
+    #[test]
+    fn join_parallel_equals_serial(
+        seed in 0u64..300,
+        eps in 0.3f64..4.0,
+        threads in 2usize..9,
+        method in prop_oneof![Just('a'), Just('b'), Just('c'), Just('d')],
+    ) {
+        let series = corpus(seed.wrapping_add(29), 30, 64);
+        let mut db = db_with(&series, FeatureScheme::paper_default());
+        let q = format!("FIND PAIRS IN r USING mavg(8) EPSILON {eps} METHOD {method}");
+        assert_equivalent(&mut db, &q, threads);
+    }
+
+    /// The rectangular representation exercises the Euclidean kNN path.
+    #[test]
+    fn rect_scheme_parallel_equals_serial(
+        seed in 0u64..200,
+        row in 0usize..25,
+        k in 1usize..8,
+        threads in 2usize..6,
+    ) {
+        let series = corpus(seed.wrapping_add(53), 25, 32);
+        let mut db = db_with(&series, FeatureScheme::new(3, Representation::Rectangular, false));
+        let q = format!("FIND {k} NEAREST TO ROW {row} IN r");
+        assert_equivalent(&mut db, &q, threads);
+    }
+}
+
+/// Non-random regression at a size where every parallel code path engages
+/// its multi-threaded branch (frontiers form, chunks are non-trivial).
+#[test]
+fn large_corpus_all_forms_equivalent() {
+    let series = corpus(4242, 600, 128);
+    let mut db = db_with(&series, FeatureScheme::paper_default());
+    for threads in [2, 4, 8] {
+        for q in [
+            "FIND SIMILAR TO ROW 11 IN r EPSILON 6.0",
+            "FIND SIMILAR TO ROW 11 IN r EPSILON 6.0 FORCE SCAN",
+            "FIND SIMILAR TO ROW 11 IN r USING mavg(20) ON BOTH EPSILON 4.0",
+            "FIND 25 NEAREST TO ROW 11 IN r",
+            "FIND 25 NEAREST TO ROW 11 IN r FORCE SCAN",
+            "FIND PAIRS IN r EPSILON 1.0 METHOD b",
+            "FIND PAIRS IN r EPSILON 1.0 METHOD d",
+        ] {
+            assert_equivalent(&mut db, q, threads);
+        }
+    }
+}

@@ -28,7 +28,14 @@ fn access(db: &Database, q: &str) -> AccessPath {
 #[test]
 fn polar_index_serves_complex_multiplier_transforms() {
     let d = db(Representation::Polar, true, true);
-    for t in ["mavg(5)", "warp(2)", "reverse", "scale(-3)", "shift(2)", "reverse THEN mavg(10)"] {
+    for t in [
+        "mavg(5)",
+        "warp(2)",
+        "reverse",
+        "scale(-3)",
+        "shift(2)",
+        "reverse THEN mavg(10)",
+    ] {
         let q = format!("FIND SIMILAR TO ROW 0 IN r USING {t} EPSILON 1");
         assert_eq!(access(&d, &q), AccessPath::IndexScan, "{t}");
     }
@@ -68,7 +75,10 @@ fn force_index_errors_carry_the_reason() {
     let QueryError::IndexUnavailable(reason) = err else {
         panic!("wrong error {err:?}");
     };
-    assert!(reason.contains("not safe") || reason.contains("rectangular"), "{reason}");
+    assert!(
+        reason.contains("not safe") || reason.contains("rectangular"),
+        "{reason}"
+    );
 }
 
 #[test]
@@ -105,8 +115,18 @@ fn knn_planner_matrix() {
 fn join_methods_map_to_access_paths() {
     let d = db(Representation::Polar, true, true);
     let cases = [
-        ('a', AccessPath::ScanJoin { early_abandon: false }),
-        ('b', AccessPath::ScanJoin { early_abandon: true }),
+        (
+            'a',
+            AccessPath::ScanJoin {
+                early_abandon: false,
+            },
+        ),
+        (
+            'b',
+            AccessPath::ScanJoin {
+                early_abandon: true,
+            },
+        ),
         ('c', AccessPath::IndexProbeJoin { transformed: false }),
         ('d', AccessPath::IndexProbeJoin { transformed: true }),
     ];
@@ -148,7 +168,11 @@ fn method_d_requires_safe_right_side() {
 #[test]
 fn explain_never_executes() {
     let d = db(Representation::Polar, true, true);
-    let r = execute(&d, "EXPLAIN FIND PAIRS IN r USING mavg(5) EPSILON 1 METHOD a").unwrap();
+    let r = execute(
+        &d,
+        "EXPLAIN FIND PAIRS IN r USING mavg(5) EPSILON 1 METHOD a",
+    )
+    .unwrap();
     assert!(matches!(r.output, QueryOutput::Plan(_)));
     assert_eq!(r.stats.rows_scanned, 0);
     assert_eq!(r.stats.nodes_visited, 0);
@@ -172,7 +196,9 @@ fn stats_windows_constrain_range_answers() {
 
     // Same normal form everywhere: without a window every row matches.
     let all = execute(&d, "FIND SIMILAR TO ROW 5 IN r EPSILON 0.01").unwrap();
-    let QueryOutput::Hits(all_hits) = all.output else { unreachable!() };
+    let QueryOutput::Hits(all_hits) = all.output else {
+        unreachable!()
+    };
     assert_eq!(all_hits.len(), 40);
 
     // With a mean window only nearby price levels qualify.
@@ -182,7 +208,9 @@ fn stats_windows_constrain_range_answers() {
     )
     .unwrap();
     assert_eq!(windowed.plan.access, AccessPath::IndexScan);
-    let QueryOutput::Hits(hits) = windowed.output else { unreachable!() };
+    let QueryOutput::Hits(hits) = windowed.output else {
+        unreachable!()
+    };
     let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
     ids.sort_unstable();
     // Rows 3..=7 have means within 2.5 of row 5's.
@@ -197,7 +225,9 @@ fn stats_windows_constrain_range_answers() {
         "FIND SIMILAR TO ROW 5 IN r EPSILON 0.01 MEAN WITHIN 2.5 FORCE SCAN",
     )
     .unwrap();
-    let QueryOutput::Hits(scan_hits) = scanned.output else { unreachable!() };
+    let QueryOutput::Hits(scan_hits) = scanned.output else {
+        unreachable!()
+    };
     let mut scan_ids: Vec<u64> = scan_hits.iter().map(|h| h.id).collect();
     scan_ids.sort_unstable();
     assert_eq!(scan_ids, vec![3, 4, 5, 6, 7]);
@@ -206,11 +236,7 @@ fn stats_windows_constrain_range_answers() {
 #[test]
 fn stats_window_requires_stats_dims_for_index() {
     let d = db(Representation::Polar, false, true); // no stats dims
-    let r = execute(
-        &d,
-        "FIND SIMILAR TO ROW 0 IN r EPSILON 1 MEAN WITHIN 1.0",
-    )
-    .unwrap();
+    let r = execute(&d, "FIND SIMILAR TO ROW 0 IN r EPSILON 1 MEAN WITHIN 1.0").unwrap();
     assert!(matches!(r.plan.access, AccessPath::SeqScan { .. }));
     assert!(r.plan.reason.contains("statistics dimensions"));
 }
