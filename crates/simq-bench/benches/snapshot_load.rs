@@ -1,0 +1,67 @@
+//! Cold-start cost: opening a binary snapshot vs rebuilding from text.
+//!
+//! `rebuild_from_text` is the pre-snapshot cold-start path: parse the v2
+//! text format, re-run feature extraction (normalization + FFT) for every
+//! row, and re-bulk-load the R*-tree. `snapshot_load` reads the paged
+//! binary snapshot: checksums, a straight decode of rows, spectra and the
+//! serialized tree — no FFTs, no STR packing. The gap between the two is
+//! what the storage engine buys on every restart.
+//!
+//! `snapshot_size`/`text_size` are printed once so the time comparison can
+//! be read alongside the I/O volume.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::walk_relation;
+use simq_query::Database;
+use simq_storage::persist;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_load");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let dir = std::env::temp_dir().join("simq-bench-snapshot");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    for rows in [2_000usize, 8_000] {
+        let rel = walk_relation("r", rows, 128);
+        let text_path = dir.join(format!("rel-{rows}.txt"));
+        let snap_path = dir.join(format!("db-{rows}.simq"));
+        persist::save(&rel, &text_path).expect("text save");
+        let mut db = Database::new();
+        db.add_relation_indexed(rel);
+        db.save_snapshot(&snap_path).expect("snapshot save");
+        println!(
+            "snapshot_load/sizes/{rows}: text {} bytes, snapshot {} bytes",
+            std::fs::metadata(&text_path).expect("text file").len(),
+            std::fs::metadata(&snap_path).expect("snapshot file").len(),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_from_text", rows),
+            &text_path,
+            |b, path| {
+                b.iter(|| {
+                    let rel = persist::load(path).expect("text load");
+                    let mut db = Database::new();
+                    db.add_relation_indexed(rel);
+                    db
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_load", rows),
+            &snap_path,
+            |b, path| b.iter(|| Database::open_snapshot(path).expect("snapshot load")),
+        );
+    }
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

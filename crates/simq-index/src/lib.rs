@@ -24,6 +24,9 @@
 //!   descent for range queries, work-stealing best-first kNN with a shared
 //!   pruning bound, chunked probe joins. Results are exactly equal to the
 //!   serial traversals.
+//! * [`serial`] — binary serialization of the full tree structure (node
+//!   arena, geometry, free list), so persisted databases reopen without
+//!   re-bulk-loading and reproduce the identical tree.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod knn;
 pub mod parallel;
 pub mod rstar;
 pub mod search;
+pub mod serial;
 pub mod transform;
 
 pub use geom::{circular_overlap, DimSemantics, Rect, Space};
@@ -41,4 +45,5 @@ pub use knn::Neighbor;
 pub use parallel::ParallelStats;
 pub use rstar::{RTree, RTreeConfig};
 pub use search::SearchStats;
+pub use serial::SerialError;
 pub use transform::{DiagonalAffine, IdentityTransform, SpatialTransform};

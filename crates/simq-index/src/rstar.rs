@@ -103,7 +103,7 @@ pub struct RTree {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: usize,
     pub(crate) len: usize,
-    free: Vec<usize>,
+    pub(crate) free: Vec<usize>,
 }
 
 impl RTree {

@@ -13,8 +13,10 @@ use crate::ast::{JoinMethod, Query, Strategy};
 use crate::error::QueryError;
 use simq_index::{RTree, RTreeConfig};
 use simq_series::features::Representation;
+use simq_storage::snapshot::{self, SnapshotError};
 use simq_storage::SeriesRelation;
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// A relation together with its optional index.
 #[derive(Debug, Clone)]
@@ -132,6 +134,56 @@ impl Database {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Saves every relation — and its index structure, when built — to a
+    /// paged binary snapshot (see [`simq_storage::snapshot`]).
+    ///
+    /// # Errors
+    /// I/O errors from the filesystem.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let entries: Vec<(&SeriesRelation, Option<&RTree>)> = self
+            .relations
+            .values()
+            .map(|s| (&s.relation, s.index.as_ref()))
+            .collect();
+        snapshot::save(path, &entries)
+    }
+
+    /// Opens a snapshot as a fresh database. Rows, spectra and index
+    /// points are restored bit-for-bit and indexes are *decoded*, not
+    /// re-bulk-loaded — queries against the reopened database return
+    /// exactly what the saved one did. The execution parallelism is a
+    /// runtime setting and starts at the default ([`Parallelism::Serial`]).
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on I/O failure, checksum mismatch or a
+    /// structurally invalid snapshot.
+    pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let mut db = Database::new();
+        db.load_snapshot(path)?;
+        Ok(db)
+    }
+
+    /// Merges a snapshot's relations into this database (same-named
+    /// relations are replaced). Returns how many relations were loaded.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on I/O failure, checksum mismatch or a
+    /// structurally invalid snapshot; on error the database is unchanged.
+    pub fn load_snapshot(&mut self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        let loaded = snapshot::load(path)?;
+        let count = loaded.len();
+        for entry in loaded {
+            self.relations.insert(
+                entry.relation.name().to_string(),
+                StoredRelation {
+                    relation: entry.relation,
+                    index: entry.index,
+                },
+            );
+        }
+        Ok(count)
     }
 }
 

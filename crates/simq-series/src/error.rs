@@ -39,6 +39,9 @@ pub enum SeriesError {
     /// A transformation is not safe for the requested representation
     /// (Theorems 2 and 3 of the paper).
     UnsafeTransformation(&'static str),
+    /// A row id is already present in the relation (explicit-id inserts on
+    /// the persistence restore path).
+    DuplicateRowId(u64),
 }
 
 impl fmt::Display for SeriesError {
@@ -69,6 +72,9 @@ impl fmt::Display for SeriesError {
             }
             SeriesError::UnsafeTransformation(why) => {
                 write!(f, "transformation is not safe: {why}")
+            }
+            SeriesError::DuplicateRowId(id) => {
+                write!(f, "row id {id} already exists in the relation")
             }
         }
     }

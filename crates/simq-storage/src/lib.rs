@@ -10,13 +10,19 @@
 //! * [`scan`] — sequential-scan query evaluation with and without early
 //!   abandoning (methods *a*/*b* of the paper's Table 1).
 //! * [`persist`] — a tiny dependency-free text format with exact `f64`
-//!   round-tripping.
+//!   round-tripping (the import/export path).
+//! * [`pages`] — the checksummed fixed-size page layer under snapshots.
+//! * [`snapshot`] — versioned binary snapshots of whole databases:
+//!   relations, precomputed spectra and serialized R*-trees, so cold starts
+//!   skip feature extraction and index bulk-loading.
 
 #![warn(missing_docs)]
 
+pub mod pages;
 pub mod persist;
 pub mod relation;
 pub mod scan;
+pub mod snapshot;
 
 pub use relation::{SeriesRelation, SeriesRow};
 pub use scan::{
@@ -24,3 +30,4 @@ pub use scan::{
     scan_knn, scan_knn_parallel, scan_range, scan_range_parallel, ParallelScanStats, ScanHit,
     ScanStats,
 };
+pub use snapshot::{SnapshotError, SnapshotRelation};

@@ -15,6 +15,7 @@ use simq_index::geom::Rect;
 use simq_index::{RTree, RTreeConfig};
 use simq_series::error::SeriesError;
 use simq_series::features::{FeatureScheme, SeriesFeatures};
+use std::collections::HashMap;
 
 /// One stored series with its derived data.
 #[derive(Debug, Clone)]
@@ -36,6 +37,15 @@ pub struct SeriesRelation {
     series_len: usize,
     scheme: FeatureScheme,
     rows: Vec<SeriesRow>,
+    /// Id the next [`SeriesRelation::insert`] will assign (one past the
+    /// largest id ever stored, so explicit-id restores never collide).
+    next_id: u64,
+    /// Id → row position. `None` while ids are *dense* (`rows[i].id == i`,
+    /// the invariant every sequentially built relation keeps), where
+    /// positions double as ids; built lazily the first time an explicit-id
+    /// insert breaks density, keeping [`SeriesRelation::row`] O(1) either
+    /// way.
+    by_id: Option<HashMap<u64, usize>>,
 }
 
 impl SeriesRelation {
@@ -55,6 +65,38 @@ impl SeriesRelation {
             series_len,
             scheme,
             rows: Vec::new(),
+            next_id: 0,
+            by_id: None,
+        }
+    }
+
+    /// Rebuilds a relation from fully materialized rows (the snapshot
+    /// restore path) — no feature extraction is run, so row contents are
+    /// restored bit-for-bit. The caller (the snapshot decoder) has already
+    /// validated the parts; this constructor only `debug_assert`s them.
+    pub(crate) fn from_validated_parts(
+        name: String,
+        series_len: usize,
+        scheme: FeatureScheme,
+        rows: Vec<SeriesRow>,
+    ) -> Self {
+        debug_assert!(series_len > scheme.k);
+        debug_assert!(rows.iter().all(|r| r.raw.len() == series_len));
+        let next_id = rows.iter().map(|r| r.id + 1).max().unwrap_or(0);
+        let dense = rows.iter().enumerate().all(|(i, r)| r.id == i as u64);
+        let by_id = (!dense).then(|| {
+            rows.iter()
+                .enumerate()
+                .map(|(i, r)| (r.id, i))
+                .collect::<HashMap<u64, usize>>()
+        });
+        SeriesRelation {
+            name,
+            series_len,
+            scheme,
+            rows,
+            next_id,
+            by_id,
         }
     }
 
@@ -94,29 +136,75 @@ impl SeriesRelation {
         name: impl Into<String>,
         series: Vec<f64>,
     ) -> Result<u64, SeriesError> {
+        let id = self.next_id;
+        self.insert_with_id(id, name, series)
+    }
+
+    /// Inserts a series under an explicit row id (the persistence restore
+    /// path: the v2 text format and snapshots carry ids, so save → load
+    /// keeps id-based references valid).
+    ///
+    /// # Errors
+    /// [`SeriesError::DimensionMismatch`] on wrong length,
+    /// [`SeriesError::DuplicateRowId`] when `id` is already taken,
+    /// feature-extraction errors otherwise.
+    pub fn insert_with_id(
+        &mut self,
+        id: u64,
+        name: impl Into<String>,
+        series: Vec<f64>,
+    ) -> Result<u64, SeriesError> {
         if series.len() != self.series_len {
             return Err(SeriesError::DimensionMismatch {
                 expected: self.series_len,
                 actual: series.len(),
             });
         }
+        // Ids at or above `next_id` have never been assigned, so only
+        // smaller ids can collide — sequential inserts skip the lookup.
+        if id < self.next_id && self.row(id).is_some() {
+            return Err(SeriesError::DuplicateRowId(id));
+        }
         let features = self.scheme.extract(&series)?;
-        let id = self.rows.len() as u64;
+        let pos = self.rows.len();
         self.rows.push(SeriesRow {
             id,
             name: name.into(),
             raw: series,
             features,
         });
+        match &mut self.by_id {
+            Some(map) => {
+                map.insert(id, pos);
+            }
+            None if id != pos as u64 => {
+                // Density just broke; index every row from here on.
+                self.by_id = Some(
+                    self.rows
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| (r.id, i))
+                        .collect(),
+                );
+            }
+            None => {}
+        }
+        self.next_id = self.next_id.max(id + 1);
         Ok(id)
     }
 
-    /// Row access by id.
+    /// Row access by id — O(1) whether ids are dense (sequential inserts:
+    /// position doubles as id) or explicit with gaps (id map).
     pub fn row(&self, id: u64) -> Option<&SeriesRow> {
-        self.rows.get(id as usize)
+        match &self.by_id {
+            Some(map) => map.get(&id).map(|&pos| &self.rows[pos]),
+            None => self.rows.get(id as usize),
+        }
     }
 
-    /// Iterates over rows in id order.
+    /// Iterates over rows in insertion order (equal to id order for
+    /// sequentially built relations; explicit-id inserts and persisted
+    /// files keep whatever order rows were added/stored in).
     pub fn rows(&self) -> impl Iterator<Item = &SeriesRow> {
         self.rows.iter()
     }
@@ -188,6 +276,24 @@ mod tests {
             rel.insert("flat", vec![5.0; 64]),
             Err(SeriesError::ZeroVariance)
         ));
+    }
+
+    #[test]
+    fn explicit_ids_roundtrip_and_collide() {
+        let mut rel = test_relation(0);
+        let series: Vec<f64> = (0..64).map(|t| (t as f64 * 0.2).sin() + 40.0).collect();
+        assert_eq!(rel.insert_with_id(7, "seven", series.clone()).unwrap(), 7);
+        assert_eq!(rel.row(7).unwrap().name, "seven");
+        assert!(rel.row(0).is_none());
+        // Duplicate ids are rejected.
+        assert!(matches!(
+            rel.insert_with_id(7, "again", series.clone()),
+            Err(SeriesError::DuplicateRowId(7))
+        ));
+        // Sequential insertion continues past the largest explicit id.
+        let id = rel.insert("next", series).unwrap();
+        assert_eq!(id, 8);
+        assert_eq!(rel.row(8).unwrap().name, "next");
     }
 
     #[test]

@@ -2,14 +2,24 @@
 //!
 //! ```sh
 //! cargo run --release --bin simq                     # demo corpus
-//! cargo run --release --bin simq -- relation.txt …   # load saved relations
+//! cargo run --release --bin simq -- relation.txt …   # import text relations
+//! SIMQ_DB=db.simq cargo run --release --bin simq     # open a snapshot
 //! ```
 //!
 //! Each line is a query in the language of `simq-query`
 //! (`FIND SIMILAR TO … EPSILON …`, `FIND k NEAREST TO …`,
 //! `FIND PAIRS … METHOD …`, `EXPLAIN …`) or one of the shell commands
-//! `\relations`, `\rows <relation>`, `\save <relation> <path>`,
-//! `\threads <n|auto|serial>`, `\help`, `\quit`.
+//! `\relations`, `\rows <relation>`, `\save [file]`, `\open <file>`,
+//! `\export <relation> <path>`, `\threads <n|auto|serial>`, `\help`,
+//! `\quit`.
+//!
+//! Persistence: `\save <file>` writes the whole database — every relation
+//! with its precomputed spectra and its R*-tree structure — to a paged
+//! binary snapshot; `\open <file>` loads one without re-extracting
+//! features or re-bulk-loading indexes. The `SIMQ_DB` environment variable
+//! names a default snapshot: it is opened on startup when it exists, and
+//! `\save` with no argument writes back to it. `\export` keeps the v2 text
+//! format as the human-readable interchange path.
 //!
 //! The `SIMQ_THREADS` environment variable (`4`, `auto`, `serial`) sets
 //! the initial execution parallelism.
@@ -44,8 +54,26 @@ fn main() {
             None => eprintln!("ignoring invalid SIMQ_THREADS={setting:?}"),
         }
     }
+    let default_snapshot = std::env::var("SIMQ_DB").ok().filter(|p| !p.is_empty());
+    let mut opened_snapshot = false;
+    if let Some(path) = &default_snapshot {
+        if std::path::Path::new(path).exists() {
+            match db.load_snapshot(path) {
+                Ok(count) => {
+                    println!("opened snapshot {path} ({count} relations, from SIMQ_DB)");
+                    opened_snapshot = true;
+                }
+                Err(e) => {
+                    eprintln!("cannot open snapshot {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            println!("SIMQ_DB={path} does not exist yet; \\save will create it");
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    if args.is_empty() && !opened_snapshot {
         let mut gen = WalkGenerator::new(42);
         let mut rel = SeriesRelation::new("walks", 128, FeatureScheme::paper_default());
         for i in 0..1000 {
@@ -93,7 +121,7 @@ fn main() {
             continue;
         }
         if let Some(cmd) = line.strip_prefix('\\') {
-            if !shell_command(&mut db, cmd) {
+            if !shell_command(&mut db, cmd, default_snapshot.as_deref()) {
                 break;
             }
             continue;
@@ -147,13 +175,13 @@ fn main() {
 }
 
 /// Handles a backslash command; returns false to quit.
-fn shell_command(db: &mut Database, cmd: &str) -> bool {
+fn shell_command(db: &mut Database, cmd: &str, default_snapshot: Option<&str>) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save <rel> <path>  \\threads <n|auto|serial>  \\quit"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save [file]  \\open <file>  \\export <rel> <path>\n       \\threads <n|auto|serial>  \\quit\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
             );
         }
         Some("threads") => match parts.next() {
@@ -198,19 +226,52 @@ fn shell_command(db: &mut Database, cmd: &str) -> bool {
             None => println!("usage: \\rows <relation>"),
         },
         Some("save") => {
+            // Two arguments keep the pre-snapshot behavior as an alias for
+            // \export; one (or none, with SIMQ_DB) writes a full snapshot.
+            match (parts.next(), parts.next()) {
+                (Some(name), Some(path)) => export_relation(db, name, path),
+                (Some(path), None) => save_snapshot(db, path),
+                (None, None) => match default_snapshot {
+                    Some(path) => save_snapshot(db, path),
+                    None => println!("usage: \\save <file>  (or set SIMQ_DB)"),
+                },
+                (None, Some(_)) => unreachable!("second arg implies a first"),
+            }
+        }
+        Some("open") => match parts.next() {
+            Some(path) => match db.load_snapshot(path) {
+                Ok(count) => println!("opened snapshot {path} ({count} relations)"),
+                Err(e) => println!("open failed: {e}"),
+            },
+            None => println!("usage: \\open <file>"),
+        },
+        Some("export") => {
             let (Some(name), Some(path)) = (parts.next(), parts.next()) else {
-                println!("usage: \\save <relation> <path>");
+                println!("usage: \\export <relation> <path>");
                 return true;
             };
-            match db.relation(name) {
-                Some(stored) => match persist::save(&stored.relation, path) {
-                    Ok(()) => println!("saved {name} to {path}"),
-                    Err(e) => println!("save failed: {e}"),
-                },
-                None => println!("unknown relation {name:?}"),
-            }
+            export_relation(db, name, path);
         }
         other => println!("unknown command {other:?}; try \\help"),
     }
     true
+}
+
+/// Writes the whole database to a binary snapshot.
+fn save_snapshot(db: &Database, path: &str) {
+    match db.save_snapshot(path) {
+        Ok(()) => println!("saved snapshot to {path}"),
+        Err(e) => println!("save failed: {e}"),
+    }
+}
+
+/// Writes one relation as v2 text.
+fn export_relation(db: &Database, name: &str, path: &str) {
+    match db.relation(name) {
+        Some(stored) => match persist::save(&stored.relation, path) {
+            Ok(()) => println!("exported {name} to {path}"),
+            Err(e) => println!("export failed: {e}"),
+        },
+        None => println!("unknown relation {name:?}"),
+    }
 }
