@@ -1,0 +1,82 @@
+//! Batched multi-query execution against one-at-a-time execution on the
+//! Figure 9 workload: 64 range probes (and 32 kNN probes) against one
+//! indexed relation, as individual `execute` calls versus one
+//! `execute_batch` with shared index traversal.
+//!
+//! Besides wall-clock, the bench reports the node-visit counters — the
+//! paper's disk-access proxy — once per corpus: the batch's merged count
+//! must come in under the sum of the 64 individual executions (the
+//! acceptance property `tests/batch_equivalence.rs` asserts; here it is
+//! printed so the saving is visible next to the timings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, walk_relation};
+use simq_query::{execute, execute_batch};
+use std::time::Duration;
+
+fn range_queries(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "FIND SIMILAR TO ROW {} IN r EPSILON {:.2}",
+                i * 7,
+                2.0 + (i % 9) as f64 * 0.4
+            )
+        })
+        .collect()
+}
+
+fn knn_queries(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("FIND {} NEAREST TO ROW {} IN r", 3 + i % 8, i * 11))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let db = indexed_db(walk_relation("r", 8_000, 128));
+
+    for (what, queries) in [("range", range_queries(64)), ("knn", knn_queries(32))] {
+        let texts: Vec<&str> = queries.iter().map(String::as_str).collect();
+
+        // The headline counter: shared node visits vs the individual sum.
+        let batch = execute_batch(&db, &texts);
+        let individual_nodes: u64 = texts
+            .iter()
+            .map(|q| execute(&db, q).unwrap().stats.nodes_visited)
+            .sum();
+        println!(
+            "batch_speedup/{what}: {} queries — shared nodes {} vs individual sum {} ({:.1}% saved)",
+            texts.len(),
+            batch.stats.merged.nodes_visited,
+            individual_nodes,
+            100.0 * (1.0 - batch.stats.merged.nodes_visited as f64 / individual_nodes as f64),
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("{what}_individual"), texts.len()),
+            &texts,
+            |b, texts| {
+                b.iter(|| {
+                    for q in texts {
+                        criterion::black_box(execute(&db, q).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{what}_batched"), texts.len()),
+            &texts,
+            |b, texts| b.iter(|| criterion::black_box(execute_batch(&db, texts))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -24,12 +24,18 @@
 //!   descent for range queries, work-stealing best-first kNN with a shared
 //!   pruning bound, chunked probe joins. Results are exactly equal to the
 //!   serial traversals.
+//! * [`batch`] — batched traversals: one tree walk serving a whole batch
+//!   of range queries (per node, every active query tests every entry),
+//!   and batched best-first kNN over one shared work-stealing pool with
+//!   per-query pruning bounds. Per-query answers equal the individual
+//!   traversals; shared node reads are counted once.
 //! * [`serial`] — binary serialization of the full tree structure (node
 //!   arena, geometry, free list), so persisted databases reopen without
 //!   re-bulk-loading and reproduce the identical tree.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bulk;
 pub mod geom;
 pub mod join;
@@ -40,6 +46,7 @@ pub mod search;
 pub mod serial;
 pub mod transform;
 
+pub use batch::{MultiKnnQuery, MultiRangeQuery, MultiSearchStats};
 pub use geom::{circular_overlap, DimSemantics, Rect, Space};
 pub use knn::Neighbor;
 pub use parallel::ParallelStats;

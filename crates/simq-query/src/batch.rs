@@ -1,0 +1,1106 @@
+//! Batched multi-query execution with shared index traversal.
+//!
+//! The engine's workloads are naturally *many queries over one relation*
+//! (Figure 9-style similarity retrieval for a stream of probe series), but
+//! [`crate::exec`] plans and executes one query at a time. The
+//! [`BatchExecutor`] amortizes that:
+//!
+//! 1. **Parse and plan once.** Every query of the batch is parsed and
+//!    planned up front; per-query parse/plan errors occupy that query's
+//!    result slot without failing the batch.
+//! 2. **Group by (relation, access path).** Range queries that plan to the
+//!    same relation's index form one *shared-traversal* group; likewise
+//!    index kNN queries, scan-fallback range queries and scan-fallback kNN
+//!    queries. All-pairs joins, `EXPLAIN`s and one-query groups run
+//!    through the ordinary single-query executor.
+//! 3. **Execute each group with shared work.**
+//!    * Index range groups descend the R*-tree **once**: at every node
+//!      each still-active query tests every entry under its own lowered
+//!      transformation ([`simq_index::batch`]).
+//!    * Index kNN groups run all step-1 best-first searches over one
+//!      work-stealing pool with per-query pruning bounds, then batch every
+//!      query's step-2 range into one shared traversal.
+//!    * Scan groups make **one pass** over the relation, computing every
+//!      query's distance per row ([`simq_storage::multi`]).
+//!
+//! Every per-row / per-node computation is the exact single-query code on
+//! the same operands, so each query's hits, distances and errors are
+//! **bitwise identical** to running it alone (the property tests in
+//! `tests/batch_equivalence.rs` pin this at 1 and 4 threads, in memory and
+//! after snapshot reload). What changes is the work: the batch's
+//! [`BatchStats::merged`] counters count shared node reads and row passes
+//! once, and for any batch of two or more index-range queries the merged
+//! node-visit count is *strictly less* than the sum of the individual
+//! executions' (they share the root at minimum).
+
+use crate::ast::{Query, StatsWindow};
+use crate::error::QueryError;
+use crate::exec::{
+    self, exact_distance, exact_distance_sq, pad, parallel_verify, resolve_query, ExecStats, Hit,
+    QueryContext, QueryOutput, QueryResult,
+};
+use crate::plan::{plan, AccessPath, Database, Plan, StoredRelation};
+use simq_dsp::complex::Complex;
+use simq_index::batch::{MultiKnnQuery, MultiRangeQuery};
+use simq_index::Rect;
+use simq_series::transform::SeriesTransform;
+use simq_storage::multi::{
+    scan_knn_multi, scan_range_multi, MultiScanKnnQuery, MultiScanRangeQuery,
+};
+use std::collections::BTreeMap;
+
+/// Work summary of one batch execution.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// The batch's true cost: shared node reads and relation passes are
+    /// counted **once**, per-query work (verification, distances) summed.
+    pub merged: ExecStats,
+    /// The cost the same queries would have paid one at a time: the sum of
+    /// every query's as-if-individual counters.
+    pub per_query_total: ExecStats,
+    /// Number of shared-traversal groups formed (≥ 2 queries each).
+    pub shared_groups: usize,
+    /// Number of queries executed inside shared groups.
+    pub grouped_queries: usize,
+}
+
+/// Results of one batch: per-query outcomes in input order plus the batch
+/// work summary.
+///
+/// The *outputs* of each slot (hits, distances, ordering, errors) are
+/// bitwise identical to individual execution; the *work counters* differ
+/// by design. A grouped result's node/row/coefficient counters report
+/// what its individual execution would have counted, but `threads_used`
+/// reports the batch's configured fan-out (group phases parallelize
+/// across the whole group, so per-query attribution of thread counts is
+/// not meaningful) and `per_thread` is empty — per-thread shares exist
+/// only for single-query execution.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One slot per input query, in input order.
+    pub results: Vec<Result<QueryResult, QueryError>>,
+    /// Batch-level work counters.
+    pub stats: BatchStats,
+}
+
+/// Executes many queries against one database, sharing planning and index
+/// traversal across the batch. See the [module docs](self) for the
+/// guarantees.
+pub struct BatchExecutor<'a> {
+    db: &'a Database,
+}
+
+/// Parses and executes a batch of query texts (the convenience wrapper
+/// around [`BatchExecutor`]).
+pub fn execute_batch(db: &Database, inputs: &[&str]) -> BatchResult {
+    BatchExecutor::new(db).execute_texts(inputs)
+}
+
+/// Splits a `;`-separated script into its non-empty query texts (the
+/// language has no `;` token, so splitting is unambiguous).
+pub fn split_batch_script(script: &str) -> Vec<String> {
+    script
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// How a planned query participates in the batch.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GroupKind {
+    IndexRange,
+    ScanRange,
+    IndexKnn,
+    ScanKnn,
+}
+
+impl<'a> BatchExecutor<'a> {
+    /// A batch executor over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        BatchExecutor { db }
+    }
+
+    /// Parses every input and executes the batch; parse errors fill their
+    /// slot without failing the rest.
+    pub fn execute_texts(&self, inputs: &[&str]) -> BatchResult {
+        let mut parsed: Vec<Option<Query>> = Vec::with_capacity(inputs.len());
+        let mut slots: Vec<Option<Result<QueryResult, QueryError>>> =
+            Vec::with_capacity(inputs.len());
+        for input in inputs {
+            match crate::parse::parse(input) {
+                Ok(q) => {
+                    parsed.push(Some(q));
+                    slots.push(None);
+                }
+                Err(e) => {
+                    parsed.push(None);
+                    slots.push(Some(Err(e)));
+                }
+            }
+        }
+        self.run(&parsed, slots)
+    }
+
+    /// Executes a batch of parsed queries.
+    pub fn execute(&self, queries: &[Query]) -> BatchResult {
+        let parsed: Vec<Option<Query>> = queries.iter().cloned().map(Some).collect();
+        let slots = vec![None; queries.len()];
+        self.run(&parsed, slots)
+    }
+
+    /// Renders the batch plan: the shared-traversal groups the batch would
+    /// form and the access path of every query (the batch `EXPLAIN`). Uses
+    /// the same grouping pipeline as execution, so the preview cannot
+    /// drift from what [`BatchExecutor::execute_texts`] actually forms.
+    pub fn explain_texts(&self, inputs: &[&str]) -> String {
+        let mut singles: Vec<(usize, String)> = Vec::new();
+        let parsed: Vec<Option<Query>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| match crate::parse::parse(input) {
+                Ok(q) => Some(q),
+                Err(e) => {
+                    singles.push((i, format!("error: {e}")));
+                    None
+                }
+            })
+            .collect();
+        let (plans, groups, errors) = self.plan_and_group(&parsed);
+        for (i, e) in errors {
+            singles.push((i, format!("error: {e}")));
+        }
+        let grouped: std::collections::BTreeSet<usize> =
+            groups.values().flatten().copied().collect();
+        for (i, p) in plans.iter().enumerate() {
+            if let Some(p) = p {
+                if !grouped.contains(&i) {
+                    singles.push((i, format!("{:?}", p.access)));
+                }
+            }
+        }
+        singles.sort_by_key(|(i, _)| *i);
+
+        let mut lines: Vec<String> = Vec::new();
+        let shared: usize = groups.values().filter(|m| m.len() >= 2).count();
+        lines.push(format!(
+            "batch: {} queries, {} shared group{}",
+            inputs.len(),
+            shared,
+            if shared == 1 { "" } else { "s" },
+        ));
+        for ((relation, kind), members) in &groups {
+            let what = match kind {
+                GroupKind::IndexRange => "shared R*-tree range traversal",
+                GroupKind::IndexKnn => "shared-pool kNN + shared step-2 traversal",
+                GroupKind::ScanRange => "one shared sequential pass (range)",
+                GroupKind::ScanKnn => "one shared sequential pass (kNN)",
+            };
+            let ids: Vec<String> = members.iter().map(|i| format!("#{i}")).collect();
+            let note = if members.len() >= 2 {
+                what.to_string()
+            } else {
+                format!("{what} — single query, runs individually")
+            };
+            lines.push(format!(
+                "  relation `{relation}` · {} quer{} [{}] · {note}",
+                members.len(),
+                if members.len() == 1 { "y" } else { "ies" },
+                ids.join(" "),
+            ));
+        }
+        for (i, what) in singles {
+            lines.push(format!("  #{i} · individual · {what}"));
+        }
+        lines.join("\n")
+    }
+
+    /// The grouping pipeline shared by execution and the batch `EXPLAIN`:
+    /// plans every parsed query once and groups shareable plans by
+    /// `(relation, kind)`. Returns the plans, the groups, and any plan
+    /// errors with their slot indices.
+    #[allow(clippy::type_complexity)]
+    fn plan_and_group(
+        &self,
+        parsed: &[Option<Query>],
+    ) -> (
+        Vec<Option<Plan>>,
+        BTreeMap<(String, GroupKind), Vec<usize>>,
+        Vec<(usize, QueryError)>,
+    ) {
+        let mut plans: Vec<Option<Plan>> = vec![None; parsed.len()];
+        let mut groups: BTreeMap<(String, GroupKind), Vec<usize>> = BTreeMap::new();
+        let mut errors: Vec<(usize, QueryError)> = Vec::new();
+        for (i, query) in parsed.iter().enumerate() {
+            let Some(query) = query else { continue };
+            match plan(self.db, query) {
+                Ok(the_plan) => {
+                    if let Some(kind) = group_kind(query, &the_plan) {
+                        groups
+                            .entry((query.relation().to_string(), kind))
+                            .or_default()
+                            .push(i);
+                    }
+                    plans[i] = Some(the_plan);
+                }
+                Err(e) => errors.push((i, e)),
+            }
+        }
+        (plans, groups, errors)
+    }
+
+    fn run(
+        &self,
+        parsed: &[Option<Query>],
+        mut slots: Vec<Option<Result<QueryResult, QueryError>>>,
+    ) -> BatchResult {
+        let mut stats = BatchStats::default();
+        let (plans, groups, errors) = self.plan_and_group(parsed);
+        for (i, e) in errors {
+            slots[i] = Some(Err(e));
+        }
+
+        // Shared execution for every group of at least two queries.
+        for ((relation, kind), members) in &groups {
+            if members.len() < 2 {
+                continue;
+            }
+            let stored = self
+                .db
+                .relation(relation)
+                .expect("grouped queries planned against an existing relation");
+            let threads = plans[members[0]]
+                .as_ref()
+                .expect("grouped query has a plan")
+                .threads
+                .max(1);
+            stats.shared_groups += 1;
+            stats.grouped_queries += members.len();
+            match kind {
+                GroupKind::IndexRange => self.index_range_group(
+                    stored,
+                    members,
+                    parsed,
+                    &plans,
+                    threads,
+                    &mut slots,
+                    &mut stats.merged,
+                ),
+                GroupKind::ScanRange => self.scan_range_group(
+                    stored,
+                    members,
+                    parsed,
+                    &plans,
+                    threads,
+                    &mut slots,
+                    &mut stats.merged,
+                ),
+                GroupKind::IndexKnn => self.index_knn_group(
+                    stored,
+                    members,
+                    parsed,
+                    &plans,
+                    threads,
+                    &mut slots,
+                    &mut stats.merged,
+                ),
+                GroupKind::ScanKnn => self.scan_knn_group(
+                    stored,
+                    members,
+                    parsed,
+                    &plans,
+                    threads,
+                    &mut slots,
+                    &mut stats.merged,
+                ),
+            }
+        }
+
+        // Everything else — joins, EXPLAINs, one-query groups, and any
+        // query whose group fell apart during resolution — runs through
+        // the ordinary single-query executor.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                let query = parsed[i].as_ref().expect("unfilled slot has a query");
+                let result = exec::run(self.db, query);
+                if let Ok(r) = &result {
+                    stats.merged.add_work(&r.stats);
+                }
+                *slot = Some(result);
+            }
+        }
+
+        // The one-at-a-time reference cost: per-query counters summed.
+        for r in slots.iter().flatten().filter_map(|s| s.as_ref().ok()) {
+            stats.per_query_total.add_work(&r.stats);
+        }
+
+        BatchResult {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect(),
+            stats,
+        }
+    }
+
+    /// Shared-traversal execution of an index range group: one tree walk
+    /// serves every query's search rectangle; verification stays
+    /// per-query (the exact single-query code).
+    #[allow(clippy::too_many_arguments)]
+    fn index_range_group(
+        &self,
+        stored: &StoredRelation,
+        members: &[usize],
+        parsed: &[Option<Query>],
+        plans: &[Option<Plan>],
+        threads: usize,
+        slots: &mut [Option<Result<QueryResult, QueryError>>],
+        merged: &mut ExecStats,
+    ) {
+        let rel = &stored.relation;
+        let index = stored.index.as_ref().expect("planned index exists");
+        let scheme = rel.scheme();
+        let n = rel.series_len();
+
+        // Resolve every member; failures fill their slot and drop out.
+        struct Prepared {
+            slot: usize,
+            window: StatsWindow,
+            eps: f64,
+            ctx: QueryContext,
+            rect: Rect,
+            lowered: simq_index::DiagonalAffine,
+            action: simq_series::transform::NormalFormAction,
+        }
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(members.len());
+        for &i in members {
+            let Some(Query::Range {
+                source,
+                transform,
+                on_both,
+                eps,
+                stats_window,
+                ..
+            }) = parsed[i].as_ref()
+            else {
+                unreachable!("index range group holds range queries")
+            };
+            let outcome = (|| {
+                let ctx = resolve_query(stored, source, transform, *on_both)?;
+                let q_point = scheme.point_from_spectrum(ctx.mean, ctx.std_dev, &ctx.spectrum)?;
+                let rect = if stats_window.is_empty() {
+                    scheme.search_rect(&q_point, pad(*eps))
+                } else {
+                    scheme.search_rect_with_stats(
+                        &q_point,
+                        pad(*eps),
+                        Some((
+                            pad(stats_window.mean.unwrap_or(f64::INFINITY)),
+                            pad(stats_window.std_dev.unwrap_or(f64::INFINITY)),
+                        )),
+                    )
+                };
+                let lowered = transform.lower(scheme, n)?;
+                let action = transform.action(n, n.saturating_sub(1))?;
+                Ok::<_, QueryError>((ctx, rect, lowered, action))
+            })();
+            match outcome {
+                Ok((ctx, rect, lowered, action)) => prepared.push(Prepared {
+                    slot: i,
+                    window: *stats_window,
+                    eps: *eps,
+                    ctx,
+                    rect,
+                    lowered,
+                    action,
+                }),
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+
+        let multi: Vec<MultiRangeQuery> = prepared
+            .iter()
+            .map(|p| MultiRangeQuery {
+                transform: Some(&p.lowered),
+                rect: &p.rect,
+            })
+            .collect();
+        let (candidates, search) = if threads > 1 {
+            index.multi_range_parallel(&multi, threads)
+        } else {
+            index.multi_range(&multi)
+        };
+        merged.nodes_visited += search.merged.nodes_visited;
+        merged.leaves_visited += search.merged.leaves_visited;
+        merged.entries_tested += search.merged.entries_tested;
+
+        for (qi, p) in prepared.iter().enumerate() {
+            let ids = &candidates[qi];
+            let mut stats = ExecStats {
+                nodes_visited: search.per_query[qi].nodes_visited,
+                leaves_visited: search.per_query[qi].leaves_visited,
+                entries_tested: search.per_query[qi].entries_tested,
+                candidates: ids.len() as u64,
+                ..ExecStats::default()
+            };
+            let hits = verify_range_candidates(
+                rel, ids, &p.ctx, &p.window, &p.action, p.eps, threads, &mut stats,
+            );
+            merged.candidates += stats.candidates;
+            merged.coefficients_compared += stats.coefficients_compared;
+            stats.verified = hits.len() as u64;
+            stats.threads_used = threads as u64;
+            slots[p.slot] = Some(Ok(QueryResult {
+                output: QueryOutput::Hits(hits),
+                plan: plans[p.slot].clone().expect("grouped query has a plan"),
+                stats,
+                per_thread: Vec::new(),
+            }));
+        }
+    }
+
+    /// Shared one-pass execution of a scan-fallback range group.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_range_group(
+        &self,
+        stored: &StoredRelation,
+        members: &[usize],
+        parsed: &[Option<Query>],
+        plans: &[Option<Plan>],
+        threads: usize,
+        slots: &mut [Option<Result<QueryResult, QueryError>>],
+        merged: &mut ExecStats,
+    ) {
+        let rel = &stored.relation;
+        let n = rel.series_len();
+        struct Prepared<'q> {
+            slot: usize,
+            transform: &'q SeriesTransform,
+            window: StatsWindow,
+            eps: f64,
+            ctx: QueryContext,
+            action: simq_series::transform::NormalFormAction,
+        }
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(members.len());
+        for &i in members {
+            let Some(Query::Range {
+                source,
+                transform,
+                on_both,
+                eps,
+                stats_window,
+                ..
+            }) = parsed[i].as_ref()
+            else {
+                unreachable!("scan range group holds range queries")
+            };
+            let outcome = (|| {
+                let ctx = resolve_query(stored, source, transform, *on_both)?;
+                let action = transform.action(n, n.saturating_sub(1))?;
+                Ok::<_, QueryError>((ctx, action))
+            })();
+            match outcome {
+                Ok((ctx, action)) => prepared.push(Prepared {
+                    slot: i,
+                    transform,
+                    window: *stats_window,
+                    eps: *eps,
+                    ctx,
+                    action,
+                }),
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+
+        let multi: Vec<MultiScanRangeQuery> = prepared
+            .iter()
+            .map(|p| MultiScanRangeQuery {
+                transform: p.transform,
+                query_spectrum: &p.ctx.spectrum,
+                eps: p.eps,
+            })
+            .collect();
+        let scanned = match scan_range_multi(rel, &multi, true, threads) {
+            Ok(r) => r,
+            Err(e) => {
+                // Per-query transform errors were already caught by
+                // `action` above; a failure here affects the whole group.
+                for p in &prepared {
+                    slots[p.slot] = Some(Err(QueryError::Series(e.clone())));
+                }
+                return;
+            }
+        };
+        let (hit_lists, scan_stats) = scanned;
+        merged.rows_scanned += scan_stats.merged.rows_scanned;
+        merged.coefficients_compared += scan_stats.merged.coefficients_compared;
+
+        for (qi, p) in prepared.iter().enumerate() {
+            let window_ok = window_test(&p.action, &p.window, &p.ctx);
+            let mut hits: Vec<Hit> = hit_lists[qi]
+                .iter()
+                .filter(|h| {
+                    let row = rel.row(h.id).expect("scan ids are valid");
+                    window_ok(row.features.mean, row.features.std_dev)
+                })
+                .map(|h| Hit {
+                    id: h.id,
+                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    distance: h.distance,
+                })
+                .collect();
+            sort_hits(&mut hits);
+            let per = &scan_stats.per_query[qi];
+            merged.candidates += per.rows_scanned;
+            let stats = ExecStats {
+                rows_scanned: per.rows_scanned,
+                coefficients_compared: per.coefficients_compared,
+                candidates: per.rows_scanned,
+                verified: hits.len() as u64,
+                threads_used: threads as u64,
+                ..ExecStats::default()
+            };
+            slots[p.slot] = Some(Ok(QueryResult {
+                output: QueryOutput::Hits(hits),
+                plan: plans[p.slot].clone().expect("grouped query has a plan"),
+                stats,
+                per_thread: Vec::new(),
+            }));
+        }
+    }
+
+    /// Batched two-step kNN: step 1 runs every best-first search over one
+    /// shared pool; step 2 batches all the radius range queries into one
+    /// shared traversal.
+    #[allow(clippy::too_many_arguments)]
+    fn index_knn_group(
+        &self,
+        stored: &StoredRelation,
+        members: &[usize],
+        parsed: &[Option<Query>],
+        plans: &[Option<Plan>],
+        threads: usize,
+        slots: &mut [Option<Result<QueryResult, QueryError>>],
+        merged: &mut ExecStats,
+    ) {
+        let rel = &stored.relation;
+        let index = stored.index.as_ref().expect("planned index exists");
+        let scheme = rel.scheme();
+        let n = rel.series_len();
+
+        struct Prepared {
+            slot: usize,
+            k: usize,
+            spectrum: Vec<Complex>,
+            q_point: Vec<f64>,
+            q_coeffs: Vec<Complex>,
+            lowered: simq_index::DiagonalAffine,
+            action: simq_series::transform::NormalFormAction,
+            stats: ExecStats,
+        }
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(members.len());
+        for &i in members {
+            let Some(Query::Knn {
+                k,
+                source,
+                transform,
+                on_both,
+                ..
+            }) = parsed[i].as_ref()
+            else {
+                unreachable!("index kNN group holds kNN queries")
+            };
+            let outcome = (|| {
+                let ctx = resolve_query(stored, source, transform, *on_both)?;
+                let q_point = scheme.point_from_spectrum(0.0, 0.0, &ctx.spectrum)?;
+                let q_coeffs = scheme.coefficients_of_point(&q_point);
+                let lowered = transform.lower(scheme, n)?;
+                let action = transform.action(n, n.saturating_sub(1))?;
+                Ok::<_, QueryError>((ctx.spectrum, q_point, q_coeffs, lowered, action))
+            })();
+            match outcome {
+                Ok((spectrum, q_point, q_coeffs, lowered, action)) => prepared.push(Prepared {
+                    slot: i,
+                    k: *k,
+                    spectrum,
+                    q_point,
+                    q_coeffs,
+                    lowered,
+                    action,
+                    stats: ExecStats::default(),
+                }),
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+
+        // Step 1: every search shares one pool, pruned per query.
+        type BoundFn = Box<dyn Fn(&Rect) -> f64 + Sync>;
+        let bounds: Vec<BoundFn> = prepared
+            .iter()
+            .map(|p| {
+                let q_coeffs = p.q_coeffs.clone();
+                let scheme = scheme.clone();
+                Box::new(move |rect: &Rect| simq_series::spectral_mindist(&scheme, &q_coeffs, rect))
+                    as BoundFn
+            })
+            .collect();
+        let knn_queries: Vec<MultiKnnQuery> = prepared
+            .iter()
+            .zip(&bounds)
+            .map(|(p, b)| MultiKnnQuery {
+                bound: b.as_ref(),
+                transform: Some(&p.lowered),
+                k: p.k,
+            })
+            .collect();
+        let (step1, s1) = index.multi_nearest_by(&knn_queries, threads);
+        merged.nodes_visited += s1.merged.nodes_visited;
+        merged.leaves_visited += s1.merged.leaves_visited;
+        merged.entries_tested += s1.merged.entries_tested;
+        for (qi, p) in prepared.iter_mut().enumerate() {
+            p.stats.nodes_visited += s1.per_query[qi].nodes_visited;
+            p.stats.leaves_visited += s1.per_query[qi].leaves_visited;
+            p.stats.entries_tested += s1.per_query[qi].entries_tested;
+        }
+
+        // Step 2: the k-th candidate's exact distance bounds one range
+        // query per member; all of them share one traversal.
+        let mut radii: Vec<Option<(f64, Rect)>> = Vec::with_capacity(prepared.len());
+        for (qi, p) in prepared.iter_mut().enumerate() {
+            if step1[qi].is_empty() {
+                radii.push(None);
+                continue;
+            }
+            let mut radius_sq = 0.0f64;
+            let mut compared = 0u64;
+            for nb in &step1[qi] {
+                let row = rel.row(nb.id).expect("index ids are valid");
+                let d_sq = exact_distance_sq(
+                    &row.features.spectrum,
+                    &p.action.multipliers,
+                    &p.spectrum,
+                    None,
+                    &mut compared,
+                );
+                radius_sq = radius_sq.max(d_sq);
+            }
+            p.stats.coefficients_compared += compared;
+            merged.coefficients_compared += compared;
+            let rect = scheme.search_rect(&p.q_point, pad(radius_sq.sqrt()));
+            radii.push(Some((radius_sq, rect)));
+        }
+        let step2_members: Vec<usize> = (0..prepared.len())
+            .filter(|&qi| radii[qi].is_some())
+            .collect();
+        let multi: Vec<MultiRangeQuery> = step2_members
+            .iter()
+            .map(|&qi| MultiRangeQuery {
+                transform: Some(&prepared[qi].lowered),
+                rect: &radii[qi].as_ref().expect("filtered to present").1,
+            })
+            .collect();
+        let (candidates, s2) = if threads > 1 {
+            index.multi_range_parallel(&multi, threads)
+        } else {
+            index.multi_range(&multi)
+        };
+        merged.nodes_visited += s2.merged.nodes_visited;
+        merged.leaves_visited += s2.merged.leaves_visited;
+        merged.entries_tested += s2.merged.entries_tested;
+
+        let mut step2_hits: BTreeMap<usize, Vec<Hit>> = BTreeMap::new();
+        for (pos, &qi) in step2_members.iter().enumerate() {
+            let p = &mut prepared[qi];
+            let ids = &candidates[pos];
+            let radius_sq = radii[qi].as_ref().expect("present").0;
+            p.stats.nodes_visited += s2.per_query[pos].nodes_visited;
+            p.stats.leaves_visited += s2.per_query[pos].leaves_visited;
+            p.stats.entries_tested += s2.per_query[pos].entries_tested;
+            p.stats.candidates = ids.len() as u64;
+            merged.candidates += ids.len() as u64;
+
+            let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
+                ids.iter()
+                    .filter_map(|&id| {
+                        let row = rel.row(id).expect("index ids are valid");
+                        let d_sq = exact_distance_sq(
+                            &row.features.spectrum,
+                            &p.action.multipliers,
+                            &p.spectrum,
+                            Some(radius_sq),
+                            compared,
+                        );
+                        d_sq.is_finite().then(|| Hit {
+                            id,
+                            name: row.name.clone(),
+                            distance: d_sq.sqrt(),
+                        })
+                    })
+                    .collect()
+            };
+            let mut out: Vec<Hit> = if threads > 1 && ids.len() >= 2 * threads {
+                let (out, total, _) = parallel_verify(ids, threads, &verify);
+                p.stats.coefficients_compared += total;
+                merged.coefficients_compared += total;
+                out
+            } else {
+                let mut compared = 0u64;
+                let out = verify(ids, &mut compared);
+                p.stats.coefficients_compared += compared;
+                merged.coefficients_compared += compared;
+                out
+            };
+            sort_hits(&mut out);
+            out.truncate(p.k);
+            step2_hits.insert(qi, out);
+        }
+
+        for (qi, p) in prepared.into_iter().enumerate() {
+            let hits = step2_hits.remove(&qi).unwrap_or_default();
+            let mut stats = p.stats;
+            stats.verified = hits.len() as u64;
+            stats.threads_used = threads as u64;
+            slots[p.slot] = Some(Ok(QueryResult {
+                output: QueryOutput::Hits(hits),
+                plan: plans[p.slot].clone().expect("grouped query has a plan"),
+                stats,
+                per_thread: Vec::new(),
+            }));
+        }
+    }
+
+    /// Shared one-pass execution of a scan-fallback kNN group.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_knn_group(
+        &self,
+        stored: &StoredRelation,
+        members: &[usize],
+        parsed: &[Option<Query>],
+        plans: &[Option<Plan>],
+        threads: usize,
+        slots: &mut [Option<Result<QueryResult, QueryError>>],
+        merged: &mut ExecStats,
+    ) {
+        let rel = &stored.relation;
+        struct Prepared<'q> {
+            slot: usize,
+            k: usize,
+            transform: &'q SeriesTransform,
+            spectrum: Vec<Complex>,
+        }
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(members.len());
+        for &i in members {
+            let Some(Query::Knn {
+                k,
+                source,
+                transform,
+                on_both,
+                ..
+            }) = parsed[i].as_ref()
+            else {
+                unreachable!("scan kNN group holds kNN queries")
+            };
+            match resolve_query(stored, source, transform, *on_both) {
+                Ok(ctx) => prepared.push(Prepared {
+                    slot: i,
+                    k: *k,
+                    transform,
+                    spectrum: ctx.spectrum,
+                }),
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+
+        let multi: Vec<MultiScanKnnQuery> = prepared
+            .iter()
+            .map(|p| MultiScanKnnQuery {
+                transform: p.transform,
+                query_spectrum: &p.spectrum,
+                k: p.k,
+            })
+            .collect();
+        let (hit_lists, scan_stats) = match scan_knn_multi(rel, &multi, threads) {
+            Ok(r) => r,
+            Err(e) => {
+                for p in &prepared {
+                    slots[p.slot] = Some(Err(QueryError::Series(e.clone())));
+                }
+                return;
+            }
+        };
+        merged.rows_scanned += scan_stats.merged.rows_scanned;
+        merged.coefficients_compared += scan_stats.merged.coefficients_compared;
+
+        for (qi, p) in prepared.iter().enumerate() {
+            let hits: Vec<Hit> = hit_lists[qi]
+                .iter()
+                .map(|h| Hit {
+                    id: h.id,
+                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    distance: h.distance,
+                })
+                .collect();
+            let per = &scan_stats.per_query[qi];
+            merged.candidates += per.rows_scanned;
+            let stats = ExecStats {
+                rows_scanned: per.rows_scanned,
+                coefficients_compared: per.coefficients_compared,
+                candidates: per.rows_scanned,
+                verified: hits.len() as u64,
+                threads_used: threads as u64,
+                ..ExecStats::default()
+            };
+            slots[p.slot] = Some(Ok(QueryResult {
+                output: QueryOutput::Hits(hits),
+                plan: plans[p.slot].clone().expect("grouped query has a plan"),
+                stats,
+                per_thread: Vec::new(),
+            }));
+        }
+    }
+}
+
+/// Which shared group a planned query can join, if any.
+fn group_kind(query: &Query, the_plan: &Plan) -> Option<GroupKind> {
+    match (query, &the_plan.access) {
+        (Query::Range { .. }, AccessPath::IndexScan) => Some(GroupKind::IndexRange),
+        (Query::Range { .. }, AccessPath::SeqScan { .. }) => Some(GroupKind::ScanRange),
+        (Query::Knn { .. }, AccessPath::IndexScan) => Some(GroupKind::IndexKnn),
+        (Query::Knn { .. }, AccessPath::SeqScan { .. }) => Some(GroupKind::ScanKnn),
+        _ => None,
+    }
+}
+
+/// The GK95 window predicate on *transformed* row statistics — the exact
+/// test of the single-query executor.
+fn window_test<'a>(
+    action: &'a simq_series::transform::NormalFormAction,
+    window: &'a StatsWindow,
+    ctx: &'a QueryContext,
+) -> impl Fn(f64, f64) -> bool + 'a {
+    move |mean: f64, std_dev: f64| -> bool {
+        let t_mean = action.mean_scale * mean + action.mean_shift;
+        let t_std = action.std_scale * std_dev;
+        window
+            .mean
+            .is_none_or(|tol| (t_mean - ctx.mean).abs() <= tol)
+            && window
+                .std_dev
+                .is_none_or(|tol| (t_std - ctx.std_dev).abs() <= tol)
+    }
+}
+
+/// Per-query verification of index range candidates — the exact code (and
+/// parallel-split condition) of the single-query executor, so distances
+/// and coefficient counts match an individual run bitwise.
+#[allow(clippy::too_many_arguments)]
+fn verify_range_candidates(
+    rel: &simq_storage::SeriesRelation,
+    ids: &[u64],
+    ctx: &QueryContext,
+    window: &StatsWindow,
+    action: &simq_series::transform::NormalFormAction,
+    eps: f64,
+    threads: usize,
+    stats: &mut ExecStats,
+) -> Vec<Hit> {
+    let window_ok = window_test(action, window, ctx);
+    let q_spec: &[Complex] = &ctx.spectrum;
+    let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
+        let mut out = Vec::new();
+        for &id in ids {
+            let row = rel.row(id).expect("index ids are valid");
+            if !window_ok(row.features.mean, row.features.std_dev) {
+                continue;
+            }
+            let d = exact_distance(
+                &row.features.spectrum,
+                &action.multipliers,
+                q_spec,
+                Some(eps * eps),
+                compared,
+            );
+            if d <= eps {
+                out.push(Hit {
+                    id,
+                    name: row.name.clone(),
+                    distance: d,
+                });
+            }
+        }
+        out
+    };
+    let mut hits = if threads > 1 && ids.len() >= 2 * threads {
+        let (out, total, _) = parallel_verify(ids, threads, &verify);
+        stats.coefficients_compared += total;
+        out
+    } else {
+        let mut compared = 0u64;
+        let out = verify(ids, &mut compared);
+        stats.coefficients_compared += compared;
+        out
+    };
+    sort_hits(&mut hits);
+    hits
+}
+
+/// The deterministic `(distance, id)` hit order of every query form.
+fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simq_series::features::FeatureScheme;
+    use simq_storage::SeriesRelation;
+
+    fn make_db(rows: usize) -> Database {
+        let mut rel = SeriesRelation::new("stocks", 64, FeatureScheme::paper_default());
+        for i in 0..rows {
+            let series: Vec<f64> = (0..64)
+                .map(|t| {
+                    25.0 + ((t as f64) * (0.07 + 0.011 * (i % 7) as f64)).sin() * 4.0
+                        + (i as f64 * 0.3)
+                        + ((t * t) as f64 * 0.001 * (i % 3) as f64)
+                })
+                .collect();
+            rel.insert(format!("S{i:04}"), series).unwrap();
+        }
+        let mut db = Database::new();
+        db.add_relation_indexed(rel);
+        db
+    }
+
+    fn assert_same(a: &QueryResult, b: &QueryResult, what: &str) {
+        match (&a.output, &b.output) {
+            (QueryOutput::Hits(x), QueryOutput::Hits(y)) => {
+                assert_eq!(x.len(), y.len(), "{what}");
+                for (h, g) in x.iter().zip(y) {
+                    assert_eq!(h.id, g.id, "{what}");
+                    assert_eq!(h.name, g.name, "{what}");
+                    assert_eq!(h.distance.to_bits(), g.distance.to_bits(), "{what}");
+                }
+            }
+            (QueryOutput::Pairs(x), QueryOutput::Pairs(y)) => {
+                assert_eq!(x.len(), y.len(), "{what}");
+                for (h, g) in x.iter().zip(y) {
+                    assert_eq!((h.a, h.b), (g.a, g.b), "{what}");
+                    assert_eq!(h.distance.to_bits(), g.distance.to_bits(), "{what}");
+                }
+            }
+            (QueryOutput::Plan(x), QueryOutput::Plan(y)) => assert_eq!(x, y, "{what}"),
+            other => panic!("mismatched outputs for {what}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_equals_one_at_a_time_for_a_mixed_batch() {
+        let db = make_db(80);
+        let queries = [
+            "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0",
+            "FIND SIMILAR TO ROW 9 IN stocks USING mavg(8) ON BOTH EPSILON 2.0",
+            "FIND SIMILAR TO ROW 70 IN stocks EPSILON 1.0",
+            "FIND 7 NEAREST TO ROW 10 IN stocks",
+            "FIND 3 NEAREST TO ROW 44 IN stocks USING mavg(5) ON BOTH",
+            "FIND SIMILAR TO ROW 2 IN stocks EPSILON 3.0 FORCE SCAN",
+            "FIND SIMILAR TO ROW 13 IN stocks EPSILON 0.5 FORCE SCAN",
+            "FIND 4 NEAREST TO ROW 1 IN stocks FORCE SCAN",
+            "FIND 9 NEAREST TO ROW 2 IN stocks FORCE SCAN",
+            "FIND PAIRS IN stocks USING mavg(8) EPSILON 1.5 METHOD d",
+            "EXPLAIN FIND SIMILAR TO ROW 0 IN stocks EPSILON 1",
+        ];
+        let batch = execute_batch(&db, &queries);
+        assert_eq!(batch.results.len(), queries.len());
+        assert!(batch.stats.shared_groups >= 3);
+        for (i, q) in queries.iter().enumerate() {
+            let individual = exec::execute(&db, q).unwrap();
+            let got = batch.results[i].as_ref().unwrap();
+            assert_same(got, &individual, q);
+        }
+        // Shared traversal did strictly less node work than the sum.
+        assert!(batch.stats.merged.nodes_visited < batch.stats.per_query_total.nodes_visited);
+        // And one pass over the relation served both scan queries.
+        assert!(batch.stats.merged.rows_scanned < batch.stats.per_query_total.rows_scanned);
+    }
+
+    #[test]
+    fn batch_preserves_per_query_errors() {
+        let db = make_db(10);
+        let queries = [
+            "FIND SIMILAR TO ROW 5 IN stocks EPSILON 3.0",
+            "FIND SIMILAR TO ROW 999 IN stocks EPSILON 1.0",
+            "THIS IS NOT A QUERY",
+            "FIND SIMILAR TO ROW 0 IN nope EPSILON 1.0",
+            "FIND SIMILAR TO ROW 1 IN stocks EPSILON 2.0",
+        ];
+        let batch = execute_batch(&db, &queries);
+        assert!(batch.results[0].is_ok());
+        assert!(matches!(batch.results[1], Err(QueryError::UnknownRow(_))));
+        assert!(matches!(batch.results[2], Err(QueryError::Parse { .. })));
+        assert!(matches!(
+            batch.results[3],
+            Err(QueryError::UnknownRelation(_))
+        ));
+        assert!(batch.results[4].is_ok());
+    }
+
+    #[test]
+    fn explain_texts_renders_groups() {
+        let db = make_db(30);
+        let queries = [
+            "FIND SIMILAR TO ROW 1 IN stocks EPSILON 1",
+            "FIND SIMILAR TO ROW 2 IN stocks EPSILON 1",
+            "FIND PAIRS IN stocks EPSILON 1 METHOD b",
+            "garbage",
+        ];
+        let text = BatchExecutor::new(&db).explain_texts(&queries);
+        assert!(text.contains("shared R*-tree range traversal"), "{text}");
+        assert!(text.contains("#0 #1"), "{text}");
+        assert!(text.contains("error:"), "{text}");
+    }
+
+    #[test]
+    fn split_batch_script_splits_and_trims() {
+        let parts = split_batch_script(
+            " FIND SIMILAR TO ROW 1 IN r EPSILON 1 ;; FIND 2 NEAREST TO ROW 0 IN r ; ",
+        );
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], "FIND SIMILAR TO ROW 1 IN r EPSILON 1");
+        assert_eq!(parts[1], "FIND 2 NEAREST TO ROW 0 IN r");
+    }
+
+    #[test]
+    fn batch_parallel_equals_batch_serial() {
+        use crate::plan::Parallelism;
+        let mut db = make_db(120);
+        let queries: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    "FIND SIMILAR TO ROW {i} IN stocks EPSILON {}",
+                    1.0 + i as f64 * 0.3
+                )
+            })
+            .chain((0..4).map(|i| format!("FIND {} NEAREST TO ROW {i} IN stocks", 3 + i)))
+            .collect();
+        let texts: Vec<&str> = queries.iter().map(String::as_str).collect();
+        db.set_parallelism(Parallelism::Serial);
+        let serial = execute_batch(&db, &texts);
+        db.set_parallelism(Parallelism::Fixed(4));
+        let parallel = execute_batch(&db, &texts);
+        for (i, (a, b)) in serial.results.iter().zip(&parallel.results).enumerate() {
+            assert_same(
+                a.as_ref().unwrap(),
+                b.as_ref().unwrap(),
+                &format!("query {i}"),
+            );
+        }
+    }
+}

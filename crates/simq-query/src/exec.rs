@@ -59,7 +59,7 @@ impl ExecStats {
 
     /// Accumulates another block's work counters (`verified` and
     /// `threads_used` are query-level, not additive).
-    fn add_work(&mut self, o: &ExecStats) {
+    pub(crate) fn add_work(&mut self, o: &ExecStats) {
         self.nodes_visited += o.nodes_visited;
         self.leaves_visited += o.leaves_visited;
         self.entries_tested += o.entries_tested;
@@ -114,7 +114,7 @@ fn fold_coefficients(per: &mut Vec<ExecStats>, counts: &[u64]) {
 /// of `candidates` on `threads` worker threads (used by the index paths of
 /// range and kNN queries). Returns the concatenated hits, the merged
 /// coefficient-comparison count, and the per-thread counts.
-fn parallel_verify(
+pub(crate) fn parallel_verify(
     candidates: &[u64],
     threads: usize,
     verify: &(dyn Fn(&[u64], &mut u64) -> Vec<Hit> + Sync),
@@ -269,15 +269,15 @@ pub fn run(db: &Database, query: &Query) -> Result<QueryResult, QueryError> {
 
 /// The resolved query: comparison spectrum plus the query series'
 /// statistics (needed by GK95 MEAN/STD windows).
-struct QueryContext {
-    spectrum: Vec<Complex>,
-    mean: f64,
-    std_dev: f64,
+pub(crate) struct QueryContext {
+    pub(crate) spectrum: Vec<Complex>,
+    pub(crate) mean: f64,
+    pub(crate) std_dev: f64,
 }
 
 /// Resolves the query source: the normal-form spectrum of the query series
 /// (transformed when `ON BOTH` was given) and its statistics.
-fn resolve_query(
+pub(crate) fn resolve_query(
     stored: &StoredRelation,
     source: &QuerySource,
     transform: &SeriesTransform,
@@ -338,7 +338,7 @@ fn resolve_query(
 /// round to either side; the pad keeps such items in the candidate set,
 /// where exact verification decides. Padding never adds false dismissals —
 /// it can only widen the candidate superset of Lemma 1.
-fn pad(radius: f64) -> f64 {
+pub(crate) fn pad(radius: f64) -> f64 {
     radius * (1.0 + 1e-9) + 1e-9
 }
 
@@ -349,7 +349,7 @@ fn pad(radius: f64) -> f64 {
 /// early-abandoning idea the paper applies to sequential scans. Working in
 /// squared distances end to end avoids `sqrt`-roundtrip boundary errors
 /// when a bound is derived from a previously computed distance.
-fn exact_distance_sq(
+pub(crate) fn exact_distance_sq(
     row_spectrum: &[Complex],
     multipliers: &[Complex],
     q: &[Complex],
@@ -371,7 +371,7 @@ fn exact_distance_sq(
 }
 
 /// [`exact_distance_sq`] with the square root taken for finite results.
-fn exact_distance(
+pub(crate) fn exact_distance(
     row_spectrum: &[Complex],
     multipliers: &[Complex],
     q: &[Complex],

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod error;
 pub mod exec;
 pub mod parse;
@@ -27,6 +28,7 @@ pub mod plan;
 pub mod token;
 
 pub use ast::{JoinMethod, Query, QuerySource, Strategy};
+pub use batch::{execute_batch, split_batch_script, BatchExecutor, BatchResult, BatchStats};
 pub use error::QueryError;
 pub use exec::{execute, run, ExecStats, Hit, PairHit, QueryOutput, QueryResult};
 pub use parse::parse;

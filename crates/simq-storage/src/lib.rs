@@ -9,6 +9,9 @@
 //!   insert, index construction (bulk-loaded or incremental).
 //! * [`scan`] — sequential-scan query evaluation with and without early
 //!   abandoning (methods *a*/*b* of the paper's Table 1).
+//! * [`multi`] — batched scans: one pass over the relation serving a whole
+//!   batch of range/kNN queries, each bitwise identical to its individual
+//!   scan.
 //! * [`persist`] — a tiny dependency-free text format with exact `f64`
 //!   round-tripping (the import/export path).
 //! * [`pages`] — the checksummed fixed-size page layer under snapshots.
@@ -18,12 +21,16 @@
 
 #![warn(missing_docs)]
 
+pub mod multi;
 pub mod pages;
 pub mod persist;
 pub mod relation;
 pub mod scan;
 pub mod snapshot;
 
+pub use multi::{
+    scan_knn_multi, scan_range_multi, MultiScanKnnQuery, MultiScanRangeQuery, MultiScanStats,
+};
 pub use relation::{SeriesRelation, SeriesRow};
 pub use scan::{
     scan_all_pairs, scan_all_pairs_parallel, scan_all_pairs_two, scan_all_pairs_two_parallel,

@@ -218,9 +218,8 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     })
 }
 
-/// Writes a logical stream to a paged file (atomically — see
-/// [`write_atomic`]'s semantics: an existing file at `path` survives a
-/// failed write intact).
+/// Writes a logical stream to a paged file (atomically, via a temp-file
+/// rename: an existing file at `path` survives a failed write intact).
 ///
 /// # Errors
 /// I/O errors from the filesystem.

@@ -52,7 +52,7 @@ pub struct ScanHit {
 /// Exact distance between a transformed spectrum and a query spectrum,
 /// given the precomputed multipliers (frequency 0 is compared untouched —
 /// normal forms have zero DC).
-fn transformed_distance_sq(
+pub(crate) fn transformed_distance_sq(
     spectrum: &[Complex],
     multipliers: &[Complex],
     query: &[Complex],

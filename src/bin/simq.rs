@@ -4,14 +4,23 @@
 //! cargo run --release --bin simq                     # demo corpus
 //! cargo run --release --bin simq -- relation.txt …   # import text relations
 //! SIMQ_DB=db.simq cargo run --release --bin simq     # open a snapshot
+//! cargo run --release --bin simq -- --exec "q1; q2"  # non-interactive batch
 //! ```
 //!
 //! Each line is a query in the language of `simq-query`
 //! (`FIND SIMILAR TO … EPSILON …`, `FIND k NEAREST TO …`,
 //! `FIND PAIRS … METHOD …`, `EXPLAIN …`) or one of the shell commands
 //! `\relations`, `\rows <relation>`, `\save [file]`, `\open <file>`,
-//! `\export <relation> <path>`, `\threads <n|auto|serial>`, `\help`,
-//! `\quit`.
+//! `\export <relation> <path>`, `\threads <n|auto|serial>`,
+//! `\batch [run|explain|show|cancel]`, `\help`, `\quit`.
+//!
+//! Batched execution: a line of `;`-separated queries runs as **one
+//! batch** — parsed and planned together, with queries against the same
+//! relation sharing index traversal (see `simq-query::batch`). `\batch`
+//! begins collect mode: subsequent query lines are queued, `\batch run`
+//! executes them all as one batch, `\batch explain` previews the shared
+//! groups. Non-interactively, `--exec "<q1>; <q2>; …"` executes a batch
+//! script and exits (exit code 1 when any query failed).
 //!
 //! Persistence: `\save <file>` writes the whole database — every relation
 //! with its precomputed spectra and its R*-tree structure — to a paged
@@ -26,20 +35,30 @@
 
 use similarity_queries::data::WalkGenerator;
 use similarity_queries::prelude::*;
+use similarity_queries::query::batch::{split_batch_script, BatchExecutor, BatchResult};
 use similarity_queries::query::QueryOutput;
 use similarity_queries::storage::persist;
 use std::io::{self, BufRead, Write};
 
-/// Parses a parallelism word: a thread count, `auto`, or `serial`.
-fn parse_parallelism(word: &str) -> Option<Parallelism> {
+/// Parses a parallelism word: a thread count (≥ 1), `auto`, or `serial`.
+///
+/// # Errors
+/// A human-readable description of why the word is not a valid setting —
+/// zero, negative, fractional and non-numeric words are all rejected
+/// explicitly rather than ignored.
+fn parse_parallelism(word: &str) -> Result<Parallelism, String> {
     match word {
-        "serial" | "1" => Some(Parallelism::Serial),
-        "auto" => Some(Parallelism::Auto),
-        n => n
-            .parse::<usize>()
-            .ok()
-            .filter(|n| *n > 1)
-            .map(Parallelism::Fixed),
+        "serial" | "1" => Ok(Parallelism::Serial),
+        "auto" => Ok(Parallelism::Auto),
+        n => match n.parse::<usize>() {
+            Ok(0) => Err(format!(
+                "invalid thread count {word:?}: must be at least 1 (or `serial`, `auto`)"
+            )),
+            Ok(count) => Ok(Parallelism::Fixed(count)),
+            Err(_) => Err(format!(
+                "invalid thread setting {word:?}: expected a count, `auto` or `serial`"
+            )),
+        },
     }
 }
 
@@ -47,11 +66,11 @@ fn main() {
     let mut db = Database::new();
     if let Ok(setting) = std::env::var("SIMQ_THREADS") {
         match parse_parallelism(setting.trim()) {
-            Some(p) => {
+            Ok(p) => {
                 db.set_parallelism(p);
                 println!("parallelism: {p} (from SIMQ_THREADS)");
             }
-            None => eprintln!("ignoring invalid SIMQ_THREADS={setting:?}"),
+            Err(why) => eprintln!("ignoring SIMQ_THREADS: {why}"),
         }
     }
     let default_snapshot = std::env::var("SIMQ_DB").ok().filter(|p| !p.is_empty());
@@ -72,8 +91,27 @@ fn main() {
             println!("SIMQ_DB={path} does not exist yet; \\save will create it");
         }
     }
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() && !opened_snapshot {
+
+    // Argument scan: `--exec <script>` runs a `;`-separated batch and
+    // exits; every other argument is a text relation to import.
+    let mut exec_script: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--exec" || arg == "-e" {
+            match args.next() {
+                Some(script) => exec_script = Some(script),
+                None => {
+                    eprintln!("usage: simq --exec \"<query>[; <query>…]\"");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            files.push(arg);
+        }
+    }
+
+    if files.is_empty() && !opened_snapshot {
         let mut gen = WalkGenerator::new(42);
         let mut rel = SeriesRelation::new("walks", 128, FeatureScheme::paper_default());
         for i in 0..1000 {
@@ -83,7 +121,7 @@ fn main() {
         db.add_relation_indexed(rel);
         println!("loaded demo relation `walks` (1000 × 128, indexed)");
     } else {
-        for path in &args {
+        for path in &files {
             match persist::load(path) {
                 Ok(rel) => {
                     println!(
@@ -101,11 +139,27 @@ fn main() {
             }
         }
     }
+
+    if let Some(script) = exec_script {
+        // Non-interactive batch execution: run, report, exit.
+        let ok = run_batch(&db, &split_batch_script(&script));
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     println!("type a query, or \\help");
+
+    // `\batch` collect mode: when `Some`, query lines are queued instead
+    // of executed, until `\batch run` / `\batch cancel`.
+    let mut batch_buffer: Option<Vec<String>> = None;
 
     let stdin = io::stdin();
     loop {
-        print!("simq> ");
+        print!(
+            "{}",
+            match &batch_buffer {
+                Some(pending) => format!("simq batch[{}]> ", pending.len()),
+                None => "simq> ".to_string(),
+            }
+        );
         io::stdout().flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
@@ -121,36 +175,31 @@ fn main() {
             continue;
         }
         if let Some(cmd) = line.strip_prefix('\\') {
-            if !shell_command(&mut db, cmd, default_snapshot.as_deref()) {
+            if !shell_command(&mut db, cmd, default_snapshot.as_deref(), &mut batch_buffer) {
                 break;
             }
             continue;
         }
+        if let Some(pending) = &mut batch_buffer {
+            pending.extend(split_batch_script(line));
+            println!("queued ({} pending; \\batch run to execute)", pending.len());
+            continue;
+        }
+        // `;` separates batch queries — a single query with a trailing
+        // `;` is still one query, not a lex error.
+        let parts = split_batch_script(line);
+        if parts.len() > 1 {
+            run_batch(&db, &parts);
+            continue;
+        }
+        let Some(query) = parts.into_iter().next() else {
+            continue; // the line was only separators
+        };
         let start = std::time::Instant::now();
-        match execute(&db, line) {
+        match execute(&db, &query) {
             Ok(result) => {
                 let elapsed = start.elapsed();
-                match &result.output {
-                    QueryOutput::Hits(hits) => {
-                        println!("{} hits:", hits.len());
-                        for h in hits.iter().take(20) {
-                            println!("  {:<12} id={:<6} distance={:.4}", h.name, h.id, h.distance);
-                        }
-                        if hits.len() > 20 {
-                            println!("  … {} more", hits.len() - 20);
-                        }
-                    }
-                    QueryOutput::Pairs(pairs) => {
-                        println!("{} pairs:", pairs.len());
-                        for p in pairs.iter().take(20) {
-                            println!("  ({}, {}) distance={:.4}", p.a, p.b, p.distance);
-                        }
-                        if pairs.len() > 20 {
-                            println!("  … {} more", pairs.len() - 20);
-                        }
-                    }
-                    QueryOutput::Plan(text) => println!("{text}"),
-                }
+                print_output(&result.output);
                 println!(
                     "({:.3} ms; plan {:?}; nodes={} rows={} candidates={} threads={})",
                     elapsed.as_secs_f64() * 1e3,
@@ -174,25 +223,136 @@ fn main() {
     }
 }
 
+/// Prints one query's result rows (shared by single and batch execution).
+fn print_output(output: &QueryOutput) {
+    match output {
+        QueryOutput::Hits(hits) => {
+            println!("{} hits:", hits.len());
+            for h in hits.iter().take(20) {
+                println!("  {:<12} id={:<6} distance={:.4}", h.name, h.id, h.distance);
+            }
+            if hits.len() > 20 {
+                println!("  … {} more", hits.len() - 20);
+            }
+        }
+        QueryOutput::Pairs(pairs) => {
+            println!("{} pairs:", pairs.len());
+            for p in pairs.iter().take(20) {
+                println!("  ({}, {}) distance={:.4}", p.a, p.b, p.distance);
+            }
+            if pairs.len() > 20 {
+                println!("  … {} more", pairs.len() - 20);
+            }
+        }
+        QueryOutput::Plan(text) => println!("{text}"),
+    }
+}
+
+/// Executes a batch of query texts, printing per-query results and the
+/// shared-work summary. Returns true when every query succeeded.
+fn run_batch(db: &Database, queries: &[String]) -> bool {
+    if queries.is_empty() {
+        println!("batch is empty");
+        return true;
+    }
+    let texts: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let start = std::time::Instant::now();
+    let BatchResult { results, stats } = similarity_queries::query::execute_batch(db, &texts);
+    let elapsed = start.elapsed();
+    let mut ok = true;
+    for (i, (text, result)) in queries.iter().zip(&results).enumerate() {
+        println!("-- [{i}] {text}");
+        match result {
+            Ok(r) => print_output(&r.output),
+            Err(e) => {
+                ok = false;
+                println!("error: {e}");
+            }
+        }
+    }
+    println!(
+        "(batch: {} queries, {} shared group{} covering {}; {:.3} ms)",
+        queries.len(),
+        stats.shared_groups,
+        if stats.shared_groups == 1 { "" } else { "s" },
+        stats.grouped_queries,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  shared work: nodes={} rows={} — one-at-a-time would be nodes={} rows={}",
+        stats.merged.nodes_visited,
+        stats.merged.rows_scanned,
+        stats.per_query_total.nodes_visited,
+        stats.per_query_total.rows_scanned,
+    );
+    ok
+}
+
 /// Handles a backslash command; returns false to quit.
-fn shell_command(db: &mut Database, cmd: &str, default_snapshot: Option<&str>) -> bool {
+fn shell_command(
+    db: &mut Database,
+    cmd: &str,
+    default_snapshot: Option<&str>,
+    batch_buffer: &mut Option<Vec<String>>,
+) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save [file]  \\open <file>  \\export <rel> <path>\n       \\threads <n|auto|serial>  \\quit\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save [file]  \\open <file>  \\export <rel> <path>\n       \\threads <n|auto|serial>  \\batch [run|explain|show|cancel]  \\quit\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
             );
         }
         Some("threads") => match parts.next() {
             Some(word) => match parse_parallelism(word) {
-                Some(p) => {
+                Ok(p) => {
                     db.set_parallelism(p);
                     println!("parallelism: {p}");
                 }
-                None => println!("usage: \\threads <n|auto|serial>"),
+                Err(why) => println!("error: {why}"),
             },
             None => println!("parallelism: {}", db.parallelism()),
+        },
+        Some("batch") => match parts.next() {
+            None | Some("begin") => {
+                if batch_buffer.is_none() {
+                    *batch_buffer = Some(Vec::new());
+                    println!("batch mode: enter queries, then \\batch run");
+                } else {
+                    println!("already collecting a batch; \\batch run or \\batch cancel");
+                }
+            }
+            Some("run") => match batch_buffer {
+                // Running an empty buffer keeps collect mode active —
+                // only a non-empty run (or \batch cancel) leaves it.
+                Some(pending) if !pending.is_empty() => {
+                    let pending = std::mem::take(pending);
+                    *batch_buffer = None;
+                    run_batch(db, &pending);
+                }
+                Some(_) => println!("nothing queued yet; enter queries or \\batch cancel"),
+                None => println!("no batch in progress; \\batch begins collecting"),
+            },
+            Some("explain") => match batch_buffer {
+                Some(pending) if !pending.is_empty() => {
+                    let texts: Vec<&str> = pending.iter().map(String::as_str).collect();
+                    println!("{}", BatchExecutor::new(db).explain_texts(&texts));
+                }
+                _ => println!("no queries queued; \\batch begins collecting"),
+            },
+            Some("show") => match batch_buffer {
+                Some(pending) if !pending.is_empty() => {
+                    for (i, q) in pending.iter().enumerate() {
+                        println!("  [{i}] {q}");
+                    }
+                }
+                _ => println!("no queries queued"),
+            },
+            Some("cancel" | "clear") => {
+                let had = batch_buffer.take().map_or(0, |b| b.len());
+                println!("discarded {had} queued queries");
+            }
+            Some(other) => println!("unknown \\batch subcommand {other:?}; try \\help"),
         },
         Some("relations") => {
             for name in db.relation_names() {

@@ -1,0 +1,169 @@
+//! CLI-level tests: the `simq` binary is spawned for real (via
+//! `CARGO_BIN_EXE_simq`) and driven over stdin/argv, pinning the shell
+//! behaviors unit tests cannot see — `\threads` validation, `;`-separated
+//! batch lines, `\batch` collect mode and the non-interactive `--exec`
+//! script path.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Runs the binary with `args`, feeding `stdin`; returns (stdout, stderr,
+/// exit code).
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_simq"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("simq binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("simq exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn threads_rejects_zero_and_garbage_with_an_error() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\threads 0\n\\threads garbage\n\\threads -3\n\\threads 2\n\\threads\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("error: invalid thread count \"0\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("error: invalid thread setting \"garbage\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("error: invalid thread setting \"-3\""),
+        "{stdout}"
+    );
+    // The valid setting still lands, and bare \threads reports it.
+    assert!(stdout.contains("parallelism: 2 threads"), "{stdout}");
+}
+
+#[test]
+fn invalid_simq_threads_env_is_reported_not_silently_ignored() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_simq"))
+        .env("SIMQ_THREADS", "0")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("simq binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"\\quit\n")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("simq exits");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ignoring SIMQ_THREADS") && stderr.contains("\"0\""),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn semicolon_line_runs_as_one_batch() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "FIND SIMILAR TO ROW 1 IN walks EPSILON 1.0; FIND SIMILAR TO ROW 2 IN walks EPSILON 1.0\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("batch: 2 queries"), "{stdout}");
+    assert!(stdout.contains("1 shared group"), "{stdout}");
+    assert!(stdout.contains("shared work:"), "{stdout}");
+}
+
+#[test]
+fn batch_collect_mode_queues_and_runs() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\batch\nFIND SIMILAR TO ROW 3 IN walks EPSILON 1.5\nFIND SIMILAR TO ROW 4 IN walks EPSILON 1.5\n\\batch show\n\\batch explain\n\\batch run\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("queued (2 pending"), "{stdout}");
+    assert!(stdout.contains("[1] FIND SIMILAR TO ROW 4"), "{stdout}");
+    assert!(
+        stdout.contains("shared R*-tree range traversal"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("batch: 2 queries"), "{stdout}");
+}
+
+#[test]
+fn trailing_semicolon_is_not_a_lex_error() {
+    let (stdout, _, code) = run_cli(&[], "FIND SIMILAR TO ROW 1 IN walks EPSILON 1.0;\n\\quit\n");
+    assert_eq!(code, 0);
+    assert!(!stdout.contains("lex error"), "{stdout}");
+    assert!(stdout.contains("hits:"), "{stdout}");
+    // A line of only separators is ignored, not an error.
+    let (stdout, _, _) = run_cli(&[], ";;\n\\quit\n");
+    assert!(!stdout.contains("error"), "{stdout}");
+}
+
+#[test]
+fn batch_run_on_empty_buffer_stays_in_collect_mode() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\batch\n\\batch run\nFIND SIMILAR TO ROW 1 IN walks EPSILON 1.0\n\\batch run\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("nothing queued yet"), "{stdout}");
+    // The empty run did not discard collect mode: the query queued and
+    // the second run executed it.
+    assert!(stdout.contains("queued (1 pending"), "{stdout}");
+    assert!(stdout.contains("batch: 1 queries"), "{stdout}");
+}
+
+#[test]
+fn exec_runs_a_script_and_exits_zero() {
+    let (stdout, _, code) = run_cli(
+        &[
+            "--exec",
+            "FIND SIMILAR TO ROW 5 IN walks EPSILON 1.0; FIND 3 NEAREST TO ROW 0 IN walks",
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("-- [0] FIND SIMILAR TO ROW 5"), "{stdout}");
+    assert!(
+        stdout.contains("-- [1] FIND 3 NEAREST TO ROW 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("batch: 2 queries"), "{stdout}");
+}
+
+#[test]
+fn exec_with_a_failing_query_exits_nonzero() {
+    let (stdout, _, code) = run_cli(
+        &[
+            "--exec",
+            "FIND SIMILAR TO ROW 5 IN walks EPSILON 1.0; FIND SIMILAR TO ROW 5 IN nope EPSILON 1.0",
+        ],
+        "",
+    );
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("unknown relation"), "{stdout}");
+}
+
+#[test]
+fn exec_without_a_script_is_a_usage_error() {
+    let (_, stderr, code) = run_cli(&["--exec"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

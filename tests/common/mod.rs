@@ -1,0 +1,145 @@
+//! Shared fixtures for the integration suites: seeded corpus builders,
+//! relation/database constructors and query helpers that every test file
+//! used to carry its own copy of.
+//!
+//! Each integration test binary compiles this module independently and
+//! uses the subset it needs, hence the file-wide `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use similarity_queries::prelude::*;
+use similarity_queries::query::{QueryError, QueryResult};
+
+/// Builds a deterministic corpus of random-walk series.
+pub fn corpus(seed: u64, rows: usize, len: usize) -> Vec<Vec<f64>> {
+    let mut gen = WalkGenerator::new(seed);
+    (0..rows).map(|_| gen.series(len)).collect()
+}
+
+/// Builds a relation named `name` over a seeded random-walk corpus, under
+/// the paper's default 6-d feature scheme.
+pub fn walk_relation(name: &str, seed: u64, rows: usize, len: usize) -> SeriesRelation {
+    let mut gen = WalkGenerator::new(seed);
+    let mut rel = SeriesRelation::new(name, len, FeatureScheme::paper_default());
+    for i in 0..rows {
+        rel.insert(format!("S{i:04}"), gen.series(len)).unwrap();
+    }
+    rel
+}
+
+/// Builds a relation named `r` from explicit series under an arbitrary
+/// feature scheme (rows are named `S0`, `S1`, …).
+pub fn relation_with(series: &[Vec<f64>], scheme: FeatureScheme) -> SeriesRelation {
+    let mut rel = SeriesRelation::new("r", series[0].len(), scheme);
+    for (i, s) in series.iter().enumerate() {
+        rel.insert(format!("S{i}"), s.clone()).unwrap();
+    }
+    rel
+}
+
+/// Registers one relation into a fresh database with a bulk-loaded index.
+pub fn indexed_db(rel: SeriesRelation) -> Database {
+    let mut db = Database::new();
+    db.add_relation_indexed(rel);
+    db
+}
+
+/// [`relation_with`] + [`indexed_db`]: the one-call database builder the
+/// property tests use.
+pub fn db_with(series: &[Vec<f64>], scheme: FeatureScheme) -> Database {
+    indexed_db(relation_with(series, scheme))
+}
+
+/// A database named `r` of seeded random walks under an arbitrary scheme,
+/// with or without an index (the planner-matrix builder).
+pub fn scheme_db(rep: Representation, stats: bool, indexed: bool) -> Database {
+    let scheme = FeatureScheme::new(2, rep, stats);
+    let mut gen = WalkGenerator::new(1);
+    let mut rel = SeriesRelation::new("r", 64, scheme);
+    for i in 0..50 {
+        rel.insert(format!("S{i}"), gen.series(64)).unwrap();
+    }
+    let mut d = Database::new();
+    if indexed {
+        d.add_relation_indexed(rel);
+    } else {
+        d.add_relation(rel);
+    }
+    d
+}
+
+/// Executes `q` and returns the hit ids (panics on non-hit output).
+pub fn hit_ids(db: &Database, q: &str) -> Vec<u64> {
+    let result = execute(db, q).unwrap();
+    match result.output {
+        QueryOutput::Hits(h) => h.into_iter().map(|x| x.id).collect(),
+        other => panic!("expected hits, got {other:?}"),
+    }
+}
+
+/// Executes `q` and returns the chosen access path.
+pub fn access(db: &Database, q: &str) -> AccessPath {
+    execute(db, q).unwrap().plan.access
+}
+
+/// Asserts two query results carry identical outputs — same ids/names in
+/// the same order, with bitwise-equal distances (the equivalence contract
+/// of the parallel, persistence and batch subsystems).
+pub fn assert_outputs_bitwise_equal(a: &QueryResult, b: &QueryResult, what: &str) {
+    match (&a.output, &b.output) {
+        (QueryOutput::Hits(x), QueryOutput::Hits(y)) => {
+            assert_eq!(x.len(), y.len(), "{what}");
+            for (h, g) in x.iter().zip(y) {
+                assert_eq!(h.id, g.id, "{what}");
+                assert_eq!(h.name, g.name, "{what}");
+                assert_eq!(
+                    h.distance.to_bits(),
+                    g.distance.to_bits(),
+                    "{what}: {} vs {}",
+                    h.distance,
+                    g.distance
+                );
+            }
+        }
+        (QueryOutput::Pairs(x), QueryOutput::Pairs(y)) => {
+            assert_eq!(x.len(), y.len(), "{what}");
+            for (h, g) in x.iter().zip(y) {
+                assert_eq!((h.a, h.b), (g.a, g.b), "{what}");
+                assert_eq!(h.distance.to_bits(), g.distance.to_bits(), "{what}");
+            }
+        }
+        (QueryOutput::Plan(x), QueryOutput::Plan(y)) => assert_eq!(x, y, "{what}"),
+        other => panic!("mismatched outputs for {what}: {other:?}"),
+    }
+}
+
+/// Asserts two per-query outcomes agree: both the same error variant, or
+/// both results with bitwise-equal outputs.
+pub fn assert_outcomes_equal(
+    a: &Result<QueryResult, QueryError>,
+    b: &Result<QueryResult, QueryError>,
+    what: &str,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_outputs_bitwise_equal(x, y, what),
+        (Err(x), Err(y)) => assert_eq!(x, y, "{what}"),
+        other => panic!("outcome mismatch for {what}: {other:?}"),
+    }
+}
+
+/// Runs `query` serially and at `threads` workers, asserting identical
+/// outputs and a sane reported fan-out.
+pub fn assert_parallel_equivalent(db: &mut Database, query: &str, threads: usize) {
+    db.set_parallelism(Parallelism::Serial);
+    let serial = execute(db, query).unwrap();
+    db.set_parallelism(Parallelism::Fixed(threads));
+    let parallel = execute(db, query).unwrap();
+    // threads_used reports the actual fan-out; a degraded parallel plan
+    // (few rows, tiny frontier) may cap it below the configured count.
+    assert!(
+        (1..=threads as u64).contains(&parallel.stats.threads_used),
+        "{query}: threads_used {}",
+        parallel.stats.threads_used
+    );
+    assert_outputs_bitwise_equal(&serial, &parallel, &format!("{query} (threads {threads})"));
+}

@@ -2,19 +2,13 @@
 //! "same disk accesses" claim for the identity transformation, framework ↔
 //! domain bridging, and join-method consistency at realistic scale.
 
+mod common;
+
+use common::{indexed_db, walk_relation};
 use similarity_queries::core::{SearchConfig, TransformationSet};
 use similarity_queries::prelude::*;
 use similarity_queries::query::QueryOutput;
 use similarity_queries::storage::persist;
-
-fn walk_relation(name: &str, seed: u64, rows: usize, len: usize) -> SeriesRelation {
-    let mut gen = WalkGenerator::new(seed);
-    let mut rel = SeriesRelation::new(name, len, FeatureScheme::paper_default());
-    for i in 0..rows {
-        rel.insert(format!("S{i:04}"), gen.series(len)).unwrap();
-    }
-    rel
-}
 
 /// Figures 8–9's structural claim: with the identity transformation, the
 /// transformed index traversal reads exactly the same nodes as the plain
@@ -50,10 +44,8 @@ fn persistence_preserves_query_results() {
     let reloaded = persist::load(&path).unwrap();
     std::fs::remove_file(&path).ok();
 
-    let mut db1 = Database::new();
-    db1.add_relation_indexed(rel);
-    let mut db2 = Database::new();
-    db2.add_relation_indexed(reloaded);
+    let db1 = indexed_db(rel);
+    let db2 = indexed_db(reloaded);
     for q in [
         "FIND SIMILAR TO ROW 7 IN walks USING mavg(10) ON BOTH EPSILON 2.0",
         "FIND 5 NEAREST TO ROW 0 IN walks",
@@ -111,8 +103,7 @@ fn framework_and_domain_agree_on_moving_average_distance() {
 #[test]
 fn table_1_shape_at_small_scale() {
     let rel = walk_relation("r", 33, 150, 128);
-    let mut db = Database::new();
-    db.add_relation_indexed(rel);
+    let db = indexed_db(rel);
     let counts: Vec<(char, usize, u64, u64)> = ['a', 'b', 'c', 'd']
         .iter()
         .map(|m| {

@@ -3,6 +3,9 @@
 //! distance cascades of Examples 2.1–2.3, and the Theorem 2
 //! counterexample.
 
+mod common;
+
+use common::indexed_db;
 use similarity_queries::data::{MarketConfig, StockKind, StockMarket};
 use similarity_queries::prelude::*;
 use similarity_queries::series::normal;
@@ -36,8 +39,7 @@ fn example_1_1_as_queries() {
     );
     rel.insert("s1", S1.to_vec()).unwrap();
     rel.insert("s2", S2.to_vec()).unwrap();
-    let mut db = Database::new();
-    db.add_relation_indexed(rel);
+    let db = indexed_db(rel);
 
     // Raw: only s1 itself within ε = 1 (normal-form distance of the two
     // series is large as well).

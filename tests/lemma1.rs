@@ -7,33 +7,11 @@
 //! brute-force scan over random corpora, random transformations and random
 //! thresholds, in both feature representations.
 
+mod common;
+
+use common::{corpus, db_with, hit_ids};
 use proptest::prelude::*;
 use similarity_queries::prelude::*;
-use similarity_queries::query::QueryOutput;
-
-/// Builds a deterministic corpus of random-walk series.
-fn corpus(seed: u64, rows: usize, len: usize) -> Vec<Vec<f64>> {
-    let mut gen = WalkGenerator::new(seed);
-    (0..rows).map(|_| gen.series(len)).collect()
-}
-
-fn db_with(series: &[Vec<f64>], scheme: FeatureScheme) -> Database {
-    let mut rel = SeriesRelation::new("r", series[0].len(), scheme);
-    for (i, s) in series.iter().enumerate() {
-        rel.insert(format!("S{i}"), s.clone()).unwrap();
-    }
-    let mut db = Database::new();
-    db.add_relation_indexed(rel);
-    db
-}
-
-fn hit_ids(db: &Database, q: &str) -> Vec<u64> {
-    let result = execute(db, q).unwrap();
-    match result.output {
-        QueryOutput::Hits(h) => h.into_iter().map(|x| x.id).collect(),
-        other => panic!("expected hits, got {other:?}"),
-    }
-}
 
 /// A strategy generating polar-safe transformation expressions.
 fn polar_safe_transform() -> impl Strategy<Value = String> {

@@ -7,63 +7,11 @@
 //! the parallel subsystem only reschedules the exact serial per-row /
 //! per-node computations and merges deterministically.
 
+mod common;
+
+use common::{assert_parallel_equivalent as assert_equivalent, corpus, db_with};
 use proptest::prelude::*;
 use similarity_queries::prelude::*;
-use similarity_queries::query::QueryOutput;
-
-/// Builds a deterministic corpus of random-walk series.
-fn corpus(seed: u64, rows: usize, len: usize) -> Vec<Vec<f64>> {
-    let mut gen = WalkGenerator::new(seed);
-    (0..rows).map(|_| gen.series(len)).collect()
-}
-
-fn db_with(series: &[Vec<f64>], scheme: FeatureScheme) -> Database {
-    let mut rel = SeriesRelation::new("r", series[0].len(), scheme);
-    for (i, s) in series.iter().enumerate() {
-        rel.insert(format!("S{i}"), s.clone()).unwrap();
-    }
-    let mut db = Database::new();
-    db.add_relation_indexed(rel);
-    db
-}
-
-/// Runs `query` serially and at `threads`, asserting identical outputs.
-fn assert_equivalent(db: &mut Database, query: &str, threads: usize) {
-    db.set_parallelism(Parallelism::Serial);
-    let serial = execute(db, query).unwrap();
-    db.set_parallelism(Parallelism::Fixed(threads));
-    let parallel = execute(db, query).unwrap();
-    // threads_used reports the actual fan-out; a degraded parallel plan
-    // (few rows, tiny frontier) may cap it below the configured count.
-    assert!(
-        (1..=threads as u64).contains(&parallel.stats.threads_used),
-        "{query}: threads_used {}",
-        parallel.stats.threads_used
-    );
-    match (&serial.output, &parallel.output) {
-        (QueryOutput::Hits(a), QueryOutput::Hits(b)) => {
-            assert_eq!(a.len(), b.len(), "{query} (threads {threads})");
-            for (x, y) in a.iter().zip(b) {
-                assert_eq!(x.id, y.id, "{query} (threads {threads})");
-                assert_eq!(
-                    x.distance.to_bits(),
-                    y.distance.to_bits(),
-                    "{query} (threads {threads}): {} vs {}",
-                    x.distance,
-                    y.distance
-                );
-            }
-        }
-        (QueryOutput::Pairs(a), QueryOutput::Pairs(b)) => {
-            assert_eq!(a.len(), b.len(), "{query} (threads {threads})");
-            for (x, y) in a.iter().zip(b) {
-                assert_eq!((x.a, x.b), (y.a, y.b), "{query} (threads {threads})");
-                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
-            }
-        }
-        other => panic!("mismatched outputs for {query}: {other:?}"),
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

@@ -1,0 +1,141 @@
+//! Parser robustness as a property: `simq_query::parse` must never panic.
+//! Whatever bytes or token soup comes in, the answer is `Ok(query)` or a
+//! *structured* error — [`QueryError::Lex`] / [`QueryError::Parse`] with a
+//! byte offset inside the input — never an index-out-of-bounds, a UTF-8
+//! slice panic, or an unwrap on malformed numbers.
+
+use proptest::prelude::*;
+use similarity_queries::query::{parse, QueryError};
+
+/// Parses and checks the no-panic / structured-error contract.
+fn check(input: &str) {
+    match parse(input) {
+        Ok(_) => {}
+        Err(QueryError::Lex { offset, .. }) => {
+            assert!(
+                offset <= input.len(),
+                "lex offset {offset} outside input of {} bytes: {input:?}",
+                input.len()
+            );
+        }
+        Err(QueryError::Parse { offset, .. }) => {
+            if let Some(o) = offset {
+                assert!(
+                    o <= input.len(),
+                    "parse offset {o} outside input of {} bytes: {input:?}",
+                    input.len()
+                );
+            }
+        }
+        Err(other) => panic!("parse returned a non-parser error for {input:?}: {other:?}"),
+    }
+}
+
+/// One atom of a token-shaped stream: keywords, transformation names,
+/// punctuation, numbers, identifiers and junk fragments, so the streams
+/// exercise deep parser states (not just the lexer's first error).
+fn atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop_oneof![
+            Just("FIND"),
+            Just("SIMILAR"),
+            Just("TO"),
+            Just("IN"),
+            Just("EPSILON"),
+            Just("NEAREST"),
+            Just("PAIRS"),
+            Just("USING"),
+            Just("THEN"),
+            Just("ON"),
+            Just("BOTH"),
+            Just("ONE"),
+            Just("FORCE"),
+            Just("SCAN"),
+            Just("INDEX"),
+            Just("ROW"),
+            Just("NAME"),
+            Just("MEAN"),
+            Just("STD"),
+            Just("WITHIN"),
+            Just("METHOD"),
+            Just("EXPLAIN"),
+            Just("MATCHING"),
+            Just("AGAINST"),
+        ]
+        .prop_map(str::to_string),
+        prop_oneof![
+            Just("mavg"),
+            Just("wmavg"),
+            Just("reverse"),
+            Just("identity"),
+            Just("shift"),
+            Just("scale"),
+            Just("warp"),
+            Just("("),
+            Just(")"),
+            Just("["),
+            Just("]"),
+            Just(","),
+            Just("-"),
+            Just("+"),
+            Just("."),
+            Just("e"),
+            Just("E"),
+            Just("--"),
+            Just("1.2.3"),
+            Just("1e"),
+            Just(".e-"),
+        ]
+        .prop_map(str::to_string),
+        "[a-z_]{1,8}".prop_map(|s| s),
+        (-1.0e9f64..1.0e9).prop_map(|n| format!("{n}")),
+        (0u32..5).prop_map(|n| "[".repeat(n as usize)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Arbitrary byte soup (lossily decoded) never panics the pipeline.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..120)) {
+        let input = String::from_utf8_lossy(&bytes);
+        check(&input);
+    }
+
+    /// Arbitrary printable character soup — denser in the lexer's
+    /// accepted alphabet than raw bytes, so it reaches the parser more
+    /// often.
+    #[test]
+    fn printable_soup_never_panics(input in "[a-zA-Z0-9_()., \\-]{0,100}") {
+        check(&input);
+    }
+
+    /// Token-shaped streams: structurally plausible but arbitrarily
+    /// scrambled queries exercise every parser production and recovery
+    /// path.
+    #[test]
+    fn token_streams_never_panic(parts in prop::collection::vec(atom(), 0..40)) {
+        check(&parts.join(" "));
+        // Also without separating spaces: adjacency changes tokenization.
+        check(&parts.concat());
+    }
+
+    /// Mutations of a valid query (truncations at every byte) stay
+    /// structured.
+    #[test]
+    fn truncations_of_valid_queries_never_panic(
+        cut_frac in 0.0f64..1.0,
+        row in 0u64..100,
+        eps in 0.0f64..10.0,
+    ) {
+        let q = format!(
+            "EXPLAIN FIND SIMILAR TO ROW {row} IN stocks USING reverse THEN mavg(8) \
+             ON BOTH EPSILON {eps} MEAN WITHIN 1.5 STD WITHIN 0.5 FORCE INDEX"
+        );
+        let cut = ((q.len() as f64) * cut_frac) as usize;
+        if q.is_char_boundary(cut) {
+            check(&q[..cut]);
+        }
+    }
+}

@@ -2,28 +2,11 @@
 //! strategy) combinations use the index, which fall back to the scan, and
 //! which fail loudly.
 
+mod common;
+
+use common::{access, scheme_db as db};
 use similarity_queries::prelude::*;
 use similarity_queries::query::QueryError;
-
-fn db(rep: Representation, stats: bool, indexed: bool) -> Database {
-    let scheme = FeatureScheme::new(2, rep, stats);
-    let mut gen = WalkGenerator::new(1);
-    let mut rel = SeriesRelation::new("r", 64, scheme);
-    for i in 0..50 {
-        rel.insert(format!("S{i}"), gen.series(64)).unwrap();
-    }
-    let mut d = Database::new();
-    if indexed {
-        d.add_relation_indexed(rel);
-    } else {
-        d.add_relation(rel);
-    }
-    d
-}
-
-fn access(db: &Database, q: &str) -> AccessPath {
-    execute(db, q).unwrap().plan.access
-}
 
 #[test]
 fn polar_index_serves_complex_multiplier_transforms() {

@@ -11,25 +11,13 @@
 //! 3. **Corruption safety**: flipping any byte of a snapshot makes loading
 //!    return an error — never a panic, never silently wrong data.
 
+mod common;
+
+use common::{assert_outputs_bitwise_equal, corpus, relation_with};
 use proptest::prelude::*;
 use similarity_queries::index::serial;
 use similarity_queries::prelude::*;
-use similarity_queries::query::QueryOutput;
 use similarity_queries::storage::snapshot;
-
-/// Builds a deterministic corpus of random-walk series.
-fn corpus(seed: u64, rows: usize, len: usize) -> Vec<Vec<f64>> {
-    let mut gen = WalkGenerator::new(seed);
-    (0..rows).map(|_| gen.series(len)).collect()
-}
-
-fn relation_with(series: &[Vec<f64>], scheme: FeatureScheme) -> SeriesRelation {
-    let mut rel = SeriesRelation::new("r", series[0].len(), scheme);
-    for (i, s) in series.iter().enumerate() {
-        rel.insert(format!("S{i}"), s.clone()).unwrap();
-    }
-    rel
-}
 
 fn f64_bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -159,24 +147,7 @@ fn reopened_database_is_query_for_query_identical() {
             opened.set_parallelism(p);
             let a = execute(&built, q).unwrap();
             let b = execute(&opened, q).unwrap();
-            match (&a.output, &b.output) {
-                (QueryOutput::Hits(x), QueryOutput::Hits(y)) => {
-                    assert_eq!(x.len(), y.len(), "{q} (threads {threads})");
-                    for (h, g) in x.iter().zip(y) {
-                        assert_eq!(h.id, g.id, "{q} (threads {threads})");
-                        assert_eq!(h.name, g.name);
-                        assert_eq!(h.distance.to_bits(), g.distance.to_bits());
-                    }
-                }
-                (QueryOutput::Pairs(x), QueryOutput::Pairs(y)) => {
-                    assert_eq!(x.len(), y.len(), "{q} (threads {threads})");
-                    for (h, g) in x.iter().zip(y) {
-                        assert_eq!((h.a, h.b), (g.a, g.b), "{q} (threads {threads})");
-                        assert_eq!(h.distance.to_bits(), g.distance.to_bits());
-                    }
-                }
-                other => panic!("mismatched outputs for {q}: {other:?}"),
-            }
+            assert_outputs_bitwise_equal(&a, &b, &format!("{q} (threads {threads})"));
             // Arena-identical trees do identical work (index paths only
             // report node visits; scans report none either way).
             assert_eq!(
