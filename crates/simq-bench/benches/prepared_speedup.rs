@@ -1,0 +1,106 @@
+//! Prepared statements against text execution on a repeated-shape
+//! workload: the same range query shape issued with rotating constants,
+//! as (1) fresh `execute(&db, text)` calls that re-lex, re-parse and
+//! re-plan every time, (2) session `execute_text` calls that still parse
+//! but reuse the cached plan, and (3) `prepare` once + `bind`/`execute`,
+//! which skips both parse and plan on every call.
+//!
+//! Besides wall-clock, the bench prints the session's plan-cache
+//! counters once per run: N executions of one prepared statement must
+//! report N cache hits and exactly one miss (the prepare itself) — the
+//! acceptance property `tests/prepared_equivalence.rs` pins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::{indexed_db, walk_relation};
+use simq_query::{execute, Session, Value};
+use std::time::Duration;
+
+const CALLS: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let db = indexed_db(walk_relation("r", 2_000, 128));
+    // A transformed shape: planning is not just a table lookup — it
+    // proves the chain lowers safely (computing the moving-average
+    // multipliers), which the prepared path pays exactly once.
+    const TEMPLATE: &str =
+        "FIND SIMILAR TO ROW ? IN r USING reverse THEN mavg(20) ON BOTH EPSILON ?";
+    let literal = |row: u64, eps: f64| {
+        format!("FIND SIMILAR TO ROW {row} IN r USING reverse THEN mavg(20) ON BOTH EPSILON {eps}")
+    };
+    let bindings: Vec<(u64, f64)> = (0..CALLS)
+        .map(|i| ((i as u64 * 13) % 2_000, 0.05 + (i % 7) as f64 * 0.02))
+        .collect();
+
+    // The headline counter: N executions, N plan-cache hits, 1 miss.
+    {
+        let session = Session::new(&db);
+        let prepared = session.prepare(TEMPLATE).unwrap();
+        for &(row, eps) in &bindings {
+            let bound = prepared
+                .bind(&[Value::from(row), Value::from(eps)])
+                .unwrap();
+            criterion::black_box(session.execute(&bound).unwrap());
+        }
+        let stats = session.stats();
+        println!(
+            "prepared_speedup: {CALLS} executions of one prepared statement — \
+             plan cache {} hits / {} misses (parse+plan ran once, not {CALLS} times)",
+            stats.plan_cache_hits, stats.plan_cache_misses,
+        );
+        assert_eq!(stats.plan_cache_hits as usize, CALLS);
+        assert_eq!(stats.plan_cache_misses, 1);
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("execute_text_each_time", CALLS),
+        &bindings,
+        |b, bindings| {
+            b.iter(|| {
+                for &(row, eps) in bindings {
+                    criterion::black_box(execute(&db, &literal(row, eps)).unwrap());
+                }
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("session_text_plan_cached", CALLS),
+        &bindings,
+        |b, bindings| {
+            let session = Session::new(&db);
+            b.iter(|| {
+                for &(row, eps) in bindings {
+                    criterion::black_box(session.execute_text(&literal(row, eps)).unwrap());
+                }
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("prepared_bind_execute", CALLS),
+        &bindings,
+        |b, bindings| {
+            let session = Session::new(&db);
+            let prepared = session.prepare(TEMPLATE).unwrap();
+            b.iter(|| {
+                for &(row, eps) in bindings {
+                    let bound = prepared
+                        .bind(&[Value::from(row), Value::from(eps)])
+                        .unwrap();
+                    criterion::black_box(session.execute(&bound).unwrap());
+                }
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Incremental (pull-based) range traversal.
+//!
+//! [`RangeStream`] is the streaming counterpart of
+//! [`RTree::range_transformed`](crate::RTree): an explicit-stack
+//! depth-first walk that yields matching item ids one at a time instead
+//! of materializing the candidate list. Consumers that stop early —
+//! `LIMIT`-style cursors, existence checks — simply stop pulling (or drop
+//! the stream) and the remaining index descent never happens.
+//!
+//! Work accounting matches the recursive traversal exactly: a node is
+//! counted when it is first entered, an entry when it is tested, so a
+//! fully drained stream reports the same [`SearchStats`] as
+//! `range_transformed` on the same query, and a partially consumed one
+//! reports strictly less whenever unvisited subtrees remain.
+
+use crate::geom::Rect;
+use crate::rstar::{Entry, RTree};
+use crate::search::SearchStats;
+use crate::transform::SpatialTransform;
+
+/// One in-progress node of the depth-first walk.
+struct Frame {
+    /// Arena index of the node.
+    node: usize,
+    /// Next entry of the node to test.
+    next: usize,
+}
+
+/// A lazy range query: an iterator over the item ids whose (optionally
+/// transformed) rectangles overlap the query rectangle, in depth-first
+/// traversal order.
+///
+/// Created by [`RTree::range_stream`]. The stream borrows the tree;
+/// the transformation and query rectangle are owned, so the stream can
+/// outlive the scope that built them.
+pub struct RangeStream<'t> {
+    tree: &'t RTree,
+    transform: Option<Box<dyn SpatialTransform + Send + Sync>>,
+    query: Rect,
+    scratch: Rect,
+    stack: Vec<Frame>,
+    stats: SearchStats,
+}
+
+impl RTree {
+    /// Starts an incremental range query: like
+    /// [`range_transformed`](RTree::range_transformed) (pass `None` for a
+    /// plain range query), but returning a pull-based [`RangeStream`]
+    /// instead of a materialized id list. Dropping the stream abandons
+    /// the remaining descent.
+    ///
+    /// # Panics
+    /// If the query or transformation dimensionality does not match the
+    /// tree's.
+    pub fn range_stream(
+        &self,
+        transform: Option<Box<dyn SpatialTransform + Send + Sync>>,
+        query: Rect,
+    ) -> RangeStream<'_> {
+        assert_eq!(query.dims(), self.dims(), "query dimensionality mismatch");
+        if let Some(t) = &transform {
+            assert_eq!(t.dims(), self.dims(), "transform dimensionality mismatch");
+        }
+        let scratch = Rect::point(&vec![0.0; self.dims()]);
+        let mut stream = RangeStream {
+            tree: self,
+            transform,
+            query,
+            scratch,
+            stack: Vec::new(),
+            stats: SearchStats::default(),
+        };
+        stream.enter(self.root);
+        stream
+    }
+}
+
+impl RangeStream<'_> {
+    /// Work performed so far — incremental: after a partial consumption
+    /// this reflects only the nodes actually entered and entries actually
+    /// tested; after draining it equals the materializing traversal's.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// True when the remaining descent has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Pushes a node frame and counts the node visit (the recursive
+    /// traversal counts a node on function entry).
+    fn enter(&mut self, node_idx: usize) {
+        let node = &self.tree.nodes[node_idx];
+        self.stats.nodes_visited += 1;
+        if node.level == 0 {
+            self.stats.leaves_visited += 1;
+        }
+        self.stack.push(Frame {
+            node: node_idx,
+            next: 0,
+        });
+    }
+}
+
+impl Iterator for RangeStream<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            let frame = self.stack.last_mut()?;
+            let node = &self.tree.nodes[frame.node];
+            let Some(entry) = node.entries.get(frame.next) else {
+                self.stack.pop();
+                continue;
+            };
+            frame.next += 1;
+            self.stats.entries_tested += 1;
+            let overlaps = match &self.transform {
+                Some(t) => {
+                    t.apply_rect_into(entry.mbr(), &mut self.scratch);
+                    self.tree.space.intersects(&self.scratch, &self.query)
+                }
+                None => self.tree.space.intersects(entry.mbr(), &self.query),
+            };
+            if !overlaps {
+                continue;
+            }
+            match entry {
+                Entry::Child { node, .. } => {
+                    let child = *node;
+                    self.enter(child);
+                }
+                Entry::Item { id, .. } => return Some(*id),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::DiagonalAffine;
+
+    fn grid_tree(n: usize) -> RTree {
+        let mut t = RTree::with_dims(2);
+        let mut id = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                t.insert_point(&[i as f64, j as f64], id);
+                id += 1;
+            }
+        }
+        t
+    }
+
+    fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn drained_stream_equals_materialized_range_with_identical_stats() {
+        let t = grid_tree(25);
+        for query in [
+            Rect::new(vec![2.5, 3.5], vec![7.5, 9.0]),
+            Rect::new(vec![-5.0, -5.0], vec![100.0, 100.0]),
+            Rect::new(vec![50.0, 50.0], vec![60.0, 60.0]),
+        ] {
+            let (want, want_stats) = t.range(&query);
+            let mut stream = t.range_stream(None, query.clone());
+            let got: Vec<u64> = stream.by_ref().collect();
+            assert_eq!(sorted(got), sorted(want));
+            assert_eq!(*stream.stats(), want_stats);
+            assert!(stream.is_done());
+        }
+    }
+
+    #[test]
+    fn drained_transformed_stream_equals_range_transformed() {
+        let t = grid_tree(20);
+        let affine = DiagonalAffine::new(vec![2.0, -1.0], vec![10.0, 3.0]);
+        let query = Rect::new(vec![15.0, -10.0], vec![30.0, 0.0]);
+        let (want, want_stats) = t.range_transformed(&affine, &query);
+        let mut stream = t.range_stream(Some(Box::new(affine)), query);
+        let got: Vec<u64> = stream.by_ref().collect();
+        assert_eq!(sorted(got), sorted(want));
+        assert_eq!(*stream.stats(), want_stats);
+    }
+
+    #[test]
+    fn partial_consumption_visits_fewer_nodes() {
+        let t = grid_tree(40);
+        let query = Rect::new(vec![0.0, 0.0], vec![39.0, 39.0]); // everything
+        let (_, full) = t.range(&query);
+        let mut stream = t.range_stream(None, query);
+        assert!(stream.next().is_some());
+        assert!(
+            stream.stats().nodes_visited < full.nodes_visited,
+            "partial {} vs full {}",
+            stream.stats().nodes_visited,
+            full.nodes_visited
+        );
+        assert!(!stream.is_done());
+    }
+
+    #[test]
+    fn empty_tree_stream() {
+        let t = RTree::with_dims(2);
+        let mut stream = t.range_stream(None, Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+        assert_eq!(stream.next(), None);
+        assert_eq!(stream.stats().nodes_visited, 1);
+        assert!(stream.is_done());
+    }
+}

@@ -29,6 +29,9 @@
 //!   and batched best-first kNN over one shared work-stealing pool with
 //!   per-query pruning bounds. Per-query answers equal the individual
 //!   traversals; shared node reads are counted once.
+//! * [`cursor`] — incremental range traversal: an explicit-stack
+//!   [`RangeStream`] that yields matching ids one at a time, so early
+//!   termination (drop, `LIMIT`) abandons the remaining descent.
 //! * [`serial`] — binary serialization of the full tree structure (node
 //!   arena, geometry, free list), so persisted databases reopen without
 //!   re-bulk-loading and reproduce the identical tree.
@@ -37,6 +40,7 @@
 
 pub mod batch;
 pub mod bulk;
+pub mod cursor;
 pub mod geom;
 pub mod join;
 pub mod knn;
@@ -47,6 +51,7 @@ pub mod serial;
 pub mod transform;
 
 pub use batch::{MultiKnnQuery, MultiRangeQuery, MultiSearchStats};
+pub use cursor::RangeStream;
 pub use geom::{circular_overlap, DimSemantics, Rect, Space};
 pub use knn::Neighbor;
 pub use parallel::ParallelStats;

@@ -143,3 +143,244 @@ impl Query {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Parameterized templates (prepared statements)
+// ---------------------------------------------------------------------------
+
+/// A reference to a statement parameter: `?` (positional, numbered in
+/// lexical order of appearance) or `$name` (named).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ParamRef {
+    /// `?` — the n-th positional placeholder (0-based, lexical order).
+    Positional(usize),
+    /// `$name` — a named placeholder.
+    Named(String),
+}
+
+impl std::fmt::Display for ParamRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamRef::Positional(i) => write!(f, "?{}", i + 1),
+            ParamRef::Named(n) => write!(f, "${n}"),
+        }
+    }
+}
+
+/// The type a parameter slot expects at bind time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamType {
+    /// Any finite number (`EPSILON`, `MEAN WITHIN`, `STD WITHIN`).
+    Number,
+    /// A non-negative integer (`k`, `ROW <id>`).
+    Integer,
+    /// A whole query series (`Vec<f64>` — the source slot).
+    Series,
+}
+
+impl std::fmt::Display for ParamType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamType::Number => write!(f, "number"),
+            ParamType::Integer => write!(f, "integer"),
+            ParamType::Series => write!(f, "series"),
+        }
+    }
+}
+
+/// One appearance of a placeholder in a template, in lexical order —
+/// the raw material of a prepared statement's signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamOccurrence {
+    /// Which parameter.
+    pub reference: ParamRef,
+    /// The type the slot expects.
+    pub ty: ParamType,
+    /// Human-readable slot description (`"EPSILON"`, `"k"`, …).
+    pub context: &'static str,
+    /// Byte offset of the placeholder in the statement text.
+    pub offset: usize,
+}
+
+/// A numeric slot of a template: a literal or a placeholder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumArg {
+    /// A literal constant.
+    Lit(f64),
+    /// A parameter bound at execution time.
+    Param(ParamRef),
+}
+
+/// The query-series slot of a template. Placeholders in source position
+/// bind a whole series (`Vec<f64>`) at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateSource {
+    /// An inline literal `[v1, v2, …]` (elements are always literal).
+    Literal(Vec<f64>),
+    /// `ROW <id>` — the id may be a placeholder.
+    RowId(NumArg),
+    /// `NAME <name>` — always literal.
+    RowName(String),
+    /// `?` / `$name` in source position: a series parameter.
+    Series(ParamRef),
+}
+
+/// [`StatsWindow`] with parameterizable tolerances. Which windows are
+/// *present* is part of the statement shape (it affects planning); their
+/// numeric values are not.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TemplateStatsWindow {
+    /// `MEAN WITHIN x` — tolerance on the mean dimension.
+    pub mean: Option<NumArg>,
+    /// `STD WITHIN y` — tolerance on the standard-deviation dimension.
+    pub std_dev: Option<NumArg>,
+}
+
+/// A parsed query *template*: the AST of a prepared statement, with
+/// placeholders in the positions that may vary per execution (query
+/// source, epsilon, k, row id, MEAN/STD tolerances). Relation names,
+/// transformations, strategies and join methods are always literal —
+/// they determine the plan shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTemplate {
+    /// Range query template.
+    Range {
+        /// The query series slot.
+        source: TemplateSource,
+        /// Relation name.
+        relation: String,
+        /// Transformation applied to stored series.
+        transform: SeriesTransform,
+        /// Whether the transformation also applies to the query series.
+        on_both: bool,
+        /// Distance threshold slot.
+        eps: NumArg,
+        /// Optional GK95 window slots.
+        stats_window: TemplateStatsWindow,
+        /// Strategy override.
+        strategy: Strategy,
+    },
+    /// k-nearest-neighbour template.
+    Knn {
+        /// Number of neighbours slot.
+        k: NumArg,
+        /// The query series slot.
+        source: TemplateSource,
+        /// Relation name.
+        relation: String,
+        /// Transformation applied to stored series.
+        transform: SeriesTransform,
+        /// Whether the transformation also applies to the query series.
+        on_both: bool,
+        /// Strategy override.
+        strategy: Strategy,
+    },
+    /// All-pairs template.
+    AllPairs {
+        /// Relation name.
+        relation: String,
+        /// Transformation applied to the left side of each pair.
+        left: SeriesTransform,
+        /// Transformation applied to the right side of each pair.
+        right: SeriesTransform,
+        /// Distance threshold slot.
+        eps: NumArg,
+        /// Evaluation method.
+        method: JoinMethod,
+    },
+    /// `EXPLAIN <template>`.
+    Explain(Box<QueryTemplate>),
+}
+
+impl QueryTemplate {
+    /// The relation the template targets.
+    pub fn relation(&self) -> &str {
+        match self {
+            QueryTemplate::Range { relation, .. }
+            | QueryTemplate::Knn { relation, .. }
+            | QueryTemplate::AllPairs { relation, .. } => relation,
+            QueryTemplate::Explain(inner) => inner.relation(),
+        }
+    }
+
+    /// True when the template contains no placeholders (i.e. it is a
+    /// plain query that could also be executed directly).
+    pub fn is_fully_literal(&self) -> bool {
+        // Defined as convertibility so the two notions cannot drift.
+        self.into_query_literal().is_some()
+    }
+
+    /// Converts a fully-literal template into a plain [`Query`]. Returns
+    /// `None` when any placeholder remains (bind parameters first — see
+    /// `session::Prepared::bind`). Literal integer slots were validated by
+    /// the parser, so the numeric narrowing here is exact.
+    pub fn into_query_literal(&self) -> Option<Query> {
+        let num = |a: &NumArg| match a {
+            NumArg::Lit(v) => Some(*v),
+            NumArg::Param(_) => None,
+        };
+        let src = |s: &TemplateSource| match s {
+            TemplateSource::Literal(values) => Some(QuerySource::Literal(values.clone())),
+            TemplateSource::RowId(a) => Some(QuerySource::RowId(num(a)? as u64)),
+            TemplateSource::RowName(name) => Some(QuerySource::RowName(name.clone())),
+            TemplateSource::Series(_) => None,
+        };
+        Some(match self {
+            QueryTemplate::Range {
+                source,
+                relation,
+                transform,
+                on_both,
+                eps,
+                stats_window,
+                strategy,
+            } => Query::Range {
+                source: src(source)?,
+                relation: relation.clone(),
+                transform: transform.clone(),
+                on_both: *on_both,
+                eps: num(eps)?,
+                stats_window: StatsWindow {
+                    mean: match &stats_window.mean {
+                        Some(a) => Some(num(a)?),
+                        None => None,
+                    },
+                    std_dev: match &stats_window.std_dev {
+                        Some(a) => Some(num(a)?),
+                        None => None,
+                    },
+                },
+                strategy: *strategy,
+            },
+            QueryTemplate::Knn {
+                k,
+                source,
+                relation,
+                transform,
+                on_both,
+                strategy,
+            } => Query::Knn {
+                k: num(k)? as usize,
+                source: src(source)?,
+                relation: relation.clone(),
+                transform: transform.clone(),
+                on_both: *on_both,
+                strategy: *strategy,
+            },
+            QueryTemplate::AllPairs {
+                relation,
+                left,
+                right,
+                eps,
+                method,
+            } => Query::AllPairs {
+                relation: relation.clone(),
+                left: left.clone(),
+                right: right.clone(),
+                eps: num(eps)?,
+                method: *method,
+            },
+            QueryTemplate::Explain(inner) => Query::Explain(Box::new(inner.into_query_literal()?)),
+        })
+    }
+}

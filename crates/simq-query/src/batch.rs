@@ -62,6 +62,12 @@ pub struct BatchStats {
     pub shared_groups: usize,
     /// Number of queries executed inside shared groups.
     pub grouped_queries: usize,
+    /// Candidate verifications skipped by cross-query dedup: when two
+    /// queries of an index range group have bitwise-identical resolved
+    /// verification inputs (same query spectrum, transformation action,
+    /// epsilon and statistics window), each shared candidate row is
+    /// verified once and the hits fan out to every query of the class.
+    pub deduped_verifications: u64,
 }
 
 /// Results of one batch: per-query outcomes in input order plus the batch
@@ -125,6 +131,16 @@ impl<'a> BatchExecutor<'a> {
     /// Parses every input and executes the batch; parse errors fill their
     /// slot without failing the rest.
     pub fn execute_texts(&self, inputs: &[&str]) -> BatchResult {
+        self.execute_texts_with_planner(inputs, &mut |q| plan(self.db, q))
+    }
+
+    /// [`BatchExecutor::execute_texts`] with plans supplied by `planner`
+    /// (the session's cache-aware text-batch path).
+    pub(crate) fn execute_texts_with_planner(
+        &self,
+        inputs: &[&str],
+        planner: &mut dyn FnMut(&Query) -> Result<Plan, QueryError>,
+    ) -> BatchResult {
         let mut parsed: Vec<Option<Query>> = Vec::with_capacity(inputs.len());
         let mut slots: Vec<Option<Result<QueryResult, QueryError>>> =
             Vec::with_capacity(inputs.len());
@@ -140,14 +156,28 @@ impl<'a> BatchExecutor<'a> {
                 }
             }
         }
-        self.run(&parsed, slots)
+        self.run(&parsed, slots, planner)
     }
 
     /// Executes a batch of parsed queries.
     pub fn execute(&self, queries: &[Query]) -> BatchResult {
-        let parsed: Vec<Option<Query>> = queries.iter().cloned().map(Some).collect();
+        self.execute_with_planner(queries.to_vec(), &mut |q| plan(self.db, q))
+    }
+
+    /// Executes a batch of parsed queries with plans supplied by
+    /// `planner` — the prepared-batch path: `session::Session` passes its
+    /// plan-cache lookup here, so a batch of N bound statements with
+    /// shared shapes plans at most once per shape. Takes the queries by
+    /// value: bound statements can carry whole query series, so callers
+    /// hand over their one copy instead of paying a second clone.
+    pub(crate) fn execute_with_planner(
+        &self,
+        queries: Vec<Query>,
+        planner: &mut dyn FnMut(&Query) -> Result<Plan, QueryError>,
+    ) -> BatchResult {
         let slots = vec![None; queries.len()];
-        self.run(&parsed, slots)
+        let parsed: Vec<Option<Query>> = queries.into_iter().map(Some).collect();
+        self.run(&parsed, slots, planner)
     }
 
     /// Renders the batch plan: the shared-traversal groups the batch would
@@ -167,7 +197,7 @@ impl<'a> BatchExecutor<'a> {
                 }
             })
             .collect();
-        let (plans, groups, errors) = self.plan_and_group(&parsed);
+        let (plans, groups, errors) = self.plan_and_group(&parsed, &mut |q| plan(self.db, q));
         for (i, e) in errors {
             singles.push((i, format!("error: {e}")));
         }
@@ -224,6 +254,7 @@ impl<'a> BatchExecutor<'a> {
     fn plan_and_group(
         &self,
         parsed: &[Option<Query>],
+        planner: &mut dyn FnMut(&Query) -> Result<Plan, QueryError>,
     ) -> (
         Vec<Option<Plan>>,
         BTreeMap<(String, GroupKind), Vec<usize>>,
@@ -234,7 +265,7 @@ impl<'a> BatchExecutor<'a> {
         let mut errors: Vec<(usize, QueryError)> = Vec::new();
         for (i, query) in parsed.iter().enumerate() {
             let Some(query) = query else { continue };
-            match plan(self.db, query) {
+            match planner(query) {
                 Ok(the_plan) => {
                     if let Some(kind) = group_kind(query, &the_plan) {
                         groups
@@ -254,9 +285,10 @@ impl<'a> BatchExecutor<'a> {
         &self,
         parsed: &[Option<Query>],
         mut slots: Vec<Option<Result<QueryResult, QueryError>>>,
+        planner: &mut dyn FnMut(&Query) -> Result<Plan, QueryError>,
     ) -> BatchResult {
         let mut stats = BatchStats::default();
-        let (plans, groups, errors) = self.plan_and_group(parsed);
+        let (plans, groups, errors) = self.plan_and_group(parsed, planner);
         for (i, e) in errors {
             slots[i] = Some(Err(e));
         }
@@ -279,13 +311,7 @@ impl<'a> BatchExecutor<'a> {
             stats.grouped_queries += members.len();
             match kind {
                 GroupKind::IndexRange => self.index_range_group(
-                    stored,
-                    members,
-                    parsed,
-                    &plans,
-                    threads,
-                    &mut slots,
-                    &mut stats.merged,
+                    stored, members, parsed, &plans, threads, &mut slots, &mut stats,
                 ),
                 GroupKind::ScanRange => self.scan_range_group(
                     stored,
@@ -319,11 +345,13 @@ impl<'a> BatchExecutor<'a> {
 
         // Everything else — joins, EXPLAINs, one-query groups, and any
         // query whose group fell apart during resolution — runs through
-        // the ordinary single-query executor.
+        // the ordinary single-query executor, under the plan the batch's
+        // planner already made.
         for (i, slot) in slots.iter_mut().enumerate() {
             if slot.is_none() {
                 let query = parsed[i].as_ref().expect("unfilled slot has a query");
-                let result = exec::run(self.db, query);
+                let the_plan = plans[i].clone().expect("unfilled slot was planned");
+                let result = exec::run_with_plan(self.db, query, the_plan);
                 if let Ok(r) = &result {
                     stats.merged.add_work(&r.stats);
                 }
@@ -347,7 +375,9 @@ impl<'a> BatchExecutor<'a> {
 
     /// Shared-traversal execution of an index range group: one tree walk
     /// serves every query's search rectangle; verification stays
-    /// per-query (the exact single-query code).
+    /// per-query (the exact single-query code), except that queries with
+    /// bitwise-identical verification inputs verify once and fan the
+    /// hits out (`BatchStats::deduped_verifications`).
     #[allow(clippy::too_many_arguments)]
     fn index_range_group(
         &self,
@@ -357,7 +387,7 @@ impl<'a> BatchExecutor<'a> {
         plans: &[Option<Plan>],
         threads: usize,
         slots: &mut [Option<Result<QueryResult, QueryError>>],
-        merged: &mut ExecStats,
+        batch: &mut BatchStats,
     ) {
         let rel = &stored.relation;
         let index = stored.index.as_ref().expect("planned index exists");
@@ -432,9 +462,48 @@ impl<'a> BatchExecutor<'a> {
         } else {
             index.multi_range(&multi)
         };
-        merged.nodes_visited += search.merged.nodes_visited;
-        merged.leaves_visited += search.merged.leaves_visited;
-        merged.entries_tested += search.merged.entries_tested;
+        batch.merged.nodes_visited += search.merged.nodes_visited;
+        batch.merged.leaves_visited += search.merged.leaves_visited;
+        batch.merged.entries_tested += search.merged.entries_tested;
+
+        // Cross-query dedup: two members whose resolved verification
+        // inputs are bitwise identical (query spectrum, transformation
+        // action, epsilon, statistics window) built the same search
+        // rectangle, received the same candidate list, and would run the
+        // same per-candidate arithmetic — verify the class once and fan
+        // the hits out. Per-query counters still report the as-if-
+        // individual cost (the batch convention); only the merged
+        // counters and `deduped_verifications` record the saving.
+        let class_key = |p: &Prepared| -> Vec<u64> {
+            let mut key =
+                Vec::with_capacity(10 + 2 * (p.ctx.spectrum.len() + p.action.multipliers.len()));
+            key.push(p.eps.to_bits());
+            for part in [p.window.mean, p.window.std_dev] {
+                match part {
+                    Some(v) => {
+                        key.push(1);
+                        key.push(v.to_bits());
+                    }
+                    None => key.push(0),
+                }
+            }
+            key.push(p.ctx.mean.to_bits());
+            key.push(p.ctx.std_dev.to_bits());
+            key.push(p.action.mean_scale.to_bits());
+            key.push(p.action.mean_shift.to_bits());
+            key.push(p.action.std_scale.to_bits());
+            for c in &p.action.multipliers {
+                key.push(c.re.to_bits());
+                key.push(c.im.to_bits());
+            }
+            for c in &p.ctx.spectrum {
+                key.push(c.re.to_bits());
+                key.push(c.im.to_bits());
+            }
+            key
+        };
+        let mut class_reps: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+        let mut rep_results: BTreeMap<usize, (Vec<Hit>, u64)> = BTreeMap::new();
 
         for (qi, p) in prepared.iter().enumerate() {
             let ids = &candidates[qi];
@@ -445,11 +514,25 @@ impl<'a> BatchExecutor<'a> {
                 candidates: ids.len() as u64,
                 ..ExecStats::default()
             };
-            let hits = verify_range_candidates(
-                rel, ids, &p.ctx, &p.window, &p.action, p.eps, threads, &mut stats,
-            );
-            merged.candidates += stats.candidates;
-            merged.coefficients_compared += stats.coefficients_compared;
+            batch.merged.candidates += stats.candidates;
+            let key = class_key(p);
+            let hits = match class_reps.get(&key) {
+                Some(&rep) => {
+                    let (hits, compared) = rep_results.get(&rep).expect("rep verified first");
+                    batch.deduped_verifications += ids.len() as u64;
+                    stats.coefficients_compared += *compared;
+                    hits.clone()
+                }
+                None => {
+                    class_reps.insert(key, qi);
+                    let hits = verify_range_candidates(
+                        rel, ids, &p.ctx, &p.window, &p.action, p.eps, threads, &mut stats,
+                    );
+                    batch.merged.coefficients_compared += stats.coefficients_compared;
+                    rep_results.insert(qi, (hits.clone(), stats.coefficients_compared));
+                    hits
+                }
+            };
             stats.verified = hits.len() as u64;
             stats.threads_used = threads as u64;
             slots[p.slot] = Some(Ok(QueryResult {

@@ -36,6 +36,12 @@ pub enum QueryError {
     /// The query demanded the index (`FORCE INDEX`) but no index-safe plan
     /// exists; the reason explains what failed.
     IndexUnavailable(String),
+    /// Binding parameters to a prepared statement failed: wrong arity,
+    /// wrong type, unknown name, or an out-of-domain value.
+    Bind(String),
+    /// The requested execution mode does not support this query form
+    /// (e.g. a streaming cursor over an `EXPLAIN`).
+    Unsupported(String),
 }
 
 impl fmt::Display for QueryError {
@@ -58,6 +64,8 @@ impl fmt::Display for QueryError {
             QueryError::IndexUnavailable(reason) => {
                 write!(f, "index execution unavailable: {reason}")
             }
+            QueryError::Bind(message) => write!(f, "bind error: {message}"),
+            QueryError::Unsupported(message) => write!(f, "unsupported: {message}"),
         }
     }
 }

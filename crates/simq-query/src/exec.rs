@@ -43,10 +43,17 @@ pub struct ExecStats {
     /// rows or candidates to split, or a frontier the coordinator
     /// exhausted on its own).
     pub threads_used: u64,
+    /// Plan-cache hits this execution benefited from (only set by
+    /// session-based execution; plain [`execute`]/[`run`] plan afresh
+    /// and report 0).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses this execution paid for (session-based
+    /// execution only).
+    pub plan_cache_misses: u64,
 }
 
 impl ExecStats {
-    fn add_search(&mut self, s: &simq_index::SearchStats) {
+    pub(crate) fn add_search(&mut self, s: &simq_index::SearchStats) {
         self.nodes_visited += s.nodes_visited;
         self.leaves_visited += s.leaves_visited;
         self.entries_tested += s.entries_tested;
@@ -66,6 +73,8 @@ impl ExecStats {
         self.rows_scanned += o.rows_scanned;
         self.coefficients_compared += o.coefficients_compared;
         self.candidates += o.candidates;
+        self.plan_cache_hits += o.plan_cache_hits;
+        self.plan_cache_misses += o.plan_cache_misses;
     }
 }
 
@@ -211,6 +220,24 @@ pub fn execute(db: &Database, input: &str) -> Result<QueryResult, QueryError> {
 /// Any [`QueryError`] from planning or execution.
 pub fn run(db: &Database, query: &Query) -> Result<QueryResult, QueryError> {
     let the_plan = plan(db, query)?;
+    run_with_plan(db, query, the_plan)
+}
+
+/// Executes a parsed query under an already-made plan (the session's
+/// plan-cache path; [`run`] is `plan` + this).
+///
+/// The plan must have been made for this query's shape against this
+/// database at its current generation — a stale plan (wrong access path,
+/// wrong thread count) executes but may not match what planning afresh
+/// would choose.
+///
+/// # Errors
+/// Any [`QueryError`] from execution.
+pub fn run_with_plan(
+    db: &Database,
+    query: &Query,
+    the_plan: Plan,
+) -> Result<QueryResult, QueryError> {
     match query {
         Query::Explain(inner) => Ok(QueryResult {
             output: QueryOutput::Plan(explain(inner, &the_plan)),

@@ -10,7 +10,11 @@
 //! EXPLAIN FIND SIMILAR TO ROW 7 IN stocks USING warp(2) EPSILON 1
 //! ```
 //!
-//! Pipeline: [`token`] → [`parse()`](parse()) → [`plan`] → [`exec`]. The planner
+//! Pipeline: [`token`] → [`parse()`](parse()) → [`plan`] → [`exec`]. For
+//! workloads that re-issue the same query shapes with different constants,
+//! [`session`] adds prepared statements with `?`/`$name` placeholders, a
+//! shape-keyed plan cache, streaming [`Cursor`]s and prepared batches on
+//! top of the same pipeline. The planner
 //! chooses between the transformed R*-tree traversal (Algorithm 2) and the
 //! early-abandoning frequency-domain scan, driven by the safety theorems:
 //! a transformation that does not lower safely to the relation's feature
@@ -25,13 +29,15 @@ pub mod error;
 pub mod exec;
 pub mod parse;
 pub mod plan;
+pub mod session;
 pub mod token;
 
-pub use ast::{JoinMethod, Query, QuerySource, Strategy};
+pub use ast::{JoinMethod, ParamRef, ParamType, Query, QuerySource, QueryTemplate, Strategy};
 pub use batch::{execute_batch, split_batch_script, BatchExecutor, BatchResult, BatchStats};
 pub use error::QueryError;
-pub use exec::{execute, run, ExecStats, Hit, PairHit, QueryOutput, QueryResult};
-pub use parse::parse;
+pub use exec::{execute, run, run_with_plan, ExecStats, Hit, PairHit, QueryOutput, QueryResult};
+pub use parse::{parse, parse_template, ParsedTemplate};
 pub use plan::{
     explain, plan as plan_query, AccessPath, Database, Parallelism, Plan, StoredRelation,
 };
+pub use session::{Bound, Cursor, Prepared, Session, SessionStats, Slot, Value};

@@ -1,30 +1,88 @@
 //! Recursive-descent parser for the query language.
+//!
+//! The parser produces a [`QueryTemplate`]: the AST of a (possibly
+//! parameterized) statement. Plain execution goes through [`parse()`],
+//! which requires every slot to be literal; prepared statements go
+//! through [`parse_template()`], which additionally reports every
+//! placeholder occurrence so `session::Prepared` can build a typed
+//! signature.
 
-use crate::ast::{JoinMethod, Query, QuerySource, StatsWindow, Strategy};
+use crate::ast::{
+    JoinMethod, NumArg, ParamOccurrence, ParamRef, ParamType, Query, QueryTemplate, Strategy,
+    TemplateSource, TemplateStatsWindow,
+};
 use crate::error::QueryError;
 use crate::token::{tokenize, Spanned, Token};
 use simq_series::transform::SeriesTransform;
 
-/// Parses one query.
+/// A parsed statement template together with its placeholder occurrences
+/// (in lexical order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTemplate {
+    /// The template AST.
+    pub template: QueryTemplate,
+    /// Every placeholder appearance, in lexical order.
+    pub params: Vec<ParamOccurrence>,
+}
+
+/// Parses one query. Placeholders (`?` / `$name`) are rejected — they are
+/// only meaningful in prepared statements ([`parse_template`]).
 ///
 /// # Errors
 /// [`QueryError::Lex`] / [`QueryError::Parse`] with byte offsets.
 pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let parsed = parse_template(input)?;
+    match parsed.template.into_query_literal() {
+        Some(q) => Ok(q),
+        None => {
+            let first = parsed.params.first().expect("non-literal implies a param");
+            Err(QueryError::Parse {
+                offset: Some(first.offset),
+                message: format!(
+                    "placeholder {} ({}) is only allowed in a prepared statement; \
+                     use Session::prepare",
+                    first.reference, first.context
+                ),
+            })
+        }
+    }
+}
+
+/// Parses one statement template, allowing `?` and `$name` placeholders
+/// in the query-source, `EPSILON`, `k`, `ROW <id>` and `MEAN`/`STD
+/// WITHIN` slots. Relation names, transformations, strategies and join
+/// methods are always literal.
+///
+/// # Errors
+/// [`QueryError::Lex`] / [`QueryError::Parse`] with byte offsets.
+pub fn parse_template(input: &str) -> Result<ParsedTemplate, QueryError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        positional: 0,
+        params: Vec::new(),
+    };
+    let template = p.query()?;
     if let Some(extra) = p.peek() {
         return Err(QueryError::Parse {
             offset: Some(extra.offset),
             message: format!("unexpected trailing input starting at {:?}", extra.token),
         });
     }
-    Ok(q)
+    Ok(ParsedTemplate {
+        template,
+        params: p.params,
+    })
 }
 
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Positional placeholders seen so far (assigns `?` ordinals).
+    positional: usize,
+    /// Every placeholder occurrence, in lexical order.
+    params: Vec<ParamOccurrence>,
 }
 
 /// Which side(s) of the query a USING clause targets.
@@ -55,6 +113,32 @@ impl Parser {
             offset: self.peek().map(|s| s.offset),
             message: message.into(),
         }
+    }
+
+    /// Records a placeholder occurrence and returns its reference.
+    fn param(
+        &mut self,
+        token: Token,
+        ty: ParamType,
+        context: &'static str,
+        offset: usize,
+    ) -> ParamRef {
+        let reference = match token {
+            Token::Positional => {
+                let i = self.positional;
+                self.positional += 1;
+                ParamRef::Positional(i)
+            }
+            Token::Named(name) => ParamRef::Named(name),
+            other => unreachable!("not a placeholder token: {other:?}"),
+        };
+        self.params.push(ParamOccurrence {
+            reference: reference.clone(),
+            ty,
+            context,
+            offset,
+        });
+        reference
     }
 
     /// Consumes a keyword (case-insensitive) or fails.
@@ -119,6 +203,39 @@ impl Parser {
         Ok(n as usize)
     }
 
+    /// A numeric slot that may be a placeholder.
+    fn num_arg(&mut self, context: &'static str) -> Result<NumArg, QueryError> {
+        match self.peek().map(|s| (s.token.clone(), s.offset)) {
+            Some((t @ (Token::Positional | Token::Named(_)), offset)) => {
+                self.pos += 1;
+                Ok(NumArg::Param(self.param(
+                    t,
+                    ParamType::Number,
+                    context,
+                    offset,
+                )))
+            }
+            _ => Ok(NumArg::Lit(self.number()?)),
+        }
+    }
+
+    /// An integer slot that may be a placeholder (literal values are
+    /// validated here; bound values are validated at bind time).
+    fn int_arg(&mut self, context: &'static str) -> Result<NumArg, QueryError> {
+        match self.peek().map(|s| (s.token.clone(), s.offset)) {
+            Some((t @ (Token::Positional | Token::Named(_)), offset)) => {
+                self.pos += 1;
+                Ok(NumArg::Param(self.param(
+                    t,
+                    ParamType::Integer,
+                    context,
+                    offset,
+                )))
+            }
+            _ => Ok(NumArg::Lit(self.integer(context)? as f64)),
+        }
+    }
+
     fn ident(&mut self, what: &str) -> Result<String, QueryError> {
         match self.next() {
             Some(Spanned {
@@ -136,9 +253,9 @@ impl Parser {
         }
     }
 
-    fn query(&mut self) -> Result<Query, QueryError> {
+    fn query(&mut self) -> Result<QueryTemplate, QueryError> {
         if self.eat_kw("EXPLAIN") {
-            return Ok(Query::Explain(Box::new(self.query()?)));
+            return Ok(QueryTemplate::Explain(Box::new(self.query()?)));
         }
         self.expect_kw("FIND")?;
 
@@ -150,37 +267,41 @@ impl Parser {
             return self.range_query();
         }
         // FIND <k> NEAREST TO …
-        let k = self.integer("k")?;
+        let k = self.int_arg("k")?;
         self.expect_kw("NEAREST")?;
         self.expect_kw("TO")?;
         self.knn_query(k)
     }
 
-    fn range_query(&mut self) -> Result<Query, QueryError> {
+    fn range_query(&mut self) -> Result<QueryTemplate, QueryError> {
         let source = self.source()?;
         self.expect_kw("IN")?;
         let relation = self.ident("a relation name")?;
         let (transform, on_both) = self.using_clause()?;
         let mut eps = None;
         let mut strategy = Strategy::Auto;
-        let mut stats_window = StatsWindow::default();
+        let mut stats_window = TemplateStatsWindow::default();
         loop {
             if self.eat_kw("EPSILON") {
-                eps = Some(self.number()?);
+                eps = Some(self.num_arg("EPSILON")?);
             } else if self.eat_kw("FORCE") {
                 strategy = self.strategy()?;
             } else if self.eat_kw("MEAN") {
                 self.expect_kw("WITHIN")?;
-                let tol = self.number()?;
-                if tol < 0.0 {
-                    return Err(self.error("MEAN WITHIN tolerance must be non-negative"));
+                let tol = self.num_arg("MEAN WITHIN")?;
+                if let NumArg::Lit(v) = tol {
+                    if v < 0.0 {
+                        return Err(self.error("MEAN WITHIN tolerance must be non-negative"));
+                    }
                 }
                 stats_window.mean = Some(tol);
             } else if self.eat_kw("STD") {
                 self.expect_kw("WITHIN")?;
-                let tol = self.number()?;
-                if tol < 0.0 {
-                    return Err(self.error("STD WITHIN tolerance must be non-negative"));
+                let tol = self.num_arg("STD WITHIN")?;
+                if let NumArg::Lit(v) = tol {
+                    if v < 0.0 {
+                        return Err(self.error("STD WITHIN tolerance must be non-negative"));
+                    }
                 }
                 stats_window.std_dev = Some(tol);
             } else {
@@ -188,10 +309,12 @@ impl Parser {
             }
         }
         let eps = eps.ok_or_else(|| self.error("range queries require an EPSILON clause"))?;
-        if eps < 0.0 {
-            return Err(self.error("EPSILON must be non-negative"));
+        if let NumArg::Lit(v) = eps {
+            if v < 0.0 {
+                return Err(self.error("EPSILON must be non-negative"));
+            }
         }
-        Ok(Query::Range {
+        Ok(QueryTemplate::Range {
             source,
             relation,
             transform,
@@ -202,7 +325,7 @@ impl Parser {
         })
     }
 
-    fn knn_query(&mut self, k: usize) -> Result<Query, QueryError> {
+    fn knn_query(&mut self, k: NumArg) -> Result<QueryTemplate, QueryError> {
         let source = self.source()?;
         self.expect_kw("IN")?;
         let relation = self.ident("a relation name")?;
@@ -212,7 +335,7 @@ impl Parser {
         } else {
             Strategy::Auto
         };
-        Ok(Query::Knn {
+        Ok(QueryTemplate::Knn {
             k,
             source,
             relation,
@@ -222,7 +345,7 @@ impl Parser {
         })
     }
 
-    fn pairs_query(&mut self) -> Result<Query, QueryError> {
+    fn pairs_query(&mut self) -> Result<QueryTemplate, QueryError> {
         self.expect_kw("IN")?;
         let relation = self.ident("a relation name")?;
         let (left, right) =
@@ -245,7 +368,7 @@ impl Parser {
         let mut method = JoinMethod::default();
         loop {
             if self.eat_kw("EPSILON") {
-                eps = Some(self.number()?);
+                eps = Some(self.num_arg("EPSILON")?);
             } else if self.eat_kw("METHOD") {
                 let m = self.ident("a join method (a, b, c or d)")?;
                 method = match m.to_ascii_lowercase().as_str() {
@@ -264,10 +387,12 @@ impl Parser {
             }
         }
         let eps = eps.ok_or_else(|| self.error("FIND PAIRS requires an EPSILON clause"))?;
-        if eps < 0.0 {
-            return Err(self.error("EPSILON must be non-negative"));
+        if let NumArg::Lit(v) = eps {
+            if v < 0.0 {
+                return Err(self.error("EPSILON must be non-negative"));
+            }
         }
-        Ok(Query::AllPairs {
+        Ok(QueryTemplate::AllPairs {
             relation,
             left,
             right,
@@ -299,14 +424,23 @@ impl Parser {
         }
     }
 
-    fn source(&mut self) -> Result<QuerySource, QueryError> {
+    fn source(&mut self) -> Result<TemplateSource, QueryError> {
         if self.eat_kw("ROW") {
-            return Ok(QuerySource::RowId(self.integer("row id")? as u64));
+            return Ok(TemplateSource::RowId(self.int_arg("ROW id")?));
         }
         if self.eat_kw("NAME") {
-            return Ok(QuerySource::RowName(self.ident("a row name")?));
+            return Ok(TemplateSource::RowName(self.ident("a row name")?));
         }
         match self.next() {
+            Some(Spanned {
+                token: t @ (Token::Positional | Token::Named(_)),
+                offset,
+            }) => Ok(TemplateSource::Series(self.param(
+                t,
+                ParamType::Series,
+                "query series",
+                offset,
+            ))),
             Some(Spanned {
                 token: Token::LBracket,
                 ..
@@ -341,11 +475,12 @@ impl Parser {
                 } else {
                     self.next(); // consume ]
                 }
-                Ok(QuerySource::Literal(values))
+                Ok(TemplateSource::Literal(values))
             }
             Some(other) => Err(QueryError::Parse {
                 offset: Some(other.offset),
-                message: "expected a series literal [..], ROW <id> or NAME <name>".into(),
+                message: "expected a series literal [..], ROW <id>, NAME <name> or a placeholder"
+                    .into(),
             }),
             None => Err(QueryError::Parse {
                 offset: None,
@@ -460,6 +595,7 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::QuerySource;
 
     #[test]
     fn parses_range_query() {
@@ -610,6 +746,87 @@ mod tests {
             Query::Range { source, .. } => assert_eq!(source, QuerySource::Literal(vec![])),
             other => panic!("wrong query {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod template_tests {
+    use super::*;
+
+    #[test]
+    fn positional_placeholders_number_in_lexical_order() {
+        let parsed = parse_template("FIND SIMILAR TO ? IN stocks MEAN WITHIN ? EPSILON ?").unwrap();
+        let refs: Vec<_> = parsed.params.iter().map(|p| p.reference.clone()).collect();
+        assert_eq!(
+            refs,
+            vec![
+                ParamRef::Positional(0),
+                ParamRef::Positional(1),
+                ParamRef::Positional(2),
+            ]
+        );
+        let tys: Vec<_> = parsed.params.iter().map(|p| p.ty).collect();
+        assert_eq!(
+            tys,
+            vec![ParamType::Series, ParamType::Number, ParamType::Number]
+        );
+        // MEAN WITHIN appears lexically before EPSILON, so the template
+        // must carry ?1 in the window and ?2 in eps.
+        match parsed.template {
+            QueryTemplate::Range {
+                eps, stats_window, ..
+            } => {
+                assert_eq!(eps, NumArg::Param(ParamRef::Positional(2)));
+                assert_eq!(
+                    stats_window.mean,
+                    Some(NumArg::Param(ParamRef::Positional(1)))
+                );
+            }
+            other => panic!("wrong template {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_placeholders_parse() {
+        let parsed = parse_template("FIND $k NEAREST TO ROW $row IN stocks USING mavg(5)").unwrap();
+        assert_eq!(parsed.params.len(), 2);
+        assert_eq!(parsed.params[0].reference, ParamRef::Named("k".into()));
+        assert_eq!(parsed.params[0].ty, ParamType::Integer);
+        assert_eq!(parsed.params[1].reference, ParamRef::Named("row".into()));
+        assert_eq!(parsed.params[1].ty, ParamType::Integer);
+    }
+
+    #[test]
+    fn plain_parse_rejects_placeholders() {
+        let err = parse("FIND SIMILAR TO ROW 0 IN r EPSILON ?").unwrap_err();
+        match err {
+            QueryError::Parse { message, .. } => {
+                assert!(message.contains("prepared statement"), "{message}")
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placeholders_rejected_in_transform_arguments() {
+        assert!(parse_template("FIND SIMILAR TO ROW 0 IN r USING mavg(?) EPSILON 1").is_err());
+        assert!(parse_template("FIND SIMILAR TO ROW 0 IN r USING shift($c) EPSILON 1").is_err());
+    }
+
+    #[test]
+    fn fully_literal_template_converts() {
+        let parsed = parse_template("FIND SIMILAR TO ROW 3 IN r EPSILON 1.5").unwrap();
+        assert!(parsed.params.is_empty());
+        assert!(parsed.template.is_fully_literal());
+        let q = parsed.template.into_query_literal().unwrap();
+        assert_eq!(q.relation(), "r");
+    }
+
+    #[test]
+    fn explain_template_carries_placeholders() {
+        let parsed = parse_template("EXPLAIN FIND SIMILAR TO ROW ? IN r EPSILON ?").unwrap();
+        assert_eq!(parsed.params.len(), 2);
+        assert!(matches!(parsed.template, QueryTemplate::Explain(_)));
     }
 }
 

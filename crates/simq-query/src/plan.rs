@@ -73,6 +73,10 @@ impl std::fmt::Display for Parallelism {
 pub struct Database {
     relations: BTreeMap<String, StoredRelation>,
     parallelism: Parallelism,
+    /// Catalog generation: bumped by every mutation that could change a
+    /// plan (relations added/replaced/mutated, parallelism changed).
+    /// Session plan caches compare generations to invalidate.
+    generation: u64,
 }
 
 impl Database {
@@ -81,8 +85,18 @@ impl Database {
         Database::default()
     }
 
+    /// The catalog generation counter. It increases on every mutation
+    /// that could invalidate a cached plan: adding or replacing a
+    /// relation, handing out mutable access to one, loading a snapshot,
+    /// or changing the execution parallelism. `session::Session` keys its
+    /// plan cache to this value.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Registers a relation without an index.
     pub fn add_relation(&mut self, relation: SeriesRelation) {
+        self.generation += 1;
         self.relations.insert(
             relation.name().to_string(),
             StoredRelation {
@@ -95,6 +109,7 @@ impl Database {
     /// Registers a relation and bulk-loads an index over it.
     pub fn add_relation_indexed(&mut self, relation: SeriesRelation) {
         let index = relation.build_index(RTreeConfig::default());
+        self.generation += 1;
         self.relations.insert(
             relation.name().to_string(),
             StoredRelation {
@@ -109,9 +124,16 @@ impl Database {
         self.relations.get(name)
     }
 
-    /// Mutable lookup (to build or drop indexes).
+    /// Mutable lookup (to build or drop indexes). When the relation
+    /// exists, this conservatively bumps the catalog
+    /// [generation](Database::generation) — the borrow may mutate the
+    /// relation or its index; a missed lookup leaves cached plans valid.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut StoredRelation> {
-        self.relations.get_mut(name)
+        let found = self.relations.get_mut(name);
+        if found.is_some() {
+            self.generation += 1;
+        }
+        found
     }
 
     /// Names of all relations.
@@ -124,15 +146,18 @@ impl Database {
         self.parallelism
     }
 
-    /// Sets the execution parallelism for subsequent queries.
+    /// Sets the execution parallelism for subsequent queries. Plans
+    /// record their thread count, so this bumps the catalog generation
+    /// (cached plans must be re-made).
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.generation += 1;
         self.parallelism = parallelism;
     }
 
     /// Builder-style [`Database::set_parallelism`].
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.parallelism = parallelism;
+        self.set_parallelism(parallelism);
         self
     }
 
@@ -174,6 +199,7 @@ impl Database {
     pub fn load_snapshot(&mut self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
         let loaded = snapshot::load(path)?;
         let count = loaded.len();
+        self.generation += 1;
         for entry in loaded {
             self.relations.insert(
                 entry.relation.name().to_string(),

@@ -1,0 +1,1540 @@
+//! Sessions, prepared statements and streaming cursors — the workload
+//! API of the query engine.
+//!
+//! [`execute`](crate::execute) re-lexes, re-parses and re-plans its text
+//! on every call and materializes the whole answer. Applications re-issue
+//! the same query *shapes* with different constants; a [`Session`]
+//! amortizes everything that does not depend on the constants:
+//!
+//! * [`Session::prepare`] lexes, parses and plans a statement **once**.
+//!   The text may contain placeholders — `?` positional (numbered in
+//!   lexical order) or `$name` named — in the query-source, `EPSILON`,
+//!   `k`, `ROW <id>` and `MEAN`/`STD WITHIN` slots.
+//! * [`Prepared::bind`] type-checks parameter values against the
+//!   statement's typed signature and produces a [`Bound`] statement.
+//! * [`Session::execute`] runs a bound statement, reusing the session's
+//!   **shape-keyed plan cache** (bounded LRU, invalidated whenever the
+//!   database's catalog [generation](Database::generation) changes).
+//!   Cache hits and misses are reported both per query (in
+//!   [`ExecStats`]) and cumulatively (in [`SessionStats`]).
+//! * [`Session::cursor`] returns a lazy [`Cursor`] that streams hits
+//!   incrementally: range queries pull candidates out of an explicit-
+//!   stack index descent (or row-at-a-time scan), so a consumer that
+//!   stops after a few hits — `LIMIT`-style — abandons the remaining
+//!   index descent instead of materializing everything.
+//!
+//! ```
+//! use simq_query::session::{Session, Value};
+//! use simq_query::{Database, QueryOutput};
+//! use simq_series::features::FeatureScheme;
+//! use simq_storage::SeriesRelation;
+//!
+//! let mut rel = SeriesRelation::new("stocks", 32, FeatureScheme::paper_default());
+//! for i in 0..40u64 {
+//!     let series: Vec<f64> = (0..32)
+//!         .map(|t| 30.0 + ((t as f64) * (0.1 + i as f64 * 0.01)).sin() * 4.0)
+//!         .collect();
+//!     rel.insert(format!("S{i:04}"), series).unwrap();
+//! }
+//! let mut db = Database::new();
+//! db.add_relation_indexed(rel);
+//!
+//! let session = Session::new(&db);
+//! let prepared = session
+//!     .prepare("FIND SIMILAR TO ROW $row IN stocks EPSILON $eps")
+//!     .unwrap();
+//! for row in 0..5u64 {
+//!     let bound = prepared
+//!         .bind_named(&[("row", Value::from(row)), ("eps", Value::from(2.0))])
+//!         .unwrap();
+//!     let result = session.execute(&bound).unwrap();
+//!     assert!(matches!(result.output, QueryOutput::Hits(_)));
+//! }
+//! // One miss at prepare time, then every execution hit the plan cache.
+//! assert_eq!(session.stats().plan_cache_misses, 1);
+//! assert_eq!(session.stats().plan_cache_hits, 5);
+//! ```
+
+use crate::ast::{
+    NumArg, ParamRef, ParamType, Query, QuerySource, QueryTemplate, StatsWindow, TemplateSource,
+};
+use crate::batch::{BatchExecutor, BatchResult};
+use crate::error::QueryError;
+use crate::exec::{self, ExecStats, Hit, QueryResult};
+use crate::plan::{plan as plan_query, AccessPath, Database, Plan};
+use simq_dsp::complex::Complex;
+use simq_series::transform::NormalFormAction;
+use simq_storage::{SeriesRelation, SeriesRow};
+use std::borrow::Borrow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Default bound on the session plan cache (distinct statement shapes).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Parameter values
+// ---------------------------------------------------------------------------
+
+/// A value bound to a statement parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A number (for `EPSILON`, `k`, `ROW <id>`, `MEAN`/`STD WITHIN`).
+    Number(f64),
+    /// A whole query series (for the source slot).
+    Series(Vec<f64>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Number(_) => "number",
+            Value::Series(_) => "series",
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Number(v as f64)
+    }
+}
+/// Integer conversions go through the `Number` f64, which is exact up
+/// to 2⁵³; binding an integer slot to a larger value is rejected at
+/// bind time rather than rounded.
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(v as f64)
+    }
+}
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Series(v)
+    }
+}
+impl From<&[f64]> for Value {
+    fn from(v: &[f64]) -> Self {
+        Value::Series(v.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------------
+
+/// One slot of a prepared statement's signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slot {
+    /// `Some(name)` for `$name` parameters, `None` for positional `?`.
+    pub name: Option<String>,
+    /// The type the slot expects.
+    pub ty: ParamType,
+    /// Where the slot appears (`"EPSILON"`, `"k"`, `"query series"`, …).
+    pub context: &'static str,
+}
+
+/// A prepared statement: parsed and planned once, executable many times
+/// with different parameter bindings.
+///
+/// Produced by [`Session::prepare`]. The statement itself is immutable
+/// and does not borrow the session or the database — it can outlive
+/// both; executing it against a *different* database (or after catalog
+/// mutations) simply re-plans through that session's cache.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    text: String,
+    template: QueryTemplate,
+    shape: String,
+    /// Positional slots (in `?`-ordinal order), then named slots (in
+    /// first-appearance order).
+    slots: Vec<Slot>,
+    positional_count: usize,
+}
+
+impl Prepared {
+    /// The original statement text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The parsed template.
+    pub fn template(&self) -> &QueryTemplate {
+        &self.template
+    }
+
+    /// The typed signature: positional slots in ordinal order, then
+    /// named slots in first-appearance order.
+    pub fn signature(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of positional (`?`) parameters.
+    pub fn positional_count(&self) -> usize {
+        self.positional_count
+    }
+
+    /// Binds positional parameter values, in `?` order.
+    ///
+    /// ```
+    /// # use simq_query::session::{Session, Value};
+    /// # use simq_query::Database;
+    /// # use simq_series::features::FeatureScheme;
+    /// # use simq_storage::SeriesRelation;
+    /// # let mut rel = SeriesRelation::new("r", 16, FeatureScheme::paper_default());
+    /// # for i in 0..8u64 {
+    /// #     rel.insert(format!("S{i}"), (0..16).map(|t| (t as f64 + i as f64).sin() + t as f64 * 0.1).collect::<Vec<_>>()).unwrap();
+    /// # }
+    /// # let mut db = Database::new();
+    /// # db.add_relation_indexed(rel);
+    /// let session = Session::new(&db);
+    /// let p = session.prepare("FIND ? NEAREST TO ROW ? IN r").unwrap();
+    /// let bound = p.bind(&[Value::from(3u64), Value::from(0u64)]).unwrap();
+    /// assert!(session.execute(&bound).is_ok());
+    /// // Type errors are caught at bind time:
+    /// assert!(p.bind(&[Value::from(vec![1.0]), Value::from(0u64)]).is_err());
+    /// ```
+    ///
+    /// # Errors
+    /// [`QueryError::Bind`] on wrong arity, a missing named parameter
+    /// (use [`Prepared::bind_all`]), a type mismatch, or an
+    /// out-of-domain value (negative `EPSILON`, fractional `ROW` id, …).
+    pub fn bind(&self, values: &[Value]) -> Result<Bound, QueryError> {
+        self.bind_all(values, &[])
+    }
+
+    /// Binds named parameter values (`$name`).
+    ///
+    /// # Errors
+    /// [`QueryError::Bind`] — see [`Prepared::bind`].
+    pub fn bind_named(&self, values: &[(&str, Value)]) -> Result<Bound, QueryError> {
+        self.bind_all(&[], values)
+    }
+
+    /// Binds a statement that mixes positional and named parameters.
+    ///
+    /// # Errors
+    /// [`QueryError::Bind`] — see [`Prepared::bind`].
+    pub fn bind_all(
+        &self,
+        positional: &[Value],
+        named: &[(&str, Value)],
+    ) -> Result<Bound, QueryError> {
+        if positional.len() != self.positional_count {
+            return Err(QueryError::Bind(format!(
+                "statement takes {} positional parameter{}, got {}",
+                self.positional_count,
+                if self.positional_count == 1 { "" } else { "s" },
+                positional.len()
+            )));
+        }
+        let named_slots = &self.slots[self.positional_count..];
+        for (name, _) in named {
+            if !named_slots.iter().any(|s| s.name.as_deref() == Some(*name)) {
+                return Err(QueryError::Bind(format!(
+                    "statement has no parameter ${name}"
+                )));
+            }
+        }
+        let mut resolved_named: HashMap<&str, &Value> = HashMap::new();
+        for (name, value) in named {
+            if resolved_named.insert(name, value).is_some() {
+                return Err(QueryError::Bind(format!("parameter ${name} bound twice")));
+            }
+        }
+        for slot in named_slots {
+            let name = slot.name.as_deref().expect("named slot has a name");
+            if !resolved_named.contains_key(name) {
+                return Err(QueryError::Bind(format!("parameter ${name} is not bound")));
+            }
+        }
+        let mut lookup = |r: &ParamRef, _ty: ParamType, _context: &'static str| match r {
+            ParamRef::Positional(i) => Ok(positional[*i].clone()),
+            ParamRef::Named(name) => {
+                Ok((*resolved_named.get(name.as_str()).expect("checked above")).clone())
+            }
+        };
+        let query = instantiate(&self.template, &mut lookup)?;
+        Ok(Bound {
+            query,
+            shape: self.shape.clone(),
+        })
+    }
+}
+
+/// A prepared statement with every parameter bound: a concrete,
+/// executable query plus its plan-cache shape key.
+#[derive(Debug, Clone)]
+pub struct Bound {
+    query: Query,
+    shape: String,
+}
+
+impl Bound {
+    /// The concrete query this binding produces.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+}
+
+/// Substitutes parameter values into a template, type-checking each slot.
+fn instantiate(
+    template: &QueryTemplate,
+    lookup: &mut dyn FnMut(&ParamRef, ParamType, &'static str) -> Result<Value, QueryError>,
+) -> Result<Query, QueryError> {
+    fn number(
+        arg: &NumArg,
+        context: &'static str,
+        lookup: &mut dyn FnMut(&ParamRef, ParamType, &'static str) -> Result<Value, QueryError>,
+    ) -> Result<f64, QueryError> {
+        match arg {
+            NumArg::Lit(v) => Ok(*v),
+            NumArg::Param(r) => match lookup(r, ParamType::Number, context)? {
+                Value::Number(v) if v.is_finite() => Ok(v),
+                Value::Number(v) => Err(QueryError::Bind(format!(
+                    "{context} parameter {r} must be finite, got {v}"
+                ))),
+                other => Err(QueryError::Bind(format!(
+                    "{context} parameter {r} expects a number, got a {}",
+                    other.type_name()
+                ))),
+            },
+        }
+    }
+    fn integer(
+        arg: &NumArg,
+        context: &'static str,
+        lookup: &mut dyn FnMut(&ParamRef, ParamType, &'static str) -> Result<Value, QueryError>,
+    ) -> Result<u64, QueryError> {
+        // Integers travel through `Value::Number`'s f64, which represents
+        // integers exactly only up to 2⁵³ — larger values would silently
+        // round to a *different* id/k, so they are rejected, not accepted
+        // approximately.
+        const MAX_EXACT: f64 = (1u64 << 53) as f64;
+        match arg {
+            // Literal slots were validated by the parser.
+            NumArg::Lit(v) => Ok(*v as u64),
+            NumArg::Param(r) => match lookup(r, ParamType::Integer, context)? {
+                Value::Number(v) if v.fract() == 0.0 && (0.0..=MAX_EXACT).contains(&v) => {
+                    Ok(v as u64)
+                }
+                Value::Number(v) if v > MAX_EXACT => Err(QueryError::Bind(format!(
+                    "{context} parameter {r} exceeds 2^53 and cannot be represented exactly"
+                ))),
+                Value::Number(v) => Err(QueryError::Bind(format!(
+                    "{context} parameter {r} must be a non-negative integer, got {v}"
+                ))),
+                other => Err(QueryError::Bind(format!(
+                    "{context} parameter {r} expects an integer, got a {}",
+                    other.type_name()
+                ))),
+            },
+        }
+    }
+    fn non_negative(v: f64, context: &'static str) -> Result<f64, QueryError> {
+        if v < 0.0 {
+            Err(QueryError::Bind(format!(
+                "{context} must be non-negative, got {v}"
+            )))
+        } else {
+            Ok(v)
+        }
+    }
+    fn source(
+        src: &TemplateSource,
+        lookup: &mut dyn FnMut(&ParamRef, ParamType, &'static str) -> Result<Value, QueryError>,
+    ) -> Result<QuerySource, QueryError> {
+        match src {
+            TemplateSource::Literal(values) => Ok(QuerySource::Literal(values.clone())),
+            TemplateSource::RowName(name) => Ok(QuerySource::RowName(name.clone())),
+            TemplateSource::RowId(arg) => Ok(QuerySource::RowId(integer(arg, "ROW id", lookup)?)),
+            TemplateSource::Series(r) => match lookup(r, ParamType::Series, "query series")? {
+                Value::Series(values) => {
+                    if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+                        return Err(QueryError::Bind(format!(
+                            "query series parameter {r} contains a non-finite value {bad}"
+                        )));
+                    }
+                    Ok(QuerySource::Literal(values))
+                }
+                other => Err(QueryError::Bind(format!(
+                    "query series parameter {r} expects a series, got a {}",
+                    other.type_name()
+                ))),
+            },
+        }
+    }
+
+    Ok(match template {
+        QueryTemplate::Range {
+            source: src,
+            relation,
+            transform,
+            on_both,
+            eps,
+            stats_window,
+            strategy,
+        } => Query::Range {
+            source: source(src, lookup)?,
+            relation: relation.clone(),
+            transform: transform.clone(),
+            on_both: *on_both,
+            eps: non_negative(number(eps, "EPSILON", lookup)?, "EPSILON")?,
+            stats_window: StatsWindow {
+                mean: match &stats_window.mean {
+                    Some(a) => Some(non_negative(
+                        number(a, "MEAN WITHIN", lookup)?,
+                        "MEAN WITHIN",
+                    )?),
+                    None => None,
+                },
+                std_dev: match &stats_window.std_dev {
+                    Some(a) => Some(non_negative(
+                        number(a, "STD WITHIN", lookup)?,
+                        "STD WITHIN",
+                    )?),
+                    None => None,
+                },
+            },
+            strategy: *strategy,
+        },
+        QueryTemplate::Knn {
+            k,
+            source: src,
+            relation,
+            transform,
+            on_both,
+            strategy,
+        } => Query::Knn {
+            k: integer(k, "k", lookup)? as usize,
+            source: source(src, lookup)?,
+            relation: relation.clone(),
+            transform: transform.clone(),
+            on_both: *on_both,
+            strategy: *strategy,
+        },
+        QueryTemplate::AllPairs {
+            relation,
+            left,
+            right,
+            eps,
+            method,
+        } => Query::AllPairs {
+            relation: relation.clone(),
+            left: left.clone(),
+            right: right.clone(),
+            eps: non_negative(number(eps, "EPSILON", lookup)?, "EPSILON")?,
+            method: *method,
+        },
+        QueryTemplate::Explain(inner) => Query::Explain(Box::new(instantiate(inner, lookup)?)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shape keys
+// ---------------------------------------------------------------------------
+
+/// Renderers for the plan-shape key: everything [`plan_query`] looks at
+/// — relation, query form, transformation(s), strategy, join method and
+/// which GK95 windows are present — and nothing it does not (epsilon,
+/// k, the query series). [`shape_key`] and [`shape_key_template`] both
+/// delegate here so the key format exists in exactly one place: the
+/// plan a `prepare()` plants under the template's key *must* be found
+/// by `execute()` under the bound query's key.
+mod shape {
+    pub(super) fn range(
+        relation: &str,
+        transform: &simq_series::transform::SeriesTransform,
+        strategy: &crate::ast::Strategy,
+        has_mean: bool,
+        has_std: bool,
+    ) -> String {
+        format!(
+            "range|{relation}|{transform:?}|{strategy:?}|m{}s{}",
+            has_mean as u8, has_std as u8
+        )
+    }
+
+    pub(super) fn knn(
+        relation: &str,
+        transform: &simq_series::transform::SeriesTransform,
+        strategy: &crate::ast::Strategy,
+    ) -> String {
+        format!("knn|{relation}|{transform:?}|{strategy:?}")
+    }
+
+    pub(super) fn pairs(
+        relation: &str,
+        left: &simq_series::transform::SeriesTransform,
+        right: &simq_series::transform::SeriesTransform,
+        method: &crate::ast::JoinMethod,
+    ) -> String {
+        format!("pairs|{relation}|{left:?}|{right:?}|{method:?}")
+    }
+}
+
+/// The plan-shape key of a concrete query. `EXPLAIN` shares its inner
+/// query's key, because it shares its plan.
+fn shape_key(query: &Query) -> String {
+    match query {
+        Query::Range {
+            relation,
+            transform,
+            strategy,
+            stats_window,
+            ..
+        } => shape::range(
+            relation,
+            transform,
+            strategy,
+            stats_window.mean.is_some(),
+            stats_window.std_dev.is_some(),
+        ),
+        Query::Knn {
+            relation,
+            transform,
+            strategy,
+            ..
+        } => shape::knn(relation, transform, strategy),
+        Query::AllPairs {
+            relation,
+            left,
+            right,
+            method,
+            ..
+        } => shape::pairs(relation, left, right, method),
+        Query::Explain(inner) => shape_key(inner),
+    }
+}
+
+/// [`shape_key`] computed from a template (identical strings by
+/// construction: both delegate to [`shape`], and the shape fields are
+/// never parameterizable).
+fn shape_key_template(template: &QueryTemplate) -> String {
+    match template {
+        QueryTemplate::Range {
+            relation,
+            transform,
+            strategy,
+            stats_window,
+            ..
+        } => shape::range(
+            relation,
+            transform,
+            strategy,
+            stats_window.mean.is_some(),
+            stats_window.std_dev.is_some(),
+        ),
+        QueryTemplate::Knn {
+            relation,
+            transform,
+            strategy,
+            ..
+        } => shape::knn(relation, transform, strategy),
+        QueryTemplate::AllPairs {
+            relation,
+            left,
+            right,
+            method,
+            ..
+        } => shape::pairs(relation, left, right, method),
+        QueryTemplate::Explain(inner) => shape_key_template(inner),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// Cumulative work counters of one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements prepared.
+    pub prepared_statements: u64,
+    /// Bound/text statements executed (cursors count at open).
+    pub executions: u64,
+    /// Streaming cursors opened.
+    pub cursors_opened: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (each paid one planning pass).
+    pub plan_cache_misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub plan_cache_evictions: u64,
+    /// Whole-cache invalidations caused by catalog generation changes.
+    pub plan_cache_invalidations: u64,
+    /// Entries currently cached.
+    pub plan_cache_entries: usize,
+    /// Configured capacity (0 disables caching).
+    pub plan_cache_capacity: usize,
+}
+
+/// The bounded LRU of shape key → plan.
+struct PlanCache {
+    generation: u64,
+    tick: u64,
+    capacity: usize,
+    entries: HashMap<String, (Plan, u64)>,
+}
+
+struct Inner {
+    cache: PlanCache,
+    stats: SessionStats,
+}
+
+/// A query session over a database: the unit of statement preparation,
+/// plan caching and execution statistics.
+///
+/// `D` is how the session holds its database: `Session<&Database>`
+/// borrows one (the [`execute`](crate::execute) compatibility path
+/// creates a throwaway session this way), `Session<Database>` owns one
+/// (the CLI does this) and additionally offers [`Session::db_mut`].
+///
+/// Sessions are cheap: a handful of counters plus the plan cache. They
+/// use interior mutability for the cache, so all query methods take
+/// `&self`; a session is single-threaded by construction (`!Sync`), but
+/// the queries it runs still use the database's configured
+/// [`Parallelism`](crate::Parallelism) internally.
+pub struct Session<D: Borrow<Database> = Database> {
+    db: D,
+    inner: RefCell<Inner>,
+}
+
+impl<D: Borrow<Database>> Session<D> {
+    /// A session over `db` with the default plan-cache capacity
+    /// ([`DEFAULT_PLAN_CACHE_CAPACITY`]).
+    pub fn new(db: D) -> Self {
+        Session::with_plan_cache_capacity(db, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A session with an explicit plan-cache capacity (0 disables plan
+    /// caching entirely; every execution re-plans).
+    pub fn with_plan_cache_capacity(db: D, capacity: usize) -> Self {
+        let generation = db.borrow().generation();
+        Session {
+            db,
+            inner: RefCell::new(Inner {
+                cache: PlanCache {
+                    generation,
+                    tick: 0,
+                    capacity,
+                    entries: HashMap::new(),
+                },
+                stats: SessionStats {
+                    plan_cache_capacity: capacity,
+                    ..SessionStats::default()
+                },
+            }),
+        }
+    }
+
+    /// The database the session queries.
+    pub fn db(&self) -> &Database {
+        self.db.borrow()
+    }
+
+    /// Cumulative session statistics.
+    pub fn stats(&self) -> SessionStats {
+        let inner = self.inner.borrow();
+        let mut stats = inner.stats;
+        stats.plan_cache_entries = inner.cache.entries.len();
+        stats.plan_cache_capacity = inner.cache.capacity;
+        stats
+    }
+
+    /// Prepares a statement: lexes, parses, builds the typed signature,
+    /// and plans the shape once into the session's plan cache (so the
+    /// first [`Session::execute`] already hits).
+    ///
+    /// # Errors
+    /// Lex/parse errors; [`QueryError::Bind`] when a named parameter is
+    /// used with conflicting types; planning errors (unknown relation,
+    /// unsatisfiable `FORCE INDEX`).
+    pub fn prepare(&self, text: &str) -> Result<Prepared, QueryError> {
+        let parsed = crate::parse::parse_template(text)?;
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut named: Vec<Slot> = Vec::new();
+        for occ in &parsed.params {
+            match &occ.reference {
+                ParamRef::Positional(_) => slots.push(Slot {
+                    name: None,
+                    ty: occ.ty,
+                    context: occ.context,
+                }),
+                ParamRef::Named(name) => {
+                    if let Some(existing) = named
+                        .iter()
+                        .find(|s| s.name.as_deref() == Some(name.as_str()))
+                    {
+                        if existing.ty != occ.ty {
+                            return Err(QueryError::Bind(format!(
+                                "parameter ${name} is used both as {} ({}) and as {} ({})",
+                                existing.ty, existing.context, occ.ty, occ.context
+                            )));
+                        }
+                    } else {
+                        named.push(Slot {
+                            name: Some(name.clone()),
+                            ty: occ.ty,
+                            context: occ.context,
+                        });
+                    }
+                }
+            }
+        }
+        let positional_count = slots.len();
+        slots.extend(named);
+
+        let shape = shape_key_template(&parsed.template);
+        // Plan the shape now: constants never affect the plan, so a
+        // dummy instantiation plans exactly what every binding will run.
+        let mut dummies = |_: &ParamRef, ty: ParamType, _: &'static str| {
+            Ok(match ty {
+                ParamType::Number | ParamType::Integer => Value::Number(0.0),
+                ParamType::Series => Value::Series(Vec::new()),
+            })
+        };
+        let dummy = instantiate(&parsed.template, &mut dummies)?;
+        self.cached_plan(&shape, &dummy)?;
+        self.inner.borrow_mut().stats.prepared_statements += 1;
+        Ok(Prepared {
+            text: text.to_string(),
+            template: parsed.template,
+            shape,
+            slots,
+            positional_count,
+        })
+    }
+
+    /// Executes a bound statement through the plan cache. The returned
+    /// [`QueryResult`] is identical — bitwise, including hit order — to
+    /// [`execute`](crate::execute) on the equivalent literal query text;
+    /// only the plan-cache counters in its [`ExecStats`] differ.
+    ///
+    /// # Errors
+    /// Any [`QueryError`] from planning or execution.
+    pub fn execute(&self, bound: &Bound) -> Result<QueryResult, QueryError> {
+        self.execute_shaped(&bound.shape, &bound.query)
+    }
+
+    /// Prepare-free convenience: parses `text` (no placeholders) and
+    /// executes it through the plan cache, so repeated ad-hoc queries of
+    /// the same shape still skip planning.
+    ///
+    /// # Errors
+    /// Any [`QueryError`] from the pipeline.
+    pub fn execute_text(&self, text: &str) -> Result<QueryResult, QueryError> {
+        let query = crate::parse::parse(text)?;
+        self.execute_shaped(&shape_key(&query), &query)
+    }
+
+    /// Opens a streaming [`Cursor`] over a bound range or kNN statement.
+    /// See the cursor's docs for the streaming guarantees and ordering
+    /// caveat.
+    ///
+    /// # Errors
+    /// [`QueryError::Unsupported`] for `EXPLAIN` and all-pairs queries;
+    /// otherwise any planning/resolution error.
+    pub fn cursor(&self, bound: &Bound) -> Result<Cursor<'_>, QueryError> {
+        self.cursor_shaped(&bound.shape, &bound.query)
+    }
+
+    /// [`Session::cursor`] for ad-hoc (placeholder-free) query text.
+    ///
+    /// # Errors
+    /// Any [`QueryError`] from the pipeline; [`QueryError::Unsupported`]
+    /// for `EXPLAIN` and all-pairs queries.
+    pub fn cursor_text(&self, text: &str) -> Result<Cursor<'_>, QueryError> {
+        let query = crate::parse::parse(text)?;
+        self.cursor_shaped(&shape_key(&query), &query)
+    }
+
+    /// The one execution path all `execute*` variants share: cached
+    /// plan, run, stamp the per-query hit/miss counters, bump the
+    /// session counters.
+    fn execute_shaped(&self, shape: &str, query: &Query) -> Result<QueryResult, QueryError> {
+        let (the_plan, hit) = self.cached_plan(shape, query)?;
+        let mut result = exec::run_with_plan(self.db(), query, the_plan)?;
+        result.stats.plan_cache_hits = hit as u64;
+        result.stats.plan_cache_misses = !hit as u64;
+        self.inner.borrow_mut().stats.executions += 1;
+        Ok(result)
+    }
+
+    /// The shared cursor-opening path (the cursor analogue of
+    /// [`Session::execute_shaped`]).
+    fn cursor_shaped(&self, shape: &str, query: &Query) -> Result<Cursor<'_>, QueryError> {
+        let (the_plan, hit) = self.cached_plan(shape, query)?;
+        let mut cursor = Cursor::open(self.db(), query, the_plan)?;
+        cursor.stats.plan_cache_hits = hit as u64;
+        cursor.stats.plan_cache_misses = !hit as u64;
+        self.inner.borrow_mut().stats.cursors_opened += 1;
+        Ok(cursor)
+    }
+
+    /// Executes a batch of bound statements as one [`BatchExecutor`]
+    /// batch: plans come from the session cache (the result's
+    /// `stats.merged` carries the batch's hit/miss counts), and queries
+    /// that plan to the same (relation, access path) share index
+    /// traversal exactly as text batches do.
+    pub fn execute_batch(&self, bounds: &[Bound]) -> BatchResult {
+        let queries: Vec<Query> = bounds.iter().map(|b| b.query.clone()).collect();
+        self.batch_through_cache(|planner| {
+            BatchExecutor::new(self.db()).execute_with_planner(queries, planner)
+        })
+    }
+
+    /// Executes a `;`-script-style batch of query texts through the
+    /// session: per-slot parse errors as in
+    /// [`execute_batch`](crate::execute_batch), but plans come from the
+    /// session cache and the executions count toward [`SessionStats`].
+    /// The CLI routes its batch lines here, so batched queries share the
+    /// plan cache with single ones.
+    pub fn execute_batch_texts(&self, inputs: &[&str]) -> BatchResult {
+        self.batch_through_cache(|planner| {
+            BatchExecutor::new(self.db()).execute_texts_with_planner(inputs, planner)
+        })
+    }
+
+    /// Runs one batch with plans served by [`Session::cached_plan`],
+    /// folding the hit/miss counts into the batch's merged stats and the
+    /// session counters. Slots that never reached execution (lex/parse
+    /// failures) do not count as executions.
+    fn batch_through_cache(
+        &self,
+        run: impl FnOnce(&mut dyn FnMut(&Query) -> Result<Plan, QueryError>) -> BatchResult,
+    ) -> BatchResult {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut result = run(&mut |query: &Query| {
+            let (plan, hit) = self.cached_plan(&shape_key(query), query)?;
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            Ok(plan)
+        });
+        result.stats.merged.plan_cache_hits += hits;
+        result.stats.merged.plan_cache_misses += misses;
+        let executed = result
+            .results
+            .iter()
+            .filter(|slot| {
+                !matches!(
+                    slot,
+                    Err(QueryError::Lex { .. }) | Err(QueryError::Parse { .. })
+                )
+            })
+            .count();
+        self.inner.borrow_mut().stats.executions += executed as u64;
+        result
+    }
+
+    /// Looks the shape up in the plan cache, planning (and inserting) on
+    /// a miss. Returns the plan and whether it was a hit. The cache is
+    /// cleared first whenever the database's catalog generation moved.
+    fn cached_plan(&self, shape: &str, query: &Query) -> Result<(Plan, bool), QueryError> {
+        let db = self.db();
+        let generation = db.generation();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            if inner.cache.generation != generation {
+                if !inner.cache.entries.is_empty() {
+                    inner.stats.plan_cache_invalidations += 1;
+                    inner.cache.entries.clear();
+                }
+                inner.cache.generation = generation;
+            }
+            inner.cache.tick += 1;
+            let tick = inner.cache.tick;
+            if let Some((plan, last_used)) = inner.cache.entries.get_mut(shape) {
+                *last_used = tick;
+                inner.stats.plan_cache_hits += 1;
+                return Ok((plan.clone(), true));
+            }
+        }
+        // Plan outside the borrow (planning only reads the database).
+        let plan = plan_query(db, query)?;
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.stats.plan_cache_misses += 1;
+        if inner.cache.capacity > 0 {
+            if inner.cache.entries.len() >= inner.cache.capacity {
+                // Evict the least-recently-used entry (ticks are unique,
+                // so the choice is deterministic).
+                if let Some(victim) = inner
+                    .cache
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(k, _)| k.clone())
+                {
+                    inner.cache.entries.remove(&victim);
+                    inner.stats.plan_cache_evictions += 1;
+                }
+            }
+            let tick = inner.cache.tick;
+            inner
+                .cache
+                .entries
+                .insert(shape.to_string(), (plan.clone(), tick));
+        }
+        Ok((plan, false))
+    }
+}
+
+impl Session<Database> {
+    /// Mutable access to an owned database. Mutations bump the catalog
+    /// generation, so cached plans are invalidated automatically.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Consumes the session, returning the database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cursors
+// ---------------------------------------------------------------------------
+
+/// A lazy query result: an iterator of [`Hit`]s produced incrementally.
+///
+/// * **Range queries stream.** The index path pulls candidates out of an
+///   incremental R*-tree descent ([`simq_index::cursor`]) and verifies
+///   them one at a time; the scan path reads one row at a time. Stopping
+///   early — dropping the cursor, or just not calling `next` — abandons
+///   the remaining index descent, so `LIMIT`-style consumption does
+///   strictly less work than a full execution ([`Cursor::stats`] shows
+///   the difference).
+/// * **kNN queries buffer.** A k-nearest answer is not known until the
+///   search completes, so the cursor materializes it at open and then
+///   iterates (its stats are final from the start).
+/// * **Ordering caveat:** streamed hits arrive in traversal order, not
+///   `(distance, id)` order. [`Cursor::drain_sorted`] drains the
+///   remaining hits and sorts them; on a fresh cursor it returns exactly
+///   the hits of the materialized [`QueryOutput`](crate::QueryOutput).
+///
+/// Streaming range cursors execute serially (`threads_used` is 1) —
+/// streaming and multi-threaded fan-out are at odds; use
+/// [`Session::execute`] for parallel materialized execution. Buffered
+/// kNN cursors materialize through the normal executor and report its
+/// actual fan-out.
+pub struct Cursor<'db> {
+    plan: Plan,
+    stats: ExecStats,
+    state: CursorState<'db>,
+}
+
+/// Data shared by both streaming range variants.
+struct RangeVerify<'db> {
+    rel: &'db SeriesRelation,
+    action: NormalFormAction,
+    window: StatsWindow,
+    q_mean: f64,
+    q_std: f64,
+    q_spec: Vec<Complex>,
+    eps: f64,
+}
+
+impl RangeVerify<'_> {
+    fn window_ok(&self, mean: f64, std_dev: f64) -> bool {
+        let t_mean = self.action.mean_scale * mean + self.action.mean_shift;
+        let t_std = self.action.std_scale * std_dev;
+        self.window
+            .mean
+            .is_none_or(|tol| (t_mean - self.q_mean).abs() <= tol)
+            && self
+                .window
+                .std_dev
+                .is_none_or(|tol| (t_std - self.q_std).abs() <= tol)
+    }
+
+    /// The single-query verification step on one row; `None` when the
+    /// row is filtered out.
+    fn verify(&self, id: u64, compared: &mut u64) -> Option<Hit> {
+        let row = self.rel.row(id).expect("candidate ids are valid");
+        if !self.window_ok(row.features.mean, row.features.std_dev) {
+            return None;
+        }
+        let d = exec::exact_distance(
+            &row.features.spectrum,
+            &self.action.multipliers,
+            &self.q_spec,
+            Some(self.eps * self.eps),
+            compared,
+        );
+        (d <= self.eps).then(|| Hit {
+            id,
+            name: row.name.clone(),
+            distance: d,
+        })
+    }
+}
+
+enum CursorState<'db> {
+    /// Streaming index descent + per-candidate verification.
+    IndexRange {
+        stream: simq_index::RangeStream<'db>,
+        verify: RangeVerify<'db>,
+    },
+    /// Row-at-a-time sequential scan.
+    ScanRange {
+        rows: std::vec::IntoIter<&'db SeriesRow>,
+        verify: RangeVerify<'db>,
+    },
+    /// Materialized-at-open results (kNN).
+    Buffered(std::vec::IntoIter<Hit>),
+}
+
+impl<'db> Cursor<'db> {
+    fn open(db: &'db Database, query: &Query, the_plan: Plan) -> Result<Self, QueryError> {
+        match query {
+            Query::Explain(_) => Err(QueryError::Unsupported(
+                "cursors stream result rows; EXPLAIN has none — use execute".into(),
+            )),
+            Query::AllPairs { .. } => Err(QueryError::Unsupported(
+                "cursors yield per-row hits; all-pairs queries return pairs — use execute".into(),
+            )),
+            Query::Range {
+                source,
+                relation,
+                transform,
+                on_both,
+                eps,
+                stats_window,
+                ..
+            } => {
+                let stored = db
+                    .relation(relation)
+                    .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
+                let rel = &stored.relation;
+                let n = rel.series_len();
+                let ctx = exec::resolve_query(stored, source, transform, *on_both)?;
+                let action = transform.action(n, n.saturating_sub(1))?;
+                let verify = RangeVerify {
+                    rel,
+                    action,
+                    window: *stats_window,
+                    q_mean: ctx.mean,
+                    q_std: ctx.std_dev,
+                    q_spec: ctx.spectrum,
+                    eps: *eps,
+                };
+                let state = match the_plan.access {
+                    AccessPath::IndexScan => {
+                        let index = stored.index.as_ref().expect("planned index exists");
+                        let scheme = rel.scheme();
+                        let q_point =
+                            scheme.point_from_spectrum(ctx.mean, ctx.std_dev, &verify.q_spec)?;
+                        let rect = if stats_window.is_empty() {
+                            scheme.search_rect(&q_point, exec::pad(*eps))
+                        } else {
+                            scheme.search_rect_with_stats(
+                                &q_point,
+                                exec::pad(*eps),
+                                Some((
+                                    exec::pad(stats_window.mean.unwrap_or(f64::INFINITY)),
+                                    exec::pad(stats_window.std_dev.unwrap_or(f64::INFINITY)),
+                                )),
+                            )
+                        };
+                        let lowered = transform.lower(scheme, n)?;
+                        let stream = index.range_stream(Some(Box::new(lowered)), rect);
+                        CursorState::IndexRange { stream, verify }
+                    }
+                    AccessPath::SeqScan { .. } => {
+                        let rows: Vec<&SeriesRow> = rel.rows().collect();
+                        CursorState::ScanRange {
+                            rows: rows.into_iter(),
+                            verify,
+                        }
+                    }
+                    _ => unreachable!("range queries plan to IndexScan or SeqScan"),
+                };
+                Ok(Cursor {
+                    plan: the_plan,
+                    stats: ExecStats {
+                        threads_used: 1,
+                        ..ExecStats::default()
+                    },
+                    state,
+                })
+            }
+            Query::Knn { .. } => {
+                // kNN answers are order-sensitive and bounded by k; the
+                // cursor buffers the materialized result.
+                let result = exec::run_with_plan(db, query, the_plan)?;
+                let crate::exec::QueryOutput::Hits(hits) = result.output else {
+                    unreachable!("kNN yields hits")
+                };
+                Ok(Cursor {
+                    plan: result.plan,
+                    stats: result.stats,
+                    state: CursorState::Buffered(hits.into_iter()),
+                })
+            }
+        }
+    }
+
+    /// The plan the cursor executes under.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Work performed **so far**. For streaming range cursors this is
+    /// incremental — a partially consumed cursor reports only the index
+    /// nodes actually descended and rows actually verified; dropping the
+    /// cursor freezes the count. For buffered (kNN) cursors it is the
+    /// full execution cost, known at open.
+    pub fn stats(&self) -> ExecStats {
+        let mut stats = self.stats;
+        if let CursorState::IndexRange { stream, .. } = &self.state {
+            stats.add_search(stream.stats());
+        }
+        stats
+    }
+
+    /// Drains the remaining hits and sorts them in the engine's
+    /// deterministic `(distance, id)` order. Called on a fresh cursor,
+    /// this returns exactly the hits a materialized execution returns.
+    pub fn drain_sorted(&mut self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.by_ref().collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Hit;
+
+    fn next(&mut self) -> Option<Hit> {
+        match &mut self.state {
+            CursorState::Buffered(hits) => hits.next(),
+            CursorState::IndexRange { stream, verify } => loop {
+                let id = stream.next()?;
+                self.stats.candidates += 1;
+                if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
+                    self.stats.verified += 1;
+                    return Some(hit);
+                }
+            },
+            CursorState::ScanRange { rows, verify } => loop {
+                let row = rows.next()?;
+                self.stats.rows_scanned += 1;
+                self.stats.candidates += 1;
+                if let Some(hit) = verify.verify(row.id, &mut self.stats.coefficients_compared) {
+                    self.stats.verified += 1;
+                    return Some(hit);
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, QueryOutput};
+    use simq_series::features::FeatureScheme;
+
+    fn make_db(rows: usize) -> Database {
+        let mut rel = SeriesRelation::new("stocks", 64, FeatureScheme::paper_default());
+        for i in 0..rows {
+            let series: Vec<f64> = (0..64)
+                .map(|t| {
+                    25.0 + ((t as f64) * (0.07 + 0.011 * (i % 7) as f64)).sin() * 4.0
+                        + (i as f64 * 0.3)
+                })
+                .collect();
+            rel.insert(format!("S{i:04}"), series).unwrap();
+        }
+        let mut db = Database::new();
+        db.add_relation_indexed(rel);
+        db
+    }
+
+    fn hits(result: &QueryResult) -> &[Hit] {
+        match &result.output {
+            QueryOutput::Hits(h) => h,
+            other => panic!("expected hits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_execution_matches_literal_execution() {
+        let db = make_db(60);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND SIMILAR TO ROW ? IN stocks EPSILON ?")
+            .unwrap();
+        for (row, eps) in [(5u64, 3.0), (9, 1.5), (30, 0.75)] {
+            let bound = p.bind(&[Value::from(row), Value::from(eps)]).unwrap();
+            let via_session = session.execute(&bound).unwrap();
+            let via_text = execute(
+                &db,
+                &format!("FIND SIMILAR TO ROW {row} IN stocks EPSILON {eps}"),
+            )
+            .unwrap();
+            assert_eq!(hits(&via_session).len(), hits(&via_text).len());
+            for (a, b) in hits(&via_session).iter().zip(hits(&via_text)) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+        // prepare = 1 miss, 3 executions = 3 hits.
+        let stats = session.stats();
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert_eq!(stats.plan_cache_hits, 3);
+        assert_eq!(stats.executions, 3);
+        assert_eq!(stats.prepared_statements, 1);
+    }
+
+    #[test]
+    fn per_query_stats_report_cache_outcome() {
+        let db = make_db(20);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND SIMILAR TO ROW $r IN stocks EPSILON 1")
+            .unwrap();
+        let r = session
+            .execute(&p.bind_named(&[("r", Value::from(0u64))]).unwrap())
+            .unwrap();
+        assert_eq!(r.stats.plan_cache_hits, 1);
+        assert_eq!(r.stats.plan_cache_misses, 0);
+        // Plain execute() never touches a cache and reports zeros.
+        let plain = execute(&db, "FIND SIMILAR TO ROW 0 IN stocks EPSILON 1").unwrap();
+        assert_eq!(plain.stats.plan_cache_hits, 0);
+        assert_eq!(plain.stats.plan_cache_misses, 0);
+    }
+
+    #[test]
+    fn series_parameter_binds_a_whole_query_series() {
+        let db = make_db(30);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND SIMILAR TO ? IN stocks EPSILON ?")
+            .unwrap();
+        assert_eq!(p.signature()[0].ty, ParamType::Series);
+        let series: Vec<f64> = db
+            .relation("stocks")
+            .unwrap()
+            .relation
+            .row(3)
+            .unwrap()
+            .raw
+            .clone();
+        let bound = p
+            .bind(&[Value::from(series.clone()), Value::from(2.0)])
+            .unwrap();
+        let via_session = session.execute(&bound).unwrap();
+        let via_row = execute(&db, "FIND SIMILAR TO ROW 3 IN stocks EPSILON 2").unwrap();
+        assert_eq!(
+            hits(&via_session).iter().map(|h| h.id).collect::<Vec<_>>(),
+            hits(&via_row).iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bind_type_and_arity_errors() {
+        let db = make_db(5);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND ? NEAREST TO ROW ? IN stocks")
+            .unwrap();
+        // Wrong arity.
+        assert!(matches!(
+            p.bind(&[Value::from(1u64)]),
+            Err(QueryError::Bind(_))
+        ));
+        // Series where an integer is expected.
+        assert!(matches!(
+            p.bind(&[Value::from(vec![1.0]), Value::from(0u64)]),
+            Err(QueryError::Bind(_))
+        ));
+        // Fractional k.
+        assert!(matches!(
+            p.bind(&[Value::from(2.5), Value::from(0u64)]),
+            Err(QueryError::Bind(_))
+        ));
+        // Negative epsilon from a parameter.
+        let p2 = session
+            .prepare("FIND SIMILAR TO ROW 0 IN stocks EPSILON ?")
+            .unwrap();
+        assert!(matches!(
+            p2.bind(&[Value::from(-1.0)]),
+            Err(QueryError::Bind(_))
+        ));
+        // Unknown / missing named parameters.
+        let p3 = session
+            .prepare("FIND SIMILAR TO ROW $r IN stocks EPSILON $e")
+            .unwrap();
+        assert!(matches!(
+            p3.bind_named(&[("nope", Value::from(1.0))]),
+            Err(QueryError::Bind(_))
+        ));
+        assert!(matches!(
+            p3.bind_named(&[("r", Value::from(0u64))]),
+            Err(QueryError::Bind(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_named_types_rejected_at_prepare() {
+        let db = make_db(5);
+        let session = Session::new(&db);
+        // $x as a series source and as epsilon.
+        let err = session
+            .prepare("FIND SIMILAR TO $x IN stocks EPSILON $x")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Bind(_)), "{err}");
+    }
+
+    #[test]
+    fn prepare_fails_early_on_unknown_relation() {
+        let db = make_db(5);
+        let session = Session::new(&db);
+        assert!(matches!(
+            session.prepare("FIND SIMILAR TO ROW ? IN nope EPSILON ?"),
+            Err(QueryError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_lru() {
+        let db = make_db(10);
+        let session = Session::with_plan_cache_capacity(&db, 2);
+        // Three distinct shapes: the first gets evicted.
+        for eps_shape in [
+            "FIND SIMILAR TO ROW 0 IN stocks EPSILON 1",
+            "FIND SIMILAR TO ROW 0 IN stocks USING mavg(5) EPSILON 1",
+            "FIND SIMILAR TO ROW 0 IN stocks USING reverse EPSILON 1",
+        ] {
+            session.execute_text(eps_shape).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.plan_cache_entries, 2);
+        assert_eq!(stats.plan_cache_evictions, 1);
+        assert_eq!(stats.plan_cache_misses, 3);
+        // Re-running the evicted shape misses again.
+        session
+            .execute_text("FIND SIMILAR TO ROW 0 IN stocks EPSILON 1")
+            .unwrap();
+        assert_eq!(session.stats().plan_cache_misses, 4);
+        // A distinct-shape flood (the parser-fuzz scenario) stays bounded.
+        for w in 2..40 {
+            session
+                .execute_text(&format!(
+                    "FIND SIMILAR TO ROW 0 IN stocks USING mavg({w}) EPSILON 1"
+                ))
+                .unwrap();
+        }
+        assert!(session.stats().plan_cache_entries <= 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let db = make_db(10);
+        let session = Session::with_plan_cache_capacity(&db, 0);
+        for _ in 0..3 {
+            session
+                .execute_text("FIND SIMILAR TO ROW 0 IN stocks EPSILON 1")
+                .unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.plan_cache_hits, 0);
+        assert_eq!(stats.plan_cache_misses, 3);
+        assert_eq!(stats.plan_cache_entries, 0);
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_cached_plans() {
+        let db = make_db(30);
+        let mut session = Session::new(db);
+        let p = session
+            .prepare("FIND SIMILAR TO ROW ? IN stocks EPSILON ?")
+            .unwrap();
+        let bound = p.bind(&[Value::from(0u64), Value::from(1.0)]).unwrap();
+        session.execute(&bound).unwrap();
+        assert_eq!(session.stats().plan_cache_hits, 1);
+
+        // Changing parallelism bumps the generation: the cached plan's
+        // thread count is stale, so the next execution re-plans.
+        session
+            .db_mut()
+            .set_parallelism(crate::plan::Parallelism::Fixed(2));
+        let r = session.execute(&bound).unwrap();
+        assert_eq!(r.stats.plan_cache_misses, 1);
+        assert_eq!(r.plan.threads, 2);
+        let stats = session.stats();
+        assert_eq!(stats.plan_cache_invalidations, 1);
+
+        // And the refreshed plan is cached again.
+        let r = session.execute(&bound).unwrap();
+        assert_eq!(r.stats.plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn explain_shares_the_inner_plan_shape() {
+        let db = make_db(10);
+        let session = Session::new(&db);
+        session
+            .execute_text("FIND SIMILAR TO ROW 0 IN stocks EPSILON 1")
+            .unwrap();
+        let r = session
+            .execute_text("EXPLAIN FIND SIMILAR TO ROW 1 IN stocks EPSILON 2")
+            .unwrap();
+        assert_eq!(r.stats.plan_cache_hits, 1);
+        assert!(matches!(r.output, QueryOutput::Plan(_)));
+    }
+
+    #[test]
+    fn cursor_streams_range_hits_and_stops_early() {
+        let db = make_db(120);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND SIMILAR TO ROW ? IN stocks EPSILON ?")
+            .unwrap();
+        let bound = p.bind(&[Value::from(5u64), Value::from(30.0)]).unwrap();
+        let full = session.execute(&bound).unwrap();
+        let full_hits = hits(&full);
+        assert!(full_hits.len() > 10, "corpus yields {}", full_hits.len());
+
+        // Draining a fresh cursor reproduces the materialized output.
+        let mut cursor = session.cursor(&bound).unwrap();
+        let drained = cursor.drain_sorted();
+        assert_eq!(drained.len(), full_hits.len());
+        for (a, b) in drained.iter().zip(full_hits) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        let drained_stats = cursor.stats();
+        assert_eq!(drained_stats.nodes_visited, full.stats.nodes_visited);
+
+        // Partial consumption descends strictly less of the index.
+        let mut partial = session.cursor(&bound).unwrap();
+        assert!(partial.next().is_some());
+        assert!(
+            partial.stats().nodes_visited < full.stats.nodes_visited,
+            "partial {} vs full {}",
+            partial.stats().nodes_visited,
+            full.stats.nodes_visited
+        );
+        drop(partial); // early termination: remaining descent abandoned
+    }
+
+    #[test]
+    fn cursor_scan_path_and_knn_match_execute() {
+        let db = make_db(50);
+        let session = Session::new(&db);
+        for q in [
+            "FIND SIMILAR TO ROW 3 IN stocks EPSILON 5 FORCE SCAN",
+            "FIND 7 NEAREST TO ROW 3 IN stocks",
+            "FIND 7 NEAREST TO ROW 3 IN stocks FORCE SCAN",
+        ] {
+            let full = execute(&db, q).unwrap();
+            let mut cursor = session.cursor_text(q).unwrap();
+            let drained = cursor.drain_sorted();
+            let want = hits(&full);
+            assert_eq!(drained.len(), want.len(), "{q}");
+            for (a, b) in drained.iter().zip(want) {
+                assert_eq!(a.id, b.id, "{q}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_rejects_pairs_and_explain() {
+        let db = make_db(10);
+        let session = Session::new(&db);
+        assert!(matches!(
+            session.cursor_text("FIND PAIRS IN stocks EPSILON 1 METHOD b"),
+            Err(QueryError::Unsupported(_))
+        ));
+        assert!(matches!(
+            session.cursor_text("EXPLAIN FIND SIMILAR TO ROW 0 IN stocks EPSILON 1"),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn prepared_batch_reuses_cached_plans_and_matches_individual() {
+        let db = make_db(80);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND SIMILAR TO ROW ? IN stocks EPSILON ?")
+            .unwrap();
+        let bounds: Vec<Bound> = (0..8u64)
+            .map(|i| {
+                p.bind(&[Value::from(i * 9), Value::from(1.0 + i as f64 * 0.3)])
+                    .unwrap()
+            })
+            .collect();
+        let batch = session.execute_batch(&bounds);
+        assert_eq!(batch.results.len(), 8);
+        // One shape: the prepare missed once, all batch plans hit.
+        assert_eq!(batch.stats.merged.plan_cache_hits, 8);
+        assert_eq!(batch.stats.merged.plan_cache_misses, 0);
+        assert_eq!(batch.stats.shared_groups, 1);
+        for (i, bound) in bounds.iter().enumerate() {
+            let individual = session.execute(bound).unwrap();
+            let got = batch.results[i].as_ref().unwrap();
+            let (a, b) = (hits(got), hits(&individual));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_batch_members_dedup_verification() {
+        let db = make_db(100);
+        let session = Session::new(&db);
+        let p = session
+            .prepare("FIND SIMILAR TO ROW ? IN stocks EPSILON ?")
+            .unwrap();
+        // Four bindings, two distinct: each duplicate verifies for free.
+        let bounds: Vec<Bound> = [(4u64, 3.0), (4, 3.0), (50, 2.0), (50, 2.0)]
+            .iter()
+            .map(|&(row, eps)| p.bind(&[Value::from(row), Value::from(eps)]).unwrap())
+            .collect();
+        let batch = session.execute_batch(&bounds);
+        assert!(
+            batch.stats.deduped_verifications > 0,
+            "duplicates should dedup"
+        );
+        // Outputs are still bitwise identical to individual execution.
+        for (i, bound) in bounds.iter().enumerate() {
+            let individual = session.execute(bound).unwrap();
+            let got = batch.results[i].as_ref().unwrap();
+            let (a, b) = (hits(got), hits(&individual));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+    }
+}

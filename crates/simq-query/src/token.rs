@@ -24,6 +24,10 @@ pub enum Token {
     RBracket,
     /// `,`
     Comma,
+    /// `?` — a positional parameter placeholder (prepared statements).
+    Positional,
+    /// `$name` — a named parameter placeholder (prepared statements).
+    Named(String),
 }
 
 impl fmt::Display for Token {
@@ -36,6 +40,8 @@ impl fmt::Display for Token {
             Token::LBracket => write!(f, "["),
             Token::RBracket => write!(f, "]"),
             Token::Comma => write!(f, ","),
+            Token::Positional => write!(f, "?"),
+            Token::Named(n) => write!(f, "${n}"),
         }
     }
 }
@@ -95,6 +101,48 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
                     offset: i,
                 });
                 i += 1;
+            }
+            '?' => {
+                out.push(Spanned {
+                    token: Token::Positional,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '$' => {
+                let start = i;
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if i == name_start {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: "expected a parameter name after `$`".into(),
+                    });
+                }
+                // `$1` reads as SQL positional syntax but would become a
+                // named parameter called "1" — reject the trap outright.
+                if bytes[name_start].is_ascii_digit() {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: format!(
+                            "named parameter ${} must not start with a digit; \
+                             use ? for positional parameters",
+                            &input[name_start..i]
+                        ),
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Named(input[name_start..i].to_string()),
+                    offset: start,
+                });
             }
             '-' | '+' | '.' | '0'..='9' => {
                 let start = i;
@@ -196,8 +244,42 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(tokenize("find ?").is_err());
+        assert!(tokenize("find @").is_err());
         assert!(tokenize("1.2.3.4e").is_err());
+    }
+
+    #[test]
+    fn placeholders_tokenize() {
+        assert_eq!(
+            words("EPSILON ?"),
+            vec![Token::Word("EPSILON".into()), Token::Positional,]
+        );
+        assert_eq!(
+            words("$eps $k2"),
+            vec![Token::Named("eps".into()), Token::Named("k2".into()),]
+        );
+        let toks = tokenize("ROW ?").unwrap();
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn dollar_without_name_is_a_lex_error() {
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("EPSILON $ 2").is_err());
+    }
+
+    #[test]
+    fn digit_leading_named_parameter_rejected() {
+        let err = tokenize("EPSILON $1").unwrap_err();
+        match err {
+            QueryError::Lex { message, .. } => {
+                assert!(message.contains("use ? for positional"), "{message}")
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        assert!(tokenize("$2x").is_err());
+        // Digits are fine after a letter.
+        assert!(tokenize("$k2").is_ok());
     }
 
     #[test]

@@ -12,7 +12,15 @@
 //! `FIND PAIRS … METHOD …`, `EXPLAIN …`) or one of the shell commands
 //! `\relations`, `\rows <relation>`, `\save [file]`, `\open <file>`,
 //! `\export <relation> <path>`, `\threads <n|auto|serial>`,
-//! `\batch [run|explain|show|cancel]`, `\help`, `\quit`.
+//! `\batch [run|explain|show|cancel]`, `\prepare <name> <query>`,
+//! `\exec <name> [args…]`, `\sessions`, `\help`, `\quit`.
+//!
+//! The shell runs every query through one `Session`: repeated queries of
+//! the same shape skip planning via the session's plan cache (the stat
+//! line shows `cache=hit|miss`). `\prepare` names a parameterized
+//! statement (`?` positional, `$name` named placeholders); `\exec` binds
+//! arguments — numbers, `[v1, v2, …]` series, `name=value` pairs — and
+//! executes it; `\sessions` prints the session's cumulative statistics.
 //!
 //! Batched execution: a line of `;`-separated queries runs as **one
 //! batch** — parsed and planned together, with queries against the same
@@ -38,6 +46,7 @@ use similarity_queries::prelude::*;
 use similarity_queries::query::batch::{split_batch_script, BatchExecutor, BatchResult};
 use similarity_queries::query::QueryOutput;
 use similarity_queries::storage::persist;
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
 /// Parses a parallelism word: a thread count (≥ 1), `auto`, or `serial`.
@@ -142,10 +151,17 @@ fn main() {
 
     if let Some(script) = exec_script {
         // Non-interactive batch execution: run, report, exit.
-        let ok = run_batch(&db, &split_batch_script(&script));
+        let session = Session::new(&db);
+        let ok = run_batch(&session, &split_batch_script(&script));
         std::process::exit(if ok { 0 } else { 1 });
     }
     println!("type a query, or \\help");
+
+    // The shell session: owns the database, caches plans by statement
+    // shape, and accumulates the statistics `\sessions` reports.
+    let mut session = Session::new(db);
+    // Named prepared statements (`\prepare` / `\exec`).
+    let mut statements: HashMap<String, Prepared> = HashMap::new();
 
     // `\batch` collect mode: when `Some`, query lines are queued instead
     // of executed, until `\batch run` / `\batch cancel`.
@@ -175,7 +191,13 @@ fn main() {
             continue;
         }
         if let Some(cmd) = line.strip_prefix('\\') {
-            if !shell_command(&mut db, cmd, default_snapshot.as_deref(), &mut batch_buffer) {
+            if !shell_command(
+                &mut session,
+                &mut statements,
+                cmd,
+                default_snapshot.as_deref(),
+                &mut batch_buffer,
+            ) {
                 break;
             }
             continue;
@@ -189,25 +211,30 @@ fn main() {
         // `;` is still one query, not a lex error.
         let parts = split_batch_script(line);
         if parts.len() > 1 {
-            run_batch(&db, &parts);
+            run_batch(&session, &parts);
             continue;
         }
         let Some(query) = parts.into_iter().next() else {
             continue; // the line was only separators
         };
         let start = std::time::Instant::now();
-        match execute(&db, &query) {
+        match session.execute_text(&query) {
             Ok(result) => {
                 let elapsed = start.elapsed();
                 print_output(&result.output);
                 println!(
-                    "({:.3} ms; plan {:?}; nodes={} rows={} candidates={} threads={})",
+                    "({:.3} ms; plan {:?}; nodes={} rows={} candidates={} threads={} cache={})",
                     elapsed.as_secs_f64() * 1e3,
                     result.plan.access,
                     result.stats.nodes_visited,
                     result.stats.rows_scanned,
                     result.stats.candidates,
                     result.stats.threads_used,
+                    if result.stats.plan_cache_hits > 0 {
+                        "hit"
+                    } else {
+                        "miss"
+                    },
                 );
                 if !result.per_thread.is_empty() {
                     let shares: Vec<String> = result
@@ -248,16 +275,18 @@ fn print_output(output: &QueryOutput) {
     }
 }
 
-/// Executes a batch of query texts, printing per-query results and the
-/// shared-work summary. Returns true when every query succeeded.
-fn run_batch(db: &Database, queries: &[String]) -> bool {
+/// Executes a batch of query texts through the session (plans come from
+/// the plan cache, executions count toward `\sessions`), printing
+/// per-query results and the shared-work summary. Returns true when
+/// every query succeeded.
+fn run_batch<D: std::borrow::Borrow<Database>>(session: &Session<D>, queries: &[String]) -> bool {
     if queries.is_empty() {
         println!("batch is empty");
         return true;
     }
     let texts: Vec<&str> = queries.iter().map(String::as_str).collect();
     let start = std::time::Instant::now();
-    let BatchResult { results, stats } = similarity_queries::query::execute_batch(db, &texts);
+    let BatchResult { results, stats } = session.execute_batch_texts(&texts);
     let elapsed = start.elapsed();
     let mut ok = true;
     for (i, (text, result)) in queries.iter().zip(&results).enumerate() {
@@ -288,30 +317,238 @@ fn run_batch(db: &Database, queries: &[String]) -> bool {
     ok
 }
 
+/// Positional and named (`name=value`) arguments of one `\exec` line.
+type ExecArgs = (Vec<Value>, Vec<(String, Value)>);
+
+/// Parses `\exec` arguments: whitespace-separated values, each optionally
+/// prefixed `name=` for named parameters. A value is a number or a
+/// bracketed series `[v1, v2, …]` (spaces and/or commas separate the
+/// elements; brackets may contain spaces).
+fn parse_exec_args(rest: &str) -> Result<ExecArgs, String> {
+    let bytes = rest.as_bytes();
+    let mut positional = Vec::new();
+    let mut named: Vec<(String, Value)> = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        // Optional `name=` prefix.
+        let token_start = i;
+        let mut name: Option<String> = None;
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let ns = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'=' {
+                name = Some(rest[ns..i].to_string());
+                i += 1;
+            } else {
+                i = token_start;
+            }
+        }
+        let value = if i < bytes.len() && bytes[i] == b'[' {
+            let vs = i;
+            while i < bytes.len() && bytes[i] != b']' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err("unterminated series literal".into());
+            }
+            i += 1;
+            let inner = &rest[vs + 1..i - 1];
+            let mut values = Vec::new();
+            for part in inner
+                .split(|c: char| c == ',' || c.is_whitespace())
+                .filter(|s| !s.is_empty())
+            {
+                values.push(
+                    part.parse::<f64>()
+                        .map_err(|_| format!("bad number {part:?} in series literal"))?,
+                );
+            }
+            Value::Series(values)
+        } else {
+            let ts = i;
+            while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let token = &rest[ts..i];
+            Value::Number(
+                token
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number {token:?} (series need [brackets])"))?,
+            )
+        };
+        match name {
+            Some(n) => named.push((n, value)),
+            None => positional.push(value),
+        }
+    }
+    Ok((positional, named))
+}
+
+/// Renders one signature slot for `\prepare` output.
+fn describe_slot(i: usize, slot: &similarity_queries::query::Slot) -> String {
+    match &slot.name {
+        Some(name) => format!("${name}: {} ({})", slot.ty, slot.context),
+        None => format!("?{}: {} ({})", i + 1, slot.ty, slot.context),
+    }
+}
+
 /// Handles a backslash command; returns false to quit.
 fn shell_command(
-    db: &mut Database,
+    session: &mut Session,
+    statements: &mut HashMap<String, Prepared>,
     cmd: &str,
     default_snapshot: Option<&str>,
     batch_buffer: &mut Option<Vec<String>>,
 ) -> bool {
+    // `\prepare` and `\exec` need the raw remainder of the line (query
+    // text and series literals contain spaces), so they are handled
+    // before the whitespace-split command dispatch.
+    if let Some(rest) = cmd.strip_prefix("prepare") {
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+            let rest = rest.trim();
+            let Some((name, text)) = rest.split_once(char::is_whitespace) else {
+                println!("usage: \\prepare <name> <query with ? or $name placeholders>");
+                return true;
+            };
+            match session.prepare(text.trim()) {
+                Ok(p) => {
+                    let slots: Vec<String> = p
+                        .signature()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| describe_slot(i, s))
+                        .collect();
+                    println!(
+                        "prepared `{name}` with {} parameter{}{}",
+                        p.signature().len(),
+                        if p.signature().len() == 1 { "" } else { "s" },
+                        if slots.is_empty() {
+                            String::new()
+                        } else {
+                            format!(": {}", slots.join(", "))
+                        }
+                    );
+                    statements.insert(name.to_string(), p);
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            return true;
+        }
+    }
+    if let Some(rest) = cmd.strip_prefix("exec") {
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+            let rest = rest.trim();
+            let (name, args) = match rest.split_once(char::is_whitespace) {
+                Some((name, args)) => (name, args),
+                None if !rest.is_empty() => (rest, ""),
+                _ => {
+                    println!("usage: \\exec <name> [arg…] (number, [series], or name=value)");
+                    return true;
+                }
+            };
+            let Some(prepared) = statements.get(name) else {
+                println!("unknown prepared statement {name:?}; \\prepare it first");
+                return true;
+            };
+            let (positional, named) = match parse_exec_args(args) {
+                Ok(parsed) => parsed,
+                Err(why) => {
+                    println!("error: {why}");
+                    return true;
+                }
+            };
+            let named_refs: Vec<(&str, Value)> =
+                named.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let start = std::time::Instant::now();
+            let outcome = prepared
+                .bind_all(&positional, &named_refs)
+                .and_then(|bound| session.execute(&bound));
+            match outcome {
+                Ok(result) => {
+                    print_output(&result.output);
+                    println!(
+                        "({:.3} ms; plan {:?}; nodes={} rows={} cache={})",
+                        start.elapsed().as_secs_f64() * 1e3,
+                        result.plan.access,
+                        result.stats.nodes_visited,
+                        result.stats.rows_scanned,
+                        if result.stats.plan_cache_hits > 0 {
+                            "hit"
+                        } else {
+                            "miss"
+                        },
+                    );
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            return true;
+        }
+    }
+
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save [file]  \\open <file>  \\export <rel> <path>\n       \\threads <n|auto|serial>  \\batch [run|explain|show|cancel]  \\quit\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save [file]  \\open <file>  \\export <rel> <path>\n       \\threads <n|auto|serial>  \\batch [run|explain|show|cancel]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
             );
+        }
+        Some("sessions") => {
+            let stats = session.stats();
+            println!(
+                "session: {} prepared statement{}, {} execution{}, {} cursor{}",
+                stats.prepared_statements,
+                if stats.prepared_statements == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                stats.executions,
+                if stats.executions == 1 { "" } else { "s" },
+                stats.cursors_opened,
+                if stats.cursors_opened == 1 { "" } else { "s" },
+            );
+            println!(
+                "  plan cache: {} hit{} / {} miss{} ({} entr{} of {} capacity, {} eviction{}, {} invalidation{})",
+                stats.plan_cache_hits,
+                if stats.plan_cache_hits == 1 { "" } else { "s" },
+                stats.plan_cache_misses,
+                if stats.plan_cache_misses == 1 { "" } else { "es" },
+                stats.plan_cache_entries,
+                if stats.plan_cache_entries == 1 { "y" } else { "ies" },
+                stats.plan_cache_capacity,
+                stats.plan_cache_evictions,
+                if stats.plan_cache_evictions == 1 { "" } else { "s" },
+                stats.plan_cache_invalidations,
+                if stats.plan_cache_invalidations == 1 { "" } else { "s" },
+            );
+            if statements.is_empty() {
+                println!("  no prepared statements; \\prepare <name> <query>");
+            } else {
+                let mut names: Vec<&String> = statements.keys().collect();
+                names.sort();
+                for name in names {
+                    println!("  {name}: {}", statements[name].text());
+                }
+            }
         }
         Some("threads") => match parts.next() {
             Some(word) => match parse_parallelism(word) {
                 Ok(p) => {
-                    db.set_parallelism(p);
+                    session.db_mut().set_parallelism(p);
                     println!("parallelism: {p}");
                 }
                 Err(why) => println!("error: {why}"),
             },
-            None => println!("parallelism: {}", db.parallelism()),
+            None => println!("parallelism: {}", session.db().parallelism()),
         },
         Some("batch") => match parts.next() {
             None | Some("begin") => {
@@ -328,7 +565,7 @@ fn shell_command(
                 Some(pending) if !pending.is_empty() => {
                     let pending = std::mem::take(pending);
                     *batch_buffer = None;
-                    run_batch(db, &pending);
+                    run_batch(session, &pending);
                 }
                 Some(_) => println!("nothing queued yet; enter queries or \\batch cancel"),
                 None => println!("no batch in progress; \\batch begins collecting"),
@@ -336,7 +573,7 @@ fn shell_command(
             Some("explain") => match batch_buffer {
                 Some(pending) if !pending.is_empty() => {
                     let texts: Vec<&str> = pending.iter().map(String::as_str).collect();
-                    println!("{}", BatchExecutor::new(db).explain_texts(&texts));
+                    println!("{}", BatchExecutor::new(session.db()).explain_texts(&texts));
                 }
                 _ => println!("no queries queued; \\batch begins collecting"),
             },
@@ -355,6 +592,7 @@ fn shell_command(
             Some(other) => println!("unknown \\batch subcommand {other:?}; try \\help"),
         },
         Some("relations") => {
+            let db = session.db();
             for name in db.relation_names() {
                 let stored = db.relation(name).expect("listed relation exists");
                 println!(
@@ -365,7 +603,7 @@ fn shell_command(
                 );
             }
         }
-        Some("rows") => match parts.next().and_then(|n| db.relation(n)) {
+        Some("rows") => match parts.next().and_then(|n| session.db().relation(n)) {
             Some(stored) => {
                 for row in stored.relation.rows().take(15) {
                     let head: Vec<String> =
@@ -389,17 +627,17 @@ fn shell_command(
             // Two arguments keep the pre-snapshot behavior as an alias for
             // \export; one (or none, with SIMQ_DB) writes a full snapshot.
             match (parts.next(), parts.next()) {
-                (Some(name), Some(path)) => export_relation(db, name, path),
-                (Some(path), None) => save_snapshot(db, path),
+                (Some(name), Some(path)) => export_relation(session.db(), name, path),
+                (Some(path), None) => save_snapshot(session.db(), path),
                 (None, None) => match default_snapshot {
-                    Some(path) => save_snapshot(db, path),
+                    Some(path) => save_snapshot(session.db(), path),
                     None => println!("usage: \\save <file>  (or set SIMQ_DB)"),
                 },
                 (None, Some(_)) => unreachable!("second arg implies a first"),
             }
         }
         Some("open") => match parts.next() {
-            Some(path) => match db.load_snapshot(path) {
+            Some(path) => match session.db_mut().load_snapshot(path) {
                 Ok(count) => println!("opened snapshot {path} ({count} relations)"),
                 Err(e) => println!("open failed: {e}"),
             },
@@ -410,7 +648,7 @@ fn shell_command(
                 println!("usage: \\export <relation> <path>");
                 return true;
             };
-            export_relation(db, name, path);
+            export_relation(session.db(), name, path);
         }
         other => println!("unknown command {other:?}; try \\help"),
     }

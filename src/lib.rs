@@ -66,8 +66,9 @@ pub mod prelude {
     pub use simq_dsp::{euclidean, Complex};
     pub use simq_index::{RTree, RTreeConfig, Rect};
     pub use simq_query::{
-        execute, execute_batch, parse, plan_query, AccessPath, BatchExecutor, BatchResult,
-        Database, Parallelism, QueryOutput, QueryResult,
+        execute, execute_batch, parse, plan_query, AccessPath, BatchExecutor, BatchResult, Bound,
+        Cursor, Database, Parallelism, Prepared, QueryOutput, QueryResult, Session, SessionStats,
+        Value,
     };
     pub use simq_series::{
         moving_average, normal_form, warp, FeatureScheme, Representation, SeriesTransform,

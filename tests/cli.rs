@@ -167,3 +167,90 @@ fn exec_without_a_script_is_a_usage_error() {
     assert_eq!(code, 2);
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+#[test]
+fn prepare_exec_and_sessions_commands_work() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\prepare rq FIND SIMILAR TO ROW ? IN walks EPSILON ?\n\
+         \\exec rq 5 1.0\n\
+         \\exec rq 7 1.5\n\
+         \\prepare nq FIND $k NEAREST TO ROW $row IN walks\n\
+         \\exec nq k=3 row=10\n\
+         \\sessions\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains(
+            "prepared `rq` with 2 parameters: ?1: integer (ROW id), ?2: number (EPSILON)"
+        ),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("prepared `nq` with 2 parameters: $k: integer (k), $row: integer (ROW id)"),
+        "{stdout}"
+    );
+    // The prepare planted the plan, so every \exec is a cache hit.
+    assert!(stdout.contains("cache=hit"), "{stdout}");
+    assert!(!stdout.contains("cache=miss"), "{stdout}");
+    assert!(
+        stdout.contains("session: 2 prepared statements, 3 executions"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("3 hits / 2 misses"), "{stdout}");
+}
+
+#[test]
+fn exec_reports_bind_errors_and_unknown_statements() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\exec nothere 1\n\
+         \\prepare rq FIND SIMILAR TO ROW ? IN walks EPSILON ?\n\
+         \\exec rq 5\n\
+         \\exec rq [1, 2] 1.0\n\
+         \\exec rq 5 oops\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("unknown prepared statement \"nothere\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("statement takes 2 positional parameters, got 1"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("expects an integer, got a series"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("bad number \"oops\""), "{stdout}");
+}
+
+#[test]
+fn exec_binds_series_parameters_with_spaces() {
+    // A 128-value series parameter bound from a bracketed literal with
+    // spaces; the prepared query must execute (identity on itself).
+    let series: Vec<String> = (0..128).map(|t| format!("{}", (t % 7) as f64)).collect();
+    let input = format!(
+        "\\prepare sq FIND SIMILAR TO ? IN walks EPSILON ?\n\\exec sq [{}] 1000\n\\quit\n",
+        series.join(", ")
+    );
+    let (stdout, _, code) = run_cli(&[], &input);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("?1: series (query series)"), "{stdout}");
+    assert!(stdout.contains("hits:"), "{stdout}");
+    assert!(!stdout.contains("error"), "{stdout}");
+}
+
+#[test]
+fn ad_hoc_queries_share_the_session_plan_cache() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "FIND SIMILAR TO ROW 1 IN walks EPSILON 1.0\n\
+         FIND SIMILAR TO ROW 2 IN walks EPSILON 2.0\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    // Same shape, different constants: first plans, second hits.
+    assert!(stdout.contains("cache=miss"), "{stdout}");
+    assert!(stdout.contains("cache=hit"), "{stdout}");
+}

@@ -37,10 +37,33 @@ pub fn relation_with(series: &[Vec<f64>], scheme: FeatureScheme) -> SeriesRelati
     rel
 }
 
+/// Applies the `SIMQ_THREADS` environment variable (if set and valid) to
+/// a freshly built database. CI runs the whole workspace suite a second
+/// time with `SIMQ_THREADS=4`, so every test built on these fixtures
+/// exercises the parallel execution paths without opting in; tests that
+/// pin a parallelism explicitly still override it with
+/// `set_parallelism`. Invalid settings are ignored (the binary's
+/// validation has its own CLI-level tests).
+pub fn apply_env_parallelism(db: &mut Database) {
+    let Ok(setting) = std::env::var("SIMQ_THREADS") else {
+        return;
+    };
+    let parallelism = match setting.trim() {
+        "" | "1" | "serial" => Parallelism::Serial,
+        "auto" => Parallelism::Auto,
+        word => match word.parse::<usize>() {
+            Ok(n) if n >= 1 => Parallelism::Fixed(n),
+            _ => return,
+        },
+    };
+    db.set_parallelism(parallelism);
+}
+
 /// Registers one relation into a fresh database with a bulk-loaded index.
 pub fn indexed_db(rel: SeriesRelation) -> Database {
     let mut db = Database::new();
     db.add_relation_indexed(rel);
+    apply_env_parallelism(&mut db);
     db
 }
 
@@ -65,6 +88,7 @@ pub fn scheme_db(rep: Representation, stats: bool, indexed: bool) -> Database {
     } else {
         d.add_relation(rel);
     }
+    apply_env_parallelism(&mut d);
     d
 }
 
