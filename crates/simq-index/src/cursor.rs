@@ -137,6 +137,126 @@ impl Iterator for RangeStream<'_> {
     }
 }
 
+/// A lazy range query over a forest of shard trees: the shards are walked
+/// one after another with the same (optionally transformed) query, each
+/// by the exact explicit-stack descent of [`RangeStream`]. A shard's root
+/// is entered only when the previous shard's descent is exhausted, so
+/// early termination abandons both the rest of the current shard *and*
+/// every shard not yet started.
+///
+/// Created by [`ShardedRangeStream::new`]. Yields matching item ids in
+/// shard-major depth-first order.
+pub struct ShardedRangeStream<'t> {
+    trees: Vec<&'t RTree>,
+    transform: Option<Box<dyn SpatialTransform + Send + Sync>>,
+    query: Rect,
+    scratch: Rect,
+    stack: Vec<Frame>,
+    /// Shard the active stack belongs to; `next_shard - 1` once started.
+    next_shard: usize,
+    stats: SearchStats,
+}
+
+impl<'t> ShardedRangeStream<'t> {
+    /// Starts an incremental range query over `trees` (one per shard).
+    /// Pass `None` for an untransformed query.
+    ///
+    /// # Panics
+    /// If the query or transformation dimensionality does not match any
+    /// tree's.
+    pub fn new(
+        trees: Vec<&'t RTree>,
+        transform: Option<Box<dyn SpatialTransform + Send + Sync>>,
+        query: Rect,
+    ) -> Self {
+        for tree in &trees {
+            assert_eq!(query.dims(), tree.dims(), "query dimensionality mismatch");
+            if let Some(t) = &transform {
+                assert_eq!(t.dims(), tree.dims(), "transform dimensionality mismatch");
+            }
+        }
+        let dims = query.dims();
+        ShardedRangeStream {
+            trees,
+            transform,
+            query,
+            scratch: Rect::point(&vec![0.0; dims]),
+            stack: Vec::new(),
+            next_shard: 0,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Work performed so far, summed over the shards entered — see
+    /// [`RangeStream::stats`] for the incremental-accounting contract.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// True when every shard's descent has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.stack.is_empty() && self.next_shard >= self.trees.len()
+    }
+
+    fn enter(&mut self, node_idx: usize) {
+        let tree = self.trees[self.next_shard - 1];
+        let node = &tree.nodes[node_idx];
+        self.stats.nodes_visited += 1;
+        if node.level == 0 {
+            self.stats.leaves_visited += 1;
+        }
+        self.stack.push(Frame {
+            node: node_idx,
+            next: 0,
+        });
+    }
+}
+
+impl Iterator for ShardedRangeStream<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.stack.is_empty() {
+                // Current shard exhausted: move to the next one lazily.
+                if self.next_shard >= self.trees.len() {
+                    return None;
+                }
+                self.next_shard += 1;
+                let root = self.trees[self.next_shard - 1].root;
+                self.enter(root);
+                continue;
+            }
+            let tree = self.trees[self.next_shard - 1];
+            let frame = self.stack.last_mut()?;
+            let node = &tree.nodes[frame.node];
+            let Some(entry) = node.entries.get(frame.next) else {
+                self.stack.pop();
+                continue;
+            };
+            frame.next += 1;
+            self.stats.entries_tested += 1;
+            let overlaps = match &self.transform {
+                Some(t) => {
+                    t.apply_rect_into(entry.mbr(), &mut self.scratch);
+                    tree.space.intersects(&self.scratch, &self.query)
+                }
+                None => tree.space.intersects(entry.mbr(), &self.query),
+            };
+            if !overlaps {
+                continue;
+            }
+            match entry {
+                Entry::Child { node, .. } => {
+                    let child = *node;
+                    self.enter(child);
+                }
+                Entry::Item { id, .. } => return Some(*id),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +322,33 @@ mod tests {
             full.nodes_visited
         );
         assert!(!stream.is_done());
+    }
+
+    #[test]
+    fn sharded_stream_yields_every_shard_candidate_lazily() {
+        // Partition a grid id-mod-3 into three trees.
+        let n = 20usize;
+        let mut shards: Vec<RTree> = (0..3).map(|_| RTree::with_dims(2)).collect();
+        let single = grid_tree(n);
+        for id in 0..(n * n) as u64 {
+            let p = [(id / n as u64) as f64, (id % n as u64) as f64];
+            shards[(id % 3) as usize].insert_point(&p, id);
+        }
+        let query = Rect::new(vec![3.5, 2.5], vec![11.0, 9.5]);
+        let (want, _) = single.range(&query);
+        let trees: Vec<&RTree> = shards.iter().collect();
+        let mut stream = ShardedRangeStream::new(trees.clone(), None, query.clone());
+        let got: Vec<u64> = stream.by_ref().collect();
+        assert_eq!(sorted(got), sorted(want));
+        assert!(stream.is_done());
+        // The drained stats equal the sum of per-shard materialized runs.
+        let full: u64 = trees.iter().map(|t| t.range(&query).1.nodes_visited).sum();
+        assert_eq!(stream.stats().nodes_visited, full);
+        // Partial consumption never enters shards it does not need.
+        let mut partial = ShardedRangeStream::new(trees, None, query);
+        assert!(partial.next().is_some());
+        assert!(partial.stats().nodes_visited < full);
+        assert!(!partial.is_done());
     }
 
     #[test]

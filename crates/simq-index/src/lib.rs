@@ -31,7 +31,11 @@
 //!   traversals; shared node reads are counted once.
 //! * [`cursor`] — incremental range traversal: an explicit-stack
 //!   [`RangeStream`] that yields matching ids one at a time, so early
-//!   termination (drop, `LIMIT`) abandons the remaining descent.
+//!   termination (drop, `LIMIT`) abandons the remaining descent; the
+//!   [`ShardedRangeStream`] walks a forest of shard trees the same way.
+//! * [`shard`] — multi-shard search entry points: range queries fanned
+//!   out over one tree per shard, and best-first kNN over the whole
+//!   forest with a shared `k`-th-best bound pruning every shard at once.
 //! * [`serial`] — binary serialization of the full tree structure (node
 //!   arena, geometry, free list), so persisted databases reopen without
 //!   re-bulk-loading and reproduce the identical tree.
@@ -48,14 +52,16 @@ pub mod parallel;
 pub mod rstar;
 pub mod search;
 pub mod serial;
+pub mod shard;
 pub mod transform;
 
 pub use batch::{MultiKnnQuery, MultiRangeQuery, MultiSearchStats};
-pub use cursor::RangeStream;
+pub use cursor::{RangeStream, ShardedRangeStream};
 pub use geom::{circular_overlap, DimSemantics, Rect, Space};
 pub use knn::Neighbor;
 pub use parallel::ParallelStats;
 pub use rstar::{RTree, RTreeConfig};
 pub use search::SearchStats;
 pub use serial::SerialError;
+pub use shard::ShardSearchStats;
 pub use transform::{DiagonalAffine, IdentityTransform, SpatialTransform};

@@ -121,8 +121,9 @@ impl Ord for NodeTask {
 }
 
 /// Tracks the k-th smallest distance seen by one thread (an upper bound on
-/// the global k-th), publishing improvements to the shared bound.
-struct LocalKth<'a> {
+/// the global k-th), publishing improvements to the shared bound — shared
+/// with the forest search in [`crate::shard`].
+pub(crate) struct LocalKth<'a> {
     heap: BinaryHeap<OrdF64>, // max-heap of the k best distances
     k: usize,
     shared: &'a AtomicF64Min,
@@ -143,7 +144,7 @@ impl Ord for OrdF64 {
 }
 
 impl<'a> LocalKth<'a> {
-    fn new(k: usize, shared: &'a AtomicF64Min) -> Self {
+    pub(crate) fn new(k: usize, shared: &'a AtomicF64Min) -> Self {
         LocalKth {
             heap: BinaryHeap::with_capacity(k + 1),
             k,
@@ -151,7 +152,7 @@ impl<'a> LocalKth<'a> {
         }
     }
 
-    fn offer(&mut self, d: f64) {
+    pub(crate) fn offer(&mut self, d: f64) {
         if self.heap.len() < self.k {
             self.heap.push(OrdF64(d));
         } else if d < self.heap.peek().expect("k > 0").0 {

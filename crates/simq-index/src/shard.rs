@@ -1,0 +1,575 @@
+//! Multi-shard search entry points: one query fanned out over a forest of
+//! R*-trees (one per relation shard) and recombined deterministically.
+//!
+//! Sharded relations (`simq-storage::shard`) keep one tree per shard.
+//! Queries fan out here:
+//!
+//! * **Range** ([`range_transformed_sharded`]) — every shard's tree is
+//!   traversed with the same lowered transformation and search rectangle;
+//!   per-shard candidate lists come back in shard order. Because shards
+//!   partition the row space, the union of the per-shard candidate sets is
+//!   exactly the candidate set of the equivalent single tree.
+//! * **kNN** ([`nearest_by_sharded`]) — one best-first search over the
+//!   whole forest: the frontier is seeded with every shard's root and a
+//!   **shared bound** on the `k`-th best distance prunes all shards at
+//!   once. Leaf bounds depend only on the item's (transformed) rectangle,
+//!   so the `k` results are identical to a single-tree search over all
+//!   rows.
+//!
+//! Both have parallel variants that use shards as the unit of work
+//! (range: one worker per shard; kNN: the same work-stealing pool as
+//! [`crate::parallel`], fed from all shard roots) and return per-shard
+//! work counters alongside the merged totals.
+
+use crate::geom::Rect;
+use crate::knn::Neighbor;
+use crate::parallel::{AtomicF64Min, LocalKth};
+use crate::rstar::{Entry, RTree};
+use crate::search::SearchStats;
+use crate::transform::SpatialTransform;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// Work counters of one sharded traversal: merged totals plus each
+/// shard's share.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSearchStats {
+    /// Totals across all shards — comparable with a single-tree search.
+    pub merged: SearchStats,
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<SearchStats>,
+}
+
+impl ShardSearchStats {
+    fn from_shards(per_shard: Vec<SearchStats>) -> Self {
+        let mut merged = SearchStats::default();
+        for s in &per_shard {
+            merged.add(s);
+        }
+        ShardSearchStats { merged, per_shard }
+    }
+}
+
+/// Transformed range query over every shard's tree: the per-shard
+/// candidate id lists (shard order) and per-shard work counters.
+pub fn range_transformed_sharded(
+    trees: &[&RTree],
+    transform: &dyn SpatialTransform,
+    query: &Rect,
+) -> (Vec<Vec<u64>>, ShardSearchStats) {
+    let mut candidates = Vec::with_capacity(trees.len());
+    let mut per_shard = Vec::with_capacity(trees.len());
+    for tree in trees {
+        let (ids, stats) = tree.range_transformed(transform, query);
+        candidates.push(ids);
+        per_shard.push(stats);
+    }
+    (candidates, ShardSearchStats::from_shards(per_shard))
+}
+
+/// Parallel [`range_transformed_sharded`]: shards are the work units —
+/// up to `threads` workers claim shards from a shared cursor and descend
+/// each serially. Per-shard results are identical to the serial fan-out
+/// (each shard's traversal is the exact serial code).
+pub fn range_transformed_sharded_parallel(
+    trees: &[&RTree],
+    transform: &(dyn SpatialTransform + Sync),
+    query: &Rect,
+    threads: usize,
+) -> (Vec<Vec<u64>>, ShardSearchStats) {
+    let workers = threads.max(1).min(trees.len().max(1));
+    if workers <= 1 || trees.len() <= 1 {
+        return range_transformed_sharded(trees, transform, query);
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(Vec<u64>, SearchStats)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= trees.len() {
+                            break;
+                        }
+                        produced.push((i, trees[i].range_transformed(transform, query)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<(Vec<u64>, SearchStats)>> =
+            (0..trees.len()).map(|_| None).collect();
+        for h in handles {
+            for (i, r) in h.join().expect("shard range worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+    });
+    let mut candidates = Vec::with_capacity(trees.len());
+    let mut per_shard = Vec::with_capacity(trees.len());
+    for slot in slots.drain(..) {
+        let (ids, stats) = slot.expect("every shard searched");
+        candidates.push(ids);
+        per_shard.push(stats);
+    }
+    (candidates, ShardSearchStats::from_shards(per_shard))
+}
+
+/// A frontier element of the multi-shard best-first search.
+enum ForestItem {
+    Node {
+        shard: usize,
+        idx: usize,
+        min_dist_sq: f64,
+    },
+    Item {
+        id: u64,
+        dist_sq: f64,
+    },
+}
+
+impl ForestItem {
+    fn key(&self) -> f64 {
+        match self {
+            ForestItem::Node { min_dist_sq, .. } => *min_dist_sq,
+            ForestItem::Item { dist_sq, .. } => *dist_sq,
+        }
+    }
+}
+
+impl PartialEq for ForestItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for ForestItem {}
+impl PartialOrd for ForestItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ForestItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; items before nodes at equal distance so
+        // results pop as early as possible (the single-tree rule).
+        other
+            .key()
+            .partial_cmp(&self.key())
+            .expect("distances are finite")
+            .then_with(|| match (self, other) {
+                (ForestItem::Item { .. }, ForestItem::Node { .. }) => Ordering::Greater,
+                (ForestItem::Node { .. }, ForestItem::Item { .. }) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+/// Best-first `k`-nearest search over a forest of shard trees under a
+/// caller-supplied lower-bound function (see [`RTree::nearest_by`]): the
+/// frontier holds subtrees of *every* shard, so one shared bound on the
+/// `k`-th best distance prunes all shards at once. Returns the `k` items
+/// with the smallest bound values across the whole forest, `(distance,
+/// id)`-sorted — identical to a single-tree search over the union of the
+/// shards' items.
+pub fn nearest_by_sharded(
+    trees: &[&RTree],
+    bound: &dyn Fn(&Rect) -> f64,
+    transform: Option<&dyn SpatialTransform>,
+    k: usize,
+) -> (Vec<Neighbor>, ShardSearchStats) {
+    let mut per_shard = vec![SearchStats::default(); trees.len()];
+    let mut out: Vec<Neighbor> = Vec::with_capacity(k);
+    if k == 0 || trees.iter().all(|t| t.is_empty()) {
+        return (out, ShardSearchStats::from_shards(per_shard));
+    }
+
+    let mut heap = BinaryHeap::new();
+    for (shard, tree) in trees.iter().enumerate() {
+        if !tree.is_empty() {
+            heap.push(ForestItem::Node {
+                shard,
+                idx: tree.root,
+                min_dist_sq: 0.0,
+            });
+        }
+    }
+    let mut worst = f64::INFINITY;
+    while let Some(top) = heap.pop() {
+        if out.len() >= k && top.key() > worst {
+            break;
+        }
+        match top {
+            ForestItem::Item { id, dist_sq } => {
+                out.push(Neighbor { id, dist_sq });
+                if out.len() == k {
+                    worst = dist_sq;
+                }
+            }
+            ForestItem::Node {
+                shard,
+                idx,
+                min_dist_sq,
+            } => {
+                if out.len() >= k && min_dist_sq > worst {
+                    continue;
+                }
+                let node = &trees[shard].nodes[idx];
+                let stats = &mut per_shard[shard];
+                stats.nodes_visited += 1;
+                if node.level == 0 {
+                    stats.leaves_visited += 1;
+                }
+                for e in &node.entries {
+                    stats.entries_tested += 1;
+                    let mbr;
+                    let rect = match transform {
+                        Some(t) => {
+                            mbr = t.apply_rect(e.mbr());
+                            &mbr
+                        }
+                        None => e.mbr(),
+                    };
+                    let d = bound(rect);
+                    match e {
+                        Entry::Child { node, .. } => heap.push(ForestItem::Node {
+                            shard,
+                            idx: *node,
+                            min_dist_sq: d,
+                        }),
+                        Entry::Item { id, .. } => heap.push(ForestItem::Item {
+                            id: *id,
+                            dist_sq: d,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.dist_sq
+            .partial_cmp(&b.dist_sq)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+    out.truncate(k);
+    (out, ShardSearchStats::from_shards(per_shard))
+}
+
+/// A subtree task of the parallel forest search.
+struct ForestTask {
+    key: f64,
+    shard: usize,
+    idx: usize,
+}
+
+impl PartialEq for ForestTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for ForestTask {}
+impl PartialOrd for ForestTask {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ForestTask {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key.
+        other.key.partial_cmp(&self.key).expect("finite bounds")
+    }
+}
+
+/// Parallel [`nearest_by_sharded`]: the work-stealing best-first search of
+/// [`RTree::nearest_by_parallel`] with the pool seeded from every shard's
+/// root, so workers drain the globally most promising subtrees regardless
+/// of which shard they belong to, under one shared atomic `k`-th-best
+/// bound. Results equal the serial forest search exactly.
+pub fn nearest_by_sharded_parallel(
+    trees: &[&RTree],
+    bound: &(dyn Fn(&Rect) -> f64 + Sync),
+    transform: Option<&(dyn SpatialTransform + Sync)>,
+    k: usize,
+    threads: usize,
+) -> (Vec<Neighbor>, ShardSearchStats) {
+    let threads = threads.max(1);
+    if k == 0 || trees.iter().all(|t| t.is_empty()) {
+        return (
+            Vec::new(),
+            ShardSearchStats::from_shards(vec![SearchStats::default(); trees.len()]),
+        );
+    }
+    if threads == 1 {
+        let plain: Option<&dyn SpatialTransform> = transform.map(|t| t as &dyn SpatialTransform);
+        return nearest_by_sharded(trees, &|r| bound(r), plain, k);
+    }
+
+    let pool: Mutex<BinaryHeap<ForestTask>> = Mutex::new(BinaryHeap::new());
+    {
+        let mut guard = pool.lock().expect("pool lock");
+        for (shard, tree) in trees.iter().enumerate() {
+            if !tree.is_empty() {
+                guard.push(ForestTask {
+                    key: 0.0,
+                    shard,
+                    idx: tree.root,
+                });
+            }
+        }
+    }
+    let shared_bound = AtomicF64Min::new(f64::INFINITY);
+    let in_flight = AtomicUsize::new(0);
+
+    type WorkerOut = (Vec<Neighbor>, Vec<SearchStats>);
+    let workers: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let pool = &pool;
+                let shared_bound = &shared_bound;
+                let in_flight = &in_flight;
+                scope.spawn(move || {
+                    let mut per_shard = vec![SearchStats::default(); trees.len()];
+                    let mut found: Vec<Neighbor> = Vec::new();
+                    let mut kth = LocalKth::new(k, shared_bound);
+                    let mut idle_us: u64 = 0;
+                    loop {
+                        let task = {
+                            let mut guard = pool.lock().expect("pool lock");
+                            let t = guard.pop();
+                            if t.is_some() {
+                                in_flight.fetch_add(1, AtomicOrdering::SeqCst);
+                            }
+                            t
+                        };
+                        let Some(task) = task else {
+                            if in_flight.load(AtomicOrdering::SeqCst) == 0 {
+                                break;
+                            }
+                            if idle_us == 0 {
+                                std::thread::yield_now();
+                                idle_us = 1;
+                            } else {
+                                std::thread::sleep(std::time::Duration::from_micros(idle_us));
+                                idle_us = (idle_us * 2).min(200);
+                            }
+                            continue;
+                        };
+                        idle_us = 0;
+                        if task.key <= shared_bound.get() {
+                            let tree = trees[task.shard];
+                            let node = &tree.nodes[task.idx];
+                            let stats = &mut per_shard[task.shard];
+                            stats.nodes_visited += 1;
+                            if node.level == 0 {
+                                stats.leaves_visited += 1;
+                            }
+                            let mut children: Vec<ForestTask> = Vec::new();
+                            for e in &node.entries {
+                                stats.entries_tested += 1;
+                                let mbr;
+                                let rect = match transform {
+                                    Some(t) => {
+                                        mbr = t.apply_rect(e.mbr());
+                                        &mbr
+                                    }
+                                    None => e.mbr(),
+                                };
+                                let d = bound(rect);
+                                match e {
+                                    Entry::Child { node, .. } => {
+                                        if d <= shared_bound.get() {
+                                            children.push(ForestTask {
+                                                key: d,
+                                                shard: task.shard,
+                                                idx: *node,
+                                            });
+                                        }
+                                    }
+                                    Entry::Item { id, .. } => {
+                                        if d <= shared_bound.get() {
+                                            found.push(Neighbor {
+                                                id: *id,
+                                                dist_sq: d,
+                                            });
+                                            kth.offer(d);
+                                        }
+                                    }
+                                }
+                            }
+                            if !children.is_empty() {
+                                let mut guard = pool.lock().expect("pool lock");
+                                for c in children {
+                                    guard.push(c);
+                                }
+                            }
+                        }
+                        in_flight.fetch_sub(1, AtomicOrdering::SeqCst);
+                    }
+                    (found, per_shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("forest kNN worker panicked"))
+            .collect()
+    });
+
+    let mut out = Vec::new();
+    let mut per_shard = vec![SearchStats::default(); trees.len()];
+    for (found, shard_stats) in workers {
+        out.extend(found);
+        for (acc, s) in per_shard.iter_mut().zip(&shard_stats) {
+            acc.add(s);
+        }
+    }
+    out.sort_by(|a, b| {
+        a.dist_sq
+            .partial_cmp(&b.dist_sq)
+            .expect("finite distances")
+            .then(a.id.cmp(&b.id))
+    });
+    out.truncate(k);
+    (out, ShardSearchStats::from_shards(per_shard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Space;
+    use crate::rstar::RTreeConfig;
+    use crate::transform::DiagonalAffine;
+
+    /// A single tree plus the same items partitioned id-mod-n into shards.
+    fn tree_and_shards(n_items: usize, shards: usize) -> (RTree, Vec<RTree>) {
+        let items: Vec<(Rect, u64)> = (0..n_items as u64)
+            .map(|i| {
+                let x = ((i * 29) % 97) as f64;
+                let y = ((i * 31) % 89) as f64;
+                (Rect::point(&[x, y]), i)
+            })
+            .collect();
+        let space = Space::linear(2);
+        let single = RTree::bulk_load(space.clone(), RTreeConfig::default(), items.clone());
+        let shard_trees: Vec<RTree> = (0..shards as u64)
+            .map(|s| {
+                let part: Vec<(Rect, u64)> = items
+                    .iter()
+                    .filter(|(_, id)| id % shards as u64 == s)
+                    .cloned()
+                    .collect();
+                RTree::bulk_load(space.clone(), RTreeConfig::default(), part)
+            })
+            .collect();
+        (single, shard_trees)
+    }
+
+    #[test]
+    fn sharded_range_covers_the_single_tree_candidates() {
+        let (single, shard_trees) = tree_and_shards(400, 4);
+        let trees: Vec<&RTree> = shard_trees.iter().collect();
+        let affine = DiagonalAffine::new(vec![1.0, 1.0], vec![0.0, 0.0]);
+        for rect in [
+            Rect::new(vec![10.0, 10.0], vec![40.0, 40.0]),
+            Rect::new(vec![-5.0, -5.0], vec![200.0, 200.0]),
+            Rect::new(vec![96.5, 88.5], vec![99.0, 99.0]),
+        ] {
+            let (mut want, _) = single.range_transformed(&affine, &rect);
+            for threads in [1, 4] {
+                let (by_shard, stats) = if threads > 1 {
+                    range_transformed_sharded_parallel(&trees, &affine, &rect, threads)
+                } else {
+                    range_transformed_sharded(&trees, &affine, &rect)
+                };
+                let mut got: Vec<u64> = by_shard.into_iter().flatten().collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want);
+                assert_eq!(stats.per_shard.len(), 4);
+                assert_eq!(
+                    stats.merged.nodes_visited,
+                    stats.per_shard.iter().map(|s| s.nodes_visited).sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_knn_equals_single_tree() {
+        let (single, shard_trees) = tree_and_shards(500, 3);
+        let trees: Vec<&RTree> = shard_trees.iter().collect();
+        for (q, k) in [([40.0, 40.0], 7usize), ([0.0, 0.0], 1), ([96.0, 12.0], 25)] {
+            let bound = |r: &Rect| r.min_dist_sq(&q);
+            let (want, _) = single.nearest_by(&bound, None, k);
+            let (got, stats) = nearest_by_sharded(&trees, &bound, None, k);
+            assert_eq!(got.len(), want.len(), "k {k}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.id, b.id, "k {k}");
+                assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+            }
+            assert_eq!(stats.per_shard.len(), 3);
+            for threads in [2, 4] {
+                let (par, _) = nearest_by_sharded_parallel(&trees, &bound, None, k, threads);
+                assert_eq!(par.len(), want.len(), "k {k} threads {threads}");
+                for (a, b) in par.iter().zip(&want) {
+                    assert_eq!(a.id, b.id, "k {k} threads {threads}");
+                    assert_eq!(a.dist_sq.to_bits(), b.dist_sq.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bound_prunes_across_shards() {
+        // A query deep inside shard 0's data: the shared bound from shard
+        // 0's items must keep the forest search from reading most of the
+        // other shards' nodes.
+        let (single, shard_trees) = tree_and_shards(600, 4);
+        let trees: Vec<&RTree> = shard_trees.iter().collect();
+        let q = [29.0, 31.0];
+        let bound = |r: &Rect| r.min_dist_sq(&q);
+        let (_, single_stats) = single.nearest_by(&bound, None, 3);
+        let (_, forest_stats) = nearest_by_sharded(&trees, &bound, None, 3);
+        // Best-first over the forest visits the same order of magnitude of
+        // nodes as the single tree — far less than 4 independent searches.
+        let independent: u64 = trees
+            .iter()
+            .map(|t| t.nearest_by(&bound, None, 3).1.nodes_visited)
+            .sum();
+        assert!(
+            forest_stats.merged.nodes_visited <= independent,
+            "forest {} vs independent {} (single {})",
+            forest_stats.merged.nodes_visited,
+            independent,
+            single_stats.nodes_visited,
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_forests() {
+        let space = Space::linear(2);
+        let empty: Vec<RTree> = (0..3)
+            .map(|_| RTree::new(space.clone(), RTreeConfig::default()))
+            .collect();
+        let trees: Vec<&RTree> = empty.iter().collect();
+        let q = [0.0, 0.0];
+        let bound = |r: &Rect| r.min_dist_sq(&q);
+        let (got, _) = nearest_by_sharded(&trees, &bound, None, 5);
+        assert!(got.is_empty());
+        let (got, _) = nearest_by_sharded_parallel(&trees, &bound, None, 5, 4);
+        assert!(got.is_empty());
+        let (ids, _) = range_transformed_sharded(
+            &trees,
+            &DiagonalAffine::new(vec![1.0, 1.0], vec![0.0, 0.0]),
+            &Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+        );
+        assert!(ids.iter().all(Vec::is_empty));
+        let (none, _) = nearest_by_sharded(&trees, &bound, None, 0);
+        assert!(none.is_empty());
+    }
+}

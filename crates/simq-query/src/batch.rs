@@ -79,8 +79,10 @@ pub struct BatchStats {
 /// what its individual execution would have counted, but `threads_used`
 /// reports the batch's configured fan-out (group phases parallelize
 /// across the whole group, so per-query attribution of thread counts is
-/// not meaningful) and `per_thread` is empty — per-thread shares exist
-/// only for single-query execution.
+/// not meaningful) and `per_thread`/`per_shard` are empty — per-thread
+/// and per-shard breakdowns exist only for single-query execution.
+/// `shards_touched` is still stamped, so a grouped query over a sharded
+/// relation reports the same shard fan-out as an individual run.
 #[derive(Debug)]
 pub struct BatchResult {
     /// One slot per input query, in input order.
@@ -389,10 +391,8 @@ impl<'a> BatchExecutor<'a> {
         slots: &mut [Option<Result<QueryResult, QueryError>>],
         batch: &mut BatchStats,
     ) {
-        let rel = &stored.relation;
-        let index = stored.index.as_ref().expect("planned index exists");
-        let scheme = rel.scheme();
-        let n = rel.series_len();
+        let scheme = stored.scheme();
+        let n = stored.series_len();
 
         // Resolve every member; failures fill their slot and drop out.
         struct Prepared {
@@ -457,11 +457,7 @@ impl<'a> BatchExecutor<'a> {
                 rect: &p.rect,
             })
             .collect();
-        let (candidates, search) = if threads > 1 {
-            index.multi_range_parallel(&multi, threads)
-        } else {
-            index.multi_range(&multi)
-        };
+        let (candidates, search) = multi_range_over(stored, &multi, threads);
         batch.merged.nodes_visited += search.merged.nodes_visited;
         batch.merged.leaves_visited += search.merged.leaves_visited;
         batch.merged.entries_tested += search.merged.entries_tested;
@@ -512,6 +508,7 @@ impl<'a> BatchExecutor<'a> {
                 leaves_visited: search.per_query[qi].leaves_visited,
                 entries_tested: search.per_query[qi].entries_tested,
                 candidates: ids.len() as u64,
+                shards_touched: shards_touched(stored),
                 ..ExecStats::default()
             };
             batch.merged.candidates += stats.candidates;
@@ -526,7 +523,7 @@ impl<'a> BatchExecutor<'a> {
                 None => {
                     class_reps.insert(key, qi);
                     let hits = verify_range_candidates(
-                        rel, ids, &p.ctx, &p.window, &p.action, p.eps, threads, &mut stats,
+                        stored, ids, &p.ctx, &p.window, &p.action, p.eps, threads, &mut stats,
                     );
                     batch.merged.coefficients_compared += stats.coefficients_compared;
                     rep_results.insert(qi, (hits.clone(), stats.coefficients_compared));
@@ -540,6 +537,7 @@ impl<'a> BatchExecutor<'a> {
                 plan: plans[p.slot].clone().expect("grouped query has a plan"),
                 stats,
                 per_thread: Vec::new(),
+                per_shard: Vec::new(),
             }));
         }
     }
@@ -556,8 +554,7 @@ impl<'a> BatchExecutor<'a> {
         slots: &mut [Option<Result<QueryResult, QueryError>>],
         merged: &mut ExecStats,
     ) {
-        let rel = &stored.relation;
-        let n = rel.series_len();
+        let n = stored.series_len();
         struct Prepared<'q> {
             slot: usize,
             transform: &'q SeriesTransform,
@@ -605,7 +602,7 @@ impl<'a> BatchExecutor<'a> {
                 eps: p.eps,
             })
             .collect();
-        let scanned = match scan_range_multi(rel, &multi, true, threads) {
+        let scanned = match scan_range_multi_over(stored, &multi, true, threads) {
             Ok(r) => r,
             Err(e) => {
                 // Per-query transform errors were already caught by
@@ -625,12 +622,12 @@ impl<'a> BatchExecutor<'a> {
             let mut hits: Vec<Hit> = hit_lists[qi]
                 .iter()
                 .filter(|h| {
-                    let row = rel.row(h.id).expect("scan ids are valid");
+                    let row = stored.row(h.id).expect("scan ids are valid");
                     window_ok(row.features.mean, row.features.std_dev)
                 })
                 .map(|h| Hit {
                     id: h.id,
-                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    name: stored.row(h.id).expect("scan ids are valid").name.clone(),
                     distance: h.distance,
                 })
                 .collect();
@@ -643,6 +640,7 @@ impl<'a> BatchExecutor<'a> {
                 candidates: per.rows_scanned,
                 verified: hits.len() as u64,
                 threads_used: threads as u64,
+                shards_touched: shards_touched(stored),
                 ..ExecStats::default()
             };
             slots[p.slot] = Some(Ok(QueryResult {
@@ -650,6 +648,7 @@ impl<'a> BatchExecutor<'a> {
                 plan: plans[p.slot].clone().expect("grouped query has a plan"),
                 stats,
                 per_thread: Vec::new(),
+                per_shard: Vec::new(),
             }));
         }
     }
@@ -668,10 +667,8 @@ impl<'a> BatchExecutor<'a> {
         slots: &mut [Option<Result<QueryResult, QueryError>>],
         merged: &mut ExecStats,
     ) {
-        let rel = &stored.relation;
-        let index = stored.index.as_ref().expect("planned index exists");
-        let scheme = rel.scheme();
-        let n = rel.series_len();
+        let scheme = stored.scheme();
+        let n = stored.series_len();
 
         struct Prepared {
             slot: usize,
@@ -738,7 +735,7 @@ impl<'a> BatchExecutor<'a> {
                 k: p.k,
             })
             .collect();
-        let (step1, s1) = index.multi_nearest_by(&knn_queries, threads);
+        let (step1, s1) = multi_nearest_over(stored, &knn_queries, threads);
         merged.nodes_visited += s1.merged.nodes_visited;
         merged.leaves_visited += s1.merged.leaves_visited;
         merged.entries_tested += s1.merged.entries_tested;
@@ -759,7 +756,7 @@ impl<'a> BatchExecutor<'a> {
             let mut radius_sq = 0.0f64;
             let mut compared = 0u64;
             for nb in &step1[qi] {
-                let row = rel.row(nb.id).expect("index ids are valid");
+                let row = stored.row(nb.id).expect("index ids are valid");
                 let d_sq = exact_distance_sq(
                     &row.features.spectrum,
                     &p.action.multipliers,
@@ -784,11 +781,7 @@ impl<'a> BatchExecutor<'a> {
                 rect: &radii[qi].as_ref().expect("filtered to present").1,
             })
             .collect();
-        let (candidates, s2) = if threads > 1 {
-            index.multi_range_parallel(&multi, threads)
-        } else {
-            index.multi_range(&multi)
-        };
+        let (candidates, s2) = multi_range_over(stored, &multi, threads);
         merged.nodes_visited += s2.merged.nodes_visited;
         merged.leaves_visited += s2.merged.leaves_visited;
         merged.entries_tested += s2.merged.entries_tested;
@@ -807,7 +800,7 @@ impl<'a> BatchExecutor<'a> {
             let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
                 ids.iter()
                     .filter_map(|&id| {
-                        let row = rel.row(id).expect("index ids are valid");
+                        let row = stored.row(id).expect("index ids are valid");
                         let d_sq = exact_distance_sq(
                             &row.features.spectrum,
                             &p.action.multipliers,
@@ -845,11 +838,13 @@ impl<'a> BatchExecutor<'a> {
             let mut stats = p.stats;
             stats.verified = hits.len() as u64;
             stats.threads_used = threads as u64;
+            stats.shards_touched = shards_touched(stored);
             slots[p.slot] = Some(Ok(QueryResult {
                 output: QueryOutput::Hits(hits),
                 plan: plans[p.slot].clone().expect("grouped query has a plan"),
                 stats,
                 per_thread: Vec::new(),
+                per_shard: Vec::new(),
             }));
         }
     }
@@ -866,7 +861,6 @@ impl<'a> BatchExecutor<'a> {
         slots: &mut [Option<Result<QueryResult, QueryError>>],
         merged: &mut ExecStats,
     ) {
-        let rel = &stored.relation;
         struct Prepared<'q> {
             slot: usize,
             k: usize,
@@ -904,7 +898,7 @@ impl<'a> BatchExecutor<'a> {
                 k: p.k,
             })
             .collect();
-        let (hit_lists, scan_stats) = match scan_knn_multi(rel, &multi, threads) {
+        let (hit_lists, scan_stats) = match scan_knn_multi_over(stored, &multi, threads) {
             Ok(r) => r,
             Err(e) => {
                 for p in &prepared {
@@ -921,7 +915,7 @@ impl<'a> BatchExecutor<'a> {
                 .iter()
                 .map(|h| Hit {
                     id: h.id,
-                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    name: stored.row(h.id).expect("scan ids are valid").name.clone(),
                     distance: h.distance,
                 })
                 .collect();
@@ -933,6 +927,7 @@ impl<'a> BatchExecutor<'a> {
                 candidates: per.rows_scanned,
                 verified: hits.len() as u64,
                 threads_used: threads as u64,
+                shards_touched: shards_touched(stored),
                 ..ExecStats::default()
             };
             slots[p.slot] = Some(Ok(QueryResult {
@@ -940,7 +935,191 @@ impl<'a> BatchExecutor<'a> {
                 plan: plans[p.slot].clone().expect("grouped query has a plan"),
                 stats,
                 per_thread: Vec::new(),
+                per_shard: Vec::new(),
             }));
+        }
+    }
+}
+
+/// What a grouped query's `ExecStats::shards_touched` reports: the shard
+/// count for sharded relations, 0 for the single form — the same value
+/// individual execution stamps.
+fn shards_touched(stored: &StoredRelation) -> u64 {
+    match stored {
+        StoredRelation::Single { .. } => 0,
+        StoredRelation::Sharded { relation, .. } => relation.shard_count() as u64,
+    }
+}
+
+/// The stored relation's trees: one for the single form, one per shard
+/// for the sharded one.
+fn stored_trees(stored: &StoredRelation) -> Vec<&simq_index::RTree> {
+    match stored {
+        StoredRelation::Single { index, .. } => {
+            vec![index.as_ref().expect("planned index exists")]
+        }
+        StoredRelation::Sharded { indexes, .. } => indexes.iter().collect(),
+    }
+}
+
+/// One shared batched range traversal per tree (one tree for the single
+/// form, one per shard for the sharded one — the batch's per-shard work
+/// units), per-query candidate lists concatenated across shards.
+fn multi_range_over(
+    stored: &StoredRelation,
+    multi: &[MultiRangeQuery],
+    threads: usize,
+) -> (Vec<Vec<u64>>, simq_index::MultiSearchStats) {
+    let trees = stored_trees(stored);
+    if trees.len() == 1 {
+        let tree = trees[0];
+        return if threads > 1 {
+            tree.multi_range_parallel(multi, threads)
+        } else {
+            tree.multi_range(multi)
+        };
+    }
+    let mut out: Vec<Vec<u64>> = vec![Vec::new(); multi.len()];
+    let mut stats = simq_index::MultiSearchStats::default();
+    for tree in trees {
+        let (cands, s) = if threads > 1 {
+            tree.multi_range_parallel(multi, threads)
+        } else {
+            tree.multi_range(multi)
+        };
+        for (acc, ids) in out.iter_mut().zip(cands) {
+            acc.extend(ids);
+        }
+        stats.add(&s);
+    }
+    (out, stats)
+}
+
+/// One shared-pool batched kNN per tree; per-query candidates merged
+/// across shards by `(bound, id)` and truncated back to each query's `k`.
+/// Leaf bounds depend only on the item, so the merged per-query lists
+/// equal the single-tree ones.
+fn multi_nearest_over(
+    stored: &StoredRelation,
+    queries: &[MultiKnnQuery],
+    threads: usize,
+) -> (Vec<Vec<simq_index::Neighbor>>, simq_index::MultiSearchStats) {
+    let trees = stored_trees(stored);
+    if trees.len() == 1 {
+        return trees[0].multi_nearest_by(queries, threads);
+    }
+    let mut per_query: Vec<Vec<simq_index::Neighbor>> = vec![Vec::new(); queries.len()];
+    let mut stats = simq_index::MultiSearchStats::default();
+    for tree in trees {
+        let (step, s) = tree.multi_nearest_by(queries, threads);
+        for (acc, mut nbs) in per_query.iter_mut().zip(step) {
+            acc.append(&mut nbs);
+        }
+        stats.add(&s);
+    }
+    for (q, acc) in queries.iter().zip(per_query.iter_mut()) {
+        acc.sort_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
+        });
+        acc.truncate(q.k);
+    }
+    (per_query, stats)
+}
+
+fn add_scan_stats(acc: &mut simq_storage::ScanStats, s: &simq_storage::ScanStats) {
+    acc.rows_scanned += s.rows_scanned;
+    acc.coefficients_compared += s.coefficients_compared;
+    acc.early_abandoned += s.early_abandoned;
+}
+
+fn merge_multi_scan_stats(
+    acc: &mut simq_storage::MultiScanStats,
+    s: &simq_storage::MultiScanStats,
+) {
+    add_scan_stats(&mut acc.merged, &s.merged);
+    if acc.per_query.len() < s.per_query.len() {
+        acc.per_query
+            .resize(s.per_query.len(), simq_storage::ScanStats::default());
+    }
+    for (a, b) in acc.per_query.iter_mut().zip(&s.per_query) {
+        add_scan_stats(a, b);
+    }
+}
+
+/// One shared scan pass per store (the whole relation, or each shard),
+/// per-query hit lists concatenated across shards.
+#[allow(clippy::type_complexity)]
+fn scan_range_multi_over(
+    stored: &StoredRelation,
+    multi: &[MultiScanRangeQuery],
+    early_abandon: bool,
+    threads: usize,
+) -> Result<
+    (
+        Vec<Vec<simq_storage::ScanHit>>,
+        simq_storage::MultiScanStats,
+    ),
+    simq_series::error::SeriesError,
+> {
+    match stored {
+        StoredRelation::Single { relation, .. } => {
+            scan_range_multi(relation, multi, early_abandon, threads)
+        }
+        StoredRelation::Sharded { relation, .. } => {
+            let mut out: Vec<Vec<simq_storage::ScanHit>> = vec![Vec::new(); multi.len()];
+            let mut stats = simq_storage::MultiScanStats::default();
+            for shard in relation.shards() {
+                let (hits, s) = scan_range_multi(shard, multi, early_abandon, threads)?;
+                for (acc, h) in out.iter_mut().zip(hits) {
+                    acc.extend(h);
+                }
+                merge_multi_scan_stats(&mut stats, &s);
+            }
+            Ok((out, stats))
+        }
+    }
+}
+
+/// One shared kNN scan pass per store; per-query shard top-`k` lists
+/// merged by `(distance, id)` and truncated back to `k` — any global
+/// top-`k` row is in its shard's top-`k`, so the merge loses nothing.
+#[allow(clippy::type_complexity)]
+fn scan_knn_multi_over(
+    stored: &StoredRelation,
+    multi: &[MultiScanKnnQuery],
+    threads: usize,
+) -> Result<
+    (
+        Vec<Vec<simq_storage::ScanHit>>,
+        simq_storage::MultiScanStats,
+    ),
+    simq_series::error::SeriesError,
+> {
+    match stored {
+        StoredRelation::Single { relation, .. } => scan_knn_multi(relation, multi, threads),
+        StoredRelation::Sharded { relation, .. } => {
+            let mut out: Vec<Vec<simq_storage::ScanHit>> = vec![Vec::new(); multi.len()];
+            let mut stats = simq_storage::MultiScanStats::default();
+            for shard in relation.shards() {
+                let (hits, s) = scan_knn_multi(shard, multi, threads)?;
+                for (acc, h) in out.iter_mut().zip(hits) {
+                    acc.extend(h);
+                }
+                merge_multi_scan_stats(&mut stats, &s);
+            }
+            for (q, acc) in multi.iter().zip(out.iter_mut()) {
+                acc.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .expect("finite distances")
+                        .then(a.id.cmp(&b.id))
+                });
+                acc.truncate(q.k);
+            }
+            Ok((out, stats))
         }
     }
 }
@@ -980,7 +1159,7 @@ fn window_test<'a>(
 /// and coefficient counts match an individual run bitwise.
 #[allow(clippy::too_many_arguments)]
 fn verify_range_candidates(
-    rel: &simq_storage::SeriesRelation,
+    stored: &StoredRelation,
     ids: &[u64],
     ctx: &QueryContext,
     window: &StatsWindow,
@@ -994,7 +1173,7 @@ fn verify_range_candidates(
     let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
         let mut out = Vec::new();
         for &id in ids {
-            let row = rel.row(id).expect("index ids are valid");
+            let row = stored.row(id).expect("index ids are valid");
             if !window_ok(row.features.mean, row.features.std_dev) {
                 continue;
             }

@@ -50,6 +50,13 @@ pub struct ExecStats {
     /// Plan-cache misses this execution paid for (session-based
     /// execution only).
     pub plan_cache_misses: u64,
+    /// Shards that carried work for this query — 0 for unsharded
+    /// relations, the relation's shard count for sharded execution
+    /// (index fan-out and scan fan-out both touch every shard; only the
+    /// shared-bound kNN forest search can effectively prune some shards,
+    /// but they are still inspected). Per-shard counter breakdowns are in
+    /// [`QueryResult::per_shard`].
+    pub shards_touched: u64,
 }
 
 impl ExecStats {
@@ -106,6 +113,28 @@ fn fold_scan(per: &mut Vec<ExecStats>, phase: &[scan::ScanStats]) {
     }
     for (acc, s) in per.iter_mut().zip(phase) {
         acc.add_scan(s);
+    }
+}
+
+/// Folds one sharded phase's per-shard search counters into the
+/// query-level per-shard accumulators.
+fn fold_shard_search(per: &mut Vec<ExecStats>, phase: &[simq_index::SearchStats]) {
+    if per.len() < phase.len() {
+        per.resize(phase.len(), ExecStats::default());
+    }
+    for (acc, s) in per.iter_mut().zip(phase) {
+        acc.add_search(s);
+    }
+}
+
+/// Folds one sharded phase's per-shard scan counters.
+fn fold_shard_scan(per: &mut Vec<ExecStats>, phase: &[scan::ScanStats]) {
+    if per.len() < phase.len() {
+        per.resize(phase.len(), ExecStats::default());
+    }
+    for (acc, s) in per.iter_mut().zip(phase) {
+        acc.rows_scanned += s.rows_scanned;
+        acc.coefficients_compared += s.coefficients_compared;
     }
 }
 
@@ -203,6 +232,11 @@ pub struct QueryResult {
     /// query ran serially). Entry 0 also carries coordination work done on
     /// the calling thread.
     pub per_thread: Vec<ExecStats>,
+    /// Per-shard counters for sharded relations (empty for unsharded
+    /// execution): entry `i` is shard `i`'s share of the index traversal
+    /// and scan work. Verification work on merged candidate lists crosses
+    /// shards and is reported in [`QueryResult::stats`] only.
+    pub per_shard: Vec<ExecStats>,
 }
 
 /// Parses, plans and executes a query text.
@@ -249,6 +283,7 @@ pub fn run_with_plan(
             },
             plan: the_plan,
             per_thread: Vec::new(),
+            per_shard: Vec::new(),
         }),
         Query::Range {
             source,
@@ -310,7 +345,7 @@ pub(crate) fn resolve_query(
     transform: &SeriesTransform,
     on_both: bool,
 ) -> Result<QueryContext, QueryError> {
-    let n = stored.relation.series_len();
+    let n = stored.series_len();
     let (spectrum, mean, std_dev) = match source {
         QuerySource::Literal(values) => {
             if values.len() != n {
@@ -319,12 +354,11 @@ pub(crate) fn resolve_query(
                     actual: values.len(),
                 });
             }
-            let f = stored.relation.scheme().extract(values)?;
+            let f = stored.scheme().extract(values)?;
             (f.spectrum, f.mean, f.std_dev)
         }
         QuerySource::RowId(id) => {
             let row = stored
-                .relation
                 .row(*id)
                 .ok_or_else(|| QueryError::UnknownRow(format!("id {id}")))?;
             (
@@ -335,9 +369,7 @@ pub(crate) fn resolve_query(
         }
         QuerySource::RowName(name) => {
             let row = stored
-                .relation
-                .rows()
-                .find(|r| r.name == *name)
+                .find_row_named(name)
                 .ok_or_else(|| QueryError::UnknownRow(format!("name {name:?}")))?;
             (
                 row.features.spectrum.clone(),
@@ -416,12 +448,12 @@ fn range(
     window: StatsWindow,
     the_plan: &Plan,
 ) -> Result<QueryResult, QueryError> {
-    let rel = &stored.relation;
-    let n = rel.series_len();
+    let n = stored.series_len();
     let q_spec: &[Complex] = &ctx.spectrum;
     let threads = the_plan.threads.max(1);
     let mut stats = ExecStats::default();
     let mut per_thread: Vec<ExecStats> = Vec::new();
+    let mut per_shard: Vec<ExecStats> = Vec::new();
     let action = transform.action(n, n.saturating_sub(1))?;
     // GK95 window test on the *transformed* row statistics — consistent
     // with the index traversal, which applies the lowered affine to the
@@ -439,8 +471,7 @@ fn range(
 
     let mut hits: Vec<Hit> = match the_plan.access {
         AccessPath::IndexScan => {
-            let index = stored.index.as_ref().expect("planned index exists");
-            let scheme = rel.scheme();
+            let scheme = stored.scheme();
             // The search rectangle is built around the features of the
             // comparison spectrum; statistics dimensions are unbounded
             // unless a MEAN/STD window constrains them.
@@ -458,22 +489,45 @@ fn range(
                 )
             };
             let lowered = transform.lower(scheme, n)?;
-            let (candidates, s) = if threads > 1 {
-                let (candidates, p) = index.range_transformed_parallel(&lowered, &rect, threads);
-                fold_search(&mut per_thread, &p.per_thread);
-                (candidates, p.merged)
-            } else {
-                index.range_transformed(&lowered, &rect)
+            let candidates: Vec<u64> = match stored {
+                StoredRelation::Single { index, .. } => {
+                    let index = index.as_ref().expect("planned index exists");
+                    let (candidates, s) = if threads > 1 {
+                        let (candidates, p) =
+                            index.range_transformed_parallel(&lowered, &rect, threads);
+                        fold_search(&mut per_thread, &p.per_thread);
+                        (candidates, p.merged)
+                    } else {
+                        index.range_transformed(&lowered, &rect)
+                    };
+                    stats.nodes_visited = s.nodes_visited;
+                    stats.leaves_visited = s.leaves_visited;
+                    stats.entries_tested = s.entries_tested;
+                    candidates
+                }
+                StoredRelation::Sharded { indexes, .. } => {
+                    // Shard fan-out: each shard's tree serves the same
+                    // lowered query; shards are the parallel work units.
+                    let trees: Vec<&simq_index::RTree> = indexes.iter().collect();
+                    let (by_shard, s) = if threads > 1 {
+                        simq_index::shard::range_transformed_sharded_parallel(
+                            &trees, &lowered, &rect, threads,
+                        )
+                    } else {
+                        simq_index::shard::range_transformed_sharded(&trees, &lowered, &rect)
+                    };
+                    stats.add_search(&s.merged);
+                    stats.shards_touched = trees.len() as u64;
+                    fold_shard_search(&mut per_shard, &s.per_shard);
+                    by_shard.into_iter().flatten().collect()
+                }
             };
-            stats.nodes_visited = s.nodes_visited;
-            stats.leaves_visited = s.leaves_visited;
-            stats.entries_tested = s.entries_tested;
             stats.candidates = candidates.len() as u64;
 
             let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
                 let mut out = Vec::new();
                 for &id in ids {
-                    let row = rel.row(id).expect("index ids are valid");
+                    let row = stored.row(id).expect("index ids are valid");
                     if !window_ok(row.features.mean, row.features.std_dev) {
                         continue;
                     }
@@ -512,26 +566,53 @@ fn range(
             }
         }
         AccessPath::SeqScan { early_abandon } => {
-            let (scan_hits, merged) = if threads > 1 {
-                let (scan_hits, p) =
-                    scan::scan_range_parallel(rel, transform, q_spec, eps, early_abandon, threads)?;
-                fold_scan(&mut per_thread, &p.per_thread);
-                (scan_hits, p.merged)
-            } else {
-                scan::scan_range(rel, transform, q_spec, eps, early_abandon)?
+            let scan_hits = match stored {
+                StoredRelation::Single { relation: rel, .. } => {
+                    let (scan_hits, merged) = if threads > 1 {
+                        let (scan_hits, p) = scan::scan_range_parallel(
+                            rel,
+                            transform,
+                            q_spec,
+                            eps,
+                            early_abandon,
+                            threads,
+                        )?;
+                        fold_scan(&mut per_thread, &p.per_thread);
+                        (scan_hits, p.merged)
+                    } else {
+                        scan::scan_range(rel, transform, q_spec, eps, early_abandon)?
+                    };
+                    stats.rows_scanned = merged.rows_scanned;
+                    stats.coefficients_compared = merged.coefficients_compared;
+                    stats.candidates = merged.rows_scanned;
+                    scan_hits
+                }
+                StoredRelation::Sharded { relation, .. } => {
+                    let (scan_hits, s) = simq_storage::shard::scan_range_sharded(
+                        relation,
+                        transform,
+                        q_spec,
+                        eps,
+                        early_abandon,
+                        threads,
+                    )?;
+                    stats.rows_scanned = s.merged.rows_scanned;
+                    stats.coefficients_compared = s.merged.coefficients_compared;
+                    stats.candidates = s.merged.rows_scanned;
+                    stats.shards_touched = relation.shard_count() as u64;
+                    fold_shard_scan(&mut per_shard, &s.per_shard);
+                    scan_hits
+                }
             };
-            stats.rows_scanned = merged.rows_scanned;
-            stats.coefficients_compared = merged.coefficients_compared;
-            stats.candidates = merged.rows_scanned;
             scan_hits
                 .into_iter()
                 .filter(|h| {
-                    let row = rel.row(h.id).expect("scan ids are valid");
+                    let row = stored.row(h.id).expect("scan ids are valid");
                     window_ok(row.features.mean, row.features.std_dev)
                 })
                 .map(|h| Hit {
                     id: h.id,
-                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    name: stored.row(h.id).expect("scan ids are valid").name.clone(),
                     distance: h.distance,
                 })
                 .collect()
@@ -546,13 +627,28 @@ fn range(
             .then(a.id.cmp(&b.id))
     });
     stats.verified = hits.len() as u64;
-    stats.threads_used = per_thread.len().max(1) as u64;
+    stats.threads_used = threads_used(&per_thread, &stats, threads);
     Ok(QueryResult {
         output: QueryOutput::Hits(hits),
         plan: the_plan.clone(),
         stats,
         per_thread,
+        per_shard,
     })
+}
+
+/// The fan-out a finished execution reports: the widest per-thread phase
+/// when one ran; for sharded executions without per-thread accounting,
+/// the shard-level fan-out (capped by the configured thread count); 1
+/// otherwise.
+fn threads_used(per_thread: &[ExecStats], stats: &ExecStats, threads: usize) -> u64 {
+    if !per_thread.is_empty() {
+        per_thread.len() as u64
+    } else if stats.shards_touched > 0 && threads > 1 {
+        (stats.shards_touched).min(threads as u64).max(1)
+    } else {
+        1
+    }
 }
 
 fn knn(
@@ -562,11 +658,11 @@ fn knn(
     k: usize,
     the_plan: &Plan,
 ) -> Result<QueryResult, QueryError> {
-    let rel = &stored.relation;
-    let n = rel.series_len();
+    let n = stored.series_len();
     let threads = the_plan.threads.max(1);
     let mut stats = ExecStats::default();
     let mut per_thread: Vec<ExecStats> = Vec::new();
+    let mut per_shard: Vec<ExecStats> = Vec::new();
 
     let hits: Vec<Hit> = match the_plan.access {
         AccessPath::IndexScan => {
@@ -574,9 +670,12 @@ fn knn(
             // spectral MINDIST lower bound (annular-sector geometry in the
             // polar representation); (2) the k-th candidate's exact
             // distance bounds a range query that yields every possible
-            // better row; (3) exact distances decide.
-            let index = stored.index.as_ref().expect("planned index exists");
-            let scheme = rel.scheme();
+            // better row; (3) exact distances decide. For sharded
+            // relations step 1 is one best-first search over the whole
+            // forest (shared k-th-best bound) and step 2 fans out per
+            // shard — leaf bounds depend only on the item, so both steps
+            // see exactly the single-tree candidate sets.
+            let scheme = stored.scheme();
             let q_point = scheme.point_from_spectrum(0.0, 0.0, q_spec)?;
             let q_coeffs = scheme.coefficients_of_point(&q_point);
             let lowered = transform.lower(scheme, n)?;
@@ -585,21 +684,46 @@ fn knn(
             let bound = |rect: &simq_index::Rect| -> f64 {
                 simq_series::spectral_mindist(scheme, &q_coeffs, rect)
             };
-            let (step1, s1) = if threads > 1 {
-                let (step1, p) = index.nearest_by_parallel(&bound, Some(&lowered), k, threads);
-                fold_search(&mut per_thread, &p.per_thread);
-                (step1, p.merged)
-            } else {
-                index.nearest_by(&bound, Some(&lowered), k)
+            let step1 = match stored {
+                StoredRelation::Single { index, .. } => {
+                    let index = index.as_ref().expect("planned index exists");
+                    let (step1, s1) = if threads > 1 {
+                        let (step1, p) =
+                            index.nearest_by_parallel(&bound, Some(&lowered), k, threads);
+                        fold_search(&mut per_thread, &p.per_thread);
+                        (step1, p.merged)
+                    } else {
+                        index.nearest_by(&bound, Some(&lowered), k)
+                    };
+                    stats.add_search(&s1);
+                    step1
+                }
+                StoredRelation::Sharded { indexes, relation } => {
+                    let trees: Vec<&simq_index::RTree> = indexes.iter().collect();
+                    let (step1, s1) = if threads > 1 {
+                        simq_index::shard::nearest_by_sharded_parallel(
+                            &trees,
+                            &bound,
+                            Some(&lowered),
+                            k,
+                            threads,
+                        )
+                    } else {
+                        simq_index::shard::nearest_by_sharded(&trees, &bound, Some(&lowered), k)
+                    };
+                    stats.add_search(&s1.merged);
+                    stats.shards_touched = relation.shard_count() as u64;
+                    fold_shard_search(&mut per_shard, &s1.per_shard);
+                    step1
+                }
             };
-            stats.add_search(&s1);
             if step1.is_empty() {
                 Vec::new()
             } else {
                 let mut radius_sq = 0.0f64;
                 let mut radius_compared = 0u64;
                 for nb in &step1 {
-                    let row = rel.row(nb.id).expect("index ids are valid");
+                    let row = stored.row(nb.id).expect("index ids are valid");
                     let d_sq = exact_distance_sq(
                         &row.features.spectrum,
                         &action.multipliers,
@@ -614,21 +738,40 @@ fn knn(
                     fold_coefficients(&mut per_thread, &[radius_compared]);
                 }
                 let rect = scheme.search_rect(&q_point, pad(radius_sq.sqrt()));
-                let (candidates, s2) = if threads > 1 {
-                    let (candidates, p) =
-                        index.range_transformed_parallel(&lowered, &rect, threads);
-                    fold_search(&mut per_thread, &p.per_thread);
-                    (candidates, p.merged)
-                } else {
-                    index.range_transformed(&lowered, &rect)
+                let candidates: Vec<u64> = match stored {
+                    StoredRelation::Single { index, .. } => {
+                        let index = index.as_ref().expect("planned index exists");
+                        let (candidates, s2) = if threads > 1 {
+                            let (candidates, p) =
+                                index.range_transformed_parallel(&lowered, &rect, threads);
+                            fold_search(&mut per_thread, &p.per_thread);
+                            (candidates, p.merged)
+                        } else {
+                            index.range_transformed(&lowered, &rect)
+                        };
+                        stats.add_search(&s2);
+                        candidates
+                    }
+                    StoredRelation::Sharded { indexes, .. } => {
+                        let trees: Vec<&simq_index::RTree> = indexes.iter().collect();
+                        let (by_shard, s2) = if threads > 1 {
+                            simq_index::shard::range_transformed_sharded_parallel(
+                                &trees, &lowered, &rect, threads,
+                            )
+                        } else {
+                            simq_index::shard::range_transformed_sharded(&trees, &lowered, &rect)
+                        };
+                        stats.add_search(&s2.merged);
+                        fold_shard_search(&mut per_shard, &s2.per_shard);
+                        by_shard.into_iter().flatten().collect()
+                    }
                 };
-                stats.add_search(&s2);
                 stats.candidates = candidates.len() as u64;
 
                 let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
                     ids.iter()
                         .filter_map(|&id| {
-                            let row = rel.row(id).expect("index ids are valid");
+                            let row = stored.row(id).expect("index ids are valid");
                             let d_sq = exact_distance_sq(
                                 &row.features.spectrum,
                                 &action.multipliers,
@@ -669,21 +812,38 @@ fn knn(
             }
         }
         AccessPath::SeqScan { .. } => {
-            let (scan_hits, merged) = if threads > 1 {
-                let (scan_hits, p) = scan::scan_knn_parallel(rel, transform, q_spec, k, threads)?;
-                fold_scan(&mut per_thread, &p.per_thread);
-                (scan_hits, p.merged)
-            } else {
-                scan::scan_knn(rel, transform, q_spec, k)?
+            let scan_hits = match stored {
+                StoredRelation::Single { relation: rel, .. } => {
+                    let (scan_hits, merged) = if threads > 1 {
+                        let (scan_hits, p) =
+                            scan::scan_knn_parallel(rel, transform, q_spec, k, threads)?;
+                        fold_scan(&mut per_thread, &p.per_thread);
+                        (scan_hits, p.merged)
+                    } else {
+                        scan::scan_knn(rel, transform, q_spec, k)?
+                    };
+                    stats.rows_scanned = merged.rows_scanned;
+                    stats.coefficients_compared = merged.coefficients_compared;
+                    stats.candidates = merged.rows_scanned;
+                    scan_hits
+                }
+                StoredRelation::Sharded { relation, .. } => {
+                    let (scan_hits, s) = simq_storage::shard::scan_knn_sharded(
+                        relation, transform, q_spec, k, threads,
+                    )?;
+                    stats.rows_scanned = s.merged.rows_scanned;
+                    stats.coefficients_compared = s.merged.coefficients_compared;
+                    stats.candidates = s.merged.rows_scanned;
+                    stats.shards_touched = relation.shard_count() as u64;
+                    fold_shard_scan(&mut per_shard, &s.per_shard);
+                    scan_hits
+                }
             };
-            stats.rows_scanned = merged.rows_scanned;
-            stats.coefficients_compared = merged.coefficients_compared;
-            stats.candidates = merged.rows_scanned;
             scan_hits
                 .into_iter()
                 .map(|h| Hit {
                     id: h.id,
-                    name: rel.row(h.id).expect("scan ids are valid").name.clone(),
+                    name: stored.row(h.id).expect("scan ids are valid").name.clone(),
                     distance: h.distance,
                 })
                 .collect()
@@ -691,12 +851,13 @@ fn knn(
         _ => unreachable!("kNN queries plan to IndexScan or SeqScan"),
     };
     stats.verified = hits.len() as u64;
-    stats.threads_used = per_thread.len().max(1) as u64;
+    stats.threads_used = threads_used(&per_thread, &stats, threads);
     Ok(QueryResult {
         output: QueryOutput::Hits(hits),
         plan: the_plan.clone(),
         stats,
         per_thread,
+        per_shard,
     })
 }
 
@@ -707,39 +868,64 @@ fn all_pairs(
     eps: f64,
     the_plan: &Plan,
 ) -> Result<QueryResult, QueryError> {
-    let rel = &stored.relation;
-    let n = rel.series_len();
+    let n = stored.series_len();
     let threads = the_plan.threads.max(1);
     let mut stats = ExecStats::default();
     let mut per_thread: Vec<ExecStats> = Vec::new();
+    let per_shard: Vec<ExecStats> = Vec::new();
     let symmetric = left == right;
 
     let mut pairs: Vec<PairHit> = match the_plan.access {
         AccessPath::ScanJoin { early_abandon } => {
-            let (found, merged) = if threads > 1 {
-                let (found, p) = scan::scan_all_pairs_two_parallel(
-                    rel,
-                    left,
-                    right,
-                    eps,
-                    early_abandon,
-                    threads,
-                )?;
-                fold_scan(&mut per_thread, &p.per_thread);
-                (found, p.merged)
-            } else {
-                scan::scan_all_pairs_two(rel, left, right, eps, early_abandon)?
+            let found = match stored {
+                StoredRelation::Single { relation: rel, .. } => {
+                    let (found, merged) = if threads > 1 {
+                        let (found, p) = scan::scan_all_pairs_two_parallel(
+                            rel,
+                            left,
+                            right,
+                            eps,
+                            early_abandon,
+                            threads,
+                        )?;
+                        fold_scan(&mut per_thread, &p.per_thread);
+                        (found, p.merged)
+                    } else {
+                        scan::scan_all_pairs_two(rel, left, right, eps, early_abandon)?
+                    };
+                    stats.rows_scanned = merged.rows_scanned;
+                    stats.coefficients_compared = merged.coefficients_compared;
+                    found
+                }
+                StoredRelation::Sharded { relation, .. } => {
+                    // Pair work crosses shards: the rows run flattened in
+                    // id order through the exact unsharded machinery, so
+                    // parallelism is row-chunked and per-thread shares
+                    // are reported exactly as for the single form.
+                    let (found, p) = simq_storage::shard::scan_all_pairs_two_sharded(
+                        relation,
+                        left,
+                        right,
+                        eps,
+                        early_abandon,
+                        threads,
+                    )?;
+                    if threads > 1 {
+                        fold_scan(&mut per_thread, &p.per_thread);
+                    }
+                    stats.rows_scanned = p.merged.rows_scanned;
+                    stats.coefficients_compared = p.merged.coefficients_compared;
+                    stats.shards_touched = relation.shard_count() as u64;
+                    found
+                }
             };
-            stats.rows_scanned = merged.rows_scanned;
-            stats.coefficients_compared = merged.coefficients_compared;
             found
                 .into_iter()
                 .map(|(a, b, distance)| PairHit { a, b, distance })
                 .collect()
         }
         AccessPath::IndexProbeJoin { transformed } => {
-            let index = stored.index.as_ref().expect("planned index exists");
-            let scheme = rel.scheme();
+            let scheme = stored.scheme();
             let (eff_left, eff_right) = if transformed {
                 (left.clone(), right.clone())
             } else {
@@ -752,13 +938,26 @@ fn all_pairs(
             let lowered = eff_right.lower(scheme, n)?;
             let action = eff_right.action(n, n.saturating_sub(1))?;
             let left_action = eff_left.action(n, n.saturating_sub(1))?;
+            // Every probe ranges over every shard's tree (one tree for the
+            // single form). The candidate union over shards equals the
+            // single-tree candidate set, and the canonical (min, max) map
+            // below is order-insensitive, so sharded output is identical.
+            let probe_trees: Vec<&simq_index::RTree> = match stored {
+                StoredRelation::Single { index, .. } => {
+                    vec![index.as_ref().expect("planned index exists")]
+                }
+                StoredRelation::Sharded { indexes, .. } => indexes.iter().collect(),
+            };
+            if let StoredRelation::Sharded { relation, .. } = stored {
+                stats.shards_touched = relation.shard_count() as u64;
+            }
             // One probe per row; for asymmetric joins both orientations of
             // each unordered pair are discovered (once from each probe);
             // keep the smaller distance per canonical (min, max) key.
             // Worker threads process contiguous row chunks and merge their
             // maps; `min` is commutative, so the merged map is identical
             // to the serial one.
-            let rows: Vec<&simq_storage::SeriesRow> = rel.rows().collect();
+            let rows: Vec<&simq_storage::SeriesRow> = stored.rows_in_scan_order();
             let probe = |row: &simq_storage::SeriesRow,
                          probe_spec: &mut Vec<Complex>,
                          found: &mut std::collections::BTreeMap<(u64, u64), f64>,
@@ -774,31 +973,33 @@ fn all_pairs(
                 );
                 let probe_point = scheme.point_from_spectrum(0.0, 0.0, probe_spec)?;
                 let rect = scheme.search_rect(&probe_point, pad(eps));
-                let (candidates, s) = index.range_transformed(&lowered, &rect);
-                stats.add_search(&s);
-                stats.candidates += candidates.len() as u64;
-                for id in candidates {
-                    if symmetric {
-                        // Symmetric joins need each unordered pair once.
-                        if id <= row.id {
+                for tree in &probe_trees {
+                    let (candidates, s) = tree.range_transformed(&lowered, &rect);
+                    stats.add_search(&s);
+                    stats.candidates += candidates.len() as u64;
+                    for id in candidates {
+                        if symmetric {
+                            // Symmetric joins need each unordered pair once.
+                            if id <= row.id {
+                                continue;
+                            }
+                        } else if id == row.id {
                             continue;
                         }
-                    } else if id == row.id {
-                        continue;
-                    }
-                    let other = rel.row(id).expect("index ids are valid");
-                    let d = exact_distance(
-                        &other.features.spectrum,
-                        &action.multipliers,
-                        probe_spec,
-                        Some(eps * eps),
-                        &mut stats.coefficients_compared,
-                    );
-                    if d <= eps {
-                        let key = (row.id.min(id), row.id.max(id));
-                        let entry = found.entry(key).or_insert(d);
-                        if d < *entry {
-                            *entry = d;
+                        let other = stored.row(id).expect("index ids are valid");
+                        let d = exact_distance(
+                            &other.features.spectrum,
+                            &action.multipliers,
+                            probe_spec,
+                            Some(eps * eps),
+                            &mut stats.coefficients_compared,
+                        );
+                        if d <= eps {
+                            let key = (row.id.min(id), row.id.max(id));
+                            let entry = found.entry(key).or_insert(d);
+                            if d < *entry {
+                                *entry = d;
+                            }
                         }
                     }
                 }
@@ -866,12 +1067,13 @@ fn all_pairs(
 
     pairs.sort_by_key(|x| (x.a, x.b));
     stats.verified = pairs.len() as u64;
-    stats.threads_used = per_thread.len().max(1) as u64;
+    stats.threads_used = threads_used(&per_thread, &stats, threads);
     Ok(QueryResult {
         output: QueryOutput::Pairs(pairs),
         plan: the_plan.clone(),
         stats,
         per_thread,
+        per_shard,
     })
 }
 

@@ -12,19 +12,183 @@
 use crate::ast::{JoinMethod, Query, Strategy};
 use crate::error::QueryError;
 use simq_index::{RTree, RTreeConfig};
-use simq_series::features::Representation;
-use simq_storage::snapshot::{self, SnapshotError};
-use simq_storage::SeriesRelation;
+use simq_series::error::SeriesError;
+use simq_series::features::{FeatureScheme, Representation};
+use simq_storage::snapshot::{self, SnapshotEntry, SnapshotError, SnapshotSource};
+use simq_storage::{SeriesRelation, SeriesRow, ShardedRelation};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// A relation together with its optional index.
+/// A catalog entry: a relation stored whole with an optional index, or
+/// partitioned into shards with one R*-tree per shard.
+///
+/// Execution treats the two forms identically at the row level (row
+/// lookups route through the shard layout) and fans index/scan work out
+/// per shard for the sharded form; sharded results are bitwise identical
+/// to unsharded execution (`tests/shard_equivalence.rs`).
 #[derive(Debug, Clone)]
-pub struct StoredRelation {
-    /// The relation.
-    pub relation: SeriesRelation,
-    /// The R*-tree over the relation's feature points, if built.
-    pub index: Option<RTree>,
+pub enum StoredRelation {
+    /// One store, one optional R*-tree — the default form.
+    Single {
+        /// The relation.
+        relation: SeriesRelation,
+        /// The R*-tree over the relation's feature points, if built.
+        index: Option<RTree>,
+    },
+    /// The row space hash-partitioned by row id, one R*-tree per shard.
+    Sharded {
+        /// The sharded relation (each shard owns its series store).
+        relation: ShardedRelation,
+        /// One bulk-loaded R*-tree per shard, in shard order.
+        indexes: Vec<RTree>,
+    },
+}
+
+impl StoredRelation {
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.name(),
+            StoredRelation::Sharded { relation, .. } => relation.name(),
+        }
+    }
+
+    /// Length every stored series must have.
+    pub fn series_len(&self) -> usize {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.series_len(),
+            StoredRelation::Sharded { relation, .. } => relation.series_len(),
+        }
+    }
+
+    /// The feature scheme rows are extracted under.
+    pub fn scheme(&self) -> &FeatureScheme {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.scheme(),
+            StoredRelation::Sharded { relation, .. } => relation.scheme(),
+        }
+    }
+
+    /// Total number of rows.
+    pub fn row_count(&self) -> usize {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.len(),
+            StoredRelation::Sharded { relation, .. } => relation.len(),
+        }
+    }
+
+    /// Row access by id (routed through the shard layout when sharded).
+    pub fn row(&self, id: u64) -> Option<&SeriesRow> {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.row(id),
+            StoredRelation::Sharded { relation, .. } => relation.row(id),
+        }
+    }
+
+    /// First row whose name attribute equals `name` — first in insertion
+    /// order for the single form, smallest id for the sharded one. The
+    /// two coincide for sequentially built relations (the only kind whose
+    /// insertion order differs from id order is one assembled with
+    /// out-of-order [`SeriesRelation::insert_with_id`] calls).
+    pub fn find_row_named(&self, name: &str) -> Option<&SeriesRow> {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.rows().find(|r| r.name == name),
+            StoredRelation::Sharded { relation, .. } => {
+                // One linear pass keeping the smallest-id match — same
+                // winner as scanning in id order, without materializing
+                // and sorting the whole row set.
+                let mut best: Option<&SeriesRow> = None;
+                for row in relation.rows() {
+                    if row.name == name && best.is_none_or(|b| row.id < b.id) {
+                        best = Some(row);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Iterates rows: insertion order for the single form, shard-major
+    /// for the sharded one. Use [`StoredRelation::rows_in_scan_order`]
+    /// when the unsharded iteration order matters.
+    pub fn rows(&self) -> Box<dyn Iterator<Item = &SeriesRow> + '_> {
+        match self {
+            StoredRelation::Single { relation, .. } => Box::new(relation.rows()),
+            StoredRelation::Sharded { relation, .. } => Box::new(relation.rows()),
+        }
+    }
+
+    /// All rows in the unsharded scan order: insertion order for the
+    /// single form, id order for the sharded one. The two coincide for
+    /// sequentially built relations; a relation assembled with
+    /// out-of-order explicit-id inserts loses its global insertion order
+    /// on sharding (rows keep only their per-shard relative order), so
+    /// for such relations the sharded↔unsharded equivalence holds
+    /// against the id-ordered scan — asymmetric pair scans may report a
+    /// different (equally valid) orientation for tied pairs.
+    pub fn rows_in_scan_order(&self) -> Vec<&SeriesRow> {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.rows().collect(),
+            StoredRelation::Sharded { relation, .. } => relation.rows_by_id(),
+        }
+    }
+
+    /// True when index-based plans are available (sharded relations
+    /// always carry per-shard trees).
+    pub fn has_index(&self) -> bool {
+        match self {
+            StoredRelation::Single { index, .. } => index.is_some(),
+            StoredRelation::Sharded { .. } => true,
+        }
+    }
+
+    /// Number of shards (1 for the single form).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            StoredRelation::Single { .. } => 1,
+            StoredRelation::Sharded { relation, .. } => relation.shard_count(),
+        }
+    }
+
+    /// Rows per shard (one entry, the row count, for the single form) —
+    /// the `\relations` listing.
+    pub fn shard_row_counts(&self) -> Vec<usize> {
+        match self {
+            StoredRelation::Single { relation, .. } => vec![relation.len()],
+            StoredRelation::Sharded { relation, .. } => relation.shard_row_counts(),
+        }
+    }
+
+    /// Inserts a series, keeping the index (or the owning shard's index)
+    /// in sync: exactly one tree receives the new point — for sharded
+    /// relations a small per-shard tree, which is the insert-locality win
+    /// sharding exists for.
+    ///
+    /// # Errors
+    /// As [`SeriesRelation::insert`].
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        series: Vec<f64>,
+    ) -> Result<u64, SeriesError> {
+        match self {
+            StoredRelation::Single { relation, index } => {
+                let id = relation.insert(name, series)?;
+                if let Some(tree) = index {
+                    let point = &relation.row(id).expect("just inserted").features.point;
+                    tree.insert_point(point, id);
+                }
+                Ok(id)
+            }
+            StoredRelation::Sharded { relation, indexes } => {
+                let id = relation.insert(name, series)?;
+                let shard = relation.shard_of(id);
+                let point = &relation.row(id).expect("just inserted").features.point;
+                indexes[shard].insert_point(point, id);
+                Ok(id)
+            }
+        }
+    }
 }
 
 /// How many threads query execution may use.
@@ -99,7 +263,7 @@ impl Database {
         self.generation += 1;
         self.relations.insert(
             relation.name().to_string(),
-            StoredRelation {
+            StoredRelation::Single {
                 relation,
                 index: None,
             },
@@ -112,11 +276,76 @@ impl Database {
         self.generation += 1;
         self.relations.insert(
             relation.name().to_string(),
-            StoredRelation {
+            StoredRelation::Single {
                 relation,
                 index: Some(index),
             },
         );
+    }
+
+    /// Registers a relation partitioned into `shards` shards, with one
+    /// bulk-loaded R*-tree per shard (`shards` ≤ 1 registers the single
+    /// indexed form). Rows move bit-for-bit, so query answers equal the
+    /// unsharded relation's.
+    pub fn add_relation_sharded(&mut self, relation: SeriesRelation, shards: usize) {
+        if shards <= 1 {
+            self.add_relation_indexed(relation);
+            return;
+        }
+        let sharded = ShardedRelation::from_single(relation, shards);
+        let indexes = sharded.build_indexes(RTreeConfig::default());
+        self.generation += 1;
+        self.relations.insert(
+            sharded.name().to_string(),
+            StoredRelation::Sharded {
+                relation: sharded,
+                indexes,
+            },
+        );
+    }
+
+    /// Re-partitions an existing relation into `shards` shards (the CLI's
+    /// `\shard <relation> <n>`): `shards` ≥ 2 produces the sharded form
+    /// with one bulk-loaded tree per shard; `shards` = 1 merges a sharded
+    /// relation back into a single indexed store. Rows move bit-for-bit
+    /// either way, so query answers are unchanged. Bumps the catalog
+    /// generation (cached plans must be re-made — the shard layout is
+    /// part of every plan).
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownRelation`] when no such relation exists;
+    /// [`QueryError::Unsupported`] for a shard count of 0.
+    pub fn shard_relation(&mut self, name: &str, shards: usize) -> Result<(), QueryError> {
+        if shards == 0 {
+            return Err(QueryError::Unsupported(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        let stored = self
+            .relations
+            .remove(name)
+            .ok_or_else(|| QueryError::UnknownRelation(name.to_string()))?;
+        self.generation += 1;
+        let single = match stored {
+            StoredRelation::Single { relation, .. } => relation,
+            StoredRelation::Sharded { relation, .. } => relation.to_single(),
+        };
+        let rebuilt = if shards == 1 {
+            let index = single.build_index(RTreeConfig::default());
+            StoredRelation::Single {
+                relation: single,
+                index: Some(index),
+            }
+        } else {
+            let sharded = ShardedRelation::from_single(single, shards);
+            let indexes = sharded.build_indexes(RTreeConfig::default());
+            StoredRelation::Sharded {
+                relation: sharded,
+                indexes,
+            }
+        };
+        self.relations.insert(name.to_string(), rebuilt);
+        Ok(())
     }
 
     /// Looks a relation up by name.
@@ -161,18 +390,27 @@ impl Database {
         self
     }
 
-    /// Saves every relation — and its index structure, when built — to a
-    /// paged binary snapshot (see [`simq_storage::snapshot`]).
+    /// Saves every relation — and its index structure(s), when built — to
+    /// a paged binary snapshot (see [`simq_storage::snapshot`]). Sharded
+    /// relations persist their shard layout and one tree per shard, so
+    /// reopening reproduces the sharded form exactly.
     ///
     /// # Errors
     /// I/O errors from the filesystem.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        let entries: Vec<(&SeriesRelation, Option<&RTree>)> = self
+        let entries: Vec<SnapshotSource> = self
             .relations
             .values()
-            .map(|s| (&s.relation, s.index.as_ref()))
+            .map(|s| match s {
+                StoredRelation::Single { relation, index } => {
+                    SnapshotSource::Single(relation, index.as_ref())
+                }
+                StoredRelation::Sharded { relation, indexes } => {
+                    SnapshotSource::Sharded(relation, indexes)
+                }
+            })
             .collect();
-        snapshot::save(path, &entries)
+        snapshot::save_catalog(path, &entries)
     }
 
     /// Opens a snapshot as a fresh database. Rows, spectra and index
@@ -201,13 +439,16 @@ impl Database {
         let count = loaded.len();
         self.generation += 1;
         for entry in loaded {
-            self.relations.insert(
-                entry.relation.name().to_string(),
-                StoredRelation {
-                    relation: entry.relation,
-                    index: entry.index,
+            let stored = match entry {
+                SnapshotEntry::Single(s) => StoredRelation::Single {
+                    relation: s.relation,
+                    index: s.index,
                 },
-            );
+                SnapshotEntry::Sharded { relation, indexes } => {
+                    StoredRelation::Sharded { relation, indexes }
+                }
+            };
+            self.relations.insert(stored.name().to_string(), stored);
         }
         Ok(count)
     }
@@ -247,6 +488,9 @@ pub struct Plan {
     /// Worker threads execution will use (from the database's
     /// [`Parallelism`] at planning time; 1 = serial).
     pub threads: usize,
+    /// Shard count of the relation at planning time (1 = unsharded).
+    /// Index and scan phases fan out one work unit per shard.
+    pub shards: usize,
 }
 
 /// Plans a (non-EXPLAIN) query against the database.
@@ -259,9 +503,10 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
     let stored = db
         .relation(query.relation())
         .ok_or_else(|| QueryError::UnknownRelation(query.relation().to_string()))?;
-    let scheme = stored.relation.scheme();
-    let n = stored.relation.series_len();
+    let scheme = stored.scheme();
+    let n = stored.series_len();
     let threads = db.parallelism().threads();
+    let shards = stored.shard_count();
 
     match query {
         Query::Explain(inner) => plan(db, inner),
@@ -278,15 +523,17 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                     },
                     reason: "FORCE SCAN requested".into(),
                     threads,
+                    shards,
                 });
             }
             let index_reason = if !stats_window.is_empty() && !scheme.include_stats {
                 Err("MEAN/STD windows require a scheme with statistics dimensions".to_string())
+            } else if !stored.has_index() {
+                Err("no index on relation".to_string())
             } else {
-                match (&stored.index, transform.lower(scheme, n)) {
-                    (None, _) => Err("no index on relation".to_string()),
-                    (Some(_), Err(e)) => Err(format!("transformation not index-safe: {e}")),
-                    (Some(_), Ok(_)) => Ok(()),
+                match transform.lower(scheme, n) {
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(format!("transformation not index-safe: {e}")),
                 }
             };
             match index_reason {
@@ -298,6 +545,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                         rep_name(scheme.rep)
                     ),
                     threads,
+                    shards,
                 }),
                 Err(why) if *strategy == Strategy::ForceIndex => {
                     Err(QueryError::IndexUnavailable(why))
@@ -308,6 +556,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                     },
                     reason: why,
                     threads,
+                    shards,
                 }),
             }
         }
@@ -323,13 +572,14 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                     },
                     reason: "FORCE SCAN requested".into(),
                     threads,
+                    shards,
                 });
             }
             // Index kNN works on both representations via the spectral
             // MINDIST lower bound (annular sectors in the polar layout);
             // statistics dimensions are skipped by the bound. Only a safe
             // lowering of the transformation is required.
-            let index_reason = if stored.index.is_none() {
+            let index_reason = if !stored.has_index() {
                 Err("no index on relation".to_string())
             } else {
                 match transform.lower(scheme, n) {
@@ -345,6 +595,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                         rep_name(scheme.rep)
                     ),
                     threads,
+                    shards,
                 }),
                 Err(why) if *strategy == Strategy::ForceIndex => {
                     Err(QueryError::IndexUnavailable(why))
@@ -355,6 +606,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                     },
                     reason: why,
                     threads,
+                    shards,
                 }),
             }
         }
@@ -365,6 +617,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                 },
                 reason: "METHOD a: naive nested-loop scan".into(),
                 threads,
+                shards,
             }),
             JoinMethod::B => Ok(Plan {
                 access: AccessPath::ScanJoin {
@@ -372,9 +625,10 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                 },
                 reason: "METHOD b: nested-loop scan with early abandoning".into(),
                 threads,
+                shards,
             }),
             JoinMethod::C | JoinMethod::D => {
-                if stored.index.is_none() {
+                if !stored.has_index() {
                     return Err(QueryError::IndexUnavailable(
                         "join methods c and d require an index".into(),
                     ));
@@ -399,6 +653,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
                         }
                     ),
                     threads,
+                    shards,
                 })
             }
         },
@@ -453,8 +708,13 @@ pub fn explain(query: &Query, plan: &Plan) -> String {
         }
         Query::Explain(_) => "Explain".to_string(),
     };
+    let shards = if plan.shards > 1 {
+        format!("\n  shards: {} (per-shard fan-out)", plan.shards)
+    } else {
+        String::new()
+    };
     format!(
-        "{what}\n  access: {access}\n  reason: {}\n  parallelism: {} thread{}",
+        "{what}\n  access: {access}\n  reason: {}\n  parallelism: {} thread{}{shards}",
         plan.reason,
         plan.threads,
         if plan.threads == 1 { "" } else { "s" },

@@ -61,10 +61,12 @@ use crate::ast::{
 use crate::batch::{BatchExecutor, BatchResult};
 use crate::error::QueryError;
 use crate::exec::{self, ExecStats, Hit, QueryResult};
-use crate::plan::{plan as plan_query, AccessPath, Database, Plan};
+use crate::plan::{plan as plan_query, AccessPath, Database, Plan, StoredRelation};
 use simq_dsp::complex::Complex;
 use simq_series::transform::NormalFormAction;
-use simq_storage::{SeriesRelation, SeriesRow};
+#[cfg(test)]
+use simq_storage::SeriesRelation;
+use simq_storage::SeriesRow;
 use std::borrow::Borrow;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -843,8 +845,18 @@ impl<D: Borrow<Database>> Session<D> {
     /// Looks the shape up in the plan cache, planning (and inserting) on
     /// a miss. Returns the plan and whether it was a hit. The cache is
     /// cleared first whenever the database's catalog generation moved.
+    ///
+    /// The cache key is the statement shape qualified by the relation's
+    /// shard count: a plan made for one shard layout must never serve
+    /// another (re-sharding also bumps the catalog generation, so the
+    /// qualifier is defense in depth — and makes the layout-dependence
+    /// explicit in the key).
     fn cached_plan(&self, shape: &str, query: &Query) -> Result<(Plan, bool), QueryError> {
         let db = self.db();
+        let shards = db
+            .relation(query.relation())
+            .map_or(0, StoredRelation::shard_count);
+        let shape = &format!("{shape}|shards:{shards}");
         let generation = db.generation();
         {
             let mut inner = self.inner.borrow_mut();
@@ -939,9 +951,9 @@ pub struct Cursor<'db> {
     state: CursorState<'db>,
 }
 
-/// Data shared by both streaming range variants.
+/// Data shared by the streaming range variants.
 struct RangeVerify<'db> {
-    rel: &'db SeriesRelation,
+    stored: &'db StoredRelation,
     action: NormalFormAction,
     window: StatsWindow,
     q_mean: f64,
@@ -966,7 +978,7 @@ impl RangeVerify<'_> {
     /// The single-query verification step on one row; `None` when the
     /// row is filtered out.
     fn verify(&self, id: u64, compared: &mut u64) -> Option<Hit> {
-        let row = self.rel.row(id).expect("candidate ids are valid");
+        let row = self.stored.row(id).expect("candidate ids are valid");
         if !self.window_ok(row.features.mean, row.features.std_dev) {
             return None;
         }
@@ -989,6 +1001,12 @@ enum CursorState<'db> {
     /// Streaming index descent + per-candidate verification.
     IndexRange {
         stream: simq_index::RangeStream<'db>,
+        verify: RangeVerify<'db>,
+    },
+    /// Streaming descent over a sharded relation's forest of trees
+    /// (shards entered lazily, so early termination skips whole shards).
+    IndexRangeSharded {
+        stream: simq_index::ShardedRangeStream<'db>,
         verify: RangeVerify<'db>,
     },
     /// Row-at-a-time sequential scan.
@@ -1021,12 +1039,11 @@ impl<'db> Cursor<'db> {
                 let stored = db
                     .relation(relation)
                     .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
-                let rel = &stored.relation;
-                let n = rel.series_len();
+                let n = stored.series_len();
                 let ctx = exec::resolve_query(stored, source, transform, *on_both)?;
                 let action = transform.action(n, n.saturating_sub(1))?;
                 let verify = RangeVerify {
-                    rel,
+                    stored,
                     action,
                     window: *stats_window,
                     q_mean: ctx.mean,
@@ -1036,8 +1053,7 @@ impl<'db> Cursor<'db> {
                 };
                 let state = match the_plan.access {
                     AccessPath::IndexScan => {
-                        let index = stored.index.as_ref().expect("planned index exists");
-                        let scheme = rel.scheme();
+                        let scheme = stored.scheme();
                         let q_point =
                             scheme.point_from_spectrum(ctx.mean, ctx.std_dev, &verify.q_spec)?;
                         let rect = if stats_window.is_empty() {
@@ -1053,11 +1069,25 @@ impl<'db> Cursor<'db> {
                             )
                         };
                         let lowered = transform.lower(scheme, n)?;
-                        let stream = index.range_stream(Some(Box::new(lowered)), rect);
-                        CursorState::IndexRange { stream, verify }
+                        match stored {
+                            StoredRelation::Single { index, .. } => {
+                                let index = index.as_ref().expect("planned index exists");
+                                let stream = index.range_stream(Some(Box::new(lowered)), rect);
+                                CursorState::IndexRange { stream, verify }
+                            }
+                            StoredRelation::Sharded { indexes, .. } => {
+                                let trees: Vec<&simq_index::RTree> = indexes.iter().collect();
+                                let stream = simq_index::ShardedRangeStream::new(
+                                    trees,
+                                    Some(Box::new(lowered)),
+                                    rect,
+                                );
+                                CursorState::IndexRangeSharded { stream, verify }
+                            }
+                        }
                     }
                     AccessPath::SeqScan { .. } => {
-                        let rows: Vec<&SeriesRow> = rel.rows().collect();
+                        let rows: Vec<&SeriesRow> = stored.rows_in_scan_order();
                         CursorState::ScanRange {
                             rows: rows.into_iter(),
                             verify,
@@ -1102,8 +1132,10 @@ impl<'db> Cursor<'db> {
     /// full execution cost, known at open.
     pub fn stats(&self) -> ExecStats {
         let mut stats = self.stats;
-        if let CursorState::IndexRange { stream, .. } = &self.state {
-            stats.add_search(stream.stats());
+        match &self.state {
+            CursorState::IndexRange { stream, .. } => stats.add_search(stream.stats()),
+            CursorState::IndexRangeSharded { stream, .. } => stats.add_search(stream.stats()),
+            _ => {}
         }
         stats
     }
@@ -1130,6 +1162,14 @@ impl Iterator for Cursor<'_> {
         match &mut self.state {
             CursorState::Buffered(hits) => hits.next(),
             CursorState::IndexRange { stream, verify } => loop {
+                let id = stream.next()?;
+                self.stats.candidates += 1;
+                if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
+                    self.stats.verified += 1;
+                    return Some(hit);
+                }
+            },
+            CursorState::IndexRangeSharded { stream, verify } => loop {
                 let id = stream.next()?;
                 self.stats.candidates += 1;
                 if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
@@ -1234,14 +1274,7 @@ mod tests {
             .prepare("FIND SIMILAR TO ? IN stocks EPSILON ?")
             .unwrap();
         assert_eq!(p.signature()[0].ty, ParamType::Series);
-        let series: Vec<f64> = db
-            .relation("stocks")
-            .unwrap()
-            .relation
-            .row(3)
-            .unwrap()
-            .raw
-            .clone();
+        let series: Vec<f64> = db.relation("stocks").unwrap().row(3).unwrap().raw.clone();
         let bound = p
             .bind(&[Value::from(series.clone()), Value::from(2.0)])
             .unwrap();

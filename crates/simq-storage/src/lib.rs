@@ -16,8 +16,13 @@
 //!   round-tripping (the import/export path).
 //! * [`pages`] — the checksummed fixed-size page layer under snapshots.
 //! * [`snapshot`] — versioned binary snapshots of whole databases:
-//!   relations, precomputed spectra and serialized R*-trees, so cold starts
-//!   skip feature extraction and index bulk-loading.
+//!   relations (sharded or not), precomputed spectra and serialized
+//!   R*-trees, so cold starts skip feature extraction and index
+//!   bulk-loading.
+//! * [`shard`] — [`ShardedRelation`]: the row space hash-partitioned by
+//!   row id into independent shards (each an ordinary [`SeriesRelation`]),
+//!   plus sharded scan entry points whose merged results are bitwise
+//!   identical to the unsharded scans.
 
 #![warn(missing_docs)]
 
@@ -26,6 +31,7 @@ pub mod pages;
 pub mod persist;
 pub mod relation;
 pub mod scan;
+pub mod shard;
 pub mod snapshot;
 
 pub use multi::{
@@ -37,4 +43,8 @@ pub use scan::{
     scan_knn, scan_knn_parallel, scan_range, scan_range_parallel, ParallelScanStats, ScanHit,
     ScanStats,
 };
-pub use snapshot::{SnapshotError, SnapshotRelation};
+pub use shard::{
+    scan_all_pairs_two_sharded, scan_knn_sharded, scan_range_sharded, ShardLayout, ShardedRelation,
+    ShardedScanStats,
+};
+pub use snapshot::{SnapshotEntry, SnapshotError, SnapshotRelation, SnapshotSource};

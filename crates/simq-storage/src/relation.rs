@@ -193,6 +193,13 @@ impl SeriesRelation {
         Ok(id)
     }
 
+    /// Consumes the relation, returning its rows in insertion order (the
+    /// shard re-partitioning path: rows move bit-for-bit, no feature
+    /// re-extraction).
+    pub(crate) fn into_rows(self) -> Vec<SeriesRow> {
+        self.rows
+    }
+
     /// Row access by id — O(1) whether ids are dense (sequential inserts:
     /// position doubles as id) or explicit with gaps (id map).
     pub fn row(&self, id: u64) -> Option<&SeriesRow> {

@@ -155,8 +155,33 @@ pub fn scan_all_pairs_two(
     eps: f64,
     early_abandon: bool,
 ) -> Result<(PairList, ScanStats), SeriesError> {
-    let ctx = PairScan::prepare(relation, left, right, eps, early_abandon)?;
     let rows: Vec<_> = relation.rows().collect();
+    scan_all_pairs_rows(
+        &rows,
+        relation.series_len(),
+        left,
+        right,
+        eps,
+        early_abandon,
+    )
+}
+
+/// [`scan_all_pairs_two`] over an explicit row list (the sharded path
+/// hands in the shards' rows flattened in id order; the relation path
+/// hands in its insertion order). Pairs are emitted as
+/// `(rows[i].id, rows[j].id)` with `i < j` in the given order.
+///
+/// # Errors
+/// Transformation-domain errors.
+pub(crate) fn scan_all_pairs_rows(
+    rows: &[&crate::relation::SeriesRow],
+    series_len: usize,
+    left: &SeriesTransform,
+    right: &SeriesTransform,
+    eps: f64,
+    early_abandon: bool,
+) -> Result<(PairList, ScanStats), SeriesError> {
+    let ctx = PairScan::prepare_rows(rows, series_len, left, right, eps, early_abandon)?;
     let mut out = Vec::new();
     let mut stats = ScanStats::default();
     for i in 0..rows.len() {
@@ -188,21 +213,21 @@ impl PairScan {
     /// Computes both transformation actions and pre-transforms every
     /// stored spectrum once per side (the scan reads each row many
     /// times).
-    fn prepare(
-        relation: &SeriesRelation,
+    fn prepare_rows(
+        rows: &[&crate::relation::SeriesRow],
+        series_len: usize,
         left: &SeriesTransform,
         right: &SeriesTransform,
         eps: f64,
         early_abandon: bool,
     ) -> Result<Self, SeriesError> {
-        let n = relation.series_len();
+        let n = series_len;
         let count = n.saturating_sub(1);
         let left_action = left.action(n, count)?;
         let right_action = right.action(n, count)?;
         let symmetric = left == right;
         let apply = |mults: &[Complex]| -> Vec<Vec<Complex>> {
-            relation
-                .rows()
+            rows.iter()
                 .map(|r| {
                     let mut s = Vec::with_capacity(r.features.spectrum.len());
                     s.push(r.features.spectrum[0]);
@@ -534,17 +559,44 @@ pub fn scan_all_pairs_two_parallel(
     early_abandon: bool,
     threads: usize,
 ) -> Result<(PairList, ParallelScanStats), SeriesError> {
+    let rows: Vec<&crate::relation::SeriesRow> = relation.rows().collect();
+    scan_all_pairs_rows_parallel(
+        &rows,
+        relation.series_len(),
+        left,
+        right,
+        eps,
+        early_abandon,
+        threads,
+    )
+}
+
+/// [`scan_all_pairs_two_parallel`] over an explicit row list (see
+/// [`scan_all_pairs_rows`]).
+///
+/// # Errors
+/// Transformation-domain errors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_all_pairs_rows_parallel(
+    rows: &[&crate::relation::SeriesRow],
+    series_len: usize,
+    left: &SeriesTransform,
+    right: &SeriesTransform,
+    eps: f64,
+    early_abandon: bool,
+    threads: usize,
+) -> Result<(PairList, ParallelScanStats), SeriesError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    let rows: Vec<&crate::relation::SeriesRow> = relation.rows().collect();
     let threads = threads.max(1).min(rows.len().max(1));
     if threads <= 1 {
-        let (pairs, stats) = scan_all_pairs_two(relation, left, right, eps, early_abandon)?;
+        let (pairs, stats) =
+            scan_all_pairs_rows(rows, series_len, left, right, eps, early_abandon)?;
         return Ok((pairs, ParallelScanStats::from_workers(vec![stats])));
     }
 
     // The exact machinery the serial scan uses, shared read-only.
-    let ctx = PairScan::prepare(relation, left, right, eps, early_abandon)?;
+    let ctx = PairScan::prepare_rows(rows, series_len, left, right, eps, early_abandon)?;
 
     let cursor = AtomicUsize::new(0);
     let workers: Vec<(Vec<RowPairs>, ScanStats)> = std::thread::scope(|scope| {

@@ -4,24 +4,27 @@
 //! everything the in-memory form stores: the feature scheme, every row with
 //! its id, name, raw series, statistics, index point and precomputed
 //! normal-form spectrum, plus (when present) the complete R*-tree structure
-//! via [`simq_index::serial`]. Reopening a snapshot therefore skips both
-//! feature extraction *and* index bulk-loading, and reproduces the
-//! in-memory database bit-for-bit — the property tests pin that loaded and
-//! rebuilt databases answer every query identically.
+//! via [`simq_index::serial`]. Since format version 2 a catalog entry may
+//! also be a **sharded** relation ([`crate::shard::ShardedRelation`]): the
+//! rows are stored flattened shard-major together with the shard layout
+//! and one serialized R*-tree per shard, so `\save`/`\open` round-trip
+//! sharded databases without re-partitioning work, feature extraction or
+//! index bulk-loading. Version-1 snapshots (unsharded only) still load.
 //!
 //! On disk the catalog is one logical byte stream (little-endian, exact
 //! `f64` bit patterns) wrapped into the checksummed fixed-size pages of
 //! [`crate::pages`]. Decoding is defensive end-to-end: any flipped byte is
 //! caught by a page checksum, and a structurally inconsistent catalog
 //! (wrong spectrum lengths, duplicate row ids, an index whose space or
-//! items disagree with its relation) produces a [`SnapshotError`], never a
-//! panic.
+//! items disagree with its relation or shard) produces a
+//! [`SnapshotError`], never a panic.
 //!
 //! The v2 text format of [`crate::persist`] remains the human-readable
 //! import/export path; snapshots are the cold-start path.
 
 use crate::pages::{self, PageError};
 use crate::relation::{SeriesRelation, SeriesRow};
+use crate::shard::{ShardLayout, ShardedRelation};
 use simq_dsp::complex::Complex;
 use simq_index::serial::{self, ByteReader, ByteWriter, SerialError};
 use simq_index::RTree;
@@ -32,8 +35,9 @@ use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"SIMQSNAP";
-/// Snapshot catalog version written by [`to_bytes`].
-const VERSION: u32 = 1;
+/// Snapshot catalog version written by the encoders. Version 1 (no
+/// sharded entries) is still accepted by the decoder.
+const VERSION: u32 = 2;
 
 /// Errors from reading a snapshot.
 #[derive(Debug)]
@@ -79,7 +83,7 @@ impl From<SerialError> for SnapshotError {
     }
 }
 
-/// One catalog entry of a decoded snapshot.
+/// One unsharded catalog entry of a decoded snapshot.
 #[derive(Debug, Clone)]
 pub struct SnapshotRelation {
     /// The relation, restored bit-for-bit.
@@ -88,23 +92,114 @@ pub struct SnapshotRelation {
     pub index: Option<RTree>,
 }
 
-/// Encodes a catalog of relations (with optional indexes) into a paged
-/// snapshot file image.
+/// One catalog entry of a decoded snapshot: a plain relation or a sharded
+/// one with its per-shard trees.
+#[derive(Debug, Clone)]
+pub enum SnapshotEntry {
+    /// An unsharded relation (the only entry kind of format version 1).
+    Single(SnapshotRelation),
+    /// A sharded relation with one decoded R*-tree per shard.
+    Sharded {
+        /// The sharded relation, rows restored bit-for-bit per shard.
+        relation: ShardedRelation,
+        /// One decoded tree per shard, in shard order.
+        indexes: Vec<RTree>,
+    },
+}
+
+impl SnapshotEntry {
+    /// The entry's relation name.
+    pub fn name(&self) -> &str {
+        match self {
+            SnapshotEntry::Single(s) => s.relation.name(),
+            SnapshotEntry::Sharded { relation, .. } => relation.name(),
+        }
+    }
+
+    /// The unsharded entry, if this is one (the common case in tests).
+    pub fn single(&self) -> Option<&SnapshotRelation> {
+        match self {
+            SnapshotEntry::Single(s) => Some(s),
+            SnapshotEntry::Sharded { .. } => None,
+        }
+    }
+}
+
+/// One catalog entry to encode: borrowed views over the in-memory forms.
+#[derive(Debug, Clone, Copy)]
+pub enum SnapshotSource<'a> {
+    /// An unsharded relation with its optional index.
+    Single(&'a SeriesRelation, Option<&'a RTree>),
+    /// A sharded relation with its per-shard trees (one per shard, in
+    /// shard order).
+    Sharded(&'a ShardedRelation, &'a [RTree]),
+}
+
+/// Encodes a catalog of unsharded relations (with optional indexes) into
+/// a paged snapshot file image — the convenience wrapper over
+/// [`catalog_to_bytes`].
 pub fn to_bytes(entries: &[(&SeriesRelation, Option<&RTree>)]) -> Vec<u8> {
+    let sources: Vec<SnapshotSource> = entries
+        .iter()
+        .map(|(rel, idx)| SnapshotSource::Single(rel, *idx))
+        .collect();
+    catalog_to_bytes(&sources)
+}
+
+/// Encodes a full catalog — unsharded and sharded entries — into a paged
+/// snapshot file image.
+///
+/// # Panics
+/// Panics if a sharded entry's tree list does not hold exactly one tree
+/// per shard — the decoder routes rows and validates trees by shard
+/// position, so a mismatched list would only surface as a corrupt
+/// snapshot at reopen time.
+pub fn catalog_to_bytes(entries: &[SnapshotSource]) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(MAGIC);
     w.put_u32(VERSION);
     w.put_u32(entries.len() as u32);
-    for (relation, index) in entries {
-        encode_relation(relation, &mut w);
-        match index {
-            Some(tree) => {
-                w.put_u8(1);
-                let blob = serial::to_bytes(tree);
-                w.put_u32(blob.len() as u32);
-                w.put_bytes(&blob);
+    for entry in entries {
+        match entry {
+            SnapshotSource::Single(relation, index) => {
+                encode_relation(relation, &mut w);
+                match index {
+                    Some(tree) => {
+                        w.put_u8(1);
+                        put_tree(tree, &mut w);
+                    }
+                    None => w.put_u8(0),
+                }
             }
-            None => w.put_u8(0),
+            SnapshotSource::Sharded(relation, indexes) => {
+                assert_eq!(
+                    indexes.len(),
+                    relation.shard_count(),
+                    "sharded snapshot entry {:?} needs one tree per shard",
+                    relation.name()
+                );
+                encode_relation_header(
+                    relation.name(),
+                    relation.series_len(),
+                    relation.scheme(),
+                    &mut w,
+                );
+                // Rows flattened shard-major: the layout routes them back
+                // to identical shards (same contents, same in-shard order)
+                // on decode.
+                w.put_u64(relation.len() as u64);
+                for row in relation.rows() {
+                    encode_row(row, &mut w);
+                }
+                w.put_u8(2);
+                match relation.layout() {
+                    ShardLayout::Hash { .. } => w.put_u8(0),
+                }
+                w.put_u32(relation.shard_count() as u32);
+                for tree in *indexes {
+                    put_tree(tree, &mut w);
+                }
+            }
         }
     }
     pages::to_file_bytes(&w.into_bytes())
@@ -114,16 +209,16 @@ pub fn to_bytes(entries: &[(&SeriesRelation, Option<&RTree>)]) -> Vec<u8> {
 ///
 /// # Errors
 /// [`SnapshotError`] on any checksum or structural violation.
-pub fn from_bytes(file: &[u8]) -> Result<Vec<SnapshotRelation>, SnapshotError> {
+pub fn from_bytes(file: &[u8]) -> Result<Vec<SnapshotEntry>, SnapshotError> {
     let stream = pages::from_file_bytes(file)?;
     let mut r = ByteReader::new(&stream);
     if r.take(8)? != MAGIC {
         return Err(SnapshotError::Format("bad snapshot magic".into()));
     }
     let version = r.get_u32()?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(SnapshotError::Format(format!(
-            "unsupported snapshot version {version} (expected {VERSION})"
+            "unsupported snapshot version {version} (expected 1 or {VERSION})"
         )));
     }
     let count = r.get_u32()? as usize;
@@ -131,30 +226,15 @@ pub fn from_bytes(file: &[u8]) -> Result<Vec<SnapshotRelation>, SnapshotError> {
     let mut out = Vec::with_capacity(count);
     let mut names = HashSet::with_capacity(count);
     for i in 0..count {
-        let relation =
-            decode_relation(&mut r).map_err(|e| prefix_format(e, &format!("relation {i}")))?;
-        if !names.insert(relation.name().to_string()) {
+        let entry = decode_entry(&mut r, version)
+            .map_err(|e| prefix_format(e, &format!("relation {i}")))?;
+        if !names.insert(entry.name().to_string()) {
             return Err(SnapshotError::Format(format!(
                 "duplicate relation name {:?}",
-                relation.name()
+                entry.name()
             )));
         }
-        let index = match r.get_u8()? {
-            0 => None,
-            1 => {
-                let blob_len = r.get_u32()? as usize;
-                let blob = r.take(blob_len)?;
-                let tree = serial::from_bytes(blob)?;
-                validate_index(&relation, &tree)?;
-                Some(tree)
-            }
-            tag => {
-                return Err(SnapshotError::Format(format!(
-                    "relation {i}: unknown index flag {tag}"
-                )))
-            }
-        };
-        out.push(SnapshotRelation { relation, index });
+        out.push(entry);
     }
     if r.remaining() != 0 {
         return Err(SnapshotError::Format(format!(
@@ -165,9 +245,8 @@ pub fn from_bytes(file: &[u8]) -> Result<Vec<SnapshotRelation>, SnapshotError> {
     Ok(out)
 }
 
-/// Saves a catalog to a snapshot file. The write is atomic (temp file +
-/// rename), so an existing snapshot at `path` survives a crash or full
-/// disk mid-write intact.
+/// Saves a catalog of unsharded relations to a snapshot file (the
+/// convenience wrapper over [`save_catalog`]).
 ///
 /// # Errors
 /// I/O errors from the filesystem.
@@ -179,47 +258,93 @@ pub fn save(
     Ok(())
 }
 
+/// Saves a full catalog — unsharded and sharded entries — to a snapshot
+/// file. The write is atomic (temp file + rename), so an existing
+/// snapshot at `path` survives a crash or full disk mid-write intact.
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn save_catalog(
+    path: impl AsRef<Path>,
+    entries: &[SnapshotSource],
+) -> Result<(), SnapshotError> {
+    pages::write_atomic(path.as_ref(), &catalog_to_bytes(entries))?;
+    Ok(())
+}
+
 /// Loads a catalog from a snapshot file.
 ///
 /// # Errors
 /// [`SnapshotError`] on I/O failure, checksum mismatch or structural
 /// violation.
-pub fn load(path: impl AsRef<Path>) -> Result<Vec<SnapshotRelation>, SnapshotError> {
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<SnapshotEntry>, SnapshotError> {
     from_bytes(&fs::read(path)?)
 }
 
-fn encode_relation(relation: &SeriesRelation, w: &mut ByteWriter) {
-    let scheme = relation.scheme();
-    w.put_str(relation.name());
-    w.put_u64(relation.series_len() as u64);
+fn put_tree(tree: &RTree, w: &mut ByteWriter) {
+    let blob = serial::to_bytes(tree);
+    w.put_u32(blob.len() as u32);
+    w.put_bytes(&blob);
+}
+
+fn take_tree(r: &mut ByteReader<'_>) -> Result<RTree, SnapshotError> {
+    let blob_len = r.get_u32()? as usize;
+    let blob = r.take(blob_len)?;
+    Ok(serial::from_bytes(blob)?)
+}
+
+fn encode_relation_header(
+    name: &str,
+    series_len: usize,
+    scheme: &FeatureScheme,
+    w: &mut ByteWriter,
+) {
+    w.put_str(name);
+    w.put_u64(series_len as u64);
     w.put_u32(scheme.k as u32);
     w.put_u8(match scheme.rep {
         Representation::Rectangular => 0,
         Representation::Polar => 1,
     });
     w.put_u8(u8::from(scheme.include_stats));
-    w.put_u64(relation.len() as u64);
-    for row in relation.rows() {
-        w.put_u64(row.id);
-        w.put_str(&row.name);
-        for v in &row.raw {
-            w.put_f64(*v);
-        }
-        w.put_f64(row.features.mean);
-        w.put_f64(row.features.std_dev);
-        w.put_u32(row.features.point.len() as u32);
-        for v in &row.features.point {
-            w.put_f64(*v);
-        }
-        w.put_u32(row.features.spectrum.len() as u32);
-        for c in &row.features.spectrum {
-            w.put_f64(c.re);
-            w.put_f64(c.im);
-        }
+}
+
+fn encode_row(row: &SeriesRow, w: &mut ByteWriter) {
+    w.put_u64(row.id);
+    w.put_str(&row.name);
+    for v in &row.raw {
+        w.put_f64(*v);
+    }
+    w.put_f64(row.features.mean);
+    w.put_f64(row.features.std_dev);
+    w.put_u32(row.features.point.len() as u32);
+    for v in &row.features.point {
+        w.put_f64(*v);
+    }
+    w.put_u32(row.features.spectrum.len() as u32);
+    for c in &row.features.spectrum {
+        w.put_f64(c.re);
+        w.put_f64(c.im);
     }
 }
 
-fn decode_relation(r: &mut ByteReader<'_>) -> Result<SeriesRelation, SnapshotError> {
+fn encode_relation(relation: &SeriesRelation, w: &mut ByteWriter) {
+    encode_relation_header(relation.name(), relation.series_len(), relation.scheme(), w);
+    w.put_u64(relation.len() as u64);
+    for row in relation.rows() {
+        encode_row(row, w);
+    }
+}
+
+/// The decoded relation payload shared by unsharded and sharded entries.
+struct RelationParts {
+    name: String,
+    series_len: usize,
+    scheme: FeatureScheme,
+    rows: Vec<SeriesRow>,
+}
+
+fn decode_relation_parts(r: &mut ByteReader<'_>) -> Result<RelationParts, SnapshotError> {
     let name = r.get_str()?;
     let series_len = usize_from(r.get_u64()?)?;
     let k = r.get_u32()? as usize;
@@ -293,9 +418,66 @@ fn decode_relation(r: &mut ByteReader<'_>) -> Result<SeriesRelation, SnapshotErr
             },
         });
     }
-    Ok(SeriesRelation::from_validated_parts(
-        name, series_len, scheme, rows,
-    ))
+    Ok(RelationParts {
+        name,
+        series_len,
+        scheme,
+        rows,
+    })
+}
+
+fn decode_entry(r: &mut ByteReader<'_>, version: u32) -> Result<SnapshotEntry, SnapshotError> {
+    let parts = decode_relation_parts(r)?;
+    let tag = r.get_u8()?;
+    match tag {
+        0 | 1 => {
+            let relation = SeriesRelation::from_validated_parts(
+                parts.name,
+                parts.series_len,
+                parts.scheme,
+                parts.rows,
+            );
+            let index = if tag == 1 {
+                let tree = take_tree(r)?;
+                validate_index(&relation, &tree)?;
+                Some(tree)
+            } else {
+                None
+            };
+            Ok(SnapshotEntry::Single(SnapshotRelation { relation, index }))
+        }
+        2 if version >= 2 => {
+            let layout_tag = r.get_u8()?;
+            if layout_tag != 0 {
+                return Err(SnapshotError::Format(format!(
+                    "unknown shard layout tag {layout_tag}"
+                )));
+            }
+            let shard_count = r.get_u32()? as usize;
+            if shard_count == 0 {
+                return Err(SnapshotError::Format("sharded entry with 0 shards".into()));
+            }
+            r.check_count(shard_count, 4)?;
+            let relation = ShardedRelation::from_parts(
+                parts.name,
+                parts.series_len,
+                parts.scheme,
+                ShardLayout::Hash {
+                    shards: shard_count,
+                },
+                parts.rows,
+            );
+            let mut indexes = Vec::with_capacity(shard_count);
+            for shard in 0..shard_count {
+                let tree = take_tree(r)?;
+                validate_index(relation.shard(shard), &tree)
+                    .map_err(|e| prefix_format(e, &format!("shard {shard}")))?;
+                indexes.push(tree);
+            }
+            Ok(SnapshotEntry::Sharded { relation, indexes })
+        }
+        tag => Err(SnapshotError::Format(format!("unknown index flag {tag}"))),
+    }
 }
 
 /// Rejects an index that disagrees with its relation: wrong space, wrong
@@ -391,11 +573,44 @@ mod tests {
         let file = to_bytes(&[(&rel, Some(&tree))]);
         let back = from_bytes(&file).unwrap();
         assert_eq!(back.len(), 1);
-        assert_rows_bitwise_equal(&rel, &back[0].relation);
+        let single = back[0].single().expect("unsharded entry");
+        assert_rows_bitwise_equal(&rel, &single.relation);
         // The decoded tree has the identical arena: its re-encoding is
         // byte-identical to the original's.
-        let loaded = back[0].index.as_ref().unwrap();
+        let loaded = single.index.as_ref().unwrap();
         assert_eq!(serial::to_bytes(loaded), serial::to_bytes(&tree));
+    }
+
+    #[test]
+    fn roundtrip_sharded_entry() {
+        let rel = sample_relation(30);
+        let sharded = ShardedRelation::from_single(rel, 3);
+        let trees = sharded.build_indexes(RTreeConfig::default());
+        let file = catalog_to_bytes(&[SnapshotSource::Sharded(&sharded, &trees)]);
+        let back = from_bytes(&file).unwrap();
+        assert_eq!(back.len(), 1);
+        let SnapshotEntry::Sharded { relation, indexes } = &back[0] else {
+            panic!("expected a sharded entry");
+        };
+        assert_eq!(relation.shard_count(), 3);
+        assert_eq!(relation.len(), 30);
+        for (a, b) in sharded.shards().iter().zip(relation.shards()) {
+            assert_rows_bitwise_equal(a, b);
+        }
+        // Per-shard trees decode arena-identical.
+        for (a, b) in trees.iter().zip(indexes) {
+            assert_eq!(serial::to_bytes(a), serial::to_bytes(b));
+        }
+    }
+
+    #[test]
+    fn sharded_entry_with_wrong_shard_tree_rejected() {
+        let rel = sample_relation(24);
+        let sharded = ShardedRelation::from_single(rel, 2);
+        let mut trees = sharded.build_indexes(RTreeConfig::default());
+        trees.swap(0, 1); // each tree now disagrees with its shard
+        let file = catalog_to_bytes(&[SnapshotSource::Sharded(&sharded, &trees)]);
+        assert!(matches!(from_bytes(&file), Err(SnapshotError::Format(_))));
     }
 
     #[test]
@@ -416,9 +631,9 @@ mod tests {
         let file = to_bytes(&[(&a, Some(&tree)), (&b, None)]);
         let back = from_bytes(&file).unwrap();
         assert_eq!(back.len(), 2);
-        assert!(back[0].index.is_some());
-        assert!(back[1].index.is_none());
-        assert_rows_bitwise_equal(&b, &back[1].relation);
+        assert!(back[0].single().unwrap().index.is_some());
+        assert!(back[1].single().unwrap().index.is_none());
+        assert_rows_bitwise_equal(&b, &back[1].single().unwrap().relation);
     }
 
     #[test]
@@ -437,8 +652,11 @@ mod tests {
             rel.insert_with_id(id, format!("G{id}"), series).unwrap();
         }
         let back = from_bytes(&to_bytes(&[(&rel, None)])).unwrap();
-        assert_rows_bitwise_equal(&rel, &back[0].relation);
-        assert_eq!(back[0].relation.row(11).unwrap().name, "G11");
+        assert_rows_bitwise_equal(&rel, &back[0].single().unwrap().relation);
+        assert_eq!(
+            back[0].single().unwrap().relation.row(11).unwrap().name,
+            "G11"
+        );
     }
 
     #[test]
@@ -476,7 +694,7 @@ mod tests {
         // Overwrite with a different catalog; no temp file may remain.
         let rel2 = sample_relation(9);
         save(&path, &[(&rel2, None)]).unwrap();
-        assert_eq!(load(&path).unwrap()[0].relation.len(), 9);
+        assert_eq!(load(&path).unwrap()[0].single().unwrap().relation.len(), 9);
         assert!(!dir.join("db.simq.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -505,7 +723,7 @@ mod tests {
         let tree = rel.build_index(RTreeConfig::default());
         save(&path, &[(&rel, Some(&tree))]).unwrap();
         let back = load(&path).unwrap();
-        assert_rows_bitwise_equal(&rel, &back[0].relation);
+        assert_rows_bitwise_equal(&rel, &back[0].single().unwrap().relation);
         std::fs::remove_file(&path).ok();
     }
 }

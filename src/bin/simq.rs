@@ -10,10 +10,12 @@
 //! Each line is a query in the language of `simq-query`
 //! (`FIND SIMILAR TO … EPSILON …`, `FIND k NEAREST TO …`,
 //! `FIND PAIRS … METHOD …`, `EXPLAIN …`) or one of the shell commands
-//! `\relations`, `\rows <relation>`, `\save [file]`, `\open <file>`,
-//! `\export <relation> <path>`, `\threads <n|auto|serial>`,
-//! `\batch [run|explain|show|cancel]`, `\prepare <name> <query>`,
-//! `\exec <name> [args…]`, `\sessions`, `\help`, `\quit`.
+//! `\relations`, `\rows <relation>`, `\shard <relation> <n>`,
+//! `\save [file]`, `\open <file>`, `\export <relation> <path>`,
+//! `\threads <n|auto|serial>`, `\batch [run|explain|show|cancel]`,
+//! `\prepare <name> <query>`, `\exec <name> [args…]`, `\sessions`,
+//! `\help`, `\quit`. The full query grammar is documented in
+//! `docs/QUERY_LANGUAGE.md` (whose examples run in `tests/cli.rs`).
 //!
 //! The shell runs every query through one `Session`: repeated queries of
 //! the same shape skip planning via the session's plan cache (the stat
@@ -30,6 +32,12 @@
 //! groups. Non-interactively, `--exec "<q1>; <q2>; …"` executes a batch
 //! script and exits (exit code 1 when any query failed).
 //!
+//! Sharding: `\shard <relation> <n>` re-partitions a relation into `n`
+//! shards (row id mod n), each with its own series store and R*-tree —
+//! inserts touch one small tree and queries fan out one work unit per
+//! shard, with results bitwise identical to the unsharded relation;
+//! `\shard <relation> 1` merges back. `\relations` shows the layout.
+//!
 //! Persistence: `\save <file>` writes the whole database — every relation
 //! with its precomputed spectra and its R*-tree structure — to a paged
 //! binary snapshot; `\open <file>` loads one without re-extracting
@@ -45,6 +53,7 @@ use similarity_queries::data::WalkGenerator;
 use similarity_queries::prelude::*;
 use similarity_queries::query::batch::{split_batch_script, BatchExecutor, BatchResult};
 use similarity_queries::query::QueryOutput;
+use similarity_queries::query::StoredRelation;
 use similarity_queries::storage::persist;
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -498,10 +507,31 @@ fn shell_command(
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\save [file]  \\open <file>  \\export <rel> <path>\n       \\threads <n|auto|serial>  \\batch [run|explain|show|cancel]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
             );
         }
         Some("sessions") => {
+            let db = session.db();
+            let names = db.relation_names();
+            let total_rows: usize = names
+                .iter()
+                .filter_map(|n| db.relation(n))
+                .map(StoredRelation::row_count)
+                .sum();
+            let total_shards: usize = names
+                .iter()
+                .filter_map(|n| db.relation(n))
+                .map(StoredRelation::shard_count)
+                .sum();
+            println!(
+                "database: {} relation{} ({} rows, {} shard{}), parallelism {}",
+                names.len(),
+                if names.len() == 1 { "" } else { "s" },
+                total_rows,
+                total_shards,
+                if total_shards == 1 { "" } else { "s" },
+                db.parallelism(),
+            );
             let stats = session.stats();
             println!(
                 "session: {} prepared statement{}, {} execution{}, {} cursor{}",
@@ -591,21 +621,63 @@ fn shell_command(
             }
             Some(other) => println!("unknown \\batch subcommand {other:?}; try \\help"),
         },
+        Some("shard") => match (parts.next(), parts.next()) {
+            (Some(name), Some(word)) => match word.parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    let start = std::time::Instant::now();
+                    match session.db_mut().shard_relation(name, n) {
+                        Ok(()) => {
+                            let stored = session
+                                .db()
+                                .relation(name)
+                                .expect("resharded relation exists");
+                            let counts: Vec<String> = stored
+                                .shard_row_counts()
+                                .iter()
+                                .map(usize::to_string)
+                                .collect();
+                            println!(
+                                "sharded `{name}` into {n} shard{} ({} rows; {:.1} ms)",
+                                if n == 1 { "" } else { "s" },
+                                counts.join("/"),
+                                start.elapsed().as_secs_f64() * 1e3,
+                            );
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("error: shard count must be a positive integer (1 unshards)"),
+            },
+            _ => println!("usage: \\shard <relation> <n>  (n ≥ 2 shards, 1 merges back)"),
+        },
         Some("relations") => {
             let db = session.db();
             for name in db.relation_names() {
                 let stored = db.relation(name).expect("listed relation exists");
+                let index = match stored {
+                    StoredRelation::Single { index: Some(_), .. } => "R*-tree".to_string(),
+                    StoredRelation::Single { index: None, .. } => "none".to_string(),
+                    StoredRelation::Sharded { relation, .. } => {
+                        format!("{} × R*-tree (one per shard)", relation.shard_count())
+                    }
+                };
+                let counts = stored.shard_row_counts();
+                let shards = if counts.len() > 1 {
+                    let rows: Vec<String> = counts.iter().map(usize::to_string).collect();
+                    format!(", shards: {} ({} rows)", counts.len(), rows.join("/"))
+                } else {
+                    String::new()
+                };
                 println!(
-                    "  {name}: {} series × {} days, index: {}",
-                    stored.relation.len(),
-                    stored.relation.series_len(),
-                    if stored.index.is_some() { "yes" } else { "no" }
+                    "  {name}: {} series × {} days, index: {index}{shards}",
+                    stored.row_count(),
+                    stored.series_len(),
                 );
             }
         }
         Some("rows") => match parts.next().and_then(|n| session.db().relation(n)) {
             Some(stored) => {
-                for row in stored.relation.rows().take(15) {
+                for row in stored.rows().take(15) {
                     let head: Vec<String> =
                         row.raw.iter().take(6).map(|v| format!("{v:.2}")).collect();
                     println!(
@@ -617,8 +689,8 @@ fn shell_command(
                         head.join(", ")
                     );
                 }
-                if stored.relation.len() > 15 {
-                    println!("  … {} more", stored.relation.len() - 15);
+                if stored.row_count() > 15 {
+                    println!("  … {} more", stored.row_count() - 15);
                 }
             }
             None => println!("usage: \\rows <relation>"),
@@ -666,10 +738,17 @@ fn save_snapshot(db: &Database, path: &str) {
 /// Writes one relation as v2 text.
 fn export_relation(db: &Database, name: &str, path: &str) {
     match db.relation(name) {
-        Some(stored) => match persist::save(&stored.relation, path) {
+        Some(StoredRelation::Single { relation, .. }) => match persist::save(relation, path) {
             Ok(()) => println!("exported {name} to {path}"),
             Err(e) => println!("export failed: {e}"),
         },
+        // Text export is the unsharded interchange path: merge in id order.
+        Some(StoredRelation::Sharded { relation, .. }) => {
+            match persist::save(&relation.to_single(), path) {
+                Ok(()) => println!("exported {name} to {path} (shards merged)"),
+                Err(e) => println!("export failed: {e}"),
+            }
+        }
         None => println!("unknown relation {name:?}"),
     }
 }

@@ -68,11 +68,11 @@ pub mod prelude {
     pub use simq_query::{
         execute, execute_batch, parse, plan_query, AccessPath, BatchExecutor, BatchResult, Bound,
         Cursor, Database, Parallelism, Prepared, QueryOutput, QueryResult, Session, SessionStats,
-        Value,
+        StoredRelation, Value,
     };
     pub use simq_series::{
         moving_average, normal_form, warp, FeatureScheme, Representation, SeriesTransform,
     };
-    pub use simq_storage::{scan_range, SeriesRelation};
+    pub use simq_storage::{scan_range, SeriesRelation, ShardLayout, ShardedRelation};
     pub use simq_strings::{levenshtein, rewrite_distance, RewriteBudget, RewriteRule, RuleSet};
 }

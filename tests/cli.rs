@@ -254,3 +254,114 @@ fn ad_hoc_queries_share_the_session_plan_cache() {
     assert!(stdout.contains("cache=miss"), "{stdout}");
     assert!(stdout.contains("cache=hit"), "{stdout}");
 }
+
+#[test]
+fn shard_command_partitions_lists_and_merges_back() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\shard walks 4\n\
+         \\relations\n\
+         FIND 3 NEAREST TO ROW 0 IN walks\n\
+         \\shard walks 1\n\
+         \\relations\n\
+         \\shard walks 0\n\
+         \\shard nope 2\n\
+         \\shard\n\
+         \\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("sharded `walks` into 4 shards"), "{stdout}");
+    // The listing shows index kind, shard count and per-shard row counts.
+    assert!(
+        stdout
+            .contains("index: 4 \u{d7} R*-tree (one per shard), shards: 4 (250/250/250/250 rows)"),
+        "{stdout}"
+    );
+    // Queries over the sharded relation still answer (row 0 finds itself).
+    assert!(stdout.contains("3 hits:"), "{stdout}");
+    // Merging back restores the single-tree listing.
+    assert!(stdout.contains("sharded `walks` into 1 shard "), "{stdout}");
+    assert!(stdout.contains("index: R*-tree\n"), "{stdout}");
+    // Invalid uses produce explicit errors, not silence.
+    assert!(
+        stdout.contains("error: shard count must be a positive integer"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("error: unknown relation \"nope\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("usage: \\shard <relation> <n>"), "{stdout}");
+}
+
+#[test]
+fn sharded_snapshot_roundtrips_through_save_and_open() {
+    let dir = std::env::temp_dir().join("simq-cli-shard-snapshot");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("sharded.simq");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (stdout, _, code) = run_cli(
+        &[],
+        &format!("\\shard walks 3\n\\save {path_str}\n\\open {path_str}\n\\relations\n\\quit\n"),
+    );
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0);
+    assert!(stdout.contains("saved snapshot"), "{stdout}");
+    assert!(stdout.contains("opened snapshot"), "{stdout}");
+    // The reopened relation is still sharded 3 ways.
+    assert!(stdout.contains("shards: 3"), "{stdout}");
+}
+
+/// Every runnable example in docs/QUERY_LANGUAGE.md, executed verbatim
+/// against the demo relation — the reference doc cannot drift from the
+/// implementation while this passes. Keep in sync with the doc.
+#[test]
+fn query_language_doc_examples_run() {
+    let examples = [
+        // Range queries
+        "FIND SIMILAR TO ROW 7 IN walks EPSILON 2.0",
+        "FIND SIMILAR TO NAME W0042 IN walks USING mavg(20) ON BOTH EPSILON 1.5",
+        "FIND SIMILAR TO ROW 7 IN walks USING reverse THEN mavg(5) EPSILON 3",
+        "FIND SIMILAR TO ROW 7 IN walks EPSILON 2 MEAN WITHIN 5 STD WITHIN 1",
+        "FIND SIMILAR TO ROW 7 IN walks EPSILON 2 FORCE SCAN",
+        // kNN queries
+        "FIND 5 NEAREST TO ROW 3 IN walks",
+        "FIND 5 NEAREST TO ROW 3 IN walks USING mavg(8) ON BOTH",
+        "FIND 3 NEAREST TO NAME W0007 IN walks FORCE SCAN",
+        // All-pairs joins
+        "FIND PAIRS IN walks USING mavg(8) EPSILON 1.5 METHOD d",
+        "FIND PAIRS IN walks USING mavg(8) EPSILON 1.5 METHOD b",
+        "FIND PAIRS IN walks MATCHING mavg(5) AGAINST reverse EPSILON 2",
+        "FIND PAIRS IN walks USING mavg(20) ON ONE EPSILON 2",
+        // EXPLAIN
+        "EXPLAIN FIND SIMILAR TO ROW 7 IN walks USING warp(2) EPSILON 1",
+        "EXPLAIN FIND SIMILAR TO ROW 7 IN walks EPSILON 1 FORCE SCAN",
+        "EXPLAIN FIND 5 NEAREST TO ROW 3 IN walks",
+        // Batches (one `;`-separated line = one batch)
+        "FIND SIMILAR TO ROW 1 IN walks EPSILON 2; FIND SIMILAR TO ROW 2 IN walks EPSILON 2; FIND 5 NEAREST TO ROW 3 IN walks",
+    ];
+    let mut input = examples.join("\n");
+    // Placeholder examples go through \prepare / \exec.
+    input.push_str(
+        "\n\\prepare p1 FIND SIMILAR TO ROW ? IN walks EPSILON ?\
+         \n\\exec p1 7 2\
+         \n\\prepare p2 FIND $k NEAREST TO ROW $row IN walks\
+         \n\\exec p2 k=5 row=3\
+         \n\\quit\n",
+    );
+    let (stdout, _, code) = run_cli(&[], &input);
+    assert_eq!(code, 0);
+    assert!(
+        !stdout.contains("error"),
+        "a documented example failed:\n{stdout}"
+    );
+    // Spot checks: hits, pairs, a rendered plan and the prepared runs.
+    assert!(stdout.contains("hits:"), "{stdout}");
+    assert!(stdout.contains("pairs:"), "{stdout}");
+    assert!(stdout.contains("access: SeqScan"), "{stdout}");
+    assert!(stdout.contains("access: IndexScan"), "{stdout}");
+    assert!(
+        stdout.contains("prepared `p2` with 2 parameters"),
+        "{stdout}"
+    );
+}

@@ -30,7 +30,8 @@ fn assert_snapshot_roundtrip(rel: &SeriesRelation) {
     let file = snapshot::to_bytes(&[(rel, Some(&tree))]);
     let loaded = snapshot::from_bytes(&file).expect("valid snapshot loads");
     assert_eq!(loaded.len(), 1);
-    let back = &loaded[0].relation;
+    let entry = loaded[0].single().expect("unsharded entry");
+    let back = &entry.relation;
 
     assert_eq!(back.name(), rel.name());
     assert_eq!(back.series_len(), rel.series_len());
@@ -51,7 +52,7 @@ fn assert_snapshot_roundtrip(rel: &SeriesRelation) {
     }
 
     // Identical node layout: the loaded tree re-serializes byte-for-byte.
-    let back_tree = loaded[0].index.as_ref().expect("index was saved");
+    let back_tree = entry.index.as_ref().expect("index was saved");
     assert_eq!(serial::to_bytes(back_tree), serial::to_bytes(&tree));
 }
 
@@ -174,7 +175,12 @@ fn open_snapshot_preserves_tree_structure_not_rebuilds() {
 
     let file = snapshot::to_bytes(&[(&rel, Some(&incremental))]);
     let loaded = snapshot::from_bytes(&file).unwrap();
-    let back = loaded[0].index.as_ref().unwrap();
+    let back = loaded[0]
+        .single()
+        .expect("unsharded entry")
+        .index
+        .as_ref()
+        .unwrap();
     // If open re-bulk-loaded, this would equal `bulk`; it equals the
     // incremental original instead.
     assert_eq!(serial::to_bytes(back), inc_bytes);
