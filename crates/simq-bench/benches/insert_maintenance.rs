@@ -1,0 +1,81 @@
+//! Incremental index maintenance vs full rebuild.
+//!
+//! Measures the cost of adding one row to an indexed relation two ways:
+//! through the maintained write path (`Database::insert_into`, which
+//! routes the point into the live R*-tree) and by rebuilding the shard's
+//! index from scratch — the strategy `insert` used before incremental
+//! maintenance landed. Alongside the timings, the node-materialization
+//! counters make the asymptotic gap concrete: an insert builds at most a
+//! split chain of nodes (usually 0), a rebuild materializes the whole
+//! arena every time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::walk_relation;
+use simq_data::WalkGenerator;
+use simq_index::RTreeConfig;
+use simq_query::Database;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_maintenance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    for rows in [1_000usize, 4_000] {
+        let rel = walk_relation("r", rows, 128);
+        let mut gen = WalkGenerator::new(7);
+
+        // Maintained path: one tree insert per row, no rebuild. The
+        // database is cloned per iteration so the relation never grows
+        // across samples; nodes_built per insert stays a split chain.
+        let mut db = Database::new();
+        db.add_relation_indexed(rel.clone());
+        group.bench_with_input(
+            BenchmarkId::new("incremental_insert", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let mut db = db.clone();
+                    db.insert_into("r", "probe", gen.series(128)).unwrap()
+                })
+            },
+        );
+
+        // The pre-maintenance strategy: append the row, rebuild the
+        // whole index.
+        group.bench_with_input(BenchmarkId::new("full_rebuild", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut rel = rel.clone();
+                rel.insert("probe", gen.series(128)).unwrap();
+                rel.build_index(RTreeConfig::default())
+            })
+        });
+    }
+    group.finish();
+
+    // The counter evidence (printed once): per-insert node builds vs the
+    // arena size a rebuild re-materializes.
+    let rel = walk_relation("r", 4_000, 128);
+    let rebuilt = rel.build_index(RTreeConfig::default()).nodes_built();
+    let mut db = Database::new();
+    db.add_relation_indexed(rel);
+    let mut gen = WalkGenerator::new(11);
+    let mut built = 0u64;
+    let inserts = 200u64;
+    for i in 0..inserts {
+        built += db
+            .insert_into("r", format!("p{i}"), gen.series(128))
+            .unwrap()
+            .nodes_built;
+    }
+    println!(
+        "insert_maintenance: {inserts} inserts built {built} nodes \
+         ({:.3}/insert); one full rebuild materializes {rebuilt}",
+        built as f64 / inserts as f64,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

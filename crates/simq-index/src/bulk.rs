@@ -46,6 +46,9 @@ impl RTree {
             current = str_pack(&mut tree, parent_entries, cap, dims, level);
         }
         tree.root = current[0];
+        // str_pack fills the arena directly (no per-node alloc), so account
+        // for every materialized slot here.
+        tree.nodes_built = tree.nodes.len() as u64;
         tree
     }
 }

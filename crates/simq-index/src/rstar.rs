@@ -104,6 +104,13 @@ pub struct RTree {
     pub(crate) root: usize,
     pub(crate) len: usize,
     pub(crate) free: Vec<usize>,
+    /// Nodes this tree instance has materialized (arena slots filled by
+    /// construction, splits, root growth, bulk packing or decoding).
+    /// Incremental maintenance is cheap exactly when an insert leaves this
+    /// nearly unchanged while a rebuild would re-create the whole arena —
+    /// the write-path benches and `ExecStats::nodes_built` report deltas
+    /// of this counter.
+    pub(crate) nodes_built: u64,
 }
 
 impl RTree {
@@ -120,6 +127,7 @@ impl RTree {
             root: 0,
             len: 0,
             free: Vec::new(),
+            nodes_built: 1,
         }
     }
 
@@ -158,7 +166,18 @@ impl RTree {
         self.nodes[self.root].mbr()
     }
 
+    /// Cumulative count of nodes this tree has materialized over its
+    /// lifetime: the initial root, every split sibling and grown root,
+    /// every bulk-packed node, every decoded node. Unlike the arena size
+    /// it never decreases, so the *delta* across an operation measures the
+    /// structural work that operation did — an incremental insert moves it
+    /// by 0–2 per level touched, a rebuild by the whole arena.
+    pub fn nodes_built(&self) -> u64 {
+        self.nodes_built
+    }
+
     fn alloc(&mut self, node: Node) -> usize {
+        self.nodes_built += 1;
         if let Some(idx) = self.free.pop() {
             self.nodes[idx] = node;
             idx

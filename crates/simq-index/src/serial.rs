@@ -456,6 +456,7 @@ pub fn decode(r: &mut ByteReader<'_>) -> Result<RTree, SerialError> {
     }
 
     validate_graph(&nodes, root, len, &free)?;
+    let nodes_built = nodes.len() as u64;
     Ok(RTree {
         config,
         space,
@@ -463,6 +464,7 @@ pub fn decode(r: &mut ByteReader<'_>) -> Result<RTree, SerialError> {
         root,
         len,
         free,
+        nodes_built,
     })
 }
 

@@ -42,6 +42,11 @@ pub enum QueryError {
     /// The requested execution mode does not support this query form
     /// (e.g. a streaming cursor over an `EXPLAIN`).
     Unsupported(String),
+    /// The durable write path failed (WAL append, checkpoint commit or
+    /// durable open). The message carries the underlying storage error;
+    /// `QueryError` is `Clone + PartialEq`, so the error is stringified
+    /// rather than wrapped.
+    Storage(String),
 }
 
 impl fmt::Display for QueryError {
@@ -66,6 +71,7 @@ impl fmt::Display for QueryError {
             }
             QueryError::Bind(message) => write!(f, "bind error: {message}"),
             QueryError::Unsupported(message) => write!(f, "unsupported: {message}"),
+            QueryError::Storage(message) => write!(f, "storage error: {message}"),
         }
     }
 }
@@ -75,5 +81,11 @@ impl std::error::Error for QueryError {}
 impl From<SeriesError> for QueryError {
     fn from(e: SeriesError) -> Self {
         QueryError::Series(e)
+    }
+}
+
+impl From<simq_storage::DurableError> for QueryError {
+    fn from(e: simq_storage::DurableError) -> Self {
+        QueryError::Storage(e.to_string())
     }
 }

@@ -57,6 +57,14 @@ pub struct ExecStats {
     /// but they are still inspected). Per-shard counter breakdowns are in
     /// [`QueryResult::per_shard`].
     pub shards_touched: u64,
+    /// R*-tree nodes materialized by write operations (node splits and
+    /// root growth under incremental insert). Always 0 for read queries;
+    /// `Session::insert` reports the per-insert delta here — staying
+    /// near 0 per insert is what "no full rebuild" looks like.
+    pub nodes_built: u64,
+    /// WAL records appended by write operations (0 for reads and when no
+    /// WAL directory is attached).
+    pub wal_records: u64,
 }
 
 impl ExecStats {
@@ -82,6 +90,8 @@ impl ExecStats {
         self.candidates += o.candidates;
         self.plan_cache_hits += o.plan_cache_hits;
         self.plan_cache_misses += o.plan_cache_misses;
+        self.nodes_built += o.nodes_built;
+        self.wal_records += o.wal_records;
     }
 }
 

@@ -14,10 +14,15 @@ use crate::error::QueryError;
 use simq_index::{RTree, RTreeConfig};
 use simq_series::error::SeriesError;
 use simq_series::features::{FeatureScheme, Representation};
+use simq_storage::durable::{
+    CheckpointReport, CheckpointSource, DurableDir, DurableError, FailingStorage, ReplayReport,
+};
 use simq_storage::snapshot::{self, SnapshotEntry, SnapshotError, SnapshotSource};
+use simq_storage::wal::WalRecord;
 use simq_storage::{SeriesRelation, SeriesRow, ShardedRelation};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A catalog entry: a relation stored whole with an optional index, or
 /// partitioned into shards with one R*-tree per shard.
@@ -171,21 +176,52 @@ impl StoredRelation {
         name: impl Into<String>,
         series: Vec<f64>,
     ) -> Result<u64, SeriesError> {
+        let id = self.next_id();
+        self.insert_with_id(id, name, series).map(|_| id)
+    }
+
+    /// The row id the next insert will assign.
+    pub fn next_id(&self) -> u64 {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.next_id(),
+            StoredRelation::Sharded { relation, .. } => relation.next_id(),
+        }
+    }
+
+    /// Inserts a series under an explicit row id, keeping the owning
+    /// shard's index in sync incrementally (no rebuild). Returns the
+    /// shard that took the row and how many tree nodes the insert
+    /// materialized (node splits and root growth; 0 for the common
+    /// no-split insert and for unindexed relations).
+    ///
+    /// # Errors
+    /// As [`SeriesRelation::insert_with_id`].
+    pub fn insert_with_id(
+        &mut self,
+        id: u64,
+        name: impl Into<String>,
+        series: Vec<f64>,
+    ) -> Result<(usize, u64), SeriesError> {
         match self {
             StoredRelation::Single { relation, index } => {
-                let id = relation.insert(name, series)?;
+                relation.insert_with_id(id, name, series)?;
+                let mut built = 0;
                 if let Some(tree) = index {
+                    let before = tree.nodes_built();
                     let point = &relation.row(id).expect("just inserted").features.point;
                     tree.insert_point(point, id);
+                    built = tree.nodes_built() - before;
                 }
-                Ok(id)
+                Ok((0, built))
             }
             StoredRelation::Sharded { relation, indexes } => {
-                let id = relation.insert(name, series)?;
+                relation.insert_with_id(id, name, series)?;
                 let shard = relation.shard_of(id);
+                let tree = &mut indexes[shard];
+                let before = tree.nodes_built();
                 let point = &relation.row(id).expect("just inserted").features.point;
-                indexes[shard].insert_point(point, id);
-                Ok(id)
+                tree.insert_point(point, id);
+                Ok((shard, tree.nodes_built() - before))
             }
         }
     }
@@ -232,6 +268,59 @@ impl std::fmt::Display for Parallelism {
     }
 }
 
+/// The durable-write-path state of an attached database: the directory
+/// store plus the bookkeeping the checkpoint protocol needs.
+#[derive(Debug, Clone)]
+struct Durability {
+    store: DurableDir,
+    /// Per relation, per shard: changed since the last checkpoint. A
+    /// relation missing from the map is conservatively all-dirty.
+    dirty: BTreeMap<String, Vec<bool>>,
+    /// WAL records appended since attach/open.
+    wal_records: u64,
+    /// What replay did when this database was opened (zeroes after
+    /// [`Database::attach_wal`]).
+    replay: ReplayReport,
+    /// A failed automatic checkpoint (after DDL) poisons the write path:
+    /// no further insert is acknowledged until [`Database::checkpoint`]
+    /// succeeds, so `Ok` from an insert always means "durable".
+    pending_error: Option<String>,
+}
+
+/// What one acknowledged [`Database::insert_into`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertReport {
+    /// The assigned row id.
+    pub id: u64,
+    /// The shard that took the row (0 for unsharded relations).
+    pub shard: usize,
+    /// R*-tree nodes this insert materialized (splits and root growth;
+    /// usually 0 — the incremental-maintenance win over a rebuild).
+    pub nodes_built: u64,
+    /// Whether a WAL record was appended (false when no WAL is attached).
+    pub wal_appended: bool,
+}
+
+/// The `\wal` status line: where the durable state lives and what the
+/// write path has done so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalStatus {
+    /// The durable directory.
+    pub dir: PathBuf,
+    /// Epoch of the last committed checkpoint.
+    pub epoch: u64,
+    /// WAL records appended since attach/open.
+    pub wal_records: u64,
+    /// What replay did at open time.
+    pub replay: ReplayReport,
+    /// Shards changed since the last checkpoint.
+    pub dirty_shards: usize,
+    /// Total shards across all relations.
+    pub total_shards: usize,
+    /// A failed automatic checkpoint poisoning the write path, if any.
+    pub pending_error: Option<String>,
+}
+
 /// A named collection of relations.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
@@ -241,6 +330,8 @@ pub struct Database {
     /// plan (relations added/replaced/mutated, parallelism changed).
     /// Session plan caches compare generations to invalidate.
     generation: u64,
+    /// The durable write path, when a WAL directory is attached.
+    durability: Option<Durability>,
 }
 
 impl Database {
@@ -261,26 +352,30 @@ impl Database {
     /// Registers a relation without an index.
     pub fn add_relation(&mut self, relation: SeriesRelation) {
         self.generation += 1;
+        let name = relation.name().to_string();
         self.relations.insert(
-            relation.name().to_string(),
+            name.clone(),
             StoredRelation::Single {
                 relation,
                 index: None,
             },
         );
+        self.after_ddl(&name);
     }
 
     /// Registers a relation and bulk-loads an index over it.
     pub fn add_relation_indexed(&mut self, relation: SeriesRelation) {
         let index = relation.build_index(RTreeConfig::default());
         self.generation += 1;
+        let name = relation.name().to_string();
         self.relations.insert(
-            relation.name().to_string(),
+            name.clone(),
             StoredRelation::Single {
                 relation,
                 index: Some(index),
             },
         );
+        self.after_ddl(&name);
     }
 
     /// Registers a relation partitioned into `shards` shards, with one
@@ -295,22 +390,30 @@ impl Database {
         let sharded = ShardedRelation::from_single(relation, shards);
         let indexes = sharded.build_indexes(RTreeConfig::default());
         self.generation += 1;
+        let name = sharded.name().to_string();
         self.relations.insert(
-            sharded.name().to_string(),
+            name.clone(),
             StoredRelation::Sharded {
                 relation: sharded,
                 indexes,
             },
         );
+        self.after_ddl(&name);
     }
 
     /// Re-partitions an existing relation into `shards` shards (the CLI's
     /// `\shard <relation> <n>`): `shards` ≥ 2 produces the sharded form
-    /// with one bulk-loaded tree per shard; `shards` = 1 merges a sharded
-    /// relation back into a single indexed store. Rows move bit-for-bit
-    /// either way, so query answers are unchanged. Bumps the catalog
-    /// generation (cached plans must be re-made — the shard layout is
-    /// part of every plan).
+    /// with one tree per shard; `shards` = 1 merges a sharded relation
+    /// back into a single indexed store. Rows move bit-for-bit either way
+    /// (without cloning raw series or spectra), so query answers are
+    /// unchanged, and the new per-shard trees are built through the
+    /// incremental insert path — the same code every later insert
+    /// exercises, so a relation with pending (post-bulk-load) inserts
+    /// re-shards into exactly the structures continued inserting produces.
+    ///
+    /// Asking for the shape the relation already has is a **no-op**: no
+    /// rows move, no trees rebuild, the catalog generation stays put, so
+    /// cached plans stay valid.
     ///
     /// # Errors
     /// [`QueryError::UnknownRelation`] when no such relation exists;
@@ -321,30 +424,43 @@ impl Database {
                 "shard count must be at least 1".into(),
             ));
         }
-        let stored = self
-            .relations
-            .remove(name)
-            .ok_or_else(|| QueryError::UnknownRelation(name.to_string()))?;
+        match self.relations.get(name) {
+            None => return Err(QueryError::UnknownRelation(name.to_string())),
+            // Already the requested shape (a Single with an index counts
+            // as "1 shard" only if it actually has a tree — `\shard r 1`
+            // on an unindexed relation builds its index).
+            Some(StoredRelation::Sharded { relation, .. }) if relation.shard_count() == shards => {
+                return Ok(())
+            }
+            Some(StoredRelation::Single { index: Some(_), .. }) if shards == 1 => return Ok(()),
+            Some(_) => {}
+        }
+        let stored = self.relations.remove(name).expect("presence checked above");
         self.generation += 1;
         let single = match stored {
             StoredRelation::Single { relation, .. } => relation,
-            StoredRelation::Sharded { relation, .. } => relation.to_single(),
+            StoredRelation::Sharded { relation, .. } => relation.into_single(),
         };
         let rebuilt = if shards == 1 {
-            let index = single.build_index(RTreeConfig::default());
+            let index = single.build_index_incremental(RTreeConfig::default());
             StoredRelation::Single {
                 relation: single,
                 index: Some(index),
             }
         } else {
             let sharded = ShardedRelation::from_single(single, shards);
-            let indexes = sharded.build_indexes(RTreeConfig::default());
+            let indexes = sharded
+                .shards()
+                .iter()
+                .map(|s| s.build_index_incremental(RTreeConfig::default()))
+                .collect();
             StoredRelation::Sharded {
                 relation: sharded,
                 indexes,
             }
         };
         self.relations.insert(name.to_string(), rebuilt);
+        self.after_ddl(name);
         Ok(())
     }
 
@@ -358,11 +474,17 @@ impl Database {
     /// [generation](Database::generation) — the borrow may mutate the
     /// relation or its index; a missed lookup leaves cached plans valid.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut StoredRelation> {
-        let found = self.relations.get_mut(name);
-        if found.is_some() {
+        if self.relations.contains_key(name) {
             self.generation += 1;
+            // The borrow may change anything about the relation; with a
+            // WAL attached, conservatively mark every shard dirty so the
+            // next checkpoint rewrites it (a missing entry means
+            // all-dirty).
+            if let Some(d) = &mut self.durability {
+                d.dirty.remove(name);
+            }
         }
-        found
+        self.relations.get_mut(name)
     }
 
     /// Names of all relations.
@@ -438,6 +560,7 @@ impl Database {
         let loaded = snapshot::load(path)?;
         let count = loaded.len();
         self.generation += 1;
+        let mut names = Vec::with_capacity(count);
         for entry in loaded {
             let stored = match entry {
                 SnapshotEntry::Single(s) => StoredRelation::Single {
@@ -448,9 +571,310 @@ impl Database {
                     StoredRelation::Sharded { relation, indexes }
                 }
             };
+            names.push(stored.name().to_string());
             self.relations.insert(stored.name().to_string(), stored);
         }
+        if let Some(d) = &mut self.durability {
+            for name in &names {
+                d.dirty.remove(name);
+            }
+            self.auto_checkpoint();
+        }
         Ok(count)
+    }
+
+    /// Attaches a durable write path to `dir`: creates the directory,
+    /// writes a full checkpoint of the current catalog, and from then on
+    /// appends every acknowledged insert to the owning shard's WAL before
+    /// applying it. Returns what the initial checkpoint wrote.
+    ///
+    /// # Errors
+    /// [`QueryError::Unsupported`] when a WAL is already attached;
+    /// [`QueryError::Storage`] on filesystem failure.
+    pub fn attach_wal(&mut self, dir: impl Into<PathBuf>) -> Result<CheckpointReport, QueryError> {
+        if self.durability.is_some() {
+            return Err(QueryError::Unsupported(
+                "a WAL directory is already attached".into(),
+            ));
+        }
+        let store = DurableDir::create(dir.into())?;
+        self.durability = Some(Durability {
+            store,
+            dirty: BTreeMap::new(),
+            wal_records: 0,
+            replay: ReplayReport::default(),
+            pending_error: None,
+        });
+        self.checkpoint()
+    }
+
+    /// [`Database::attach_wal`] with WAL appends routed through an
+    /// injectable [`FailingStorage`] — the crash-fuzz hook. Checkpoints
+    /// still write real files; only the log tail goes to the sink.
+    ///
+    /// # Errors
+    /// As [`Database::attach_wal`].
+    pub fn attach_wal_with_sink(
+        &mut self,
+        dir: impl Into<PathBuf>,
+        sink: Arc<FailingStorage>,
+    ) -> Result<CheckpointReport, QueryError> {
+        let report = self.attach_wal(dir)?;
+        if let Some(d) = &mut self.durability {
+            d.store.set_sink(Some(sink));
+        }
+        Ok(report)
+    }
+
+    /// Opens a durable directory: loads every shard checkpoint, replays
+    /// (and repairs) the WAL tails, and attaches the write path so
+    /// subsequent inserts keep appending. The returned report says what
+    /// replay recovered; it stays queryable via [`Database::wal_status`].
+    ///
+    /// # Errors
+    /// [`QueryError::Storage`] when the directory is missing, its
+    /// manifest is invalid, or a referenced checkpoint is corrupt. WAL
+    /// corruption is *not* an error — torn tails are truncated and
+    /// counted in the report.
+    pub fn open_durable(dir: impl Into<PathBuf>) -> Result<(Self, ReplayReport), QueryError> {
+        let (store, entries, replay) = DurableDir::open(dir.into())?;
+        let mut db = Database::new();
+        db.generation = 1;
+        for entry in entries {
+            let stored = match entry {
+                SnapshotEntry::Single(s) => StoredRelation::Single {
+                    relation: s.relation,
+                    index: s.index,
+                },
+                SnapshotEntry::Sharded { relation, indexes } => {
+                    StoredRelation::Sharded { relation, indexes }
+                }
+            };
+            db.relations.insert(stored.name().to_string(), stored);
+        }
+        // Checkpoints + logs already hold everything replay applied, so
+        // every shard starts clean.
+        let dirty = db
+            .relations
+            .values()
+            .map(|s| (s.name().to_string(), vec![false; s.shard_count()]))
+            .collect();
+        db.durability = Some(Durability {
+            store,
+            dirty,
+            wal_records: 0,
+            replay,
+            pending_error: None,
+        });
+        Ok((db, replay))
+    }
+
+    /// True when a durable write path is attached.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable write path's status, when one is attached.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        self.durability.as_ref().map(|d| {
+            let mut dirty_shards = 0;
+            let mut total_shards = 0;
+            for s in self.relations.values() {
+                let shards = s.shard_count();
+                total_shards += shards;
+                dirty_shards += match d.dirty.get(s.name()) {
+                    Some(flags) => flags.iter().filter(|&&f| f).count(),
+                    None => shards, // missing entry = conservatively dirty
+                };
+            }
+            WalStatus {
+                dir: d.store.dir().to_path_buf(),
+                epoch: d.store.manifest().epoch,
+                wal_records: d.wal_records,
+                replay: d.replay,
+                dirty_shards,
+                total_shards,
+                pending_error: d.pending_error.clone(),
+            }
+        })
+    }
+
+    /// Inserts a series through the durable write path: the record is
+    /// appended (and synced) to the owning shard's WAL **before** the
+    /// in-memory apply, so an `Ok` means the insert survives any
+    /// subsequent crash. Without an attached WAL this is a plain
+    /// in-memory insert with incremental index maintenance.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownRelation`], domain errors
+    /// ([`QueryError::Series`] — wrong length, constant series), and
+    /// [`QueryError::Storage`] when the WAL append fails (the insert is
+    /// **not** applied, so an error also never loses the guarantee).
+    pub fn insert_into(
+        &mut self,
+        relation: &str,
+        name: impl Into<String>,
+        series: Vec<f64>,
+    ) -> Result<InsertReport, QueryError> {
+        if let Some(d) = &self.durability {
+            if let Some(e) = &d.pending_error {
+                return Err(QueryError::Storage(format!(
+                    "write path poisoned by a failed checkpoint: {e} (run a checkpoint to recover)"
+                )));
+            }
+        }
+        let stored = self
+            .relations
+            .get(relation)
+            .ok_or_else(|| QueryError::UnknownRelation(relation.to_string()))?;
+        // Validate everything the apply can reject *before* logging, so a
+        // WAL record is written only for an insert that will succeed —
+        // replay must never manufacture rows a crash-free run rejected.
+        if series.len() != stored.series_len() {
+            return Err(SeriesError::DimensionMismatch {
+                expected: stored.series_len(),
+                actual: series.len(),
+            }
+            .into());
+        }
+        stored.scheme().extract(&series)?;
+        let id = stored.next_id();
+        let shard = match stored {
+            StoredRelation::Single { .. } => 0,
+            StoredRelation::Sharded { relation, .. } => relation.shard_of(id),
+        };
+        let record = WalRecord {
+            id,
+            name: name.into(),
+            series,
+        };
+        let mut wal_appended = false;
+        if let Some(d) = &mut self.durability {
+            d.store
+                .append_insert(relation, shard, &record)
+                .map_err(QueryError::from)?;
+            d.wal_records += 1;
+            wal_appended = true;
+        }
+        let WalRecord { id, name, series } = record;
+        let (shard, nodes_built) = self
+            .relations
+            .get_mut(relation)
+            .expect("relation presence checked above")
+            .insert_with_id(id, name, series)
+            .map_err(|e| {
+                // Unreachable by construction (pre-validated); poison the
+                // write path rather than leave a logged-but-unapplied row.
+                if let Some(d) = &mut self.durability {
+                    d.pending_error = Some(format!("validated insert failed to apply: {e}"));
+                }
+                QueryError::Storage(format!("validated insert failed to apply: {e}"))
+            })?;
+        self.generation += 1;
+        if let Some(d) = &mut self.durability {
+            let shard_count = self.relations[relation].shard_count();
+            let flags = d
+                .dirty
+                .entry(relation.to_string())
+                .or_insert_with(|| vec![false; shard_count]);
+            if let Some(flag) = flags.get_mut(shard) {
+                *flag = true;
+            }
+        }
+        Ok(InsertReport {
+            id,
+            shard,
+            nodes_built,
+            wal_appended,
+        })
+    }
+
+    /// Commits a checkpoint: every dirty shard's store and tree are
+    /// written to new snapshot files, the manifest flips atomically, and
+    /// absorbed WAL tails are deleted. Clean shards keep their files
+    /// untouched — the incremental-maintenance win `\save` inherits.
+    /// A successful checkpoint also clears a poisoned write path.
+    ///
+    /// # Errors
+    /// [`QueryError::Unsupported`] when no WAL is attached;
+    /// [`QueryError::Storage`] on filesystem failure (the directory still
+    /// opens to its previous state).
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, QueryError> {
+        if self.durability.is_none() {
+            return Err(QueryError::Unsupported(
+                "no WAL directory attached (use \\wal <dir>)".into(),
+            ));
+        }
+        let report = self.checkpoint_inner().map_err(QueryError::from)?;
+        if let Some(d) = &mut self.durability {
+            d.pending_error = None;
+        }
+        Ok(report)
+    }
+
+    /// The checkpoint mechanics, shared by the public entry point and the
+    /// automatic after-DDL checkpoints.
+    fn checkpoint_inner(&mut self) -> Result<CheckpointReport, DurableError> {
+        let d = self.durability.as_mut().expect("caller checked attachment");
+        let sources: Vec<CheckpointSource<'_>> = self
+            .relations
+            .values()
+            .map(|s| {
+                let flags = d.dirty.get(s.name());
+                let dirty_at = |j: usize| flags.is_none_or(|f| f.get(j).copied().unwrap_or(true));
+                match s {
+                    StoredRelation::Single { relation, index } => CheckpointSource {
+                        name: relation.name(),
+                        sharded: false,
+                        shards: vec![(relation, index.as_ref(), dirty_at(0))],
+                    },
+                    StoredRelation::Sharded { relation, indexes } => CheckpointSource {
+                        name: relation.name(),
+                        sharded: true,
+                        shards: relation
+                            .shards()
+                            .iter()
+                            .zip(indexes)
+                            .enumerate()
+                            .map(|(j, (shard, tree))| (shard, Some(tree), dirty_at(j)))
+                            .collect(),
+                    },
+                }
+            })
+            .collect();
+        let report = d.store.checkpoint(&sources)?;
+        d.dirty = self
+            .relations
+            .values()
+            .map(|s| (s.name().to_string(), vec![false; s.shard_count()]))
+            .collect();
+        Ok(report)
+    }
+
+    /// Runs the automatic checkpoint DDL requires (the manifest must know
+    /// every relation before its WAL can take appends). A failure poisons
+    /// the write path instead of propagating — DDL entry points predate
+    /// durability and cannot all return errors — and the next insert
+    /// surfaces it.
+    fn auto_checkpoint(&mut self) {
+        if self.durability.is_none() {
+            return;
+        }
+        if let Err(e) = self.checkpoint_inner() {
+            if let Some(d) = &mut self.durability {
+                d.pending_error = Some(e.to_string());
+            }
+        }
+    }
+
+    /// The after-DDL hook: the named relation's durable image is stale in
+    /// shape or content, so forget its dirty flags (missing = all-dirty)
+    /// and re-checkpoint.
+    fn after_ddl(&mut self, name: &str) {
+        if let Some(d) = &mut self.durability {
+            d.dirty.remove(name);
+            self.auto_checkpoint();
+        }
     }
 }
 

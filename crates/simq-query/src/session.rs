@@ -578,6 +578,14 @@ pub struct SessionStats {
     pub plan_cache_entries: usize,
     /// Configured capacity (0 disables caching).
     pub plan_cache_capacity: usize,
+    /// Rows inserted through [`Session::insert`].
+    pub inserts: u64,
+    /// WAL records those inserts appended (0 without an attached WAL).
+    pub wal_records: u64,
+    /// WAL records replayed when the session's database was opened
+    /// durably (snapshotted from [`Database::wal_status`], like the
+    /// plan-cache gauges).
+    pub wal_replayed: u64,
 }
 
 /// The bounded LRU of shape key → plan.
@@ -650,6 +658,9 @@ impl<D: Borrow<Database>> Session<D> {
         let mut stats = inner.stats;
         stats.plan_cache_entries = inner.cache.entries.len();
         stats.plan_cache_capacity = inner.cache.capacity;
+        if let Some(wal) = self.db.borrow().wal_status() {
+            stats.wal_replayed = wal.replay.records_applied;
+        }
         stats
     }
 
@@ -911,6 +922,33 @@ impl Session<Database> {
     /// generation, so cached plans are invalidated automatically.
     pub fn db_mut(&mut self) -> &mut Database {
         &mut self.db
+    }
+
+    /// Inserts a series through the owned database's durable write path
+    /// ([`Database::insert_into`]) and folds the write-side counters into
+    /// the session statistics. The returned [`ExecStats`] carries the
+    /// write work: `nodes_built` is the incremental tree maintenance this
+    /// insert paid (splits and root growth — near 0 is the no-rebuild
+    /// property) and `wal_records` is 1 when the insert was logged.
+    ///
+    /// # Errors
+    /// As [`Database::insert_into`].
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        name: impl Into<String>,
+        series: Vec<f64>,
+    ) -> Result<(crate::plan::InsertReport, ExecStats), QueryError> {
+        let report = self.db.insert_into(relation, name, series)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.inserts += 1;
+        inner.stats.wal_records += u64::from(report.wal_appended);
+        let stats = ExecStats {
+            nodes_built: report.nodes_built,
+            wal_records: u64::from(report.wal_appended),
+            ..ExecStats::default()
+        };
+        Ok((report, stats))
     }
 
     /// Consumes the session, returning the database.

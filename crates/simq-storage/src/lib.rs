@@ -23,9 +23,17 @@
 //!   row id into independent shards (each an ordinary [`SeriesRelation`]),
 //!   plus sharded scan entry points whose merged results are bitwise
 //!   identical to the unsharded scans.
+//! * [`wal`] — checksummed, length-prefixed write-ahead-log records with
+//!   longest-valid-prefix replay and torn-tail repair.
+//! * [`durable`] — the durable directory store: per-shard checkpoint
+//!   files under an atomically committed manifest, WAL tails on top
+//!   (snapshot = checkpoint, WAL = tail), and the injectable
+//!   [`FailingStorage`] the crash-fuzz harness kills at seeded byte
+//!   offsets.
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod multi;
 pub mod pages;
 pub mod persist;
@@ -33,7 +41,12 @@ pub mod relation;
 pub mod scan;
 pub mod shard;
 pub mod snapshot;
+pub mod wal;
 
+pub use durable::{
+    CheckpointReport, CheckpointSource, DurableDir, DurableError, FailingStorage, Manifest,
+    ManifestEntry, ReplayReport,
+};
 pub use multi::{
     scan_knn_multi, scan_range_multi, MultiScanKnnQuery, MultiScanRangeQuery, MultiScanStats,
 };
@@ -48,3 +61,4 @@ pub use shard::{
     ShardedScanStats,
 };
 pub use snapshot::{SnapshotEntry, SnapshotError, SnapshotRelation, SnapshotSource};
+pub use wal::{WalRecord, WalReplay};

@@ -200,6 +200,12 @@ impl SeriesRelation {
         self.rows
     }
 
+    /// The id the next [`SeriesRelation::insert`] will assign (one past
+    /// the largest id ever stored).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Row access by id — O(1) whether ids are dense (sequential inserts:
     /// position doubles as id) or explicit with gaps (id map).
     pub fn row(&self, id: u64) -> Option<&SeriesRow> {

@@ -173,6 +173,46 @@ impl ShardedRelation {
         }
     }
 
+    /// Reassembles a sharded relation from already-routed shard stores
+    /// (the durable-open path: each shard was persisted separately, so no
+    /// rows need to move). The caller has verified routing; this
+    /// constructor validates the shared header fields.
+    pub(crate) fn from_shard_stores(
+        name: String,
+        layout: ShardLayout,
+        stores: Vec<SeriesRelation>,
+    ) -> Result<Self, String> {
+        if stores.len() != layout.shard_count() {
+            return Err(format!(
+                "{} shard stores for a {}-shard layout",
+                stores.len(),
+                layout.shard_count()
+            ));
+        }
+        let first = stores.first().expect("layouts have at least one shard");
+        let (series_len, scheme) = (first.series_len(), first.scheme().clone());
+        for s in &stores {
+            if s.name() != name || s.series_len() != series_len || s.scheme() != &scheme {
+                return Err(format!(
+                    "shard stores of {name:?} disagree on name, series length or scheme"
+                ));
+            }
+        }
+        let next_id = stores
+            .iter()
+            .map(SeriesRelation::next_id)
+            .max()
+            .unwrap_or(0);
+        Ok(ShardedRelation {
+            name,
+            series_len,
+            scheme,
+            layout,
+            shards: stores,
+            next_id,
+        })
+    }
+
     /// Merges the shards back into one relation, rows ordered by id.
     pub fn to_single(&self) -> SeriesRelation {
         let mut rows: Vec<SeriesRow> = self.shards.iter().flat_map(|s| s.rows().cloned()).collect();
@@ -183,6 +223,25 @@ impl ShardedRelation {
             self.scheme.clone(),
             rows,
         )
+    }
+
+    /// Consumes the sharded relation, merging the shards back into one
+    /// relation with rows ordered by id — the re-partitioning path
+    /// ([`crate::shard`] → different shard count) moves every row
+    /// bit-for-bit without cloning raw series or spectra.
+    pub fn into_single(self) -> SeriesRelation {
+        let mut rows: Vec<SeriesRow> = self
+            .shards
+            .into_iter()
+            .flat_map(SeriesRelation::into_rows)
+            .collect();
+        rows.sort_by_key(|r| r.id);
+        SeriesRelation::from_validated_parts(self.name, self.series_len, self.scheme, rows)
+    }
+
+    /// The id the next [`ShardedRelation::insert`] will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
     }
 
     /// Relation name (shared by every shard).

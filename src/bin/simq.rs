@@ -46,6 +46,18 @@
 //! `\save` with no argument writes back to it. `\export` keeps the v2 text
 //! format as the human-readable interchange path.
 //!
+//! Durability: the `SIMQ_WAL` environment variable names a durable
+//! directory. When it already holds a database (a `MANIFEST` file), it is
+//! opened on startup — shard checkpoints load, WAL tails replay, torn
+//! tails are repaired — and the shell reports what replay recovered.
+//! Otherwise the directory is created and the loaded catalog checkpointed
+//! into it. Either way every `\insert` is appended (and synced) to the
+//! owning shard's write-ahead log *before* it is applied, so an
+//! acknowledged insert survives a crash at any instant. `\wal` shows the
+//! write-path status, `\wal <dir>` attaches mid-session, `\wal
+//! checkpoint` (and `\save` with no argument while attached) commits a
+//! checkpoint — rewriting only the shards that changed.
+//!
 //! The `SIMQ_THREADS` environment variable (`4`, `auto`, `serial`) sets
 //! the initial execution parallelism.
 
@@ -91,9 +103,51 @@ fn main() {
             Err(why) => eprintln!("ignoring SIMQ_THREADS: {why}"),
         }
     }
+    // A durable directory named by SIMQ_WAL that already holds a database
+    // is opened first: its checkpoints + replayed WAL tails *are* the
+    // catalog, so the demo corpus and SIMQ_DB are skipped.
+    let wal_dir = std::env::var("SIMQ_WAL").ok().filter(|p| !p.is_empty());
+    let mut opened_durable = false;
+    if let Some(dir) = &wal_dir {
+        if std::path::Path::new(dir).join("MANIFEST").exists() {
+            match Database::open_durable(dir) {
+                Ok((opened, replay)) => {
+                    let parallelism = db.parallelism();
+                    db = opened;
+                    db.set_parallelism(parallelism);
+                    println!(
+                        "opened durable database {dir} ({} relations; replayed {} WAL record{}{})",
+                        db.relation_names().len(),
+                        replay.records_applied,
+                        if replay.records_applied == 1 { "" } else { "s" },
+                        if replay.records_dropped > 0 || replay.wal_files_repaired > 0 {
+                            format!(
+                                "; repaired {} torn log{}, {} record{} unrecoverable",
+                                replay.wal_files_repaired,
+                                if replay.wal_files_repaired == 1 {
+                                    ""
+                                } else {
+                                    "s"
+                                },
+                                replay.records_dropped,
+                                if replay.records_dropped == 1 { "" } else { "s" },
+                            )
+                        } else {
+                            String::new()
+                        },
+                    );
+                    opened_durable = true;
+                }
+                Err(e) => {
+                    eprintln!("cannot open durable database {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     let default_snapshot = std::env::var("SIMQ_DB").ok().filter(|p| !p.is_empty());
-    let mut opened_snapshot = false;
-    if let Some(path) = &default_snapshot {
+    let mut opened_snapshot = opened_durable;
+    if let Some(path) = default_snapshot.as_deref().filter(|_| !opened_durable) {
         if std::path::Path::new(path).exists() {
             match db.load_snapshot(path) {
                 Ok(count) => {
@@ -152,6 +206,26 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("cannot load {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // A fresh SIMQ_WAL directory attaches *after* the catalog is loaded:
+    // the attach checkpoints every relation so the directory starts
+    // self-contained, and later inserts log to per-shard WAL tails.
+    if let Some(dir) = &wal_dir {
+        if !db.is_durable() {
+            match db.attach_wal(dir) {
+                Ok(report) => println!(
+                    "attached WAL directory {dir} (checkpointed {} shard{} at epoch {})",
+                    report.shards_written,
+                    if report.shards_written == 1 { "" } else { "s" },
+                    report.epoch,
+                ),
+                Err(e) => {
+                    eprintln!("cannot attach WAL directory {dir}: {e}");
                     std::process::exit(1);
                 }
             }
@@ -502,12 +576,60 @@ fn shell_command(
         }
     }
 
+    // `\insert` also needs the raw remainder: its series literal
+    // `[v1, v2, …]` contains spaces.
+    if let Some(rest) = cmd.strip_prefix("insert") {
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+            let usage = "usage: \\insert <relation> <name> [v1, v2, …]";
+            let rest = rest.trim();
+            let Some((relation, rest)) = rest.split_once(char::is_whitespace) else {
+                println!("{usage}");
+                return true;
+            };
+            let Some((name, series_text)) = rest.trim().split_once(char::is_whitespace) else {
+                println!("{usage}");
+                return true;
+            };
+            let series = match parse_exec_args(series_text.trim()) {
+                Ok((positional, named)) => match (positional.as_slice(), named.is_empty()) {
+                    ([Value::Series(series)], true) => series.clone(),
+                    _ => {
+                        println!("{usage}");
+                        return true;
+                    }
+                },
+                Err(why) => {
+                    println!("error: {why}");
+                    return true;
+                }
+            };
+            let start = std::time::Instant::now();
+            match session.insert(relation, name, series) {
+                Ok((report, _stats)) => println!(
+                    "inserted id={} into `{relation}` shard {} ({} tree node{} built, {}; {:.3} ms)",
+                    report.id,
+                    report.shard,
+                    report.nodes_built,
+                    if report.nodes_built == 1 { "" } else { "s" },
+                    if report.wal_appended {
+                        "WAL record synced"
+                    } else {
+                        "no WAL attached"
+                    },
+                    start.elapsed().as_secs_f64() * 1e3,
+                ),
+                Err(e) => println!("error: {e}"),
+            }
+            return true;
+        }
+    }
+
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs"
             );
         }
         Some("sessions") => {
@@ -560,6 +682,16 @@ fn shell_command(
                 stats.plan_cache_invalidations,
                 if stats.plan_cache_invalidations == 1 { "" } else { "s" },
             );
+            if stats.inserts > 0 || session.db().is_durable() {
+                println!(
+                    "  writes: {} insert{}, {} WAL record{} appended, {} replayed at open",
+                    stats.inserts,
+                    if stats.inserts == 1 { "" } else { "s" },
+                    stats.wal_records,
+                    if stats.wal_records == 1 { "" } else { "s" },
+                    stats.wal_replayed,
+                );
+            }
             if statements.is_empty() {
                 println!("  no prepared statements; \\prepare <name> <query>");
             } else {
@@ -701,13 +833,75 @@ fn shell_command(
             match (parts.next(), parts.next()) {
                 (Some(name), Some(path)) => export_relation(session.db(), name, path),
                 (Some(path), None) => save_snapshot(session.db(), path),
+                // With a WAL attached, a bare `\save` is a checkpoint:
+                // dirty shards are rewritten and their logs absorbed.
+                (None, None) if session.db().is_durable() => {
+                    checkpoint_durable(session);
+                    if let Some(path) = default_snapshot {
+                        save_snapshot(session.db(), path);
+                    }
+                }
                 (None, None) => match default_snapshot {
                     Some(path) => save_snapshot(session.db(), path),
-                    None => println!("usage: \\save <file>  (or set SIMQ_DB)"),
+                    None => println!("usage: \\save <file>  (or set SIMQ_DB, or attach a WAL)"),
                 },
                 (None, Some(_)) => unreachable!("second arg implies a first"),
             }
         }
+        Some("wal") => match parts.next() {
+            None => match session.db().wal_status() {
+                Some(status) => {
+                    println!(
+                        "WAL directory {} (epoch {})",
+                        status.dir.display(),
+                        status.epoch,
+                    );
+                    println!(
+                        "  appended: {} record{} this process; replayed at open: {} ({} already applied)",
+                        status.wal_records,
+                        if status.wal_records == 1 { "" } else { "s" },
+                        status.replay.records_applied,
+                        status.replay.records_already_applied,
+                    );
+                    if status.replay.wal_files_repaired > 0 || status.replay.records_dropped > 0 {
+                        println!(
+                            "  repaired {} torn log{} at open ({} record{} / {} bytes unrecoverable)",
+                            status.replay.wal_files_repaired,
+                            if status.replay.wal_files_repaired == 1 {
+                                ""
+                            } else {
+                                "s"
+                            },
+                            status.replay.records_dropped,
+                            if status.replay.records_dropped == 1 {
+                                ""
+                            } else {
+                                "s"
+                            },
+                            status.replay.bytes_dropped,
+                        );
+                    }
+                    println!(
+                        "  dirty shards: {} of {} (\\wal checkpoint rewrites only those)",
+                        status.dirty_shards, status.total_shards,
+                    );
+                    if let Some(why) = &status.pending_error {
+                        println!("  WRITE PATH POISONED: {why}; \\wal checkpoint to recover");
+                    }
+                }
+                None => println!("no WAL attached; \\wal <dir> attaches one (or set SIMQ_WAL)"),
+            },
+            Some("checkpoint") => checkpoint_durable(session),
+            Some(dir) => match session.db_mut().attach_wal(dir) {
+                Ok(report) => println!(
+                    "attached WAL directory {dir} (checkpointed {} shard{} at epoch {})",
+                    report.shards_written,
+                    if report.shards_written == 1 { "" } else { "s" },
+                    report.epoch,
+                ),
+                Err(e) => println!("error: {e}"),
+            },
+        },
         Some("open") => match parts.next() {
             Some(path) => match session.db_mut().load_snapshot(path) {
                 Ok(count) => println!("opened snapshot {path} ({count} relations)"),
@@ -725,6 +919,25 @@ fn shell_command(
         other => println!("unknown command {other:?}; try \\help"),
     }
     true
+}
+
+/// Commits a checkpoint of the attached durable directory and reports
+/// what the incremental write path actually rewrote.
+fn checkpoint_durable(session: &mut Session) {
+    let start = std::time::Instant::now();
+    match session.db_mut().checkpoint() {
+        Ok(report) => println!(
+            "checkpoint at epoch {}: {} shard{} rewritten, {} clean (kept as-is), {} stale file{} removed ({:.1} ms)",
+            report.epoch,
+            report.shards_written,
+            if report.shards_written == 1 { "" } else { "s" },
+            report.shards_clean,
+            report.files_removed,
+            if report.files_removed == 1 { "" } else { "s" },
+            start.elapsed().as_secs_f64() * 1e3,
+        ),
+        Err(e) => println!("checkpoint failed: {e}"),
+    }
 }
 
 /// Writes the whole database to a binary snapshot.

@@ -67,8 +67,8 @@ pub mod prelude {
     pub use simq_index::{RTree, RTreeConfig, Rect};
     pub use simq_query::{
         execute, execute_batch, parse, plan_query, AccessPath, BatchExecutor, BatchResult, Bound,
-        Cursor, Database, Parallelism, Prepared, QueryOutput, QueryResult, Session, SessionStats,
-        StoredRelation, Value,
+        Cursor, Database, InsertReport, Parallelism, Prepared, QueryOutput, QueryResult, Session,
+        SessionStats, StoredRelation, Value, WalStatus,
     };
     pub use simq_series::{
         moving_average, normal_form, warp, FeatureScheme, Representation, SeriesTransform,

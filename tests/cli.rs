@@ -10,7 +10,20 @@ use std::process::{Command, Stdio};
 /// Runs the binary with `args`, feeding `stdin`; returns (stdout, stderr,
 /// exit code).
 fn run_cli(args: &[&str], stdin: &str) -> (String, String, i32) {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_simq"))
+    run_cli_with(args, stdin, &[])
+}
+
+/// [`run_cli`] with extra environment variables. The durability and
+/// snapshot variables are always scrubbed first: the workspace suite
+/// itself runs under `SIMQ_WAL=1`/`SIMQ_DB=…` matrices, and the spawned
+/// binary must not interpret those as *its* startup directories.
+fn run_cli_with(args: &[&str], stdin: &str, env: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_simq"));
+    cmd.env_remove("SIMQ_WAL").env_remove("SIMQ_DB");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
         .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -58,6 +71,8 @@ fn threads_rejects_zero_and_garbage_with_an_error() {
 fn invalid_simq_threads_env_is_reported_not_silently_ignored() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_simq"))
         .env("SIMQ_THREADS", "0")
+        .env_remove("SIMQ_WAL")
+        .env_remove("SIMQ_DB")
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -364,4 +379,76 @@ fn query_language_doc_examples_run() {
         stdout.contains("prepared `p2` with 2 parameters"),
         "{stdout}"
     );
+}
+
+#[test]
+fn wal_lifecycle_insert_crash_replay_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("simq-cli-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_str = dir.to_str().expect("utf-8 temp path");
+
+    // First run: attach a fresh WAL directory, insert one row, exit
+    // WITHOUT checkpointing — the row exists only in the WAL tail.
+    let series: Vec<String> = (0..128).map(|i| format!("{}", 30 + i % 7)).collect();
+    let insert = format!(
+        "\\insert walks WNEW [{}]\n\\wal\n\\quit\n",
+        series.join(", ")
+    );
+    let (stdout, _, code) = run_cli_with(&[], &insert, &[("SIMQ_WAL", dir_str)]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("attached WAL directory"), "{stdout}");
+    assert!(
+        stdout.contains("inserted id=1000 into `walks` shard 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("WAL record synced"), "{stdout}");
+    assert!(stdout.contains("dirty shards: 1 of 1"), "{stdout}");
+
+    // Second run: reopen the directory — replay must bring the row
+    // back and a query must see it. A replayed shard starts *clean*
+    // (its WAL is its durable home), so a fresh write is what makes
+    // the subsequent bare `\save` checkpoint rewrite the shard and
+    // absorb the log.
+    let script = format!(
+        "FIND 1 NEAREST TO NAME WNEW IN walks\n\\insert walks WNEW2 [{}]\n\\save\n\\wal\n\\quit\n",
+        series.join(", ")
+    );
+    let (stdout, _, code) = run_cli_with(&[], &script, &[("SIMQ_WAL", dir_str)]);
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("replayed 1 WAL record"),
+        "replay not reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("WNEW"),
+        "replayed row not queryable:\n{stdout}"
+    );
+    assert!(stdout.contains("inserted id=1001"), "{stdout}");
+    assert!(stdout.contains("checkpoint at epoch"), "{stdout}");
+    assert!(stdout.contains("1 shard rewritten"), "{stdout}");
+
+    // Third run: the checkpoint absorbed the log — nothing to replay,
+    // but both inserted rows are in the snapshot.
+    let (stdout, _, code) = run_cli_with(
+        &[],
+        "FIND 2 NEAREST TO NAME WNEW2 IN walks\n\\wal\n\\quit\n",
+        &[("SIMQ_WAL", dir_str)],
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("replayed 0 WAL records"), "{stdout}");
+    assert!(stdout.contains("WNEW2"), "{stdout}");
+    assert!(stdout.contains("dirty shards: 0 of 1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn insert_validates_arguments_before_touching_anything() {
+    let (stdout, _, code) = run_cli(
+        &[],
+        "\\insert\n\\insert walks\n\\insert walks X\n\\insert walks X [1, 2]\n\\insert nosuch X [1, 2]\n\\quit\n",
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("usage: \\insert"), "{stdout}");
+    assert!(stdout.contains("dimension mismatch"), "{stdout}");
+    assert!(stdout.contains("unknown relation"), "{stdout}");
 }

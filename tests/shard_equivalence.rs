@@ -333,3 +333,70 @@ fn rectangular_scheme_sharded_equivalence() {
         }
     }
 }
+
+/// Regression: re-sharding a relation that has *pending incremental
+/// inserts* routes every row — bulk-loaded and inserted alike — through
+/// the incremental index build, preserving bitwise query equivalence.
+/// (The old path rebuilt from the bulk loader and could disagree with
+/// the maintained trees' insertion outcome.)
+#[test]
+fn reshard_after_pending_inserts_preserves_equivalence() {
+    let series = corpus(23, 40, 32);
+    let (mut single, mut sharded) = twin_dbs(&series[..30], 3);
+    // Ten pending inserts against both twins' live trees.
+    for (i, s) in series[30..].iter().enumerate() {
+        single
+            .insert_into("r", format!("S{}", 30 + i), s.clone())
+            .unwrap();
+        sharded
+            .insert_into("r", format!("S{}", 30 + i), s.clone())
+            .unwrap();
+    }
+    assert_dbs_agree(&mut single, &mut sharded, "pending inserts");
+
+    // Re-shard with the inserts pending: 3 → 5 shards, then back to 1.
+    sharded.shard_relation("r", 5).unwrap();
+    assert_dbs_agree(
+        &mut single,
+        &mut sharded,
+        "resharded 3→5 with pending inserts",
+    );
+    sharded.shard_relation("r", 1).unwrap();
+    assert_dbs_agree(&mut single, &mut sharded, "unsharded with pending inserts");
+
+    // And the resharded trees keep accepting incremental inserts.
+    let mut gen = WalkGenerator::new(5);
+    let probe = gen.series(32);
+    single.insert_into("r", "P", probe.clone()).unwrap();
+    sharded.insert_into("r", "P", probe).unwrap();
+    assert_dbs_agree(&mut single, &mut sharded, "insert after reshard");
+}
+
+/// Regression: asking for the shard shape a relation already has is a
+/// no-op — same layout, same tree bytes, and no generation bump (cached
+/// plans and prepared statements stay valid).
+#[test]
+fn same_shape_reshard_is_a_noop() {
+    let series = corpus(29, 24, 32);
+    let (_, mut sharded) = twin_dbs(&series, 4);
+    let generation = sharded.generation();
+    sharded.shard_relation("r", 4).unwrap();
+    assert_eq!(
+        sharded.generation(),
+        generation,
+        "same-shape reshard must not invalidate plans"
+    );
+    let StoredRelation::Sharded { relation, .. } = sharded.relation("r").unwrap() else {
+        panic!("still sharded");
+    };
+    assert_eq!(relation.shard_count(), 4);
+
+    // A single relation that already has its one index: `\shard r 1`
+    // is likewise a no-op.
+    let rel = relation_with(&series, FeatureScheme::paper_default());
+    let mut single = Database::new();
+    single.add_relation_indexed(rel);
+    let generation = single.generation();
+    single.shard_relation("r", 1).unwrap();
+    assert_eq!(single.generation(), generation);
+}
