@@ -10,6 +10,7 @@
 //! arena every time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::report::{quick_mode, BenchReport};
 use simq_bench::walk_relation;
 use simq_data::WalkGenerator;
 use simq_index::RTreeConfig;
@@ -17,13 +18,15 @@ use simq_query::Database;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
+    let quick = quick_mode();
     let mut group = c.benchmark_group("insert_maintenance");
     group
         .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(700));
+        .warm_up_time(Duration::from_millis(if quick { 50 } else { 200 }))
+        .measurement_time(Duration::from_millis(if quick { 150 } else { 700 }));
 
-    for rows in [1_000usize, 4_000] {
+    let sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 4_000] };
+    for &rows in sizes {
         let rel = walk_relation("r", rows, 128);
         let mut gen = WalkGenerator::new(7);
 
@@ -57,13 +60,14 @@ fn bench(c: &mut Criterion) {
 
     // The counter evidence (printed once): per-insert node builds vs the
     // arena size a rebuild re-materializes.
-    let rel = walk_relation("r", 4_000, 128);
+    let evidence_rows = if quick { 1_000 } else { 4_000 };
+    let rel = walk_relation("r", evidence_rows, 128);
     let rebuilt = rel.build_index(RTreeConfig::default()).nodes_built();
     let mut db = Database::new();
     db.add_relation_indexed(rel);
     let mut gen = WalkGenerator::new(11);
     let mut built = 0u64;
-    let inserts = 200u64;
+    let inserts = if quick { 50u64 } else { 200 };
     for i in 0..inserts {
         built += db
             .insert_into("r", format!("p{i}"), gen.series(128))
@@ -75,6 +79,36 @@ fn bench(c: &mut Criterion) {
          ({:.3}/insert); one full rebuild materializes {rebuilt}",
         built as f64 / inserts as f64,
     );
+
+    // The persisted trajectory: median timings per path + the registry's
+    // counter snapshot, written as BENCH_insert_maintenance.json. Skipped
+    // in `--test` smoke mode so it never clobbers committed reports with
+    // one-iteration noise.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut report = BenchReport::new("insert_maintenance");
+    let samples = if quick { 10 } else { 30 };
+    for &rows in sizes {
+        let rel = walk_relation("r", rows, 128);
+        let mut db = Database::new();
+        db.add_relation_indexed(rel.clone());
+        let mut gen = WalkGenerator::new(7);
+        report.measure(format!("incremental_insert/{rows}"), samples, || {
+            let mut db = db.clone();
+            db.insert_into("r", "probe", gen.series(128)).unwrap()
+        });
+        report.measure(format!("full_rebuild/{rows}"), samples, || {
+            let mut rel = rel.clone();
+            rel.insert("probe", gen.series(128)).unwrap();
+            rel.build_index(RTreeConfig::default())
+        });
+        report.note(format!("rows/{rows}"), rows as u64);
+    }
+    report.note("counter_inserts", inserts);
+    report.note("counter_nodes_built", built);
+    report.note("counter_rebuild_nodes", rebuilt);
+    report.write();
 }
 
 criterion_group!(benches, bench);

@@ -11,6 +11,7 @@
 //! acceptance property `tests/prepared_equivalence.rs` pins.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::report::{quick_mode, BenchReport};
 use simq_bench::{indexed_db, walk_relation};
 use simq_query::{execute, Session, Value};
 use std::time::Duration;
@@ -18,13 +19,15 @@ use std::time::Duration;
 const CALLS: usize = 64;
 
 fn bench(c: &mut Criterion) {
+    let quick = quick_mode();
     let mut group = c.benchmark_group("prepared_speedup");
     group
         .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(900));
+        .warm_up_time(Duration::from_millis(if quick { 50 } else { 200 }))
+        .measurement_time(Duration::from_millis(if quick { 200 } else { 900 }));
 
-    let db = indexed_db(walk_relation("r", 2_000, 128));
+    let rows = if quick { 500 } else { 2_000 };
+    let db = indexed_db(walk_relation("r", rows, 128));
     // A transformed shape: planning is not just a table lookup — it
     // proves the chain lowers safely (computing the moving-average
     // multipliers), which the prepared path pays exactly once.
@@ -34,7 +37,7 @@ fn bench(c: &mut Criterion) {
         format!("FIND SIMILAR TO ROW {row} IN r USING reverse THEN mavg(20) ON BOTH EPSILON {eps}")
     };
     let bindings: Vec<(u64, f64)> = (0..CALLS)
-        .map(|i| ((i as u64 * 13) % 2_000, 0.05 + (i % 7) as f64 * 0.02))
+        .map(|i| ((i as u64 * 13) % rows as u64, 0.05 + (i % 7) as f64 * 0.02))
         .collect();
 
     // The headline counter: N executions, N plan-cache hits, 1 miss.
@@ -100,6 +103,46 @@ fn bench(c: &mut Criterion) {
     );
 
     group.finish();
+
+    // Persisted trajectory: the three paths' medians per CALLS-query
+    // sweep, plus the plan-cache counter evidence. Skipped in `--test`
+    // smoke mode so it never clobbers committed reports.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut report = BenchReport::new("prepared_speedup");
+    let samples = if quick { 5 } else { 15 };
+    report.measure(format!("execute_text_each_time/{CALLS}"), samples, || {
+        for &(row, eps) in &bindings {
+            criterion::black_box(execute(&db, &literal(row, eps)).unwrap());
+        }
+    });
+    {
+        let session = Session::new(&db);
+        report.measure(format!("session_text_plan_cached/{CALLS}"), samples, || {
+            for &(row, eps) in &bindings {
+                criterion::black_box(session.execute_text(&literal(row, eps)).unwrap());
+            }
+        });
+    }
+    {
+        let session = Session::new(&db);
+        let prepared = session.prepare(TEMPLATE).unwrap();
+        report.measure(format!("prepared_bind_execute/{CALLS}"), samples, || {
+            for &(row, eps) in &bindings {
+                let bound = prepared
+                    .bind(&[Value::from(row), Value::from(eps)])
+                    .unwrap();
+                criterion::black_box(session.execute(&bound).unwrap());
+            }
+        });
+        let stats = session.stats();
+        report.note("plan_cache_hits", stats.plan_cache_hits);
+        report.note("plan_cache_misses", stats.plan_cache_misses);
+    }
+    report.note("calls_per_sweep", CALLS as u64);
+    report.note("rows", rows as u64);
+    report.write();
 }
 
 criterion_group!(benches, bench);

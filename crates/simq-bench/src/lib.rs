@@ -15,6 +15,8 @@ use simq_series::features::FeatureScheme;
 use simq_storage::SeriesRelation;
 use std::time::{Duration, Instant};
 
+pub mod report;
+
 /// Default seed for every experiment corpus.
 pub const SEED: u64 = 19970513; // the paper's SIGMOD'97 presentation month
 

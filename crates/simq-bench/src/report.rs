@@ -1,0 +1,187 @@
+//! Persisted bench trajectory: `BENCH_<name>.json` reports.
+//!
+//! A [`BenchReport`] collects named median timings plus a snapshot of the
+//! process-wide metrics registry ([`simq_obs::metrics`]) and writes them
+//! as one JSON file at the repository root. Committed reports form a
+//! trajectory of the engine's measured behavior over time; CI regenerates
+//! them in quick mode (`SIMQ_BENCH_QUICK=1`) and uploads them as
+//! artifacts.
+//!
+//! The JSON is hand-rolled (the workspace is dependency-free by design)
+//! and schema-stable:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "name": "insert_maintenance",
+//!   "quick": false,
+//!   "measurements": { "<label>": { "median_ns": 123, "samples": 30 } },
+//!   "notes": { "<label>": 456 },
+//!   "counters": { "<metric>": 789 }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Whether quick mode is on (`SIMQ_BENCH_QUICK` set non-empty): benches
+/// shrink their corpora and sample counts so CI can afford them.
+pub fn quick_mode() -> bool {
+    std::env::var("SIMQ_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One named timing: the median of `samples` wall-clock runs.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Label, e.g. `incremental_insert/4000`.
+    pub label: String,
+    /// Median run time in nanoseconds.
+    pub median_ns: u64,
+    /// How many timed runs the median is over.
+    pub samples: usize,
+}
+
+/// Collects measurements and counters for one `BENCH_<name>.json`.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    quick: bool,
+    measurements: Vec<Measurement>,
+    notes: Vec<(String, u64)>,
+}
+
+impl BenchReport {
+    /// Starts a report named `name` (the file becomes
+    /// `BENCH_<name>.json`). Quick mode is read from the environment.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            quick: quick_mode(),
+            measurements: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether this report runs in quick mode.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Times `f` over `samples` runs (after one warm-up) and records the
+    /// median under `label`. Returns the median in nanoseconds.
+    pub fn measure<T>(
+        &mut self,
+        label: impl Into<String>,
+        samples: usize,
+        mut f: impl FnMut() -> T,
+    ) -> u64 {
+        let samples = samples.max(1);
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        self.measurements.push(Measurement {
+            label: label.into(),
+            median_ns: median,
+            samples,
+        });
+        median
+    }
+
+    /// Records a named scalar (counter evidence, corpus sizes, …).
+    pub fn note(&mut self, label: impl Into<String>, value: u64) {
+        self.notes.push((label.into(), value));
+    }
+
+    /// Renders the report as JSON, appending the current metrics-registry
+    /// counter snapshot.
+    pub fn render_json(&self) -> String {
+        let snapshot = simq_obs::metrics::registry().snapshot();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"name\": {:?},", self.name);
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        out.push_str("  \"measurements\": {\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let comma = if i + 1 < self.measurements.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {:?}: {{\"median_ns\": {}, \"samples\": {}}}{comma}",
+                m.label, m.median_ns, m.samples
+            );
+        }
+        out.push_str("  },\n  \"notes\": {\n");
+        for (i, (label, value)) in self.notes.iter().enumerate() {
+            let comma = if i + 1 < self.notes.len() { "," } else { "" };
+            let _ = writeln!(out, "    {label:?}: {value}{comma}");
+        }
+        out.push_str("  },\n  \"counters\": {\n");
+        for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+            let comma = if i + 1 < snapshot.counters.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    {name:?}: {value}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` at the repository root, returning the
+    /// path. Errors print to stderr rather than panic — a read-only
+    /// checkout must not fail the bench.
+    pub fn write(&self) -> Option<PathBuf> {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("BENCH_{}.json", self.name));
+        match std::fs::write(&path, self.render_json()) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_holds_measurements_notes_and_counters() {
+        let mut report = BenchReport::new("unit_test");
+        report.measure("noop", 3, || 1 + 1);
+        report.note("rows", 42);
+        let json = report.render_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"name\": \"unit_test\""));
+        assert!(json.contains("\"noop\": {\"median_ns\": "));
+        assert!(json.contains("\"rows\": 42"));
+        assert!(json.contains("\"query.executions\""));
+        // Shape check: braces balance.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn median_is_over_the_requested_samples() {
+        let mut report = BenchReport::new("t");
+        report.measure("spin", 5, || std::hint::black_box(7u64.pow(3)));
+        assert_eq!(report.measurements[0].label, "spin");
+        assert_eq!(report.measurements[0].samples, 5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Observability for the similarity-query engine: span tracing, a
+//! process-wide metrics registry, and a slow-query log — all with zero
+//! dependencies and near-zero cost when disabled.
+//!
+//! The crate deliberately stays below every other `simq-*` crate in the
+//! dependency graph so any layer can emit telemetry:
+//!
+//! * [`span`] — hierarchical spans with monotonic-clock timings,
+//!   collected per thread. Tracing is a process-global toggle
+//!   ([`span::set_tracing`]); a disabled span costs one relaxed atomic
+//!   load plus one thread-local flag read. `EXPLAIN ANALYZE` uses
+//!   [`span::force_collection`] to collect spans for a single query
+//!   regardless of the global toggle.
+//! * [`metrics`] — a fixed registry of named counters, gauges, and
+//!   log₂-bucketed nanosecond histograms (p50/p95/p99), updated with
+//!   relaxed atomics and rendered as text or a stable JSON schema.
+//! * [`slowlog`] — a bounded ring of queries that exceeded a
+//!   configurable threshold, owned by whoever holds the session.
+//!
+//! Nothing in this crate ever changes query *results*: instrumentation
+//! observes work, it does not steer it. The workspace-level property
+//! test `tests/observability_inert.rs` holds every layer to that.
+
+pub mod metrics;
+pub mod slowlog;
+pub mod span;

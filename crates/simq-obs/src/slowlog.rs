@@ -1,0 +1,117 @@
+//! A bounded slow-query log.
+//!
+//! The log is plain owned state — no globals, no atomics — because it
+//! belongs to whoever owns the session: each `Session` keeps one and
+//! feeds it every execution's wall time. When the threshold is unset
+//! the log is disabled and [`SlowLog::observe`] returns without even
+//! constructing the label (it takes the label lazily for exactly that
+//! reason).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Retained entries; older slow queries fall off the front.
+const DEFAULT_CAPACITY: usize = 32;
+
+/// One query that exceeded the threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Query text when known, otherwise the statement shape.
+    pub label: String,
+    /// Measured wall time.
+    pub duration: Duration,
+}
+
+/// A bounded ring of slow queries plus a cumulative count.
+#[derive(Debug, Clone, Default)]
+pub struct SlowLog {
+    threshold: Option<Duration>,
+    entries: VecDeque<SlowEntry>,
+    total: u64,
+}
+
+impl SlowLog {
+    /// A disabled log (no threshold).
+    pub fn new() -> Self {
+        SlowLog::default()
+    }
+
+    /// Sets (or clears) the threshold. Existing entries are kept.
+    pub fn set_threshold(&mut self, threshold: Option<Duration>) {
+        self.threshold = threshold;
+    }
+
+    /// The current threshold, if enabled.
+    pub fn threshold(&self) -> Option<Duration> {
+        self.threshold
+    }
+
+    /// Feeds one execution; records it when the log is enabled and the
+    /// duration reaches the threshold. Returns whether it was slow.
+    /// `label` is only invoked for recorded entries.
+    pub fn observe(&mut self, duration: Duration, label: impl FnOnce() -> String) -> bool {
+        let Some(threshold) = self.threshold else {
+            return false;
+        };
+        if duration < threshold {
+            return false;
+        }
+        self.total += 1;
+        if self.entries.len() == DEFAULT_CAPACITY {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(SlowEntry {
+            label: label(),
+            duration,
+        });
+        true
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &SlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Cumulative slow-query count (including entries that fell off).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = SlowLog::new();
+        assert!(!log.observe(Duration::from_secs(10), || unreachable!("label built")));
+        assert_eq!(log.total(), 0);
+        assert_eq!(log.entries().count(), 0);
+    }
+
+    #[test]
+    fn threshold_filters_and_total_counts_everything() {
+        let mut log = SlowLog::new();
+        log.set_threshold(Some(Duration::from_millis(5)));
+        assert!(!log.observe(Duration::from_millis(4), || unreachable!("fast")));
+        assert!(log.observe(Duration::from_millis(5), || "q1".into()));
+        assert!(log.observe(Duration::from_millis(9), || "q2".into()));
+        assert_eq!(log.total(), 2);
+        let labels: Vec<&str> = log.entries().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["q1", "q2"]);
+    }
+
+    #[test]
+    fn ring_is_bounded_but_total_is_not() {
+        let mut log = SlowLog::new();
+        log.set_threshold(Some(Duration::from_nanos(1)));
+        for i in 0..(DEFAULT_CAPACITY as u64 + 10) {
+            log.observe(Duration::from_millis(1), || format!("q{i}"));
+        }
+        assert_eq!(log.total(), DEFAULT_CAPACITY as u64 + 10);
+        assert_eq!(log.entries().count(), DEFAULT_CAPACITY);
+        // Oldest entries fell off the front.
+        assert_eq!(log.entries().next().unwrap().label, "q10");
+    }
+}

@@ -1,0 +1,300 @@
+//! Hierarchical span tracing with per-thread collectors.
+//!
+//! A span is an RAII guard over a named region of work. Opening one
+//! records a monotonic-clock start; dropping it records the duration.
+//! Spans nest: a span opened while another is live becomes its child,
+//! and the collected records come back in pre-order, ready to render as
+//! an operator tree.
+//!
+//! Collection is per thread (a `thread_local!` collector), so worker
+//! threads never contend on a shared buffer. The engine only opens
+//! spans on the coordinating thread — per-worker and per-shard activity
+//! is reported through the existing counter vectors — which keeps the
+//! trace a single coherent tree per query.
+//!
+//! Two switches govern whether a span records anything:
+//!
+//! * the process-global toggle ([`set_tracing`]) behind `\trace on` and
+//!   `SIMQ_TRACE=1`, and
+//! * a per-thread *forced collection* count ([`force_collection`]) used
+//!   by `EXPLAIN ANALYZE` to trace exactly one execution.
+//!
+//! When both are off, [`span`] returns an inert guard after one relaxed
+//! atomic load and one thread-local flag read — cheap enough to leave
+//! the call sites in release builds (`tests/trace_overhead.rs` holds
+//! this to < 2% of query time).
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Process-global tracing toggle (`\trace on|off`, `SIMQ_TRACE`).
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Collectors stop accepting spans past this many records so a session
+/// that never drains (tracing left on, no `\trace` output) stays
+/// bounded. Draining with [`take_records`] reopens collection.
+const MAX_RECORDS: usize = 65_536;
+
+/// Turns global span collection on or off.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the global tracing toggle is currently on.
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// One completed (or still open) span on this thread.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `range.descend` (see ARCHITECTURE.md for
+    /// the taxonomy).
+    pub name: &'static str,
+    /// Nesting depth at open time; 0 is a root span.
+    pub depth: usize,
+    /// Start offset in nanoseconds from the collector's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (0 until the guard drops).
+    pub duration_ns: u64,
+    /// Counter annotations attached via [`SpanGuard::note`].
+    pub notes: Vec<(&'static str, u64)>,
+}
+
+struct Collector {
+    epoch: Instant,
+    records: Vec<SpanRecord>,
+    /// Indices into `records` of the currently open spans.
+    stack: Vec<usize>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            epoch: Instant::now(),
+            records: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Nesting count of [`force_collection`] guards on this thread —
+    /// kept outside the collector so the inactive-path check does not
+    /// touch the `RefCell`.
+    static FORCED: Cell<usize> = const { Cell::new(0) };
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+}
+
+#[inline]
+fn active() -> bool {
+    TRACING.load(Ordering::Relaxed) || FORCED.with(|f| f.get() > 0)
+}
+
+/// Opens a span named `name`; the returned guard closes it on drop.
+///
+/// When tracing is off (globally and not forced on this thread) this is
+/// a no-op returning an inert guard.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !active() {
+        return SpanGuard { idx: None };
+    }
+    let idx = COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.records.len() >= MAX_RECORDS {
+            return None;
+        }
+        let idx = c.records.len();
+        let depth = c.stack.len();
+        let start_ns = u64::try_from(c.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        c.records.push(SpanRecord {
+            name,
+            depth,
+            start_ns,
+            duration_ns: 0,
+            notes: Vec::new(),
+        });
+        c.stack.push(idx);
+        Some(idx)
+    });
+    SpanGuard { idx }
+}
+
+/// RAII guard for one span; created by [`span`].
+#[must_use]
+pub struct SpanGuard {
+    /// Index of this span's record in the thread collector, or `None`
+    /// for an inert guard (tracing off at open time).
+    idx: Option<usize>,
+}
+
+impl SpanGuard {
+    /// Attaches a named counter to the span (shown as `key=value` in
+    /// rendered trees). No-op on an inert guard.
+    pub fn note(&self, key: &'static str, value: u64) {
+        if let Some(idx) = self.idx {
+            COLLECTOR.with(|c| {
+                if let Some(rec) = c.borrow_mut().records.get_mut(idx) {
+                    rec.notes.push((key, value));
+                }
+            });
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(idx) = self.idx {
+            COLLECTOR.with(|c| {
+                let mut c = c.borrow_mut();
+                let now = u64::try_from(c.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if let Some(rec) = c.records.get_mut(idx) {
+                    rec.duration_ns = now.saturating_sub(rec.start_ns);
+                }
+                // Guards drop in LIFO order within a thread; `take_records`
+                // mid-span is the only way the stack can miss this index.
+                if c.stack.last() == Some(&idx) {
+                    c.stack.pop();
+                } else {
+                    c.stack.retain(|&open| open != idx);
+                }
+            });
+        }
+    }
+}
+
+/// Forces span collection on the current thread while the guard lives,
+/// regardless of the global toggle. `EXPLAIN ANALYZE` wraps one
+/// execution in this; guards nest.
+#[must_use]
+pub fn force_collection() -> ForceGuard {
+    FORCED.with(|f| f.set(f.get() + 1));
+    ForceGuard { _priv: () }
+}
+
+/// RAII guard from [`force_collection`].
+pub struct ForceGuard {
+    _priv: (),
+}
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        FORCED.with(|f| f.set(f.get().saturating_sub(1)));
+    }
+}
+
+/// Drains and returns every span recorded on this thread, in pre-order
+/// (parents before children, siblings in open order).
+pub fn take_records() -> Vec<SpanRecord> {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        c.stack.clear();
+        std::mem::take(&mut c.records)
+    })
+}
+
+/// Formats a nanosecond duration with a human-scaled unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders drained span records as an indented tree, one span per line:
+/// `name  duration  [key=value, …]`.
+pub fn render_tree(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let _ = write!(
+            out,
+            "{:indent$}{}  {}",
+            "",
+            rec.name,
+            fmt_ns(rec.duration_ns),
+            indent = rec.depth * 2
+        );
+        if !rec.notes.is_empty() {
+            let notes: Vec<String> = rec.notes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = write!(out, "  [{}]", notes.join(", "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_inert_when_tracing_is_off() {
+        let _ = take_records();
+        {
+            let guard = span("test.off");
+            guard.note("ignored", 1);
+        }
+        assert!(take_records().is_empty());
+    }
+
+    #[test]
+    fn forced_collection_nests_and_records_a_tree() {
+        let _ = take_records();
+        {
+            let _force = force_collection();
+            let outer = span("outer");
+            outer.note("n", 7);
+            {
+                let _force2 = force_collection();
+                let _inner = span("inner");
+            }
+        }
+        let records = take_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "outer");
+        assert_eq!(records[0].depth, 0);
+        assert_eq!(records[0].notes, vec![("n", 7)]);
+        assert_eq!(records[1].name, "inner");
+        assert_eq!(records[1].depth, 1);
+        // After both guards dropped, collection is off again.
+        let _ = span("after");
+        assert!(take_records().is_empty());
+    }
+
+    #[test]
+    fn render_tree_indents_by_depth() {
+        let records = vec![
+            SpanRecord {
+                name: "root",
+                depth: 0,
+                start_ns: 0,
+                duration_ns: 1_500,
+                notes: vec![("nodes", 3)],
+            },
+            SpanRecord {
+                name: "child",
+                depth: 1,
+                start_ns: 10,
+                duration_ns: 900,
+                notes: Vec::new(),
+            },
+        ];
+        let text = render_tree(&records);
+        assert_eq!(text, "root  1.5µs  [nodes=3]\n  child  900ns\n");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_700), "1.7µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

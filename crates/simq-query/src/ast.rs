@@ -130,6 +130,10 @@ pub enum Query {
     },
     /// `EXPLAIN <query>` — plan without executing.
     Explain(Box<Query>),
+    /// `EXPLAIN ANALYZE <query>` — execute instrumented and report the
+    /// operator tree with wall times and work counters alongside the
+    /// (bitwise-identical) results.
+    ExplainAnalyze(Box<Query>),
 }
 
 impl Query {
@@ -139,7 +143,7 @@ impl Query {
             Query::Range { relation, .. }
             | Query::Knn { relation, .. }
             | Query::AllPairs { relation, .. } => relation,
-            Query::Explain(inner) => inner.relation(),
+            Query::Explain(inner) | Query::ExplainAnalyze(inner) => inner.relation(),
         }
     }
 }
@@ -290,6 +294,8 @@ pub enum QueryTemplate {
     },
     /// `EXPLAIN <template>`.
     Explain(Box<QueryTemplate>),
+    /// `EXPLAIN ANALYZE <template>`.
+    ExplainAnalyze(Box<QueryTemplate>),
 }
 
 impl QueryTemplate {
@@ -299,7 +305,9 @@ impl QueryTemplate {
             QueryTemplate::Range { relation, .. }
             | QueryTemplate::Knn { relation, .. }
             | QueryTemplate::AllPairs { relation, .. } => relation,
-            QueryTemplate::Explain(inner) => inner.relation(),
+            QueryTemplate::Explain(inner) | QueryTemplate::ExplainAnalyze(inner) => {
+                inner.relation()
+            }
         }
     }
 
@@ -381,6 +389,9 @@ impl QueryTemplate {
                 method: *method,
             },
             QueryTemplate::Explain(inner) => Query::Explain(Box::new(inner.into_query_literal()?)),
+            QueryTemplate::ExplainAnalyze(inner) => {
+                Query::ExplainAnalyze(Box::new(inner.into_query_literal()?))
+            }
         })
     }
 }

@@ -43,11 +43,13 @@ use crate::plan::{plan, AccessPath, Database, Plan, StoredRelation};
 use simq_dsp::complex::Complex;
 use simq_index::batch::{MultiKnnQuery, MultiRangeQuery};
 use simq_index::Rect;
+use simq_obs::span;
 use simq_series::transform::SeriesTransform;
 use simq_storage::multi::{
     scan_knn_multi, scan_range_multi, MultiScanKnnQuery, MultiScanRangeQuery,
 };
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering as AtomicOrdering;
 
 /// Work summary of one batch execution.
 #[derive(Debug, Clone, Default)]
@@ -290,6 +292,12 @@ impl<'a> BatchExecutor<'a> {
         planner: &mut dyn FnMut(&Query) -> Result<Plan, QueryError>,
     ) -> BatchResult {
         let mut stats = BatchStats::default();
+        let m = simq_obs::metrics::registry();
+        m.batch_batches.fetch_add(1, AtomicOrdering::Relaxed);
+        m.batch_queries.fetch_add(
+            parsed.iter().flatten().count() as u64,
+            AtomicOrdering::Relaxed,
+        );
         let (plans, groups, errors) = self.plan_and_group(parsed, planner);
         for (i, e) in errors {
             slots[i] = Some(Err(e));
@@ -300,6 +308,9 @@ impl<'a> BatchExecutor<'a> {
             if members.len() < 2 {
                 continue;
             }
+            let group_span = span::span("batch.group");
+            group_span.note("members", members.len() as u64);
+            m.batch_groups.fetch_add(1, AtomicOrdering::Relaxed);
             let stored = self
                 .db
                 .relation(relation)

@@ -17,6 +17,7 @@ use crate::ast::{Query, QuerySource, StatsWindow};
 use crate::error::QueryError;
 use crate::plan::{explain, plan, AccessPath, Database, Plan, StoredRelation};
 use simq_dsp::complex::Complex;
+use simq_obs::span;
 use simq_series::transform::SeriesTransform;
 use simq_storage::scan;
 
@@ -227,6 +228,15 @@ pub enum QueryOutput {
     Pairs(Vec<PairHit>),
     /// `EXPLAIN` rendering.
     Plan(String),
+    /// `EXPLAIN ANALYZE` rendering: the operator tree with wall times
+    /// and work counters, plus the instrumented execution's output —
+    /// bitwise-identical to what an uninstrumented run returns.
+    Analyzed {
+        /// The rendered report (plan, spans, counters, splits).
+        report: String,
+        /// The inner query's output, untouched by instrumentation.
+        output: Box<QueryOutput>,
+    },
 }
 
 /// A completed query: output, the plan that produced it, statistics.
@@ -263,7 +273,10 @@ pub fn execute(db: &Database, input: &str) -> Result<QueryResult, QueryError> {
 /// # Errors
 /// Any [`QueryError`] from planning or execution.
 pub fn run(db: &Database, query: &Query) -> Result<QueryResult, QueryError> {
-    let the_plan = plan(db, query)?;
+    let the_plan = {
+        let _plan_span = span::span("query.plan");
+        plan(db, query)?
+    };
     run_with_plan(db, query, the_plan)
 }
 
@@ -295,6 +308,35 @@ pub fn run_with_plan(
             per_thread: Vec::new(),
             per_shard: Vec::new(),
         }),
+        Query::ExplainAnalyze(inner) => {
+            // Force span collection on this thread for exactly this
+            // execution, regardless of the global `\trace` toggle, then
+            // hand the *same* plan to the ordinary execution path — the
+            // analyzed run takes every branch the plain run takes, so the
+            // results are bitwise identical by construction (and proven
+            // so in tests/observability_inert.rs).
+            let _force = span::force_collection();
+            let stale = span::take_records();
+            drop(stale);
+            let started = std::time::Instant::now();
+            let inner_result = {
+                let _root = span::span("query");
+                run_with_plan(db, inner, the_plan)?
+            };
+            let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let records = span::take_records();
+            let report = render_analyze(inner, &inner_result, total_ns, &records);
+            Ok(QueryResult {
+                output: QueryOutput::Analyzed {
+                    report,
+                    output: Box::new(inner_result.output),
+                },
+                plan: inner_result.plan,
+                stats: inner_result.stats,
+                per_thread: inner_result.per_thread,
+                per_shard: inner_result.per_shard,
+            })
+        }
         Query::Range {
             source,
             relation,
@@ -308,7 +350,9 @@ pub fn run_with_plan(
                 .relation(relation)
                 .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
             let ctx = resolve_query(stored, source, transform, *on_both)?;
-            range(stored, transform, &ctx, *eps, *stats_window, &the_plan)
+            let result = range(stored, transform, &ctx, *eps, *stats_window, &the_plan)?;
+            note_query_metrics(&result);
+            Ok(result)
         }
         Query::Knn {
             k,
@@ -322,7 +366,9 @@ pub fn run_with_plan(
                 .relation(relation)
                 .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
             let ctx = resolve_query(stored, source, transform, *on_both)?;
-            knn(stored, transform, &ctx.spectrum, *k, &the_plan)
+            let result = knn(stored, transform, &ctx.spectrum, *k, &the_plan)?;
+            note_query_metrics(&result);
+            Ok(result)
         }
         Query::AllPairs {
             relation,
@@ -334,9 +380,77 @@ pub fn run_with_plan(
             let stored = db
                 .relation(relation)
                 .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
-            all_pairs(stored, left, right, *eps, &the_plan)
+            let result = all_pairs(stored, left, right, *eps, &the_plan)?;
+            note_query_metrics(&result);
+            Ok(result)
         }
     }
+}
+
+/// Feeds the process-wide metrics registry after one execution.
+fn note_query_metrics(result: &QueryResult) {
+    use std::sync::atomic::Ordering;
+    let m = simq_obs::metrics::registry();
+    m.query_executions.fetch_add(1, Ordering::Relaxed);
+    if result.stats.shards_touched > 0 {
+        m.query_shard_work_units
+            .fetch_add(result.stats.shards_touched, Ordering::Relaxed);
+    }
+}
+
+/// Renders the `EXPLAIN ANALYZE` report: the plan, the span tree of the
+/// instrumented execution, merged work counters, and the per-thread /
+/// per-shard splits.
+fn render_analyze(
+    query: &Query,
+    result: &QueryResult,
+    total_ns: u64,
+    spans: &[span::SpanRecord],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", explain(query, &result.plan));
+    let _ = writeln!(out, "  total: {}", span::fmt_ns(total_ns));
+    out.push_str("operators:\n");
+    for line in span::render_tree(spans).lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let s = &result.stats;
+    let _ = writeln!(
+        out,
+        "stats: nodes={} leaves={} entries={} rows={} candidates={} verified={} coefficients={} threads={} shards={}",
+        s.nodes_visited,
+        s.leaves_visited,
+        s.entries_tested,
+        s.rows_scanned,
+        s.candidates,
+        s.verified,
+        s.coefficients_compared,
+        s.threads_used,
+        s.shards_touched,
+    );
+    let splits = |out: &mut String, what: &str, per: &[ExecStats]| {
+        if per.is_empty() {
+            return;
+        }
+        let shares: Vec<String> = per
+            .iter()
+            .map(|t| {
+                format!(
+                    "{}n/{}r/{}c",
+                    t.nodes_visited, t.rows_scanned, t.coefficients_compared
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{what} (nodes/rows/coefficients): [{}]",
+            shares.join(", ")
+        );
+    };
+    splits(&mut out, "per-thread", &result.per_thread);
+    splits(&mut out, "per-shard", &result.per_shard);
+    out
 }
 
 /// The resolved query: comparison spectrum plus the query series'
@@ -499,6 +613,7 @@ fn range(
                 )
             };
             let lowered = transform.lower(scheme, n)?;
+            let descend = span::span("range.descend");
             let candidates: Vec<u64> = match stored {
                 StoredRelation::Single { index, .. } => {
                     let index = index.as_ref().expect("planned index exists");
@@ -532,6 +647,11 @@ fn range(
                     by_shard.into_iter().flatten().collect()
                 }
             };
+            descend.note("nodes", stats.nodes_visited);
+            descend.note("leaves", stats.leaves_visited);
+            descend.note("entries", stats.entries_tested);
+            descend.note("candidates", candidates.len() as u64);
+            drop(descend);
             stats.candidates = candidates.len() as u64;
 
             let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
@@ -558,7 +678,8 @@ fn range(
                 }
                 out
             };
-            if threads > 1 && candidates.len() >= 2 * threads {
+            let verify_span = span::span("range.verify");
+            let out = if threads > 1 && candidates.len() >= 2 * threads {
                 let (out, total, counts) = parallel_verify(&candidates, threads, &verify);
                 stats.coefficients_compared += total;
                 fold_coefficients(&mut per_thread, &counts);
@@ -573,9 +694,14 @@ fn range(
                     fold_coefficients(&mut per_thread, &[compared]);
                 }
                 out
-            }
+            };
+            verify_span.note("candidates", stats.candidates);
+            verify_span.note("verified", out.len() as u64);
+            drop(verify_span);
+            out
         }
         AccessPath::SeqScan { early_abandon } => {
+            let scan_span = span::span("scan");
             let scan_hits = match stored {
                 StoredRelation::Single { relation: rel, .. } => {
                     let (scan_hits, merged) = if threads > 1 {
@@ -614,6 +740,9 @@ fn range(
                     scan_hits
                 }
             };
+            scan_span.note("rows", stats.rows_scanned);
+            scan_span.note("coefficients", stats.coefficients_compared);
+            drop(scan_span);
             scan_hits
                 .into_iter()
                 .filter(|h| {
@@ -630,12 +759,15 @@ fn range(
         _ => unreachable!("range queries plan to IndexScan or SeqScan"),
     };
 
+    let merge = span::span("range.merge");
     hits.sort_by(|a, b| {
         a.distance
             .partial_cmp(&b.distance)
             .expect("finite distances")
             .then(a.id.cmp(&b.id))
     });
+    merge.note("hits", hits.len() as u64);
+    drop(merge);
     stats.verified = hits.len() as u64;
     stats.threads_used = threads_used(&per_thread, &stats, threads);
     Ok(QueryResult {
@@ -694,6 +826,7 @@ fn knn(
             let bound = |rect: &simq_index::Rect| -> f64 {
                 simq_series::spectral_mindist(scheme, &q_coeffs, rect)
             };
+            let step1_span = span::span("knn.step1");
             let step1 = match stored {
                 StoredRelation::Single { index, .. } => {
                     let index = index.as_ref().expect("planned index exists");
@@ -727,9 +860,13 @@ fn knn(
                     step1
                 }
             };
+            step1_span.note("nodes", stats.nodes_visited);
+            step1_span.note("candidates", step1.len() as u64);
+            drop(step1_span);
             if step1.is_empty() {
                 Vec::new()
             } else {
+                let radius_span = span::span("knn.radius");
                 let mut radius_sq = 0.0f64;
                 let mut radius_compared = 0u64;
                 for nb in &step1 {
@@ -744,10 +881,15 @@ fn knn(
                     radius_sq = radius_sq.max(d_sq);
                 }
                 stats.coefficients_compared += radius_compared;
-                if !per_thread.is_empty() {
-                    fold_coefficients(&mut per_thread, &[radius_compared]);
-                }
+                radius_span.note("coefficients", radius_compared);
+                drop(radius_span);
+                // radius_compared is folded into per_thread entry 0 *after*
+                // the verify phase below: in sharded-parallel execution the
+                // per-thread vector only becomes non-empty once
+                // parallel_verify runs, and folding early would lose the
+                // radius work from the per-thread totals.
                 let rect = scheme.search_rect(&q_point, pad(radius_sq.sqrt()));
+                let step2_span = span::span("knn.step2");
                 let candidates: Vec<u64> = match stored {
                     StoredRelation::Single { index, .. } => {
                         let index = index.as_ref().expect("planned index exists");
@@ -776,6 +918,8 @@ fn knn(
                         by_shard.into_iter().flatten().collect()
                     }
                 };
+                step2_span.note("candidates", candidates.len() as u64);
+                drop(step2_span);
                 stats.candidates = candidates.len() as u64;
 
                 let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
@@ -797,6 +941,7 @@ fn knn(
                         })
                         .collect()
                 };
+                let verify_span = span::span("knn.verify");
                 let mut out: Vec<Hit> = if threads > 1 && candidates.len() >= 2 * threads {
                     let (out, total, counts) = parallel_verify(&candidates, threads, &verify);
                     stats.coefficients_compared += total;
@@ -811,6 +956,10 @@ fn knn(
                     }
                     out
                 };
+                // Deferred radius fold (see the comment at knn.radius).
+                if !per_thread.is_empty() {
+                    fold_coefficients(&mut per_thread, &[radius_compared]);
+                }
                 out.sort_by(|a, b| {
                     a.distance
                         .partial_cmp(&b.distance)
@@ -818,10 +967,13 @@ fn knn(
                         .then(a.id.cmp(&b.id))
                 });
                 out.truncate(k);
+                verify_span.note("verified", out.len() as u64);
+                drop(verify_span);
                 out
             }
         }
         AccessPath::SeqScan { .. } => {
+            let scan_span = span::span("scan");
             let scan_hits = match stored {
                 StoredRelation::Single { relation: rel, .. } => {
                     let (scan_hits, merged) = if threads > 1 {
@@ -849,6 +1001,9 @@ fn knn(
                     scan_hits
                 }
             };
+            scan_span.note("rows", stats.rows_scanned);
+            scan_span.note("coefficients", stats.coefficients_compared);
+            drop(scan_span);
             scan_hits
                 .into_iter()
                 .map(|h| Hit {
@@ -887,6 +1042,7 @@ fn all_pairs(
 
     let mut pairs: Vec<PairHit> = match the_plan.access {
         AccessPath::ScanJoin { early_abandon } => {
+            let join_span = span::span("join.scan");
             let found = match stored {
                 StoredRelation::Single { relation: rel, .. } => {
                     let (found, merged) = if threads > 1 {
@@ -929,12 +1085,16 @@ fn all_pairs(
                     found
                 }
             };
+            join_span.note("rows", stats.rows_scanned);
+            join_span.note("pairs", found.len() as u64);
+            drop(join_span);
             found
                 .into_iter()
                 .map(|(a, b, distance)| PairHit { a, b, distance })
                 .collect()
         }
         AccessPath::IndexProbeJoin { transformed } => {
+            let join_span = span::span("join.probe");
             let scheme = stored.scheme();
             let (eff_left, eff_right) = if transformed {
                 (left.clone(), right.clone())
@@ -1067,6 +1227,10 @@ fn all_pairs(
                 }
                 found
             };
+            join_span.note("probes", rows.len() as u64);
+            join_span.note("candidates", stats.candidates);
+            join_span.note("pairs", found.len() as u64);
+            drop(join_span);
             found
                 .into_iter()
                 .map(|((a, b), distance)| PairHit { a, b, distance })

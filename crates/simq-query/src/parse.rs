@@ -255,6 +255,9 @@ impl Parser {
 
     fn query(&mut self) -> Result<QueryTemplate, QueryError> {
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                return Ok(QueryTemplate::ExplainAnalyze(Box::new(self.query()?)));
+            }
             return Ok(QueryTemplate::Explain(Box::new(self.query()?)));
         }
         self.expect_kw("FIND")?;

@@ -781,6 +781,11 @@ impl Database {
                 *flag = true;
             }
         }
+        let m = simq_obs::metrics::registry();
+        m.insert_count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        m.insert_nodes_built
+            .fetch_add(nodes_built, std::sync::atomic::Ordering::Relaxed);
         Ok(InsertReport {
             id,
             shard,
@@ -933,7 +938,7 @@ pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
     let shards = stored.shard_count();
 
     match query {
-        Query::Explain(inner) => plan(db, inner),
+        Query::Explain(inner) | Query::ExplainAnalyze(inner) => plan(db, inner),
         Query::Range {
             transform,
             strategy,
@@ -1131,6 +1136,7 @@ pub fn explain(query: &Query, plan: &Plan) -> String {
             )
         }
         Query::Explain(_) => "Explain".to_string(),
+        Query::ExplainAnalyze(_) => "Explain Analyze".to_string(),
     };
     let shards = if plan.shards > 1 {
         format!("\n  shards: {} (per-shard fan-out)", plan.shards)

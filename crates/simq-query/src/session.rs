@@ -63,6 +63,8 @@ use crate::error::QueryError;
 use crate::exec::{self, ExecStats, Hit, QueryResult};
 use crate::plan::{plan as plan_query, AccessPath, Database, Plan, StoredRelation};
 use simq_dsp::complex::Complex;
+use simq_obs::slowlog::{SlowEntry, SlowLog};
+use simq_obs::span;
 use simq_series::transform::NormalFormAction;
 #[cfg(test)]
 use simq_storage::SeriesRelation;
@@ -70,6 +72,8 @@ use simq_storage::SeriesRow;
 use std::borrow::Borrow;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 /// Default bound on the session plan cache (distinct statement shapes).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
@@ -438,6 +442,9 @@ fn instantiate(
             method: *method,
         },
         QueryTemplate::Explain(inner) => Query::Explain(Box::new(instantiate(inner, lookup)?)),
+        QueryTemplate::ExplainAnalyze(inner) => {
+            Query::ExplainAnalyze(Box::new(instantiate(inner, lookup)?))
+        }
     })
 }
 
@@ -514,7 +521,7 @@ fn shape_key(query: &Query) -> String {
             method,
             ..
         } => shape::pairs(relation, left, right, method),
-        Query::Explain(inner) => shape_key(inner),
+        Query::Explain(inner) | Query::ExplainAnalyze(inner) => shape_key(inner),
     }
 }
 
@@ -549,7 +556,9 @@ fn shape_key_template(template: &QueryTemplate) -> String {
             method,
             ..
         } => shape::pairs(relation, left, right, method),
-        QueryTemplate::Explain(inner) => shape_key_template(inner),
+        QueryTemplate::Explain(inner) | QueryTemplate::ExplainAnalyze(inner) => {
+            shape_key_template(inner)
+        }
     }
 }
 
@@ -586,6 +595,9 @@ pub struct SessionStats {
     /// durably (snapshotted from [`Database::wal_status`], like the
     /// plan-cache gauges).
     pub wal_replayed: u64,
+    /// Executions that exceeded the session's slow-query threshold
+    /// (cumulative — entries may have fallen out of the bounded log).
+    pub slow_queries: u64,
 }
 
 /// The bounded LRU of shape key → plan.
@@ -599,6 +611,7 @@ struct PlanCache {
 struct Inner {
     cache: PlanCache,
     stats: SessionStats,
+    slow_log: SlowLog,
 }
 
 /// A query session over a database: the unit of statement preparation,
@@ -643,8 +656,29 @@ impl<D: Borrow<Database>> Session<D> {
                     plan_cache_capacity: capacity,
                     ..SessionStats::default()
                 },
+                slow_log: SlowLog::new(),
             }),
         }
+    }
+
+    /// Sets (or clears, with `None`) the slow-query threshold: every
+    /// execution whose wall time reaches it is recorded in the session's
+    /// bounded slow-query log and counted in
+    /// [`SessionStats::slow_queries`].
+    pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
+        self.inner.borrow_mut().slow_log.set_threshold(threshold);
+    }
+
+    /// The current slow-query threshold (`None` = disabled).
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.inner.borrow().slow_log.threshold()
+    }
+
+    /// The retained slow-query entries, oldest first (the log is a
+    /// bounded ring; [`SessionStats::slow_queries`] counts every slow
+    /// execution, including those that fell off).
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.inner.borrow().slow_log.entries().cloned().collect()
     }
 
     /// The database the session queries.
@@ -719,6 +753,9 @@ impl<D: Borrow<Database>> Session<D> {
         let dummy = instantiate(&parsed.template, &mut dummies)?;
         self.cached_plan(&shape, &dummy)?;
         self.inner.borrow_mut().stats.prepared_statements += 1;
+        simq_obs::metrics::registry()
+            .session_prepared
+            .fetch_add(1, Ordering::Relaxed);
         Ok(Prepared {
             text: text.to_string(),
             template: parsed.template,
@@ -736,7 +773,7 @@ impl<D: Borrow<Database>> Session<D> {
     /// # Errors
     /// Any [`QueryError`] from planning or execution.
     pub fn execute(&self, bound: &Bound) -> Result<QueryResult, QueryError> {
-        self.execute_shaped(&bound.shape, &bound.query)
+        self.execute_shaped(&bound.shape, &bound.query, None)
     }
 
     /// Prepare-free convenience: parses `text` (no placeholders) and
@@ -747,7 +784,7 @@ impl<D: Borrow<Database>> Session<D> {
     /// Any [`QueryError`] from the pipeline.
     pub fn execute_text(&self, text: &str) -> Result<QueryResult, QueryError> {
         let query = crate::parse::parse(text)?;
-        self.execute_shaped(&shape_key(&query), &query)
+        self.execute_shaped(&shape_key(&query), &query, Some(text))
     }
 
     /// Opens a streaming [`Cursor`] over a bound range or kNN statement.
@@ -773,13 +810,33 @@ impl<D: Borrow<Database>> Session<D> {
 
     /// The one execution path all `execute*` variants share: cached
     /// plan, run, stamp the per-query hit/miss counters, bump the
-    /// session counters.
-    fn execute_shaped(&self, shape: &str, query: &Query) -> Result<QueryResult, QueryError> {
+    /// session counters, and feed the latency histogram and slow-query
+    /// log (`label` is the query text when the caller has it; the
+    /// statement shape stands in otherwise).
+    fn execute_shaped(
+        &self,
+        shape: &str,
+        query: &Query,
+        label: Option<&str>,
+    ) -> Result<QueryResult, QueryError> {
         let (the_plan, hit) = self.cached_plan(shape, query)?;
+        let started = std::time::Instant::now();
         let mut result = exec::run_with_plan(self.db(), query, the_plan)?;
+        let elapsed = started.elapsed();
         result.stats.plan_cache_hits = hit as u64;
         result.stats.plan_cache_misses = !hit as u64;
-        self.inner.borrow_mut().stats.executions += 1;
+        let m = simq_obs::metrics::registry();
+        m.query_latency
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.executions += 1;
+        if inner
+            .slow_log
+            .observe(elapsed, || label.unwrap_or(shape).to_string())
+        {
+            inner.stats.slow_queries += 1;
+            m.session_slow_queries.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(result)
     }
 
@@ -791,6 +848,9 @@ impl<D: Borrow<Database>> Session<D> {
         cursor.stats.plan_cache_hits = hit as u64;
         cursor.stats.plan_cache_misses = !hit as u64;
         self.inner.borrow_mut().stats.cursors_opened += 1;
+        simq_obs::metrics::registry()
+            .session_cursors
+            .fetch_add(1, Ordering::Relaxed);
         Ok(cursor)
     }
 
@@ -875,6 +935,9 @@ impl<D: Borrow<Database>> Session<D> {
             if inner.cache.generation != generation {
                 if !inner.cache.entries.is_empty() {
                     inner.stats.plan_cache_invalidations += 1;
+                    simq_obs::metrics::registry()
+                        .plan_cache_invalidations
+                        .fetch_add(1, Ordering::Relaxed);
                     inner.cache.entries.clear();
                 }
                 inner.cache.generation = generation;
@@ -884,14 +947,23 @@ impl<D: Borrow<Database>> Session<D> {
             if let Some((plan, last_used)) = inner.cache.entries.get_mut(shape) {
                 *last_used = tick;
                 inner.stats.plan_cache_hits += 1;
+                simq_obs::metrics::registry()
+                    .plan_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
                 return Ok((plan.clone(), true));
             }
         }
         // Plan outside the borrow (planning only reads the database).
-        let plan = plan_query(db, query)?;
+        let plan = {
+            let _plan_span = span::span("query.plan");
+            plan_query(db, query)?
+        };
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         inner.stats.plan_cache_misses += 1;
+        simq_obs::metrics::registry()
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         if inner.cache.capacity > 0 {
             if inner.cache.entries.len() >= inner.cache.capacity {
                 // Evict the least-recently-used entry (ticks are unique,
@@ -905,6 +977,9 @@ impl<D: Borrow<Database>> Session<D> {
                 {
                     inner.cache.entries.remove(&victim);
                     inner.stats.plan_cache_evictions += 1;
+                    simq_obs::metrics::registry()
+                        .plan_cache_evictions
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
             let tick = inner.cache.tick;
@@ -1059,7 +1134,7 @@ enum CursorState<'db> {
 impl<'db> Cursor<'db> {
     fn open(db: &'db Database, query: &Query, the_plan: Plan) -> Result<Self, QueryError> {
         match query {
-            Query::Explain(_) => Err(QueryError::Unsupported(
+            Query::Explain(_) | Query::ExplainAnalyze(_) => Err(QueryError::Unsupported(
                 "cursors stream result rows; EXPLAIN has none — use execute".into(),
             )),
             Query::AllPairs { .. } => Err(QueryError::Unsupported(
@@ -1197,34 +1272,37 @@ impl Iterator for Cursor<'_> {
     type Item = Hit;
 
     fn next(&mut self) -> Option<Hit> {
-        match &mut self.state {
+        let pull = span::span("cursor.pull");
+        let out = match &mut self.state {
             CursorState::Buffered(hits) => hits.next(),
             CursorState::IndexRange { stream, verify } => loop {
-                let id = stream.next()?;
+                let Some(id) = stream.next() else { break None };
                 self.stats.candidates += 1;
                 if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
                     self.stats.verified += 1;
-                    return Some(hit);
+                    break Some(hit);
                 }
             },
             CursorState::IndexRangeSharded { stream, verify } => loop {
-                let id = stream.next()?;
+                let Some(id) = stream.next() else { break None };
                 self.stats.candidates += 1;
                 if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
                     self.stats.verified += 1;
-                    return Some(hit);
+                    break Some(hit);
                 }
             },
             CursorState::ScanRange { rows, verify } => loop {
-                let row = rows.next()?;
+                let Some(row) = rows.next() else { break None };
                 self.stats.rows_scanned += 1;
                 self.stats.candidates += 1;
                 if let Some(hit) = verify.verify(row.id, &mut self.stats.coefficients_compared) {
                     self.stats.verified += 1;
-                    return Some(hit);
+                    break Some(hit);
                 }
             },
-        }
+        };
+        pull.note("yielded", u64::from(out.is_some()));
+        out
     }
 }
 

@@ -398,9 +398,19 @@ impl DurableDir {
 
         let mut entries = Vec::with_capacity(store.manifest.entries.len());
         let mut report = ReplayReport::default();
-        for entry in &store.manifest.entries {
-            entries.push(store.load_entry(entry, &mut report)?);
+        {
+            let replay_span = simq_obs::span::span("wal.replay");
+            for entry in &store.manifest.entries {
+                entries.push(store.load_entry(entry, &mut report)?);
+            }
+            replay_span.note("applied", report.records_applied);
+            replay_span.note("dropped", report.records_dropped);
         }
+        let m = simq_obs::metrics::registry();
+        m.wal_replay_applied
+            .fetch_add(report.records_applied, Ordering::Relaxed);
+        m.wal_replay_dropped
+            .fetch_add(report.records_dropped, Ordering::Relaxed);
         store.remove_unreferenced().ok(); // best-effort orphan cleanup
         Ok((store, entries, report))
     }
@@ -499,6 +509,9 @@ impl DurableDir {
             epoch,
             ..CheckpointReport::default()
         };
+        let m = simq_obs::metrics::registry();
+        let write_span = simq_obs::span::span("checkpoint.write");
+        let mut bytes_written: u64 = 0;
         let mut entries = Vec::with_capacity(sources.len());
         for src in sources {
             let old = self.manifest.entries.iter().find(|e| e.name == src.name);
@@ -520,6 +533,7 @@ impl DurableDir {
                 if *dirty || shape_changed {
                     let bytes = snapshot::to_bytes(&[(relation, *index)]);
                     pages::write_atomic(&self.snap_path(file_id, shard, epoch), &bytes)?;
+                    bytes_written += bytes.len() as u64;
                     shard_epochs.push(epoch);
                     report.shards_written += 1;
                 } else {
@@ -535,14 +549,29 @@ impl DurableDir {
                 shard_epochs,
             });
         }
+        write_span.note("shards", report.shards_written);
+        write_span.note("bytes", bytes_written);
+        drop(write_span);
         let manifest = Manifest {
             epoch,
             next_file_id,
             entries,
         };
-        pages::write_atomic(&self.manifest_path(), &manifest_to_bytes(&manifest))?;
-        self.manifest = manifest;
-        report.files_removed = self.remove_unreferenced()?;
+        {
+            let _commit_span = simq_obs::span::span("checkpoint.commit");
+            pages::write_atomic(&self.manifest_path(), &manifest_to_bytes(&manifest))?;
+            self.manifest = manifest;
+        }
+        {
+            let clean_span = simq_obs::span::span("checkpoint.clean");
+            report.files_removed = self.remove_unreferenced()?;
+            clean_span.note("removed", report.files_removed);
+        }
+        m.checkpoint_count.fetch_add(1, Ordering::Relaxed);
+        m.checkpoint_shards_written
+            .fetch_add(report.shards_written, Ordering::Relaxed);
+        m.checkpoint_bytes
+            .fetch_add(bytes_written, Ordering::Relaxed);
         Ok(report)
     }
 

@@ -167,10 +167,20 @@ pub fn replay(bytes: &[u8]) -> WalReplay {
 /// I/O errors from the filesystem. On error the log may hold a torn tail;
 /// replay truncates it.
 pub fn append(path: &Path, rec: &WalRecord) -> io::Result<usize> {
+    let append_span = simq_obs::span::span("wal.append");
+    let started = std::time::Instant::now();
     let bytes = encode_record(rec);
     let mut file = OpenOptions::new().create(true).append(true).open(path)?;
     file.write_all(&bytes)?;
     file.sync_data()?;
+    let sync_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let m = simq_obs::metrics::registry();
+    m.wal_appends
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    m.wal_sync_latency.record(sync_ns);
+    m.wal_last_sync_ns
+        .store(sync_ns, std::sync::atomic::Ordering::Relaxed);
+    append_span.note("bytes", bytes.len() as u64);
     Ok(bytes.len())
 }
 

@@ -85,7 +85,7 @@ fn main() {
                 let summary = match &result.output {
                     QueryOutput::Hits(h) => format!("{} hits", h.len()),
                     QueryOutput::Pairs(p) => format!("{} pairs", p.len()),
-                    QueryOutput::Plan(_) => unreachable!(),
+                    QueryOutput::Plan(_) | QueryOutput::Analyzed { .. } => unreachable!(),
                 };
                 println!(
                     "   = {summary}  [nodes={} rows={} candidates={} verified={}]",

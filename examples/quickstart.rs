@@ -76,6 +76,7 @@ fn report(title: &str, result: &QueryResult) {
         }
         QueryOutput::Pairs(pairs) => println!("   {} pairs", pairs.len()),
         QueryOutput::Plan(p) => println!("{p}"),
+        QueryOutput::Analyzed { report, .. } => println!("{report}"),
     }
     println!(
         "   work: {} index nodes, {} rows scanned, {} candidates, {} verified",

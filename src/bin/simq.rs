@@ -14,8 +14,18 @@
 //! `\save [file]`, `\open <file>`, `\export <relation> <path>`,
 //! `\threads <n|auto|serial>`, `\batch [run|explain|show|cancel]`,
 //! `\prepare <name> <query>`, `\exec <name> [args…]`, `\sessions`,
+//! `\metrics [--json]`, `\trace on|off`, `\slowlog [<ms>|off]`,
 //! `\help`, `\quit`. The full query grammar is documented in
 //! `docs/QUERY_LANGUAGE.md` (whose examples run in `tests/cli.rs`).
+//!
+//! Observability: `EXPLAIN ANALYZE <query>` executes the query
+//! instrumented and prints the operator tree with per-node wall time
+//! (results bitwise identical to the uninstrumented run); `\trace on`
+//! (or `SIMQ_TRACE=1`) prints a span tree after every query; `\metrics`
+//! dumps the process-wide metrics registry (counters, gauges, latency
+//! histograms with p50/p95/p99), `--json` for a stable machine-readable
+//! schema; `\slowlog <ms>` (or `SIMQ_SLOWLOG=<ms>`) keeps the most
+//! recent queries that ran over the threshold.
 //!
 //! The shell runs every query through one `Session`: repeated queries of
 //! the same shape skip planning via the session's plan cache (the stat
@@ -62,6 +72,7 @@
 //! the initial execution parallelism.
 
 use similarity_queries::data::WalkGenerator;
+use similarity_queries::obs::{metrics, span};
 use similarity_queries::prelude::*;
 use similarity_queries::query::batch::{split_batch_script, BatchExecutor, BatchResult};
 use similarity_queries::query::QueryOutput;
@@ -92,7 +103,45 @@ fn parse_parallelism(word: &str) -> Result<Parallelism, String> {
     }
 }
 
+/// Parses the `SIMQ_SLOWLOG` setting: a threshold in milliseconds
+/// (fractional allowed), or `off`/empty for disabled.
+fn parse_slowlog(word: &str) -> Result<Option<std::time::Duration>, String> {
+    match word.trim() {
+        "" | "off" => Ok(None),
+        ms => match ms.parse::<f64>() {
+            Ok(v) if v >= 0.0 && v.is_finite() => {
+                Ok(Some(std::time::Duration::from_secs_f64(v / 1e3)))
+            }
+            _ => Err(format!(
+                "invalid slow-query threshold {word:?}: expected milliseconds or `off`"
+            )),
+        },
+    }
+}
+
 fn main() {
+    if std::env::var("SIMQ_TRACE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        span::set_tracing(true);
+        println!("span tracing: on (from SIMQ_TRACE)");
+    }
+    let slowlog_threshold = match std::env::var("SIMQ_SLOWLOG") {
+        Ok(setting) => match parse_slowlog(&setting) {
+            Ok(t) => {
+                if let Some(t) = t {
+                    println!(
+                        "slow-query log: threshold {:.3} ms (from SIMQ_SLOWLOG)",
+                        t.as_secs_f64() * 1e3
+                    );
+                }
+                t
+            }
+            Err(why) => {
+                eprintln!("ignoring SIMQ_SLOWLOG: {why}");
+                None
+            }
+        },
+        Err(_) => None,
+    };
     let mut db = Database::new();
     if let Ok(setting) = std::env::var("SIMQ_THREADS") {
         match parse_parallelism(setting.trim()) {
@@ -235,6 +284,7 @@ fn main() {
     if let Some(script) = exec_script {
         // Non-interactive batch execution: run, report, exit.
         let session = Session::new(&db);
+        session.set_slow_query_threshold(slowlog_threshold);
         let ok = run_batch(&session, &split_batch_script(&script));
         std::process::exit(if ok { 0 } else { 1 });
     }
@@ -243,6 +293,7 @@ fn main() {
     // The shell session: owns the database, caches plans by statement
     // shape, and accumulates the statistics `\sessions` reports.
     let mut session = Session::new(db);
+    session.set_slow_query_threshold(slowlog_threshold);
     // Named prepared statements (`\prepare` / `\exec`).
     let mut statements: HashMap<String, Prepared> = HashMap::new();
 
@@ -327,9 +378,27 @@ fn main() {
                         .collect();
                     println!("  per-thread nodes/rows: [{}]", shares.join(", "));
                 }
+                print_trace_if_on();
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+}
+
+/// With `\trace on`, drains this thread's span records after a query and
+/// prints the collected tree (EXPLAIN ANALYZE drains its own records, so
+/// an analyzed query leaves nothing here).
+fn print_trace_if_on() {
+    if !span::tracing_enabled() {
+        return;
+    }
+    let records = span::take_records();
+    if records.is_empty() {
+        return;
+    }
+    println!("  trace:");
+    for line in span::render_tree(&records).lines() {
+        println!("    {line}");
     }
 }
 
@@ -355,6 +424,9 @@ fn print_output(output: &QueryOutput) {
             }
         }
         QueryOutput::Plan(text) => println!("{text}"),
+        // The ANALYZE report already embeds the plan tree and timings; the
+        // inner result rows are summarized by the report's `stats:` line.
+        QueryOutput::Analyzed { report, .. } => println!("{report}"),
     }
 }
 
@@ -629,7 +701,7 @@ fn shell_command(
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\n  EXPLAIN ANALYZE <query>   (execute instrumented; per-operator timings)\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions\n       \\metrics [--json]  \\trace [on|off]  \\slowlog [<ms>|off]  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs\nobservability: EXPLAIN ANALYZE prints the executed operator tree with\n  wall-clock timings (results bitwise identical to the plain query);\n  \\trace on prints a span tree after every query (SIMQ_TRACE=1 at\n  startup); \\metrics dumps the process-wide counter/histogram registry\n  (--json for machines); \\slowlog <ms> keeps the last slow queries\n  (SIMQ_SLOWLOG=<ms> at startup)"
             );
         }
         Some("sessions") => {
@@ -668,12 +740,18 @@ fn shell_command(
                 stats.cursors_opened,
                 if stats.cursors_opened == 1 { "" } else { "s" },
             );
+            let lookups = stats.plan_cache_hits + stats.plan_cache_misses;
             println!(
-                "  plan cache: {} hit{} / {} miss{} ({} entr{} of {} capacity, {} eviction{}, {} invalidation{})",
+                "  plan cache: {} hit{} / {} miss{} ({:.0}% hit ratio; {} entr{} of {} capacity, {} eviction{}, {} invalidation{})",
                 stats.plan_cache_hits,
                 if stats.plan_cache_hits == 1 { "" } else { "s" },
                 stats.plan_cache_misses,
                 if stats.plan_cache_misses == 1 { "" } else { "es" },
+                if lookups > 0 {
+                    stats.plan_cache_hits as f64 / lookups as f64 * 100.0
+                } else {
+                    0.0
+                },
                 stats.plan_cache_entries,
                 if stats.plan_cache_entries == 1 { "y" } else { "ies" },
                 stats.plan_cache_capacity,
@@ -682,6 +760,14 @@ fn shell_command(
                 stats.plan_cache_invalidations,
                 if stats.plan_cache_invalidations == 1 { "" } else { "s" },
             );
+            match session.slow_query_threshold() {
+                Some(t) => println!(
+                    "  slow queries: {} over the {:.3} ms threshold (\\slowlog lists them)",
+                    stats.slow_queries,
+                    t.as_secs_f64() * 1e3,
+                ),
+                None => println!("  slow queries: logging off (\\slowlog <ms> enables)"),
+            }
             if stats.inserts > 0 || session.db().is_durable() {
                 println!(
                     "  writes: {} insert{}, {} WAL record{} appended, {} replayed at open",
@@ -702,6 +788,69 @@ fn shell_command(
                 }
             }
         }
+        Some("metrics") => {
+            let snapshot = metrics::registry().snapshot();
+            match parts.next() {
+                Some("--json") => println!("{}", snapshot.render_json()),
+                None => print!("{}", snapshot.render_text()),
+                Some(other) => println!("unknown \\metrics flag {other:?}; try \\metrics --json"),
+            }
+        }
+        Some("trace") => match parts.next() {
+            Some("on") => {
+                span::set_tracing(true);
+                println!("span tracing: on (trees print after each query)");
+            }
+            Some("off") => {
+                span::set_tracing(false);
+                let _ = span::take_records(); // drop anything half-collected
+                println!("span tracing: off");
+            }
+            None => println!(
+                "span tracing: {}",
+                if span::tracing_enabled() { "on" } else { "off" }
+            ),
+            Some(other) => println!("unknown \\trace setting {other:?}; use on or off"),
+        },
+        Some("slowlog") => match parts.next() {
+            None => {
+                match session.slow_query_threshold() {
+                    Some(t) => println!(
+                        "slow-query log: threshold {:.3} ms, {} quer{} logged",
+                        t.as_secs_f64() * 1e3,
+                        session.stats().slow_queries,
+                        if session.stats().slow_queries == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        },
+                    ),
+                    None => {
+                        println!("slow-query log: off (\\slowlog <ms> sets a threshold)");
+                        return true;
+                    }
+                }
+                let entries = session.slow_queries();
+                if entries.is_empty() {
+                    println!("  no queries over the threshold yet");
+                }
+                for e in &entries {
+                    println!("  {:>10.3} ms  {}", e.duration.as_secs_f64() * 1e3, e.label);
+                }
+            }
+            Some(word) => match parse_slowlog(word) {
+                Ok(t) => {
+                    session.set_slow_query_threshold(t);
+                    match t {
+                        Some(t) => {
+                            println!("slow-query log: threshold {:.3} ms", t.as_secs_f64() * 1e3)
+                        }
+                        None => println!("slow-query log: off"),
+                    }
+                }
+                Err(why) => println!("error: {why}"),
+            },
+        },
         Some("threads") => match parts.next() {
             Some(word) => match parse_parallelism(word) {
                 Ok(p) => {
@@ -885,6 +1034,24 @@ fn shell_command(
                         "  dirty shards: {} of {} (\\wal checkpoint rewrites only those)",
                         status.dirty_shards, status.total_shards,
                     );
+                    let m = metrics::registry();
+                    let last_sync = m
+                        .wal_last_sync_ns
+                        .load(std::sync::atomic::Ordering::Relaxed);
+                    let replay_drops = m
+                        .wal_replay_dropped
+                        .load(std::sync::atomic::Ordering::Relaxed);
+                    if last_sync > 0 || replay_drops > 0 {
+                        println!(
+                            "  last append+sync: {}; replay drops this process: {}",
+                            if last_sync > 0 {
+                                span::fmt_ns(last_sync)
+                            } else {
+                                "none yet".to_string()
+                            },
+                            replay_drops,
+                        );
+                    }
                     if let Some(why) = &status.pending_error {
                         println!("  WRITE PATH POISONED: {why}; \\wal checkpoint to recover");
                     }

@@ -18,6 +18,7 @@
 //! | [`index`] | `simq-index` | R*-tree with transformed traversal, kNN, joins, bulk loading |
 //! | [`storage`] | `simq-storage` | Relations, frequency-domain scans, persistence |
 //! | [`query`] | `simq-query` | The query language: parser, planner, executor, EXPLAIN |
+//! | [`obs`] | `simq-obs` | Observability: span tracing, metrics registry, slow-query log |
 //! | [`strings`] | `simq-strings` | The string instantiation: rewrite rules, edit distance, patterns |
 //! | [`data`] | `simq-data` | Workload generators (random walks, simulated stock market) |
 //!
@@ -51,6 +52,7 @@ pub use simq_core as core;
 pub use simq_data as data;
 pub use simq_dsp as dsp;
 pub use simq_index as index;
+pub use simq_obs as obs;
 pub use simq_query as query;
 pub use simq_series as series;
 pub use simq_storage as storage;

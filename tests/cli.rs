@@ -352,6 +352,10 @@ fn query_language_doc_examples_run() {
         "EXPLAIN FIND SIMILAR TO ROW 7 IN walks USING warp(2) EPSILON 1",
         "EXPLAIN FIND SIMILAR TO ROW 7 IN walks EPSILON 1 FORCE SCAN",
         "EXPLAIN FIND 5 NEAREST TO ROW 3 IN walks",
+        // EXPLAIN ANALYZE
+        "EXPLAIN ANALYZE FIND SIMILAR TO ROW 7 IN walks EPSILON 2.0",
+        "EXPLAIN ANALYZE FIND 5 NEAREST TO ROW 3 IN walks",
+        "EXPLAIN ANALYZE FIND PAIRS IN walks USING mavg(8) EPSILON 1.5 METHOD b",
         // Batches (one `;`-separated line = one batch)
         "FIND SIMILAR TO ROW 1 IN walks EPSILON 2; FIND SIMILAR TO ROW 2 IN walks EPSILON 2; FIND 5 NEAREST TO ROW 3 IN walks",
     ];
@@ -375,6 +379,8 @@ fn query_language_doc_examples_run() {
     assert!(stdout.contains("pairs:"), "{stdout}");
     assert!(stdout.contains("access: SeqScan"), "{stdout}");
     assert!(stdout.contains("access: IndexScan"), "{stdout}");
+    assert!(stdout.contains("operators:"), "{stdout}");
+    assert!(stdout.contains("range.descend"), "{stdout}");
     assert!(
         stdout.contains("prepared `p2` with 2 parameters"),
         "{stdout}"

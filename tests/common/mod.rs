@@ -133,7 +133,13 @@ pub fn access(db: &Database, q: &str) -> AccessPath {
 /// the same order, with bitwise-equal distances (the equivalence contract
 /// of the parallel, persistence and batch subsystems).
 pub fn assert_outputs_bitwise_equal(a: &QueryResult, b: &QueryResult, what: &str) {
-    match (&a.output, &b.output) {
+    assert_output_values_bitwise_equal(&a.output, &b.output, what);
+}
+
+/// The output-level body of [`assert_outputs_bitwise_equal`]; recursive so
+/// `EXPLAIN ANALYZE` wrappers compare by their inner output.
+pub fn assert_output_values_bitwise_equal(a: &QueryOutput, b: &QueryOutput, what: &str) {
+    match (a, b) {
         (QueryOutput::Hits(x), QueryOutput::Hits(y)) => {
             assert_eq!(x.len(), y.len(), "{what}");
             for (h, g) in x.iter().zip(y) {
@@ -156,6 +162,11 @@ pub fn assert_outputs_bitwise_equal(a: &QueryResult, b: &QueryResult, what: &str
             }
         }
         (QueryOutput::Plan(x), QueryOutput::Plan(y)) => assert_eq!(x, y, "{what}"),
+        // EXPLAIN ANALYZE reports carry wall-clock timings and so are never
+        // bitwise comparable; the *inner* outputs must be.
+        (QueryOutput::Analyzed { output: x, .. }, QueryOutput::Analyzed { output: y, .. }) => {
+            assert_output_values_bitwise_equal(x, y, what);
+        }
         other => panic!("mismatched outputs for {what}: {other:?}"),
     }
 }

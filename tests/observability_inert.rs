@@ -1,0 +1,270 @@
+//! Observability must observe, never steer: toggling span tracing on
+//! cannot change what any query computes — results stay bitwise
+//! identical and every schedule-independent work counter stays *equal*,
+//! not merely close.
+//!
+//! Covered surface: range (index and forced scan), kNN, all-pairs joins,
+//! prepared statements, streaming cursors and batches, each at 1 and 4
+//! threads over 1 and 4 shards; plus `EXPLAIN ANALYZE`, whose inner
+//! output must be bitwise identical to the uninstrumented run of the
+//! same query.
+//!
+//! The global tracing toggle is process-wide, so every test that flips
+//! it holds one mutex — the toggle tests serialize against each other
+//! but not against the rest of the suite (whose correctness cannot
+//! depend on the flag; that is the very property under test).
+//!
+//! Counter comparisons are scoped to schedule-independent
+//! configurations: serial runs compare everything, parallel non-kNN
+//! runs compare merged totals (dynamic subtree claiming moves shares
+//! *between* threads but cannot change the total work), and parallel
+//! kNN compares outputs only — its shared k-th-best bound makes even
+//! merged node/coefficient counts timing-dependent between any two
+//! runs, traced or not (the partition invariant for those lives in
+//! `tests/stats_consistency.rs`).
+
+mod common;
+
+use common::{assert_outputs_bitwise_equal, corpus, relation_with};
+use similarity_queries::obs::span;
+use similarity_queries::prelude::*;
+use similarity_queries::query::{Hit, QueryResult};
+use std::sync::Mutex;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Query forms under test (row 0 always exists in the fixtures).
+fn query_matrix() -> Vec<String> {
+    vec![
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r USING mavg(5) ON BOTH EPSILON 2.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0 FORCE SCAN".into(),
+        "FIND 5 NEAREST TO ROW 0 IN r".into(),
+        "FIND 5 NEAREST TO ROW 0 IN r FORCE SCAN".into(),
+        "FIND PAIRS IN r EPSILON 4.0 METHOD b".into(),
+        "FIND PAIRS IN r USING mavg(5) EPSILON 3.0 METHOD d".into(),
+    ]
+}
+
+/// A database over a seeded corpus: unsharded when `shards == 1`.
+fn build_db(shards: usize, threads: usize) -> Database {
+    let series = corpus(97, 60, 64);
+    let rel = relation_with(&series, FeatureScheme::paper_default());
+    let mut db = Database::new();
+    if shards > 1 {
+        db.add_relation_sharded(rel, shards);
+    } else {
+        db.add_relation_indexed(rel);
+    }
+    db.set_parallelism(if threads > 1 {
+        Parallelism::Fixed(threads)
+    } else {
+        Parallelism::Serial
+    });
+    db
+}
+
+/// Work counters that must not move when tracing turns on, scoped to
+/// what two independent runs can be expected to agree on (see the
+/// module docs): everything when serial, merged totals when parallel
+/// without a shared pruning bound, nothing when parallel kNN.
+fn assert_stats_equal(
+    off: &QueryResult,
+    on: &QueryResult,
+    threads: usize,
+    shared_bound: bool,
+    what: &str,
+) {
+    if threads == 1 {
+        assert_eq!(off.stats, on.stats, "{what}: merged stats moved");
+        assert_eq!(
+            off.per_thread, on.per_thread,
+            "{what}: per-thread stats moved"
+        );
+        assert_eq!(off.per_shard, on.per_shard, "{what}: per-shard stats moved");
+    } else if !shared_bound {
+        assert_eq!(off.stats, on.stats, "{what}: merged stats moved");
+    }
+}
+
+/// Whether a query form prunes against a shared k-th-best bound (the
+/// one execution phase whose counters are timing-dependent).
+fn uses_shared_bound(q: &str) -> bool {
+    q.contains("NEAREST")
+}
+
+#[test]
+fn tracing_is_inert_for_every_query_form() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let db = build_db(shards, threads);
+            for q in query_matrix() {
+                let label = format!("{q} (threads {threads}, shards {shards})");
+                span::set_tracing(false);
+                let off = execute(&db, &q).expect("query runs with tracing off");
+                span::set_tracing(true);
+                let on = execute(&db, &q).expect("query runs with tracing on");
+                let records = span::take_records();
+                span::set_tracing(false);
+                assert!(
+                    !records.is_empty(),
+                    "{label}: tracing on collected no spans"
+                );
+                assert_outputs_bitwise_equal(&off, &on, &label);
+                assert_stats_equal(&off, &on, threads, uses_shared_bound(&q), &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_is_inert_for_prepared_statements_and_cursors() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let db = build_db(shards, threads);
+            let label = format!("prepared/cursor (threads {threads}, shards {shards})");
+
+            let run = |tracing: bool| -> (QueryResult, Vec<Hit>) {
+                span::set_tracing(tracing);
+                let session = Session::new(&db);
+                let p = session
+                    .prepare("FIND SIMILAR TO ROW ? IN r EPSILON ?")
+                    .unwrap();
+                let bound = p.bind(&[Value::from(0u64), Value::from(25.0)]).unwrap();
+                let executed = session.execute(&bound).unwrap();
+                let streamed: Vec<Hit> = session.cursor(&bound).unwrap().collect();
+                let _ = span::take_records();
+                span::set_tracing(false);
+                (executed, streamed)
+            };
+            let (exec_off, stream_off) = run(false);
+            let (exec_on, stream_on) = run(true);
+
+            assert_outputs_bitwise_equal(&exec_off, &exec_on, &label);
+            assert_stats_equal(&exec_off, &exec_on, threads, false, &label);
+            assert_eq!(stream_off.len(), stream_on.len(), "{label}");
+            for (a, b) in stream_off.iter().zip(&stream_on) {
+                assert_eq!(a.id, b.id, "{label}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_is_inert_for_batches() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let texts = [
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0",
+        "FIND SIMILAR TO ROW 1 IN r EPSILON 3.0",
+        "FIND SIMILAR TO ROW 2 IN r EPSILON 2.0",
+        "FIND 4 NEAREST TO ROW 3 IN r",
+    ];
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let db = build_db(shards, threads);
+            let label = format!("batch (threads {threads}, shards {shards})");
+
+            span::set_tracing(false);
+            let off = execute_batch(&db, &texts);
+            span::set_tracing(true);
+            let on = execute_batch(&db, &texts);
+            let _ = span::take_records();
+            span::set_tracing(false);
+
+            // The batch contains a kNN member, so its counters are only
+            // schedule-independent when execution is serial.
+            if threads == 1 {
+                assert_eq!(off.stats.merged, on.stats.merged, "{label}");
+                assert_eq!(
+                    off.stats.per_query_total, on.stats.per_query_total,
+                    "{label}"
+                );
+            }
+            for (i, (a, b)) in off.results.iter().zip(&on.results).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_outputs_bitwise_equal(a, b, &format!("{label} [{i}]"));
+            }
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_output_is_bitwise_identical_to_plain_execution() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    span::set_tracing(false);
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let db = build_db(shards, threads);
+            for q in query_matrix() {
+                let label = format!("ANALYZE {q} (threads {threads}, shards {shards})");
+                let plain = execute(&db, &q).expect("plain query runs");
+                let analyzed =
+                    execute(&db, &format!("EXPLAIN ANALYZE {q}")).expect("analyzed query runs");
+                let QueryOutput::Analyzed { report, output } = &analyzed.output else {
+                    panic!("{label}: expected an Analyzed output");
+                };
+                assert!(report.contains("operators:"), "{label}: report\n{report}");
+                assert!(report.contains("total:"), "{label}");
+                // The wrapper carries the inner run's counters verbatim
+                // (comparable against a separate plain run only when the
+                // counters are schedule-independent).
+                if threads == 1 || !uses_shared_bound(&q) {
+                    assert_eq!(plain.stats, analyzed.stats, "{label}");
+                }
+                let unwrapped = QueryResult {
+                    output: (**output).clone(),
+                    plan: analyzed.plan.clone(),
+                    stats: analyzed.stats,
+                    per_thread: analyzed.per_thread.clone(),
+                    per_shard: analyzed.per_shard.clone(),
+                };
+                assert_outputs_bitwise_equal(&plain, &unwrapped, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn analyze_in_a_batch_matches_plain_execution() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    span::set_tracing(false);
+    let db = build_db(4, 4);
+    let plain = execute(&db, "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0").unwrap();
+    let batch = execute_batch(
+        &db,
+        &[
+            "EXPLAIN ANALYZE FIND SIMILAR TO ROW 0 IN r EPSILON 3.0",
+            "FIND SIMILAR TO ROW 1 IN r EPSILON 3.0",
+        ],
+    );
+    let analyzed = batch.results[0].as_ref().unwrap();
+    let QueryOutput::Analyzed { output, .. } = &analyzed.output else {
+        panic!("expected an Analyzed output from the batch");
+    };
+    let unwrapped = QueryResult {
+        output: (**output).clone(),
+        plan: analyzed.plan.clone(),
+        stats: analyzed.stats,
+        per_thread: analyzed.per_thread.clone(),
+        per_shard: analyzed.per_shard.clone(),
+    };
+    assert_outputs_bitwise_equal(&plain, &unwrapped, "batched ANALYZE");
+}
+
+#[test]
+fn spans_collect_nothing_while_tracing_is_off() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    span::set_tracing(false);
+    let _ = span::take_records();
+    let db = build_db(4, 4);
+    for q in query_matrix() {
+        let _ = execute(&db, &q).unwrap();
+    }
+    assert!(
+        span::take_records().is_empty(),
+        "spans were recorded with tracing off"
+    );
+}

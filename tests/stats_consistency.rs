@@ -1,0 +1,145 @@
+//! The counter-breakdown contract of `QueryResult`: the `per_thread` and
+//! `per_shard` vectors are *partitions* of the merged `stats`, not
+//! estimates. Each search/scan counter lives in exactly one breakdown —
+//! per-thread for single-relation parallel phases, per-shard for shard
+//! fan-out — so across both vectors the shares sum exactly to the merged
+//! totals. This hardens the `fold_*` helpers in `simq-query::exec`
+//! against silently dropping a phase (the bug class the deferred
+//! radius-coefficient fold in kNN exists to prevent).
+//!
+//! Coefficient comparisons are the one counter with a deliberate gap:
+//! serial sharded *index* execution does its verification on the calling
+//! thread with no per-thread vector to charge, so the breakdown sum is
+//! `<=` the merged count there and exactly equal whenever a per-thread
+//! vector exists (and on every scan path, where shards carry their own
+//! coefficient counts).
+
+mod common;
+
+use common::{corpus, relation_with};
+use proptest::prelude::*;
+use similarity_queries::prelude::*;
+use similarity_queries::query::QueryResult;
+
+fn query_matrix() -> Vec<String> {
+    vec![
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 25.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r USING mavg(5) ON BOTH EPSILON 2.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0 FORCE SCAN".into(),
+        "FIND 5 NEAREST TO ROW 0 IN r".into(),
+        "FIND 5 NEAREST TO ROW 0 IN r USING mavg(5) ON BOTH".into(),
+        "FIND 5 NEAREST TO ROW 0 IN r FORCE SCAN".into(),
+    ]
+}
+
+/// Asserts the partition property for one execution.
+fn assert_breakdowns_sum(result: &QueryResult, label: &str) {
+    let pt = &result.per_thread;
+    let ps = &result.per_shard;
+    if pt.is_empty() && ps.is_empty() {
+        return; // fully serial, unsharded: no breakdowns to check
+    }
+    let sum = |f: fn(&similarity_queries::query::ExecStats) -> u64| -> u64 {
+        pt.iter().map(f).sum::<u64>() + ps.iter().map(f).sum::<u64>()
+    };
+    assert_eq!(
+        sum(|s| s.nodes_visited),
+        result.stats.nodes_visited,
+        "{label}: nodes_visited breakdown"
+    );
+    assert_eq!(
+        sum(|s| s.leaves_visited),
+        result.stats.leaves_visited,
+        "{label}: leaves_visited breakdown"
+    );
+    assert_eq!(
+        sum(|s| s.entries_tested),
+        result.stats.entries_tested,
+        "{label}: entries_tested breakdown"
+    );
+    assert_eq!(
+        sum(|s| s.rows_scanned),
+        result.stats.rows_scanned,
+        "{label}: rows_scanned breakdown"
+    );
+    let coeffs = sum(|s| s.coefficients_compared);
+    assert!(
+        coeffs <= result.stats.coefficients_compared,
+        "{label}: coefficient breakdown exceeds merged ({coeffs} > {})",
+        result.stats.coefficients_compared
+    );
+    if !pt.is_empty() {
+        assert_eq!(
+            coeffs, result.stats.coefficients_compared,
+            "{label}: coefficient breakdown with per-thread accounting"
+        );
+    }
+}
+
+fn db_over(series: &[Vec<f64>], shards: usize, threads: usize) -> Database {
+    let rel = relation_with(series, FeatureScheme::paper_default());
+    let mut db = Database::new();
+    if shards > 1 {
+        db.add_relation_sharded(rel, shards);
+    } else {
+        db.add_relation_indexed(rel);
+    }
+    db.set_parallelism(if threads > 1 {
+        Parallelism::Fixed(threads)
+    } else {
+        Parallelism::Serial
+    });
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary corpora × shard counts × thread counts: per-thread and
+    /// per-shard counters always partition the merged totals.
+    #[test]
+    fn breakdowns_partition_merged_stats(
+        seed in 0u64..1_000,
+        rows in 20usize..80,
+        shards in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let series = corpus(seed, rows, 64);
+        let db = db_over(&series, shards, threads);
+        for q in query_matrix() {
+            let result = execute(&db, &q).expect("matrix query runs");
+            assert_breakdowns_sum(
+                &result,
+                &format!("{q} (seed {seed}, rows {rows}, shards {shards}, threads {threads})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_unsharded_execution_reports_no_breakdowns() {
+    let series = corpus(5, 40, 64);
+    let db = db_over(&series, 1, 1);
+    for q in query_matrix() {
+        let result = execute(&db, &q).unwrap();
+        assert!(result.per_thread.is_empty(), "{q}");
+        assert!(result.per_shard.is_empty(), "{q}");
+    }
+}
+
+#[test]
+fn sharded_parallel_knn_keeps_radius_coefficients_in_the_breakdown() {
+    // The regression this suite pins: in sharded-parallel kNN the
+    // per-thread vector appears only at the verify phase, so the radius
+    // coefficient work must be folded *after* it — otherwise the
+    // breakdown undercounts exactly the radius comparisons.
+    let series = corpus(11, 120, 64);
+    let db = db_over(&series, 4, 4);
+    let result = execute(&db, "FIND 10 NEAREST TO ROW 0 IN r").unwrap();
+    assert!(
+        !result.per_thread.is_empty(),
+        "fixture too small: the verify phase did not fan out, so the test pins nothing"
+    );
+    assert_breakdowns_sum(&result, "sharded-parallel kNN");
+}
