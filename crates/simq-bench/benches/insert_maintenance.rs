@@ -80,11 +80,17 @@ fn bench(c: &mut Criterion) {
         built as f64 / inserts as f64,
     );
 
+    // Group-commit evidence rides in the same bench binary (it is the
+    // other half of the insert story: tree maintenance above, WAL sync
+    // amortization here).
+    let smoke = std::env::args().any(|a| a == "--test");
+    group_commit_evidence(quick, smoke);
+
     // The persisted trajectory: median timings per path + the registry's
     // counter snapshot, written as BENCH_insert_maintenance.json. Skipped
     // in `--test` smoke mode so it never clobbers committed reports with
     // one-iteration noise.
-    if std::env::args().any(|a| a == "--test") {
+    if smoke {
         return;
     }
     let mut report = BenchReport::new("insert_maintenance");
@@ -109,6 +115,117 @@ fn bench(c: &mut Criterion) {
     report.note("counter_nodes_built", built);
     report.note("counter_rebuild_nodes", rebuilt);
     report.write();
+}
+
+/// Durable-insert sync amortization: with a WAL attached, a serial
+/// `insert_into` loop pays one `sync_data` per row; the same rows through
+/// `insert_batch` group-commit pay one per *touched shard* per batch. The
+/// ratios come straight from the metrics registry's `wal.syncs` counter
+/// (the same numbers `\wal` status derives), and land in
+/// `BENCH_insert_group_commit.json` unless in `--test` smoke mode.
+fn group_commit_evidence(quick: bool, smoke: bool) {
+    use std::sync::atomic::Ordering;
+
+    let shards = 4usize;
+    let rows_per_batch = if quick { 16usize } else { 64 };
+    let samples = if quick { 4usize } else { 10 };
+    let base_rows = if quick { 200 } else { 1_000 };
+
+    let tmp = std::env::temp_dir().join(format!("simq-bench-gc-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    let durable_db = |tag: &str| {
+        let mut db = Database::new();
+        db.add_relation_indexed(walk_relation("r", base_rows, 128));
+        db.shard_relation("r", shards)
+            .expect("reshard bench relation");
+        db.attach_wal(tmp.join(tag)).expect("attach bench WAL dir");
+        db
+    };
+    let mut serial_db = durable_db("serial");
+    let mut batch_db = durable_db("batch");
+    let m = simq_obs::metrics::registry();
+    let mut gen = WalkGenerator::new(23);
+    let mut report = BenchReport::new("insert_group_commit");
+
+    // One acked row at a time: every insert is its own WAL append + sync.
+    let mut name = 0u64;
+    let syncs_at = m.wal_syncs.load(Ordering::Relaxed);
+    let mut serial_inserts = 0u64;
+    report.measure(
+        format!("serial_insert_loop/{rows_per_batch}"),
+        samples,
+        || {
+            for _ in 0..rows_per_batch {
+                name += 1;
+                serial_inserts += 1;
+                serial_db
+                    .insert_into("r", format!("s{name}"), gen.series(128))
+                    .unwrap();
+            }
+        },
+    );
+    let serial_syncs = m.wal_syncs.load(Ordering::Relaxed) - syncs_at;
+
+    // The same rows as `;`-batches: one grouped append + sync per shard,
+    // rows applied by the per-shard concurrent writers.
+    let syncs_at = m.wal_syncs.load(Ordering::Relaxed);
+    let mut batch_rows = 0u64;
+    let mut batch_runs = 0u64;
+    report.measure(
+        format!("grouped_batch_insert/{rows_per_batch}"),
+        samples,
+        || {
+            let rows = (0..rows_per_batch)
+                .map(|_| {
+                    name += 1;
+                    batch_rows += 1;
+                    (format!("b{name}"), gen.series(128))
+                })
+                .collect();
+            batch_runs += 1;
+            batch_db.insert_batch("r", rows).unwrap()
+        },
+    );
+    let batch_syncs = m.wal_syncs.load(Ordering::Relaxed) - syncs_at;
+
+    println!(
+        "insert_group_commit: serial {serial_syncs} syncs / {serial_inserts} inserts \
+         ({:.3}/insert); grouped {batch_syncs} syncs / {batch_rows} rows in {batch_runs} \
+         batches of {rows_per_batch} across {shards} shards ({:.3}/insert, \
+         {:.3}/shard-batch)",
+        serial_syncs as f64 / serial_inserts as f64,
+        batch_syncs as f64 / batch_rows as f64,
+        batch_syncs as f64 / (batch_runs * shards as u64) as f64,
+    );
+
+    report.note("shards", shards as u64);
+    report.note("rows_per_batch", rows_per_batch as u64);
+    report.note("serial_inserts", serial_inserts);
+    report.note("serial_wal_syncs", serial_syncs);
+    report.note("batch_rows", batch_rows);
+    report.note("batch_runs", batch_runs);
+    report.note("batch_wal_syncs", batch_syncs);
+    // Fixed-point ratios (×1000) so the JSON stays integer-valued:
+    // serial sits at ~1000 per insert, grouped at ~1000 per shard-batch
+    // and ~1000·shards/rows_per_batch per insert.
+    report.note(
+        "syncs_per_insert_x1000_serial",
+        serial_syncs * 1000 / serial_inserts.max(1),
+    );
+    report.note(
+        "syncs_per_insert_x1000_batch",
+        batch_syncs * 1000 / batch_rows.max(1),
+    );
+    report.note(
+        "syncs_per_shard_batch_x1000",
+        batch_syncs * 1000 / (batch_runs * shards as u64).max(1),
+    );
+    if !smoke {
+        report.write();
+    }
+    drop(serial_db);
+    drop(batch_db);
+    std::fs::remove_dir_all(&tmp).ok();
 }
 
 criterion_group!(benches, bench);

@@ -141,6 +141,13 @@ pub struct Registry {
     pub batch_queries: AtomicU64,
     /// `wal.appends` — acknowledged WAL record appends.
     pub wal_appends: AtomicU64,
+    /// `wal.syncs` — physical `sync_data` calls on WAL files. One group
+    /// commit syncs once for many appended records, so
+    /// `wal.appends / wal.syncs` is the realized group size.
+    pub wal_syncs: AtomicU64,
+    /// `wal.group_commits` — batched appends (≥ 1 record per sync)
+    /// committed through the group-commit path.
+    pub wal_group_commits: AtomicU64,
     /// `wal.sync_latency_ns` — write+sync latency per WAL append.
     pub wal_sync_latency: Histogram,
     /// `wal.last_sync_ns` (gauge) — latency of the most recent append.
@@ -195,6 +202,8 @@ impl Registry {
                 ("batch.groups", c(&self.batch_groups)),
                 ("batch.queries", c(&self.batch_queries)),
                 ("wal.appends", c(&self.wal_appends)),
+                ("wal.syncs", c(&self.wal_syncs)),
+                ("wal.group_commits", c(&self.wal_group_commits)),
                 ("wal.replay.applied", c(&self.wal_replay_applied)),
                 ("wal.replay.dropped", c(&self.wal_replay_dropped)),
                 ("checkpoint.count", c(&self.checkpoint_count)),
@@ -211,6 +220,25 @@ impl Registry {
                 ("query.latency_ns", self.query_latency.snapshot()),
                 ("wal.sync_latency_ns", self.wal_sync_latency.snapshot()),
             ],
+            derived: {
+                let appends = c(&self.wal_appends);
+                let syncs = c(&self.wal_syncs);
+                let ratio = |num: u64, den: u64| {
+                    if den == 0 {
+                        0.0
+                    } else {
+                        num as f64 / den as f64
+                    }
+                };
+                vec![
+                    // Realized records-per-sync: → batch size under group
+                    // commit, 1.0 on the record-at-a-time path.
+                    ("wal.group_size", ratio(appends, syncs)),
+                    // The cost the batching amortizes: → 1/batch under
+                    // group commit, 1.0 without it.
+                    ("wal.syncs_per_insert", ratio(syncs, appends)),
+                ]
+            },
         }
     }
 }
@@ -230,6 +258,9 @@ pub struct Snapshot {
     pub gauges: Vec<(&'static str, u64)>,
     /// Latency histograms.
     pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    /// Ratios computed from counters at snapshot time (e.g.
+    /// `wal.group_size` = appends/syncs). Zero when the denominator is.
+    pub derived: Vec<(&'static str, f64)>,
 }
 
 impl Snapshot {
@@ -256,6 +287,10 @@ impl Snapshot {
                 crate::span::fmt_ns(h.max),
             );
         }
+        out.push_str("derived:\n");
+        for (name, value) in &self.derived {
+            let _ = writeln!(out, "  {name:<26} {value:.3}");
+        }
         out
     }
 
@@ -264,11 +299,13 @@ impl Snapshot {
     /// ```json
     /// {"schema":1,"counters":{…},"gauges":{…},
     ///  "histograms":{"name":{"count":…,"sum_ns":…,"p50_ns":…,
-    ///                        "p95_ns":…,"p99_ns":…,"max_ns":…}}}
+    ///                        "p95_ns":…,"p99_ns":…,"max_ns":…}},
+    ///  "derived":{"wal.group_size":…,"wal.syncs_per_insert":…}}
     /// ```
     ///
-    /// Every key is a fixed metric name and every value an unsigned
-    /// integer, so no string escaping is needed.
+    /// Every key is a fixed metric name and every value a number
+    /// (unsigned integers except the derived ratios), so no string
+    /// escaping is needed.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"schema\":1,\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -294,6 +331,13 @@ impl Snapshot {
                 "\"{name}\":{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
                 h.count, h.sum, h.p50, h.p95, h.p99, h.max
             );
+        }
+        out.push_str("},\"derived\":{");
+        for (i, (name, value)) in self.derived.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value:.3}");
         }
         out.push_str("}}");
         out
@@ -360,6 +404,8 @@ mod tests {
         assert!(json.contains(
             "\"query.latency_ns\":{\"count\":0,\"sum_ns\":0,\"p50_ns\":0,\"p95_ns\":0,\"p99_ns\":0,\"max_ns\":0}"
         ));
+        assert!(json.contains("\"derived\":{\"wal.group_size\":0.000"));
+        assert!(json.contains("\"wal.syncs_per_insert\":0.000"));
         assert!(json.ends_with("}}"));
         // Balanced braces — the document is structurally sound.
         let opens = json.matches('{').count();
@@ -373,6 +419,8 @@ mod tests {
         assert!(text.contains("counters:"));
         assert!(text.contains("gauges:"));
         assert!(text.contains("histograms:"));
+        assert!(text.contains("derived:"));
         assert!(text.contains("plan_cache.hits"));
+        assert!(text.contains("wal.group_size"));
     }
 }

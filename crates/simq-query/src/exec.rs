@@ -66,6 +66,10 @@ pub struct ExecStats {
     /// WAL records appended by write operations (0 for reads and when no
     /// WAL directory is attached).
     pub wal_records: u64,
+    /// Physical WAL syncs paid by write operations. Group commit is what
+    /// keeps this below `wal_records`: a batched insert syncs once per
+    /// touched shard, not once per row.
+    pub wal_syncs: u64,
 }
 
 impl ExecStats {
@@ -93,6 +97,7 @@ impl ExecStats {
         self.plan_cache_misses += o.plan_cache_misses;
         self.nodes_built += o.nodes_built;
         self.wal_records += o.wal_records;
+        self.wal_syncs += o.wal_syncs;
     }
 }
 
@@ -688,9 +693,11 @@ fn range(
                 let mut compared = 0u64;
                 let out = verify(&candidates, &mut compared);
                 stats.coefficients_compared += compared;
-                if !per_thread.is_empty() {
-                    // Calling-thread work counts against entry 0 so the
-                    // per-thread shares still sum to the merged totals.
+                if !per_thread.is_empty() || !per_shard.is_empty() {
+                    // Calling-thread work counts against per-thread entry
+                    // 0 (created on demand for sharded executions whose
+                    // search phase charged only per-shard entries), so
+                    // the breakdowns always sum to the merged totals.
                     fold_coefficients(&mut per_thread, &[compared]);
                 }
                 out
@@ -779,17 +786,16 @@ fn range(
     })
 }
 
-/// The fan-out a finished execution reports: the widest per-thread phase
-/// when one ran; for sharded executions without per-thread accounting,
-/// the shard-level fan-out (capped by the configured thread count); 1
-/// otherwise.
+/// The fan-out a finished execution reports: the widest phase — the
+/// per-thread vector's width (which may include a synthetic entry 0 for
+/// calling-thread verify work) or the shard-level fan-out (capped by the
+/// configured thread count), whichever is larger; 1 when fully serial.
 fn threads_used(per_thread: &[ExecStats], stats: &ExecStats, threads: usize) -> u64 {
-    if !per_thread.is_empty() {
-        per_thread.len() as u64
-    } else if stats.shards_touched > 0 && threads > 1 {
-        (stats.shards_touched).min(threads as u64).max(1)
+    let widest = per_thread.len() as u64;
+    if stats.shards_touched > 0 && threads > 1 {
+        widest.max(stats.shards_touched.min(threads as u64)).max(1)
     } else {
-        1
+        widest.max(1)
     }
 }
 
@@ -951,13 +957,16 @@ fn knn(
                     let mut compared = 0u64;
                     let out = verify(&candidates, &mut compared);
                     stats.coefficients_compared += compared;
-                    if !per_thread.is_empty() {
+                    if !per_thread.is_empty() || !per_shard.is_empty() {
+                        // Calling-thread verify charges per-thread entry
+                        // 0, created on demand for sharded executions —
+                        // see the matching branch in `range`.
                         fold_coefficients(&mut per_thread, &[compared]);
                     }
                     out
                 };
                 // Deferred radius fold (see the comment at knn.radius).
-                if !per_thread.is_empty() {
+                if !per_thread.is_empty() || !per_shard.is_empty() {
                     fold_coefficients(&mut per_thread, &[radius_compared]);
                 }
                 out.sort_by(|a, b| {

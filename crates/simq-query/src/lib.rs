@@ -38,7 +38,7 @@ pub use error::QueryError;
 pub use exec::{execute, run, run_with_plan, ExecStats, Hit, PairHit, QueryOutput, QueryResult};
 pub use parse::{parse, parse_template, ParsedTemplate};
 pub use plan::{
-    explain, plan as plan_query, AccessPath, Database, InsertReport, Parallelism, Plan,
-    StoredRelation, WalStatus,
+    explain, plan as plan_query, AccessPath, Database, InsertBatchReport, InsertReport,
+    Parallelism, Plan, ReadView, StoredRelation, WalStatus,
 };
 pub use session::{Bound, Cursor, Prepared, Session, SessionStats, Slot, Value};

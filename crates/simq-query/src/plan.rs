@@ -301,6 +301,29 @@ pub struct InsertReport {
     pub wal_appended: bool,
 }
 
+/// What one [`Database::insert_batch`] call did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InsertBatchReport {
+    /// Acknowledged rows as `(input index, report)`, in input order.
+    /// Every acked row's WAL group flush returned from its sync (when a
+    /// WAL is attached) **before** the in-memory apply, exactly the
+    /// [`Database::insert_into`] guarantee.
+    pub acked: Vec<(usize, InsertReport)>,
+    /// Rows that failed after validation, as `(input index, error)`.
+    /// Failure is per shard: a shard whose WAL group append fails fails
+    /// every row routed to it, while other shards still commit.
+    pub failed: Vec<(usize, String)>,
+    /// Distinct shards that took at least one acknowledged row.
+    pub shards_touched: usize,
+    /// WAL records appended (= acked rows when a WAL is attached).
+    pub wal_records: u64,
+    /// WAL syncs issued — at most one per touched shard, the group-commit
+    /// win over [`Database::insert_into`]'s one sync per row.
+    pub wal_syncs: u64,
+    /// R*-tree nodes materialized across all shards.
+    pub nodes_built: u64,
+}
+
 /// The `\wal` status line: where the durable state lives and what the
 /// write path has done so far.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -322,9 +345,15 @@ pub struct WalStatus {
 }
 
 /// A named collection of relations.
+///
+/// Relations are held behind [`Arc`]s so a [`ReadView`] is a cheap,
+/// generation-stamped shallow copy of the catalog: writers mutate through
+/// [`Arc::make_mut`] (copy-on-write — in place when no view holds the
+/// relation, a clone when one does), so readers never block on writers and
+/// a view's answers never shift mid-query.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<String, StoredRelation>,
+    relations: BTreeMap<String, Arc<StoredRelation>>,
     parallelism: Parallelism,
     /// Catalog generation: bumped by every mutation that could change a
     /// plan (relations added/replaced/mutated, parallelism changed).
@@ -332,6 +361,9 @@ pub struct Database {
     generation: u64,
     /// The durable write path, when a WAL directory is attached.
     durability: Option<Durability>,
+    /// Route single-record WAL appends through the owning shard's
+    /// [`simq_storage::WriteGroup`] so concurrent writers coalesce syncs.
+    group_commit: bool,
 }
 
 impl Database {
@@ -355,10 +387,10 @@ impl Database {
         let name = relation.name().to_string();
         self.relations.insert(
             name.clone(),
-            StoredRelation::Single {
+            Arc::new(StoredRelation::Single {
                 relation,
                 index: None,
-            },
+            }),
         );
         self.after_ddl(&name);
     }
@@ -370,10 +402,10 @@ impl Database {
         let name = relation.name().to_string();
         self.relations.insert(
             name.clone(),
-            StoredRelation::Single {
+            Arc::new(StoredRelation::Single {
                 relation,
                 index: Some(index),
-            },
+            }),
         );
         self.after_ddl(&name);
     }
@@ -393,10 +425,10 @@ impl Database {
         let name = sharded.name().to_string();
         self.relations.insert(
             name.clone(),
-            StoredRelation::Sharded {
+            Arc::new(StoredRelation::Sharded {
                 relation: sharded,
                 indexes,
-            },
+            }),
         );
         self.after_ddl(&name);
     }
@@ -424,7 +456,7 @@ impl Database {
                 "shard count must be at least 1".into(),
             ));
         }
-        match self.relations.get(name) {
+        match self.relations.get(name).map(Arc::as_ref) {
             None => return Err(QueryError::UnknownRelation(name.to_string())),
             // Already the requested shape (a Single with an index counts
             // as "1 shard" only if it actually has a tree — `\shard r 1`
@@ -437,6 +469,9 @@ impl Database {
         }
         let stored = self.relations.remove(name).expect("presence checked above");
         self.generation += 1;
+        // A live read view may still hold this relation; take the value
+        // out of the Arc when we are the only owner, clone otherwise.
+        let stored = Arc::try_unwrap(stored).unwrap_or_else(|shared| (*shared).clone());
         let single = match stored {
             StoredRelation::Single { relation, .. } => relation,
             StoredRelation::Sharded { relation, .. } => relation.into_single(),
@@ -459,14 +494,14 @@ impl Database {
                 indexes,
             }
         };
-        self.relations.insert(name.to_string(), rebuilt);
+        self.relations.insert(name.to_string(), Arc::new(rebuilt));
         self.after_ddl(name);
         Ok(())
     }
 
     /// Looks a relation up by name.
     pub fn relation(&self, name: &str) -> Option<&StoredRelation> {
-        self.relations.get(name)
+        self.relations.get(name).map(Arc::as_ref)
     }
 
     /// Mutable lookup (to build or drop indexes). When the relation
@@ -484,7 +519,7 @@ impl Database {
                 d.dirty.remove(name);
             }
         }
-        self.relations.get_mut(name)
+        self.relations.get_mut(name).map(Arc::make_mut)
     }
 
     /// Names of all relations.
@@ -523,7 +558,7 @@ impl Database {
         let entries: Vec<SnapshotSource> = self
             .relations
             .values()
-            .map(|s| match s {
+            .map(|s| match s.as_ref() {
                 StoredRelation::Single { relation, index } => {
                     SnapshotSource::Single(relation, index.as_ref())
                 }
@@ -572,7 +607,8 @@ impl Database {
                 }
             };
             names.push(stored.name().to_string());
-            self.relations.insert(stored.name().to_string(), stored);
+            self.relations
+                .insert(stored.name().to_string(), Arc::new(stored));
         }
         if let Some(d) = &mut self.durability {
             for name in &names {
@@ -650,7 +686,8 @@ impl Database {
                     StoredRelation::Sharded { relation, indexes }
                 }
             };
-            db.relations.insert(stored.name().to_string(), stored);
+            db.relations
+                .insert(stored.name().to_string(), Arc::new(stored));
         }
         // Checkpoints + logs already hold everything replay applied, so
         // every shard starts clean.
@@ -739,7 +776,7 @@ impl Database {
         }
         stored.scheme().extract(&series)?;
         let id = stored.next_id();
-        let shard = match stored {
+        let shard = match stored.as_ref() {
             StoredRelation::Single { .. } => 0,
             StoredRelation::Sharded { relation, .. } => relation.shard_of(id),
         };
@@ -750,26 +787,36 @@ impl Database {
         };
         let mut wal_appended = false;
         if let Some(d) = &mut self.durability {
-            d.store
-                .append_insert(relation, shard, &record)
-                .map_err(QueryError::from)?;
+            if self.group_commit {
+                // Route through the shard's write group: concurrent
+                // submitters share syncs; this still returns only after
+                // the flush covering the record has synced.
+                d.store
+                    .append_insert_grouped(relation, shard, &record)
+                    .map_err(QueryError::from)?;
+            } else {
+                d.store
+                    .append_insert(relation, shard, &record)
+                    .map_err(QueryError::from)?;
+            }
             d.wal_records += 1;
             wal_appended = true;
         }
         let WalRecord { id, name, series } = record;
-        let (shard, nodes_built) = self
-            .relations
-            .get_mut(relation)
-            .expect("relation presence checked above")
-            .insert_with_id(id, name, series)
-            .map_err(|e| {
-                // Unreachable by construction (pre-validated); poison the
-                // write path rather than leave a logged-but-unapplied row.
-                if let Some(d) = &mut self.durability {
-                    d.pending_error = Some(format!("validated insert failed to apply: {e}"));
-                }
-                QueryError::Storage(format!("validated insert failed to apply: {e}"))
-            })?;
+        let (shard, nodes_built) = Arc::make_mut(
+            self.relations
+                .get_mut(relation)
+                .expect("relation presence checked above"),
+        )
+        .insert_with_id(id, name, series)
+        .map_err(|e| {
+            // Unreachable by construction (pre-validated); poison the
+            // write path rather than leave a logged-but-unapplied row.
+            if let Some(d) = &mut self.durability {
+                d.pending_error = Some(format!("validated insert failed to apply: {e}"));
+            }
+            QueryError::Storage(format!("validated insert failed to apply: {e}"))
+        })?;
         self.generation += 1;
         if let Some(d) = &mut self.durability {
             let shard_count = self.relations[relation].shard_count();
@@ -792,6 +839,262 @@ impl Database {
             nodes_built,
             wal_appended,
         })
+    }
+
+    /// Inserts a batch of series through the durable write path with one
+    /// WAL group append (one write + one sync) per touched shard, and —
+    /// for sharded relations under [`Parallelism`] > 1 — concurrent
+    /// per-shard writers: each shard is owned by exactly one scoped
+    /// worker thread, so inserts to distinct shards proceed in parallel
+    /// while rows within a shard apply strictly in id order.
+    ///
+    /// Ids are assigned in input order from the relation's `next_id`, so
+    /// the resulting database state is **bitwise identical** to calling
+    /// [`Database::insert_into`] once per row in order (pinned by
+    /// `tests/insert_equivalence.rs`), at a fraction of the syncs.
+    ///
+    /// The whole batch is validated before anything is logged. After
+    /// validation, failure is per shard: a shard whose group append fails
+    /// fails every row routed to it (none applied — atomically absent),
+    /// while other shards commit. The call errors only when *no* row was
+    /// acknowledged.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownRelation`], domain errors for any invalid row
+    /// (nothing logged or applied), and [`QueryError::Storage`] when
+    /// every shard's WAL append failed or the write path is poisoned.
+    pub fn insert_batch(
+        &mut self,
+        relation: &str,
+        rows: Vec<(String, Vec<f64>)>,
+    ) -> Result<InsertBatchReport, QueryError> {
+        if rows.is_empty() {
+            return Ok(InsertBatchReport::default());
+        }
+        if let Some(d) = &self.durability {
+            if let Some(e) = &d.pending_error {
+                return Err(QueryError::Storage(format!(
+                    "write path poisoned by a failed checkpoint: {e} (run a checkpoint to recover)"
+                )));
+            }
+        }
+        let stored = self
+            .relations
+            .get(relation)
+            .ok_or_else(|| QueryError::UnknownRelation(relation.to_string()))?;
+        // Validate every row before logging anything: validation failures
+        // reject the whole batch up front, so the WAL never holds a
+        // record replay would have to reject.
+        for (_, series) in &rows {
+            if series.len() != stored.series_len() {
+                return Err(SeriesError::DimensionMismatch {
+                    expected: stored.series_len(),
+                    actual: series.len(),
+                }
+                .into());
+            }
+            stored.scheme().extract(series)?;
+        }
+        let base_id = stored.next_id();
+        let shard_count = stored.shard_count();
+        let layout = match stored.as_ref() {
+            StoredRelation::Single { .. } => None,
+            StoredRelation::Sharded { relation, .. } => Some(relation.layout()),
+        };
+        let n = rows.len() as u64;
+        // Ids are assigned in input order (serial-equivalent) and routed
+        // by the shard layout; within a shard records stay id-ascending.
+        let mut per_shard: Vec<(Vec<usize>, Vec<WalRecord>)> =
+            (0..shard_count).map(|_| (Vec::new(), Vec::new())).collect();
+        for (i, (name, series)) in rows.into_iter().enumerate() {
+            let id = base_id + i as u64;
+            let shard = layout.as_ref().map_or(0, |l| l.shard_of(id));
+            per_shard[shard].0.push(i);
+            per_shard[shard].1.push(WalRecord { id, name, series });
+        }
+        let threads = self.parallelism.threads();
+        let dur = self.durability.as_ref().map(|d| &d.store);
+        let stored = Arc::make_mut(
+            self.relations
+                .get_mut(relation)
+                .expect("relation presence checked above"),
+        );
+        let mut outcomes: Vec<ShardBatchOutcome> = match stored {
+            StoredRelation::Single {
+                relation: store,
+                index,
+            } => {
+                let (idxs, records) = per_shard.pop().expect("single form has one shard");
+                vec![apply_shard_batch(
+                    dur,
+                    relation,
+                    0,
+                    &idxs,
+                    records,
+                    store,
+                    index.as_mut(),
+                )]
+            }
+            StoredRelation::Sharded {
+                relation: sharded,
+                indexes,
+            } => {
+                let mut work: Vec<_> = sharded
+                    .shards_mut()
+                    .iter_mut()
+                    .zip(indexes.iter_mut())
+                    .zip(per_shard)
+                    .enumerate()
+                    .filter(|(_, (_, (idxs, _)))| !idxs.is_empty())
+                    .map(|(j, ((store, tree), (idxs, records)))| (j, idxs, records, store, tree))
+                    .collect();
+                let outcomes: Vec<ShardBatchOutcome> = if threads > 1 && work.len() > 1 {
+                    // One scoped worker per chunk of busy shards: the
+                    // `&mut` borrows are disjoint per shard, so inserts
+                    // to distinct shards proceed in parallel. Workers
+                    // join before the scope returns, so readers of the
+                    // catalog never observe a shard mid-apply.
+                    let per = work.len().div_ceil(threads.min(work.len()));
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = work
+                            .chunks_mut(per)
+                            .map(|chunk| {
+                                scope.spawn(move || {
+                                    chunk
+                                        .iter_mut()
+                                        .map(|(j, idxs, records, store, tree)| {
+                                            apply_shard_batch(
+                                                dur,
+                                                relation,
+                                                *j,
+                                                idxs,
+                                                std::mem::take(records),
+                                                store,
+                                                Some(tree),
+                                            )
+                                        })
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("shard writer panicked"))
+                            .collect()
+                    })
+                } else {
+                    work.into_iter()
+                        .map(|(j, idxs, records, store, tree)| {
+                            apply_shard_batch(dur, relation, j, &idxs, records, store, Some(tree))
+                        })
+                        .collect()
+                };
+                // Every id in the batch is consumed, acked or not, so a
+                // later insert can never collide with a record a failed
+                // shard's WAL prefix might replay.
+                sharded.note_inserted(base_id + n - 1);
+                outcomes
+            }
+        };
+        outcomes.sort_by_key(|o| o.shard);
+        let mut report = InsertBatchReport::default();
+        let mut poison: Option<String> = None;
+        let mut first_error: Option<String> = None;
+        let mut dirty: Vec<usize> = Vec::new();
+        for o in &mut outcomes {
+            if o.wal_synced {
+                report.wal_syncs += 1;
+            }
+            if let Some(e) = &o.apply_error {
+                poison.get_or_insert_with(|| e.clone());
+            }
+            let err = o.apply_error.take().or_else(|| o.wal_error.take());
+            if let Some(e) = &err {
+                first_error.get_or_insert_with(|| e.clone());
+            }
+            for idx in o.failed.drain(..) {
+                report
+                    .failed
+                    .push((idx, err.clone().unwrap_or_else(|| "insert failed".into())));
+            }
+            if !o.acked.is_empty() {
+                dirty.push(o.shard);
+                report.shards_touched += 1;
+            }
+            report.nodes_built += o.nodes_built;
+            report.acked.append(&mut o.acked);
+        }
+        report.acked.sort_by_key(|&(i, _)| i);
+        report.failed.sort_by_key(|&(i, _)| i);
+        // A post-validation apply failure is unreachable by construction;
+        // poison the write path rather than leave logged-but-unapplied
+        // rows behind (same stance as insert_into).
+        if let Some(e) = poison {
+            if let Some(d) = &mut self.durability {
+                d.pending_error = Some(e);
+            }
+        }
+        if report.acked.is_empty() {
+            return Err(QueryError::Storage(
+                first_error.unwrap_or_else(|| "batch insert failed".into()),
+            ));
+        }
+        self.generation += 1;
+        if let Some(d) = &mut self.durability {
+            report.wal_records = report.acked.len() as u64;
+            d.wal_records += report.wal_records;
+            let flags = d
+                .dirty
+                .entry(relation.to_string())
+                .or_insert_with(|| vec![false; shard_count]);
+            for &s in &dirty {
+                if let Some(flag) = flags.get_mut(s) {
+                    *flag = true;
+                }
+            }
+        }
+        let m = simq_obs::metrics::registry();
+        m.insert_count.fetch_add(
+            report.acked.len() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        m.insert_nodes_built
+            .fetch_add(report.nodes_built, std::sync::atomic::Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Whether single-record inserts route through per-shard
+    /// [`simq_storage::WriteGroup`]s (group commit).
+    pub fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
+    /// Enables or disables group commit for [`Database::insert_into`].
+    /// With it on, concurrent inserts to the same shard share WAL syncs;
+    /// a single uncontended insert still pays exactly one sync, so the
+    /// durability guarantee is unchanged either way.
+    pub fn set_group_commit(&mut self, on: bool) {
+        self.group_commit = on;
+    }
+
+    /// An immutable, generation-stamped view of the catalog for readers.
+    ///
+    /// The view shallow-copies the relation map (per-relation [`Arc`]
+    /// bumps — no row data is cloned) and drops the durable write path,
+    /// so queries against it never block on writers and always see the
+    /// catalog exactly as of [`ReadView::generation`]: a writer mutating
+    /// the live database copy-on-writes any relation the view still
+    /// holds.
+    pub fn read_view(&self) -> ReadView {
+        ReadView {
+            db: Database {
+                relations: self.relations.clone(),
+                parallelism: self.parallelism,
+                generation: self.generation,
+                durability: None,
+                group_commit: false,
+            },
+        }
     }
 
     /// Commits a checkpoint: every dirty shard's store and tree are
@@ -827,7 +1130,7 @@ impl Database {
             .map(|s| {
                 let flags = d.dirty.get(s.name());
                 let dirty_at = |j: usize| flags.is_none_or(|f| f.get(j).copied().unwrap_or(true));
-                match s {
+                match s.as_ref() {
                     StoredRelation::Single { relation, index } => CheckpointSource {
                         name: relation.name(),
                         sharded: false,
@@ -881,6 +1184,112 @@ impl Database {
             self.auto_checkpoint();
         }
     }
+}
+
+/// An immutable snapshot of a [`Database`]'s catalog, stamped with the
+/// generation it was taken at.
+///
+/// Produced by [`Database::read_view`]. Queries run against
+/// [`ReadView::database`] see exactly the relations (and rows) that
+/// existed at that generation, no matter what writers do to the live
+/// database afterwards — relations are shared via [`Arc`] and writers
+/// mutate copy-on-write. The view carries no durable write path, so it
+/// cannot write. `Send + Sync`, so views can be handed to reader threads.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    db: Database,
+}
+
+impl ReadView {
+    /// The catalog generation this view was taken at. Compare with the
+    /// live [`Database::generation`] to detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.db.generation()
+    }
+
+    /// The frozen catalog, usable everywhere a `&Database` is.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+/// One shard's slice of a batch insert, as reported by
+/// [`apply_shard_batch`].
+struct ShardBatchOutcome {
+    shard: usize,
+    /// `(input index, report)` for each row applied, in id order.
+    acked: Vec<(usize, InsertReport)>,
+    /// Input indexes of rows that were not applied.
+    failed: Vec<usize>,
+    /// The WAL group append failed before anything was applied.
+    wal_error: Option<String>,
+    /// A pre-validated row failed to apply (poisons the write path).
+    apply_error: Option<String>,
+    /// The shard's group append issued (and returned from) its one sync.
+    wal_synced: bool,
+    nodes_built: u64,
+}
+
+/// WALs one shard's slice of a batch as a single group append (one write,
+/// one sync), then applies the rows in id order with incremental index
+/// maintenance. Runs on the caller's thread or a scoped worker — it takes
+/// only the shard's own `&mut` state plus a shared [`DurableDir`] handle.
+fn apply_shard_batch(
+    dur: Option<&DurableDir>,
+    relation: &str,
+    shard: usize,
+    idxs: &[usize],
+    records: Vec<WalRecord>,
+    store: &mut SeriesRelation,
+    mut tree: Option<&mut RTree>,
+) -> ShardBatchOutcome {
+    let mut out = ShardBatchOutcome {
+        shard,
+        acked: Vec::with_capacity(records.len()),
+        failed: Vec::new(),
+        wal_error: None,
+        apply_error: None,
+        wal_synced: false,
+        nodes_built: 0,
+    };
+    if let Some(d) = dur {
+        // WAL first: the group is durable (or rejected whole) before any
+        // row of it becomes visible. A crash mid-append leaves a prefix
+        // of the group on disk — replay applies exactly that prefix.
+        if let Err(e) = d.append_insert_group(relation, shard, &records) {
+            out.wal_error = Some(e.to_string());
+            out.failed.extend_from_slice(idxs);
+            return out;
+        }
+        out.wal_synced = true;
+    }
+    let wal_appended = dur.is_some();
+    for (k, (&idx, rec)) in idxs.iter().zip(records).enumerate() {
+        let WalRecord { id, name, series } = rec;
+        if let Err(e) = store.insert_with_id(id, name, series) {
+            out.apply_error = Some(format!("validated insert failed to apply: {e}"));
+            out.failed.extend_from_slice(&idxs[k..]);
+            break;
+        }
+        let mut nodes_built = 0;
+        if let Some(tree) = tree.as_deref_mut() {
+            let before = tree.nodes_built();
+            let point = &store.row(id).expect("just inserted").features.point;
+            tree.insert_point(point, id);
+            nodes_built = tree.nodes_built() - before;
+        }
+        out.nodes_built += nodes_built;
+        out.acked.push((
+            idx,
+            InsertReport {
+                id,
+                shard,
+                nodes_built,
+                wal_appended,
+            },
+        ));
+    }
+    out
 }
 
 /// The chosen access path.

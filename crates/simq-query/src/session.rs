@@ -1021,6 +1021,34 @@ impl Session<Database> {
         let stats = ExecStats {
             nodes_built: report.nodes_built,
             wal_records: u64::from(report.wal_appended),
+            wal_syncs: u64::from(report.wal_appended),
+            ..ExecStats::default()
+        };
+        Ok((report, stats))
+    }
+
+    /// Inserts a batch of series through the owned database's grouped
+    /// write path ([`Database::insert_batch`]) and folds the write-side
+    /// counters into the session statistics. The returned [`ExecStats`]
+    /// shows the group-commit win directly: `wal_syncs` is at most one
+    /// per touched shard, against one `wal_records` per acknowledged row.
+    ///
+    /// # Errors
+    /// As [`Database::insert_batch`].
+    pub fn insert_batch(
+        &mut self,
+        relation: &str,
+        rows: Vec<(String, Vec<f64>)>,
+    ) -> Result<(crate::plan::InsertBatchReport, ExecStats), QueryError> {
+        let report = self.db.insert_batch(relation, rows)?;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.inserts += report.acked.len() as u64;
+        inner.stats.wal_records += report.wal_records;
+        let stats = ExecStats {
+            nodes_built: report.nodes_built,
+            wal_records: report.wal_records,
+            wal_syncs: report.wal_syncs,
+            shards_touched: report.shards_touched as u64,
             ..ExecStats::default()
         };
         Ok((report, stats))

@@ -41,6 +41,7 @@
 //! inserts re-extract features from the logged raw series — bit-identical
 //! to the original extraction, since extraction is deterministic.
 
+use crate::group::WriteGroup;
 use crate::pages::{self, PageError};
 use crate::relation::SeriesRelation;
 use crate::shard::{ShardLayout, ShardedRelation};
@@ -48,7 +49,7 @@ use crate::snapshot::{self, SnapshotEntry, SnapshotError, SnapshotRelation};
 use crate::wal::{self, WalRecord};
 use simq_index::serial::{ByteReader, ByteWriter};
 use simq_index::RTree;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -285,10 +286,20 @@ impl FailingStorage {
     /// I/O errors from the filesystem.
     pub fn materialize(&self) -> io::Result<()> {
         let files = self.files.lock().expect("sink lock");
+        let mut dirs: BTreeSet<PathBuf> = BTreeSet::new();
         for (path, bytes) in files.iter() {
             let mut f = fs::File::create(path)?;
             f.write_all(bytes)?;
             f.sync_data()?;
+            if let Some(parent) = path.parent() {
+                dirs.insert(parent.to_path_buf());
+            }
+        }
+        // The new files' directory entries must be durable too — same rule
+        // as the real WAL path: a created file without a directory fsync
+        // can vanish wholesale on power loss.
+        for dir in dirs {
+            pages::fsync_dir(&dir)?;
         }
         Ok(())
     }
@@ -336,6 +347,10 @@ pub struct DurableDir {
     /// Test-injectable WAL write target ([`FailingStorage`]); `None`
     /// appends to the real files.
     sink: Option<Arc<FailingStorage>>,
+    /// One lazily created [`WriteGroup`] per live WAL path, shared by
+    /// every clone of this handle so concurrent submitters coalesce.
+    /// Cleared at checkpoint (the live paths change epoch).
+    groups: Arc<Mutex<BTreeMap<PathBuf, Arc<WriteGroup>>>>,
 }
 
 /// One relation's current state, as the checkpoint writer needs it: the
@@ -365,6 +380,7 @@ impl DurableDir {
             dir,
             manifest: Manifest::default(),
             sink: None,
+            groups: Arc::new(Mutex::new(BTreeMap::new())),
         };
         pages::write_atomic(&store.manifest_path(), &manifest_to_bytes(&store.manifest))?;
         Ok(store)
@@ -394,6 +410,7 @@ impl DurableDir {
             dir,
             manifest,
             sink: None,
+            groups: Arc::new(Mutex::new(BTreeMap::new())),
         };
 
         let mut entries = Vec::with_capacity(store.manifest.entries.len());
@@ -416,9 +433,12 @@ impl DurableDir {
     }
 
     /// Routes WAL appends through `sink` instead of the filesystem (the
-    /// crash-fuzz hook). Checkpoints still write real files.
+    /// crash-fuzz hook). Checkpoints still write real files. Existing
+    /// write groups are dropped — their flush closures captured the old
+    /// target.
     pub fn set_sink(&mut self, sink: Option<Arc<FailingStorage>>) {
         self.sink = sink;
+        self.groups.lock().expect("write-group map lock").clear();
     }
 
     /// The directory this store lives in.
@@ -484,6 +504,71 @@ impl DurableDir {
             }
         }
         Ok(())
+    }
+
+    /// Appends a whole batch of insert records to `name`'s shard `shard`
+    /// WAL with **one** write and **one** sync — the group-commit batch
+    /// path. `Ok` means the entire group is durable; after a crash the log
+    /// holds a prefix of the group in append order, never an interleaving.
+    /// Returns the records made durable (the group size).
+    ///
+    /// # Errors
+    /// Routing errors ([`DurableError::Format`]) and write failures; on a
+    /// write failure the log may hold a torn tail, which replay truncates.
+    pub fn append_insert_group(
+        &self,
+        name: &str,
+        shard: usize,
+        records: &[WalRecord],
+    ) -> Result<u64, DurableError> {
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let path = self.wal_path_for(name, shard)?;
+        match &self.sink {
+            Some(sink) => {
+                let bytes: Vec<u8> = records.iter().flat_map(wal::encode_record).collect();
+                sink.append(&path, &bytes)?;
+                let m = simq_obs::metrics::registry();
+                m.wal_appends
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                m.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                m.wal_group_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                wal::append_group(&path, records)?;
+            }
+        }
+        Ok(records.len() as u64)
+    }
+
+    /// Appends one insert record through the shard's [`WriteGroup`]:
+    /// concurrent submitters against the same shard coalesce into shared
+    /// syncs, and this returns — acknowledging the insert — only after the
+    /// flush covering the record has synced. Returns the realized commit
+    /// (group size ≥ 1).
+    ///
+    /// # Errors
+    /// Routing errors ([`DurableError::Format`]) and the I/O error of the
+    /// failed flush that covered this record.
+    pub fn append_insert_grouped(
+        &self,
+        name: &str,
+        shard: usize,
+        record: &WalRecord,
+    ) -> Result<crate::group::GroupCommit, DurableError> {
+        let path = self.wal_path_for(name, shard)?;
+        let group = {
+            let mut groups = self.groups.lock().expect("write-group map lock");
+            Arc::clone(groups.entry(path.clone()).or_insert_with(|| {
+                let sink = self.sink.clone();
+                Arc::new(WriteGroup::new(move |bytes: &[u8]| match &sink {
+                    Some(sink) => sink.append(&path, bytes),
+                    None => wal::append_raw(&path, bytes),
+                }))
+            }))
+        };
+        Ok(group.submit(std::slice::from_ref(record))?)
     }
 
     /// Commits a checkpoint: writes every dirty shard under the next
@@ -559,8 +644,14 @@ impl DurableDir {
         };
         {
             let _commit_span = simq_obs::span::span("checkpoint.commit");
+            // `write_atomic` fsyncs the manifest's parent directory after
+            // the rename: only then is the new epoch a *durable* commit
+            // point, and only then may step 3 delete the old files.
             pages::write_atomic(&self.manifest_path(), &manifest_to_bytes(&manifest))?;
             self.manifest = manifest;
+            // Live WAL paths moved to the new epoch; write groups pinned
+            // to the old paths must not receive further submissions.
+            self.groups.lock().expect("write-group map lock").clear();
         }
         {
             let clean_span = simq_obs::span::span("checkpoint.clean");

@@ -1,0 +1,299 @@
+//! Group commit: coalescing concurrent WAL appends into shared syncs.
+//!
+//! A `sync_data` costs the same whether it makes one record durable or
+//! fifty, so the write path's throughput ceiling is syncs, not bytes. A
+//! [`WriteGroup`] amortizes that cost: writers enqueue encoded records
+//! under a mutex, exactly one of them becomes the *leader* and flushes
+//! everything pending with a single write + sync, and every writer whose
+//! records made that flush is woken only after the sync returned — the
+//! acknowledged-write guarantee is unchanged, acknowledgment just travels
+//! in batches.
+//!
+//! The protocol (classic leader/follower, as in ARIES-style group commit):
+//!
+//! 1. `submit` appends the encoded records to the pending buffer and takes
+//!    a ticket: the sequence number of its last record.
+//! 2. If no flush is running, the caller elects itself leader, takes the
+//!    whole pending buffer (its own records *plus* anything enqueued by
+//!    writers that arrived while a previous flush ran), releases the lock,
+//!    and performs one write + one sync through the [`GroupSink`].
+//! 3. Followers wait on a condvar until the durable sequence reaches their
+//!    ticket (ack) or a flush that covered their ticket fails (error).
+//!
+//! A failed flush poisons only the records it covered: their writers get
+//! the error, the buffer is empty again, and later submissions start
+//! fresh. This mirrors the file state — a torn group is a prefix on disk,
+//! repaired at replay like any torn tail.
+
+use crate::wal::{encode_record, WalRecord};
+use std::io;
+use std::sync::{Condvar, Mutex};
+
+/// Destination of a group flush: one durable append of a byte run.
+///
+/// The production sink opens the shard's log file and does
+/// `write_all` + `sync_data` (+ parent-directory fsync on creation); the
+/// crash-fuzz harness substitutes a sink that dies mid-run at a seeded
+/// byte offset.
+pub trait GroupSink: Send + Sync {
+    /// Appends `bytes` durably, all-or-torn-prefix. Must not return `Ok`
+    /// before the bytes are synced.
+    ///
+    /// # Errors
+    /// I/O errors from the underlying storage.
+    fn append(&self, bytes: &[u8]) -> io::Result<()>;
+}
+
+impl<F> GroupSink for F
+where
+    F: Fn(&[u8]) -> io::Result<()> + Send + Sync,
+{
+    fn append(&self, bytes: &[u8]) -> io::Result<()> {
+        self(bytes)
+    }
+}
+
+/// Guarded state of one [`WriteGroup`].
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Encoded records awaiting the next flush.
+    pending: Vec<u8>,
+    /// Records in `pending`.
+    pending_records: u64,
+    /// Ticket of the last submitted record.
+    submitted: u64,
+    /// Tickets `<= durable` are synced and acknowledged.
+    durable: u64,
+    /// Tickets in `(durable, failed]` hit a failed flush.
+    failed: u64,
+    /// Error message of the most recent failed flush.
+    error: Option<String>,
+    /// A leader is currently flushing outside the lock.
+    flushing: bool,
+    /// Records made durable by the most recent successful flush.
+    last_group: u64,
+}
+
+/// One shard log's group-commit gate. See the module docs for the
+/// protocol; [`WriteGroup::submit`] is the whole public surface.
+pub struct WriteGroup {
+    sink: Box<dyn GroupSink>,
+    state: Mutex<GroupState>,
+    synced: Condvar,
+}
+
+impl std::fmt::Debug for WriteGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteGroup").finish_non_exhaustive()
+    }
+}
+
+/// Outcome of one acknowledged submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Records the flush that acknowledged this submission made durable —
+    /// the realized group size (≥ the submission's own record count).
+    pub group_records: u64,
+    /// Syncs this submission waited on: always 1. The field exists so
+    /// callers can aggregate syncs-per-insert without knowing the
+    /// protocol.
+    pub syncs: u64,
+}
+
+impl WriteGroup {
+    /// Creates a group flushing through `sink`.
+    pub fn new(sink: impl GroupSink + 'static) -> Self {
+        WriteGroup {
+            sink: Box::new(sink),
+            state: Mutex::new(GroupState::default()),
+            synced: Condvar::new(),
+        }
+    }
+
+    /// Submits `records` and blocks until they are durable (or the flush
+    /// covering them failed). Concurrent submissions coalesce: whichever
+    /// caller finds no flush in progress drains *all* pending records with
+    /// one write + one sync, and the rest are acknowledged without paying
+    /// a sync of their own.
+    ///
+    /// An empty submission returns immediately with a zero-record commit.
+    ///
+    /// # Errors
+    /// The I/O error of the failed flush that covered these records.
+    pub fn submit(&self, records: &[WalRecord]) -> io::Result<GroupCommit> {
+        if records.is_empty() {
+            return Ok(GroupCommit {
+                group_records: 0,
+                syncs: 0,
+            });
+        }
+        let mut state = self.state.lock().expect("write group lock");
+        for rec in records {
+            state.pending.extend_from_slice(&encode_record(rec));
+        }
+        state.pending_records += records.len() as u64;
+        state.submitted += records.len() as u64;
+        let ticket = state.submitted;
+        loop {
+            if state.durable >= ticket {
+                return Ok(GroupCommit {
+                    // `durable` advanced past our ticket in one flush whose
+                    // size the leader recorded in `last_group`; report it.
+                    group_records: state.last_group,
+                    syncs: 1,
+                });
+            }
+            if state.failed >= ticket {
+                let why = state.error.clone().unwrap_or_default();
+                return Err(io::Error::other(why));
+            }
+            if !state.flushing {
+                // Become leader: take everything pending and flush it with
+                // the lock released so new writers keep enqueueing.
+                state.flushing = true;
+                let bytes = std::mem::take(&mut state.pending);
+                let count = std::mem::replace(&mut state.pending_records, 0);
+                let covers = state.submitted;
+                drop(state);
+                let started = std::time::Instant::now();
+                let outcome = self.sink.append(&bytes);
+                let sync_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                state = self.state.lock().expect("write group lock");
+                state.flushing = false;
+                match outcome {
+                    Ok(()) => {
+                        state.durable = covers;
+                        state.last_group = count;
+                        use std::sync::atomic::Ordering::Relaxed;
+                        let m = simq_obs::metrics::registry();
+                        m.wal_appends.fetch_add(count, Relaxed);
+                        m.wal_syncs.fetch_add(1, Relaxed);
+                        m.wal_group_commits.fetch_add(1, Relaxed);
+                        m.wal_sync_latency.record(sync_ns);
+                        m.wal_last_sync_ns.store(sync_ns, Relaxed);
+                    }
+                    Err(e) => {
+                        state.failed = covers;
+                        state.error = Some(e.to_string());
+                    }
+                }
+                self.synced.notify_all();
+            } else {
+                state = self.synced.wait(state).expect("write group lock");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn rec(id: u64) -> WalRecord {
+        WalRecord {
+            id,
+            name: format!("g{id}"),
+            series: vec![id as f64; 4],
+        }
+    }
+
+    /// A sink that counts flushes and collects bytes, optionally stalling
+    /// inside `append` so concurrent submitters pile up behind the leader.
+    struct SlowSink {
+        bytes: Mutex<Vec<u8>>,
+        flushes: AtomicU64,
+        stall: std::time::Duration,
+    }
+
+    impl GroupSink for Arc<SlowSink> {
+        fn append(&self, bytes: &[u8]) -> io::Result<()> {
+            std::thread::sleep(self.stall);
+            self.bytes.lock().unwrap().extend_from_slice(bytes);
+            self.flushes.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_into_fewer_syncs() {
+        let sink = Arc::new(SlowSink {
+            bytes: Mutex::new(Vec::new()),
+            flushes: AtomicU64::new(0),
+            stall: std::time::Duration::from_millis(5),
+        });
+        let group = WriteGroup::new(Arc::clone(&sink));
+        let writers = 8;
+        // All writers release together: while the first leader sits in the
+        // stalled sink, the rest enqueue and ride the next flush.
+        let start = std::sync::Barrier::new(writers as usize);
+        std::thread::scope(|scope| {
+            for i in 0..writers {
+                let (group, start) = (&group, &start);
+                scope.spawn(move || {
+                    start.wait();
+                    group.submit(&[rec(i)]).expect("submit acks")
+                });
+            }
+        });
+        let flushes = sink.flushes.load(Ordering::SeqCst);
+        assert!(flushes >= 1 && flushes < writers, "flushes = {flushes}");
+        // Acknowledgment implies durability: every record is in the sink,
+        // and the byte stream replays to exactly the submitted set.
+        let replayed = crate::wal::replay(&sink.bytes.lock().unwrap());
+        assert_eq!(replayed.records.len(), writers as usize);
+        assert_eq!(replayed.dropped_bytes, 0);
+        let mut ids: Vec<u64> = replayed.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..writers).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_record_submission_is_one_flush() {
+        let sink = Arc::new(SlowSink {
+            bytes: Mutex::new(Vec::new()),
+            flushes: AtomicU64::new(0),
+            stall: std::time::Duration::ZERO,
+        });
+        let group = WriteGroup::new(Arc::clone(&sink));
+        let records: Vec<WalRecord> = (0..10).map(rec).collect();
+        let commit = group.submit(&records).expect("submit acks");
+        assert_eq!(sink.flushes.load(Ordering::SeqCst), 1);
+        assert_eq!(commit.group_records, 10);
+        assert_eq!(commit.syncs, 1);
+    }
+
+    #[test]
+    fn failed_flush_errors_its_writers_and_heals_for_later_ones() {
+        let attempts = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&attempts);
+        let stored: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let kept = Arc::clone(&stored);
+        let group = WriteGroup::new(move |bytes: &[u8]| {
+            if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(io::Error::other("disk gone"));
+            }
+            kept.lock().unwrap().extend_from_slice(bytes);
+            Ok(())
+        });
+        let err = group.submit(&[rec(1)]).expect_err("first flush dies");
+        assert!(err.to_string().contains("disk gone"));
+        // The failed group's bytes are not replayed to later writers.
+        let commit = group.submit(&[rec(2)]).expect("group healed");
+        assert_eq!(commit.group_records, 1);
+        let replayed = crate::wal::replay(&stored.lock().unwrap());
+        assert_eq!(replayed.records.len(), 1);
+        assert_eq!(replayed.records[0].id, 2);
+    }
+
+    #[test]
+    fn empty_submission_is_a_no_op() {
+        let group = WriteGroup::new(|_: &[u8]| -> io::Result<()> {
+            panic!("no flush for an empty submission")
+        });
+        let commit = group.submit(&[]).expect("empty ok");
+        assert_eq!(commit.group_records, 0);
+        assert_eq!(commit.syncs, 0);
+    }
+}

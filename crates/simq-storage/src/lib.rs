@@ -25,6 +25,9 @@
 //!   identical to the unsharded scans.
 //! * [`wal`] — checksummed, length-prefixed write-ahead-log records with
 //!   longest-valid-prefix replay and torn-tail repair.
+//! * [`group`] — [`WriteGroup`]: leader/follower group commit coalescing
+//!   concurrent WAL appends into one write + one sync per batch, with
+//!   acknowledgment only after the group's sync returns.
 //! * [`durable`] — the durable directory store: per-shard checkpoint
 //!   files under an atomically committed manifest, WAL tails on top
 //!   (snapshot = checkpoint, WAL = tail), and the injectable
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod group;
 pub mod multi;
 pub mod pages;
 pub mod persist;
@@ -47,6 +51,7 @@ pub use durable::{
     CheckpointReport, CheckpointSource, DurableDir, DurableError, FailingStorage, Manifest,
     ManifestEntry, ReplayReport,
 };
+pub use group::{GroupCommit, GroupSink, WriteGroup};
 pub use multi::{
     scan_knn_multi, scan_range_multi, MultiScanKnnQuery, MultiScanRangeQuery, MultiScanStats,
 };

@@ -24,8 +24,8 @@
 //! flipped byte anywhere therefore fails verification — the corruption
 //! property tests flip every position and expect an error.
 
-use std::fs;
-use std::io;
+use std::fs::{self, File};
+use std::io::{self, Write};
 use std::path::Path;
 
 /// Fixed page size of the format.
@@ -200,9 +200,32 @@ pub fn from_file_bytes(file: &[u8]) -> Result<Vec<u8>, PageError> {
     Ok(stream)
 }
 
-/// Writes `bytes` to `path` atomically: the data goes to a temporary file
-/// in the same directory which is then renamed over the target, so a
-/// crash or full disk mid-write never destroys an existing good file.
+/// Fsyncs the directory at `dir` so entries created, renamed or removed
+/// inside it are durable. A rename is only a commit point once the
+/// *directory entry* reaches disk: `fs::rename` orders the data (the temp
+/// file was flushed first) but says nothing about the entry itself, and on
+/// power loss an unsynced directory can legally forget the rename, the
+/// file creation, or both.
+pub(crate) fn fsync_dir(dir: &Path) -> io::Result<()> {
+    // Opening a directory read-only and calling fsync on it is the
+    // POSIX-blessed way to flush its entries (what every database does).
+    File::open(dir)?.sync_all()
+}
+
+/// [`fsync_dir`] for the parent of `path` (no-op when `path` has none).
+pub(crate) fn fsync_parent_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => fsync_dir(dir),
+        _ => Ok(()),
+    }
+}
+
+/// Writes `bytes` to `path` atomically and durably: the data goes to a
+/// temporary file in the same directory which is fsynced, renamed over the
+/// target, and sealed with a parent-directory fsync — so a crash or full
+/// disk mid-write never destroys an existing good file, and once this
+/// returns the rename itself survives power loss (the parent fsync is what
+/// makes the rename a commit point, not just an in-cache state).
 pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp_name = path
         .file_name()
@@ -210,12 +233,20 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         .to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    fs::write(&tmp, bytes).inspect_err(|_| {
+    let write_synced = || -> io::Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Flush the temp file's *contents* before the rename: rename must
+        // never expose a file whose data could still be lost.
+        file.sync_all()
+    };
+    write_synced().inspect_err(|_| {
         fs::remove_file(&tmp).ok();
     })?;
     fs::rename(&tmp, path).inspect_err(|_| {
         fs::remove_file(&tmp).ok();
-    })
+    })?;
+    fsync_parent_dir(path)
 }
 
 /// Writes a logical stream to a paged file (atomically, via a temp-file

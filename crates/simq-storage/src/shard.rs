@@ -279,6 +279,23 @@ impl ShardedRelation {
         &self.shards[i]
     }
 
+    /// The shards, mutably — the concurrent write path's entry point: the
+    /// slice is split into disjoint `&mut` borrows so each shard's owning
+    /// writer thread applies its routed rows independently. Callers must
+    /// respect the id → shard routing of [`ShardedRelation::layout`] and
+    /// follow up with [`ShardedRelation::note_inserted`] so id assignment
+    /// stays consistent.
+    pub fn shards_mut(&mut self) -> &mut [SeriesRelation] {
+        &mut self.shards
+    }
+
+    /// Records that rows up to `id` were inserted directly into the shard
+    /// stores (via [`ShardedRelation::shards_mut`]), advancing the next-id
+    /// watermark exactly as the routed insert would have.
+    pub fn note_inserted(&mut self, id: u64) {
+        self.next_id = self.next_id.max(id + 1);
+    }
+
     /// Total rows across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(SeriesRelation::len).sum()

@@ -167,19 +167,70 @@ pub fn replay(bytes: &[u8]) -> WalReplay {
 /// I/O errors from the filesystem. On error the log may hold a torn tail;
 /// replay truncates it.
 pub fn append(path: &Path, rec: &WalRecord) -> io::Result<usize> {
+    append_encoded(path, &encode_record(rec), 1)
+}
+
+/// Appends a whole group of records with **one** write and **one** sync —
+/// the group-commit fast path. The records become durable together: after a
+/// crash the log holds a prefix of the group (possibly empty, possibly all
+/// of it), never an interleaving, so unacknowledged group members are
+/// atomically absent-or-present in append order. Returns the bytes
+/// appended. An empty group is a no-op (no write, no sync).
+///
+/// # Errors
+/// I/O errors from the filesystem. On error the log may hold a torn tail;
+/// replay truncates it.
+pub fn append_group(path: &Path, records: &[WalRecord]) -> io::Result<usize> {
+    if records.is_empty() {
+        return Ok(0);
+    }
+    let bytes: Vec<u8> = records.iter().flat_map(encode_record).collect();
+    let written = append_encoded(path, &bytes, records.len() as u64)?;
+    simq_obs::metrics::registry()
+        .wal_group_commits
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    Ok(written)
+}
+
+/// Appends pre-encoded record bytes with one `write_all` + one `sync_data`
+/// and — when this append *created* the log file — a parent directory
+/// fsync, because a brand-new file's directory entry is not durable until
+/// the directory itself is synced (an acknowledged insert could otherwise
+/// vanish with its whole log on power loss). No metrics are recorded: the
+/// caller owns accounting (a [`crate::group::WriteGroup`] leader flushes
+/// for many writers and reports the realized group itself).
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub(crate) fn append_raw(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Detecting creation via a metadata probe is race-free here: each log
+    // file has exactly one writer (the owning shard's group).
+    let created = !path.exists();
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(bytes)?;
+    file.sync_data()?;
+    if created {
+        pages::fsync_parent_dir(path)?;
+    }
+    Ok(())
+}
+
+/// Shared tail of [`append`] / [`append_group`]: [`append_raw`] plus the
+/// process-wide WAL metrics (appends, syncs, sync latency).
+fn append_encoded(path: &Path, bytes: &[u8], record_count: u64) -> io::Result<usize> {
     let append_span = simq_obs::span::span("wal.append");
     let started = std::time::Instant::now();
-    let bytes = encode_record(rec);
-    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-    file.write_all(&bytes)?;
-    file.sync_data()?;
+    append_raw(path, bytes)?;
     let sync_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let m = simq_obs::metrics::registry();
     m.wal_appends
+        .fetch_add(record_count, std::sync::atomic::Ordering::Relaxed);
+    m.wal_syncs
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     m.wal_sync_latency.record(sync_ns);
     m.wal_last_sync_ns
         .store(sync_ns, std::sync::atomic::Ordering::Relaxed);
+    append_span.note("records", record_count);
     append_span.note("bytes", bytes.len() as u64);
     Ok(bytes.len())
 }
@@ -203,13 +254,20 @@ pub fn load(path: &Path) -> io::Result<WalReplay> {
 /// Truncates the log at `path` to `valid_len` bytes — the repair step after
 /// a replay found a torn or corrupted tail. A missing file is a no-op.
 ///
+/// The new length must be synced with `sync_all`, not `sync_data`: a
+/// truncation is a *metadata* change (the file's size), and `sync_data` is
+/// allowed to skip metadata. Without it a crash after repair could bring
+/// the torn tail back, and replay would silently re-repair — harmless for
+/// the record stream (the valid prefix is unchanged) but a lie in the
+/// replay report, which claimed the repair was durable.
+///
 /// # Errors
 /// I/O errors from the filesystem.
 pub fn truncate_to(path: &Path, valid_len: usize) -> io::Result<()> {
     match OpenOptions::new().write(true).open(path) {
         Ok(file) => {
             file.set_len(valid_len as u64)?;
-            file.sync_data()
+            file.sync_all()
         }
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
         Err(e) => Err(e),

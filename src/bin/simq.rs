@@ -281,6 +281,14 @@ fn main() {
         }
     }
 
+    // Group commit routes single-record inserts through per-shard write
+    // groups, so concurrent writers share WAL syncs. Set after any durable
+    // open so the flag lands on the database actually in use.
+    if std::env::var("SIMQ_GROUP_COMMIT").is_ok_and(|v| !v.is_empty() && v != "0") {
+        db.set_group_commit(true);
+        println!("group commit: on (from SIMQ_GROUP_COMMIT)");
+    }
+
     if let Some(script) = exec_script {
         // Non-interactive batch execution: run, report, exit.
         let session = Session::new(&db);
@@ -652,45 +660,87 @@ fn shell_command(
     // `[v1, v2, …]` contains spaces.
     if let Some(rest) = cmd.strip_prefix("insert") {
         if rest.is_empty() || rest.starts_with(char::is_whitespace) {
-            let usage = "usage: \\insert <relation> <name> [v1, v2, …]";
+            let usage = "usage: \\insert <relation> <name> [v1, v2, …][; <name> [v1, v2, …]]…";
             let rest = rest.trim();
             let Some((relation, rest)) = rest.split_once(char::is_whitespace) else {
                 println!("{usage}");
                 return true;
             };
-            let Some((name, series_text)) = rest.trim().split_once(char::is_whitespace) else {
-                println!("{usage}");
-                return true;
-            };
-            let series = match parse_exec_args(series_text.trim()) {
-                Ok((positional, named)) => match (positional.as_slice(), named.is_empty()) {
-                    ([Value::Series(series)], true) => series.clone(),
-                    _ => {
-                        println!("{usage}");
+            // `;` separates rows: one row is the classic single insert,
+            // several run as one grouped batch (one WAL sync per shard).
+            let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+            for part in rest.split(';') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                let Some((name, series_text)) = part.split_once(char::is_whitespace) else {
+                    println!("{usage}");
+                    return true;
+                };
+                match parse_exec_args(series_text.trim()) {
+                    Ok((positional, named)) => match (positional.as_slice(), named.is_empty()) {
+                        ([Value::Series(series)], true) => {
+                            rows.push((name.to_string(), series.clone()));
+                        }
+                        _ => {
+                            println!("{usage}");
+                            return true;
+                        }
+                    },
+                    Err(why) => {
+                        println!("error: {why}");
                         return true;
                     }
-                },
-                Err(why) => {
-                    println!("error: {why}");
-                    return true;
                 }
-            };
+            }
             let start = std::time::Instant::now();
-            match session.insert(relation, name, series) {
-                Ok((report, _stats)) => println!(
-                    "inserted id={} into `{relation}` shard {} ({} tree node{} built, {}; {:.3} ms)",
-                    report.id,
-                    report.shard,
-                    report.nodes_built,
-                    if report.nodes_built == 1 { "" } else { "s" },
-                    if report.wal_appended {
-                        "WAL record synced"
-                    } else {
-                        "no WAL attached"
-                    },
-                    start.elapsed().as_secs_f64() * 1e3,
-                ),
-                Err(e) => println!("error: {e}"),
+            match rows.len() {
+                0 => println!("{usage}"),
+                1 => {
+                    let (name, series) = rows.pop().expect("one row");
+                    match session.insert(relation, name, series) {
+                        Ok((report, _stats)) => println!(
+                            "inserted id={} into `{relation}` shard {} ({} tree node{} built, {}; {:.3} ms)",
+                            report.id,
+                            report.shard,
+                            report.nodes_built,
+                            if report.nodes_built == 1 { "" } else { "s" },
+                            if report.wal_appended {
+                                "WAL record synced"
+                            } else {
+                                "no WAL attached"
+                            },
+                            start.elapsed().as_secs_f64() * 1e3,
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => match session.insert_batch(relation, rows) {
+                    Ok((report, stats)) => {
+                        let ids: Vec<u64> = report.acked.iter().map(|&(_, r)| r.id).collect();
+                        println!(
+                            "batch inserted {} row{} into `{relation}` across {} shard{} (ids {}..={}; {} WAL sync{} for {} record{}; {} tree node{} built; {:.3} ms)",
+                            report.acked.len(),
+                            if report.acked.len() == 1 { "" } else { "s" },
+                            report.shards_touched,
+                            if report.shards_touched == 1 { "" } else { "s" },
+                            ids.iter().min().expect("acked is non-empty"),
+                            ids.iter().max().expect("acked is non-empty"),
+                            stats.wal_syncs,
+                            if stats.wal_syncs == 1 { "" } else { "s" },
+                            stats.wal_records,
+                            if stats.wal_records == 1 { "" } else { "s" },
+                            report.nodes_built,
+                            if report.nodes_built == 1 { "" } else { "s" },
+                            start.elapsed().as_secs_f64() * 1e3,
+                        );
+                        for (idx, why) in &report.failed {
+                            println!("  row {idx} failed: {why}");
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
             }
             return true;
         }
@@ -701,7 +751,7 @@ fn shell_command(
         Some("q" | "quit" | "exit") => return false,
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\n  EXPLAIN ANALYZE <query>   (execute instrumented; per-operator timings)\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions\n       \\metrics [--json]  \\trace [on|off]  \\slowlog [<ms>|off]  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs\nobservability: EXPLAIN ANALYZE prints the executed operator tree with\n  wall-clock timings (results bitwise identical to the plain query);\n  \\trace on prints a span tree after every query (SIMQ_TRACE=1 at\n  startup); \\metrics dumps the process-wide counter/histogram registry\n  (--json for machines); \\slowlog <ms> keeps the last slow queries\n  (SIMQ_SLOWLOG=<ms> at startup)"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\n  EXPLAIN ANALYZE <query>   (execute instrumented; per-operator timings)\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …][; …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions\n       \\metrics [--json]  \\trace [on|off]  \\slowlog [<ms>|off]  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs; a `;`-separated\n  \\insert batch group-commits — one WAL sync per touched shard, rows\n  to distinct shards applied by concurrent writers — and\n  SIMQ_GROUP_COMMIT=1 coalesces even single-record inserts\nobservability: EXPLAIN ANALYZE prints the executed operator tree with\n  wall-clock timings (results bitwise identical to the plain query);\n  \\trace on prints a span tree after every query (SIMQ_TRACE=1 at\n  startup); \\metrics dumps the process-wide counter/histogram registry\n  (--json for machines); \\slowlog <ms> keeps the last slow queries\n  (SIMQ_SLOWLOG=<ms> at startup)"
             );
         }
         Some("sessions") => {
@@ -1035,6 +1085,30 @@ fn shell_command(
                         status.dirty_shards, status.total_shards,
                     );
                     let m = metrics::registry();
+                    let syncs = m.wal_syncs.load(std::sync::atomic::Ordering::Relaxed);
+                    let appends = m.wal_appends.load(std::sync::atomic::Ordering::Relaxed);
+                    let groups = m
+                        .wal_group_commits
+                        .load(std::sync::atomic::Ordering::Relaxed);
+                    println!(
+                        "  group commit: {} ({} group{} flushed; {} sync{} for {} append{}, {:.3} syncs/insert)",
+                        if session.db().group_commit() {
+                            "on"
+                        } else {
+                            "off (batched \\insert still groups per shard)"
+                        },
+                        groups,
+                        if groups == 1 { "" } else { "s" },
+                        syncs,
+                        if syncs == 1 { "" } else { "s" },
+                        appends,
+                        if appends == 1 { "" } else { "s" },
+                        if appends > 0 {
+                            syncs as f64 / appends as f64
+                        } else {
+                            0.0
+                        },
+                    );
                     let last_sync = m
                         .wal_last_sync_ns
                         .load(std::sync::atomic::Ordering::Relaxed);

@@ -69,12 +69,12 @@ pub mod prelude {
     pub use simq_index::{RTree, RTreeConfig, Rect};
     pub use simq_query::{
         execute, execute_batch, parse, plan_query, AccessPath, BatchExecutor, BatchResult, Bound,
-        Cursor, Database, InsertReport, Parallelism, Prepared, QueryOutput, QueryResult, Session,
-        SessionStats, StoredRelation, Value, WalStatus,
+        Cursor, Database, InsertBatchReport, InsertReport, Parallelism, Prepared, QueryOutput,
+        QueryResult, ReadView, Session, SessionStats, StoredRelation, Value, WalStatus,
     };
     pub use simq_series::{
         moving_average, normal_form, warp, FeatureScheme, Representation, SeriesTransform,
     };
-    pub use simq_storage::{scan_range, SeriesRelation, ShardLayout, ShardedRelation};
+    pub use simq_storage::{scan_range, SeriesRelation, ShardLayout, ShardedRelation, WriteGroup};
     pub use simq_strings::{levenshtein, rewrite_distance, RewriteBudget, RewriteRule, RuleSet};
 }

@@ -458,3 +458,203 @@ fn insert_validates_arguments_before_touching_anything() {
     assert!(stdout.contains("dimension mismatch"), "{stdout}");
     assert!(stdout.contains("unknown relation"), "{stdout}");
 }
+
+#[test]
+fn semicolon_insert_runs_as_one_grouped_batch() {
+    let row = |k: usize| {
+        (0..128)
+            .map(|i| format!("{}", 30 + (i + k) % 5))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let script = format!(
+        "\\shard walks 2\n\\insert walks B0 [{}]; B1 [{}]; B2 [{}]\nFIND 1 NEAREST TO NAME B1 IN walks\n\\quit\n",
+        row(0),
+        row(1),
+        row(2),
+    );
+    let (stdout, _, code) = run_cli(&[], &script);
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("batch inserted 3 rows into `walks` across 2 shards (ids 1000..=1002"),
+        "{stdout}"
+    );
+    // No WAL attached: nothing logged, nothing synced — but the rows
+    // are live and queryable immediately.
+    assert!(stdout.contains("0 WAL syncs for 0 records"), "{stdout}");
+    assert!(stdout.contains("B1"), "{stdout}");
+    assert!(!stdout.contains("row 0 failed"), "{stdout}");
+}
+
+/// A `simq` process driven line by line: stdin stays open between sends,
+/// and a reader thread accumulates stdout so tests can interleave shell
+/// commands with *external* filesystem actions — something
+/// [`run_cli_with`]'s write-everything-then-wait shape cannot do.
+struct InteractiveCli {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    stdout: std::sync::Arc<std::sync::Mutex<String>>,
+    stderr: std::sync::Arc<std::sync::Mutex<String>>,
+    /// End of the last matched pattern: `expect` only searches new output,
+    /// so repeated similar lines (two inserts, two checkpoints) cannot
+    /// satisfy a later expectation with earlier output.
+    cursor: usize,
+}
+
+impl InteractiveCli {
+    fn spawn(env: &[(&str, &str)]) -> Self {
+        use std::io::Read;
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_simq"));
+        cmd.env_remove("SIMQ_WAL").env_remove("SIMQ_DB");
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let mut child = cmd
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("simq binary spawns");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let reader = |mut pipe: Box<dyn Read + Send>| {
+            let buf = std::sync::Arc::new(std::sync::Mutex::new(String::new()));
+            let shared = buf.clone();
+            std::thread::spawn(move || {
+                let mut bytes = [0u8; 4096];
+                while let Ok(n) = pipe.read(&mut bytes) {
+                    if n == 0 {
+                        break;
+                    }
+                    shared
+                        .lock()
+                        .expect("pipe buffer lock")
+                        .push_str(&String::from_utf8_lossy(&bytes[..n]));
+                }
+            });
+            buf
+        };
+        let stdout = reader(Box::new(child.stdout.take().expect("piped stdout")));
+        let stderr = reader(Box::new(child.stderr.take().expect("piped stderr")));
+        Self {
+            child,
+            stdin,
+            stdout,
+            stderr,
+            cursor: 0,
+        }
+    }
+
+    /// Sends one shell line (newline appended).
+    fn send(&mut self, line: &str) {
+        self.stdin
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write stdin line");
+        self.stdin.flush().expect("flush stdin");
+    }
+
+    /// Polls stdout until `pattern` appears after the previous match
+    /// (panics with the full transcript after 30 s).
+    fn expect(&mut self, pattern: &str) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            {
+                let out = self.stdout.lock().expect("stdout buffer lock");
+                if let Some(at) = out[self.cursor.min(out.len())..].find(pattern) {
+                    self.cursor = self.cursor.min(out.len()) + at + pattern.len();
+                    return;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {pattern:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+                self.stdout.lock().expect("stdout buffer lock"),
+                self.stderr.lock().expect("stderr buffer lock"),
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    /// `\quit`s, waits for exit and returns (stdout, exit code).
+    fn finish(mut self) -> (String, i32) {
+        self.send("\\quit");
+        drop(self.stdin);
+        let status = self.child.wait().expect("simq exits");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let out = self.stdout.lock().expect("stdout buffer lock").clone();
+        (out, status.code().unwrap_or(-1))
+    }
+}
+
+/// The poisoned-write-path lifecycle through the real binary: a DDL
+/// auto-checkpoint fails (its snapshot rename target is blocked by a
+/// directory), which must poison inserts with an actionable error — not
+/// silently drop durability — until an explicit `\wal checkpoint`
+/// succeeds and re-opens the write path.
+#[test]
+fn poisoned_write_path_recovers_via_manual_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("simq-cli-poison-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_str = dir.to_str().expect("utf-8 temp path").to_string();
+
+    let mut cli = InteractiveCli::spawn(&[("SIMQ_WAL", &dir_str)]);
+    cli.expect("attached WAL directory");
+
+    // The attach checkpointed the demo catalog at epoch 1 with densely
+    // assigned file ids; re-sharding is a shape change, so its automatic
+    // checkpoint writes shard 0 of the NEXT file id at the NEXT epoch.
+    // Planting a directory at that exact path makes `write_atomic`'s
+    // rename fail — the cheapest deterministic stand-in for a full disk.
+    let (mut max_file_id, mut max_epoch) = (0u64, 1u64);
+    for entry in std::fs::read_dir(&dir).expect("WAL dir listable") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        if let Some((id, rest)) = name.strip_prefix('r').and_then(|r| r.split_once(".s")) {
+            if let Ok(id) = id.parse::<u64>() {
+                max_file_id = max_file_id.max(id);
+            }
+            if let Some(epoch) = rest
+                .split_once(".e")
+                .and_then(|(_, e)| e.split_once('.'))
+                .and_then(|(e, _)| e.parse::<u64>().ok())
+            {
+                max_epoch = max_epoch.max(epoch);
+            }
+        }
+    }
+    let blocker = dir.join(format!("r{}.s0.e{}.snap", max_file_id + 1, max_epoch + 1));
+    std::fs::create_dir(&blocker).expect("blocker directory created");
+
+    // The DDL itself succeeds in memory; the poison is deferred to the
+    // write path, and `\wal` status must surface it loudly.
+    cli.send("\\shard walks 2");
+    cli.expect("sharded `walks` into 2 shards");
+    cli.send("\\wal");
+    cli.expect("WRITE PATH POISONED");
+
+    let series: Vec<String> = (0..128).map(|i| format!("{}", 30 + i % 7)).collect();
+    let insert = format!("\\insert walks PHOENIX [{}]", series.join(", "));
+    cli.send(&insert);
+    cli.expect("write path poisoned by a failed checkpoint");
+
+    // Operator clears the blockage; an explicit checkpoint recovers
+    // (same epoch the failed attempt targeted — nothing was committed).
+    std::fs::remove_dir(&blocker).expect("blocker directory removed");
+    cli.send("\\wal checkpoint");
+    cli.expect("checkpoint at epoch 2");
+    cli.send(&insert);
+    cli.expect("inserted id=1000 into `walks` shard 0");
+
+    let (stdout, code) = cli.finish();
+    assert_eq!(code, 0, "{stdout}");
+
+    // The recovered insert is durable: a fresh process replays it.
+    let (stdout, _, code) = run_cli_with(
+        &[],
+        "FIND 1 NEAREST TO NAME PHOENIX IN walks\n\\quit\n",
+        &[("SIMQ_WAL", &dir_str)],
+    );
+    assert_eq!(code, 0);
+    assert!(stdout.contains("replayed 1 WAL record"), "{stdout}");
+    assert!(stdout.contains("PHOENIX"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

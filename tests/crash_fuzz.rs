@@ -299,3 +299,326 @@ fn no_crash_when_budget_exceeds_workload() {
     crash_at(1, u64::MAX, "unbounded");
     crash_at(4, u64::MAX, "unbounded sharded");
 }
+
+// ---------------------------------------------------------------------------
+// Concurrent writers: mid-group kill points
+// ---------------------------------------------------------------------------
+
+/// The worker-thread count the concurrent crash runs use (CI sets
+/// `SIMQ_THREADS=4`; so does the default).
+fn crash_threads() -> usize {
+    std::env::var("SIMQ_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(4)
+}
+
+/// One simulated crash under concurrent per-shard writers: the whole
+/// workload goes through `Database::insert_batch` (one WAL group append
+/// per shard, writers racing on distinct shards) with the shared byte
+/// budget killed after `kill_after` bytes. The contract is two-sided:
+///
+/// 1. every row the batch **acknowledged** survives reopen bit-for-bit;
+/// 2. rows of a torn (unacknowledged) group are atomically
+///    absent-or-present per shard according to the WAL prefix property —
+///    the recovered subset of each shard's group is exactly a prefix of
+///    that shard's records in id order, never a gap.
+fn crash_batch_at(shards: usize, kill_after: u64, what: &str) {
+    let dir = unique_dir(&format!("batch-s{shards}"));
+    let mut db = fresh_db(shards);
+    db.set_parallelism(Parallelism::Fixed(crash_threads()));
+    let sink = FailingStorage::new(kill_after);
+    db.attach_wal_with_sink(&dir, sink.clone()).unwrap();
+
+    let rows = workload();
+    let acked: Vec<(u64, usize)> = match db.insert_batch("r", rows.clone()) {
+        Ok(report) => report.acked.iter().map(|&(idx, r)| (r.id, idx)).collect(),
+        Err(_) => Vec::new(), // every shard's group append died
+    };
+    drop(db);
+    sink.materialize().unwrap();
+    let (reopened, _replay) = Database::open_durable(&dir).unwrap();
+    let stored = reopened.relation("r").expect("relation survives");
+
+    // Batch ids are assigned in input order from the base relation's
+    // next_id, so workload row `idx` owns id BASE_ROWS + idx. An oracle
+    // insert loop pins the shard routing.
+    let mut oracle = fresh_db(shards);
+    let mut shard_sequences: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for (name, series) in &rows {
+        let report = oracle.insert_into("r", name, series.clone()).unwrap();
+        shard_sequences[report.shard].push(report.id);
+    }
+
+    // Half 1: acknowledged rows are present, bit-for-bit.
+    for &(id, idx) in &acked {
+        assert_eq!(id, (BASE_ROWS + idx) as u64, "{what}: id assignment");
+        let row = stored
+            .row(id)
+            .unwrap_or_else(|| panic!("{what}: acknowledged id {id} lost"));
+        let (name, series) = &rows[idx];
+        assert_eq!(&row.name, name, "{what}: name of id {id}");
+        for (a, b) in row.raw.iter().zip(series) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: bits of id {id}");
+        }
+    }
+
+    // Half 2: per shard, the recovered workload rows form a prefix of
+    // that shard's group in id order (an acked shard recovers all of
+    // them; a torn shard recovers exactly the records before the tear).
+    let acked_ids: std::collections::BTreeSet<u64> = acked.iter().map(|&(id, _)| id).collect();
+    for (shard, sequence) in shard_sequences.iter().enumerate() {
+        let recovered: Vec<bool> = sequence
+            .iter()
+            .map(|&id| stored.row(id).is_some())
+            .collect();
+        let prefix_len = recovered.iter().take_while(|&&p| p).count();
+        assert!(
+            recovered[prefix_len..].iter().all(|&p| !p),
+            "{what}: shard {shard} recovered a gapped subset {recovered:?} of {sequence:?}"
+        );
+        // Unacknowledged survivors are legal (the tear hit after their
+        // bytes); acknowledged ones are mandatory, so the prefix covers
+        // every acked id of the shard.
+        for &id in sequence {
+            if acked_ids.contains(&id) {
+                assert!(
+                    stored.row(id).is_some(),
+                    "{what}: shard {shard} lost acked id {id}"
+                );
+            }
+        }
+        // Whatever survived must carry the workload's exact bits.
+        for &id in &sequence[..prefix_len] {
+            let row = stored.row(id).unwrap();
+            let (name, series) = &rows[(id - BASE_ROWS as u64) as usize];
+            assert_eq!(&row.name, name, "{what}: torn-group name of id {id}");
+            for (a, b) in row.raw.iter().zip(series) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{what}: torn-group bits of id {id}"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Seeded mid-group kill points against the 4-shard configuration under
+/// concurrent per-shard writers, plus the single-tree one-group case.
+#[test]
+fn crash_fuzz_concurrent_batch() {
+    let seed = base_seed().wrapping_add(2);
+    for (i, kill_after) in kill_points(seed).into_iter().take(60).enumerate() {
+        crash_batch_at(
+            4,
+            kill_after,
+            &format!("batch-sharded[{i}] kill@{kill_after} seed {seed:#x}"),
+        );
+    }
+    let seed = base_seed().wrapping_add(3);
+    for (i, kill_after) in kill_points(seed).into_iter().take(30).enumerate() {
+        crash_batch_at(
+            1,
+            kill_after,
+            &format!("batch-single[{i}] kill@{kill_after} seed {seed:#x}"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint commit point: crashes between rename and directory sync
+// ---------------------------------------------------------------------------
+
+/// Reads every file of a durable directory into memory.
+fn dir_files(dir: &std::path::Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    let mut files = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            files.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+    }
+    files
+}
+
+/// Materializes a simulated post-crash directory state.
+fn write_dir(dir: &std::path::Path, files: &std::collections::BTreeMap<String, Vec<u8>>) {
+    std::fs::create_dir_all(dir).unwrap();
+    for (name, bytes) in files {
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+}
+
+/// Crashes at the checkpoint's commit point: the manifest rename is the
+/// atomic switch, and the directory fsync after it is what makes the
+/// switch durable. A crash on either side of that instant must leave a
+/// directory that reopens to a state containing **every acknowledged
+/// insert** — before the rename becomes durable the old manifest still
+/// governs (old checkpoint + intact WAL tails), after it the new one does
+/// (new checkpoint; stale files are ignorable garbage).
+#[test]
+fn checkpoint_commit_point_crash_recovers_every_acked_insert() {
+    for shards in [1usize, 4] {
+        let dir = unique_dir(&format!("commit-point-s{shards}"));
+        let mut db = fresh_db(shards);
+        db.attach_wal(&dir).unwrap();
+        let mut acked = Vec::new();
+        for (name, series) in workload() {
+            let report = db.insert_into("r", &name, series.clone()).unwrap();
+            acked.push((report.id, name, series));
+        }
+        let before = dir_files(&dir); // old manifest + old snaps + WAL tails
+        db.checkpoint().unwrap();
+        let after = dir_files(&dir); // new manifest + new snaps, tails absorbed
+        drop(db);
+        assert_ne!(
+            before.get("MANIFEST"),
+            after.get("MANIFEST"),
+            "checkpoint must swap the manifest"
+        );
+
+        // Crash A — new checkpoint files synced, manifest rename NOT yet
+        // durable: the directory shows every new file but the old
+        // manifest. (This is exactly the window the directory fsync in
+        // `pages::write_atomic` closes.)
+        let mut pre_rename = before.clone();
+        for (name, bytes) in &after {
+            if name != "MANIFEST" {
+                pre_rename
+                    .entry(name.clone())
+                    .or_insert_with(|| bytes.clone());
+            }
+        }
+        // Crash B — rename durable, stale-file deletion NOT yet durable:
+        // old epoch files and absorbed WAL tails reappear next to the new
+        // manifest.
+        let mut post_rename = before.clone();
+        for (name, bytes) in &after {
+            post_rename.insert(name.clone(), bytes.clone());
+        }
+
+        for (tag, files) in [("pre-rename", &pre_rename), ("post-rename", &post_rename)] {
+            let what = format!("commit-point {tag} (shards {shards})");
+            let crash_dir = unique_dir(&format!("commit-point-{tag}-s{shards}"));
+            write_dir(&crash_dir, files);
+            let (reopened, _replay) = Database::open_durable(&crash_dir)
+                .unwrap_or_else(|e| panic!("{what}: reopen failed: {e}"));
+            let stored = reopened.relation("r").expect("relation survives");
+            assert_eq!(
+                stored.row_count(),
+                BASE_ROWS + acked.len(),
+                "{what}: row count"
+            );
+            for (id, name, series) in &acked {
+                let row = stored
+                    .row(*id)
+                    .unwrap_or_else(|| panic!("{what}: acked id {id} lost"));
+                assert_eq!(&row.name, name, "{what}: name of id {id}");
+                for (a, b) in row.raw.iter().zip(series) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{what}: bits of id {id}");
+                }
+            }
+            std::fs::remove_dir_all(&crash_dir).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail repair: a crash between the repair and its sync
+// ---------------------------------------------------------------------------
+
+/// The WAL tail files of a durable directory, sorted by name.
+fn wal_paths(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Repairing a torn WAL tail truncates the garbage — and that truncation
+/// is itself synced (`sync_all`: truncation is *metadata*) before replay
+/// reports success. A crash between the repair and its sync resurfaces
+/// the torn bytes; the next open must repair them again to the identical
+/// state, for any seeded tear.
+#[test]
+fn torn_tail_repair_survives_a_crash_before_the_truncation_syncs() {
+    let seed = base_seed().wrapping_add(4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..8 {
+        let dir = unique_dir(&format!("repair-{round}"));
+        let mut db = fresh_db(1);
+        db.attach_wal(&dir).unwrap();
+        let mut acked = Vec::new();
+        for (name, series) in workload().into_iter().take(6) {
+            let report = db.insert_into("r", &name, series.clone()).unwrap();
+            acked.push((report.id, name, series));
+        }
+        drop(db);
+
+        // Tear the tail: a prefix of a valid record plus garbage.
+        let wal = wal_paths(&dir)
+            .into_iter()
+            .next()
+            .expect("one WAL tail exists");
+        let clean = std::fs::read(&wal).unwrap();
+        let mut torn_record = encode_record(&WalRecord {
+            id: 9999,
+            name: "torn".into(),
+            series: vec![1.0; SERIES_LEN],
+        });
+        let keep = rng.gen_range(1..torn_record.len());
+        torn_record.truncate(keep);
+        torn_record.extend_from_slice(&[0xAB; 3]);
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&torn_record);
+        std::fs::write(&wal, &torn).unwrap();
+
+        let verify = |what: &str| {
+            let (reopened, replay) = Database::open_durable(&dir).unwrap();
+            assert!(
+                replay.wal_files_repaired >= 1,
+                "{what}: tear not detected (round {round}, keep {keep})"
+            );
+            let stored = reopened.relation("r").unwrap();
+            assert_eq!(
+                stored.row_count(),
+                BASE_ROWS + acked.len(),
+                "{what}: row count (round {round})"
+            );
+            for (id, name, series) in &acked {
+                let row = stored.row(*id).unwrap();
+                assert_eq!(&row.name, name, "{what}: name of id {id}");
+                for (a, b) in row.raw.iter().zip(series) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{what}: bits of id {id}");
+                }
+            }
+        };
+        // First open repairs the tear and truncates the tail…
+        verify("first repair");
+        assert_eq!(
+            std::fs::read(&wal).unwrap(),
+            clean,
+            "repair truncates to the valid prefix (round {round})"
+        );
+        // …simulate the crash where that truncation never became durable
+        // (the bug `truncate_to`'s sync_all closes: set_len is metadata):
+        // the torn bytes reappear, and the next open repairs identically.
+        std::fs::write(&wal, &torn).unwrap();
+        verify("repair after lost truncation");
+        assert_eq!(
+            std::fs::read(&wal).unwrap(),
+            clean,
+            "second repair reaches the identical state (round {round})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

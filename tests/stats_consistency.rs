@@ -7,12 +7,11 @@
 //! against silently dropping a phase (the bug class the deferred
 //! radius-coefficient fold in kNN exists to prevent).
 //!
-//! Coefficient comparisons are the one counter with a deliberate gap:
-//! serial sharded *index* execution does its verification on the calling
-//! thread with no per-thread vector to charge, so the breakdown sum is
-//! `<=` the merged count there and exactly equal whenever a per-thread
-//! vector exists (and on every scan path, where shards carry their own
-//! coefficient counts).
+//! Coefficient comparisons hold the partition property too: sharded
+//! executions that verify on the calling thread (serial, or parallel with
+//! too few candidates to fan out) charge that work to a per-thread entry
+//! created on demand, so the breakdown sum equals the merged count on
+//! every path. (This suite used to document a `<=` gap exactly there.)
 
 mod common;
 
@@ -63,18 +62,11 @@ fn assert_breakdowns_sum(result: &QueryResult, label: &str) {
         result.stats.rows_scanned,
         "{label}: rows_scanned breakdown"
     );
-    let coeffs = sum(|s| s.coefficients_compared);
-    assert!(
-        coeffs <= result.stats.coefficients_compared,
-        "{label}: coefficient breakdown exceeds merged ({coeffs} > {})",
-        result.stats.coefficients_compared
+    assert_eq!(
+        sum(|s| s.coefficients_compared),
+        result.stats.coefficients_compared,
+        "{label}: coefficients_compared breakdown"
     );
-    if !pt.is_empty() {
-        assert_eq!(
-            coeffs, result.stats.coefficients_compared,
-            "{label}: coefficient breakdown with per-thread accounting"
-        );
-    }
 }
 
 fn db_over(series: &[Vec<f64>], shards: usize, threads: usize) -> Database {
