@@ -188,6 +188,17 @@ impl StoredRelation {
         }
     }
 
+    /// Records that ids up to `id` were consumed without storing rows —
+    /// the durable write path's defense after a failed WAL append, whose
+    /// durable prefix replay may still apply (see
+    /// [`SeriesRelation::note_inserted`]).
+    pub fn note_inserted(&mut self, id: u64) {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.note_inserted(id),
+            StoredRelation::Sharded { relation, .. } => relation.note_inserted(id),
+        }
+    }
+
     /// Inserts a series under an explicit row id, keeping the owning
     /// shard's index in sync incrementally (no rebuild). Returns the
     /// shard that took the row and how many tree nodes the insert
@@ -787,17 +798,28 @@ impl Database {
         };
         let mut wal_appended = false;
         if let Some(d) = &mut self.durability {
-            if self.group_commit {
+            let appended = if self.group_commit {
                 // Route through the shard's write group: concurrent
                 // submitters share syncs; this still returns only after
                 // the flush covering the record has synced.
                 d.store
                     .append_insert_grouped(relation, shard, &record)
-                    .map_err(QueryError::from)?;
+                    .map(|_| ())
             } else {
-                d.store
-                    .append_insert(relation, shard, &record)
-                    .map_err(QueryError::from)?;
+                d.store.append_insert(relation, shard, &record)
+            };
+            if let Err(e) = appended {
+                // A failed append can still have left the record durable
+                // (the sync died after the write, or it rode a torn group
+                // prefix); consume the id so no later insert collides
+                // with what replay may apply.
+                Arc::make_mut(
+                    self.relations
+                        .get_mut(relation)
+                        .expect("relation presence checked above"),
+                )
+                .note_inserted(id);
+                return Err(QueryError::from(e));
             }
             d.wal_records += 1;
             wal_appended = true;
@@ -925,15 +947,13 @@ impl Database {
                 index,
             } => {
                 let (idxs, records) = per_shard.pop().expect("single form has one shard");
-                vec![apply_shard_batch(
-                    dur,
-                    relation,
-                    0,
-                    &idxs,
-                    records,
-                    store,
-                    index.as_mut(),
-                )]
+                let outcome =
+                    apply_shard_batch(dur, relation, 0, &idxs, records, store, index.as_mut());
+                // Mirror the sharded path below: every id in the batch is
+                // consumed, acked or not, so a later insert can never
+                // collide with a record a failed WAL prefix might replay.
+                store.note_inserted(base_id + n - 1);
+                vec![outcome]
             }
             StoredRelation::Sharded {
                 relation: sharded,

@@ -17,15 +17,21 @@
 //!    whole pending buffer (its own records *plus* anything enqueued by
 //!    writers that arrived while a previous flush ran), releases the lock,
 //!    and performs one write + one sync through the [`GroupSink`].
-//! 3. Followers wait on a condvar until the durable sequence reaches their
-//!    ticket (ack) or a flush that covered their ticket fails (error).
+//! 3. Followers wait on a condvar until the flush that drained their
+//!    records completes, then take that flush's own outcome: ack if it
+//!    synced, its I/O error if it failed.
 //!
-//! A failed flush poisons only the records it covered: their writers get
-//! the error, the buffer is empty again, and later submissions start
-//! fresh. This mirrors the file state — a torn group is a prefix on disk,
-//! repaired at replay like any torn tail.
+//! A failed flush poisons exactly the records it covered: their writers
+//! get the error, the buffer is empty again, and later submissions start
+//! fresh. Every ticket resolves against the *specific* flush that drained
+//! it — outcomes are kept per flush, not as global watermarks — so a
+//! later successful flush can never acknowledge a record an earlier
+//! failed flush lost (and a later failure can never error a record that
+//! was already durable). This mirrors the file state — a torn group is a
+//! prefix on disk, repaired at replay like any torn tail.
 
 use crate::wal::{encode_record, WalRecord};
+use std::collections::VecDeque;
 use std::io;
 use std::sync::{Condvar, Mutex};
 
@@ -53,6 +59,25 @@ where
     }
 }
 
+/// Outcome of one completed flush, kept until every submission the flush
+/// covered has observed it.
+///
+/// Flushes drain the whole pending buffer, so their ticket ranges are
+/// contiguous and strictly increasing: this entry covers every ticket
+/// after the previous entry's `upto`, up to its own.
+#[derive(Debug)]
+struct FlushOutcome {
+    /// Last ticket this flush covered.
+    upto: u64,
+    /// Records the flush carried (made durable on success).
+    records: u64,
+    /// Submissions covered by this flush that have not yet resolved;
+    /// the entry is dropped when this reaches zero.
+    waiters: u64,
+    /// The flush's I/O error; `None` means it synced.
+    error: Option<String>,
+}
+
 /// Guarded state of one [`WriteGroup`].
 #[derive(Debug, Default)]
 struct GroupState {
@@ -60,18 +85,17 @@ struct GroupState {
     pending: Vec<u8>,
     /// Records in `pending`.
     pending_records: u64,
+    /// Submissions whose records sit in `pending`.
+    pending_submissions: u64,
     /// Ticket of the last submitted record.
     submitted: u64,
-    /// Tickets `<= durable` are synced and acknowledged.
-    durable: u64,
-    /// Tickets in `(durable, failed]` hit a failed flush.
-    failed: u64,
-    /// Error message of the most recent failed flush.
-    error: Option<String>,
     /// A leader is currently flushing outside the lock.
     flushing: bool,
-    /// Records made durable by the most recent successful flush.
-    last_group: u64,
+    /// Completed flushes not yet observed by all their submitters, in
+    /// flush order (ascending `upto`). Per-flush outcomes — rather than
+    /// global durable/failed watermarks — are what lets each ticket
+    /// resolve against exactly the flush that drained it.
+    outcomes: VecDeque<FlushOutcome>,
 }
 
 /// One shard log's group-commit gate. See the module docs for the
@@ -132,20 +156,29 @@ impl WriteGroup {
             state.pending.extend_from_slice(&encode_record(rec));
         }
         state.pending_records += records.len() as u64;
+        state.pending_submissions += 1;
         state.submitted += records.len() as u64;
         let ticket = state.submitted;
         loop {
-            if state.durable >= ticket {
-                return Ok(GroupCommit {
-                    // `durable` advanced past our ticket in one flush whose
-                    // size the leader recorded in `last_group`; report it.
-                    group_records: state.last_group,
-                    syncs: 1,
-                });
-            }
-            if state.failed >= ticket {
-                let why = state.error.clone().unwrap_or_default();
-                return Err(io::Error::other(why));
+            // Resolve against the flush that drained this ticket. Outcome
+            // ranges are contiguous and ascending, and the covering entry
+            // cannot have been dropped while this submission is still
+            // unresolved (it counts among the entry's waiters), so the
+            // first entry reaching `ticket` is the covering flush.
+            if let Some(i) = state.outcomes.iter().position(|o| o.upto >= ticket) {
+                let outcome = &mut state.outcomes[i];
+                let result = match &outcome.error {
+                    None => Ok(GroupCommit {
+                        group_records: outcome.records,
+                        syncs: 1,
+                    }),
+                    Some(why) => Err(io::Error::other(why.clone())),
+                };
+                outcome.waiters -= 1;
+                if outcome.waiters == 0 {
+                    state.outcomes.remove(i);
+                }
+                return result;
             }
             if !state.flushing {
                 // Become leader: take everything pending and flush it with
@@ -153,6 +186,7 @@ impl WriteGroup {
                 state.flushing = true;
                 let bytes = std::mem::take(&mut state.pending);
                 let count = std::mem::replace(&mut state.pending_records, 0);
+                let waiters = std::mem::replace(&mut state.pending_submissions, 0);
                 let covers = state.submitted;
                 drop(state);
                 let started = std::time::Instant::now();
@@ -160,23 +194,21 @@ impl WriteGroup {
                 let sync_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 state = self.state.lock().expect("write group lock");
                 state.flushing = false;
-                match outcome {
-                    Ok(()) => {
-                        state.durable = covers;
-                        state.last_group = count;
-                        use std::sync::atomic::Ordering::Relaxed;
-                        let m = simq_obs::metrics::registry();
-                        m.wal_appends.fetch_add(count, Relaxed);
-                        m.wal_syncs.fetch_add(1, Relaxed);
-                        m.wal_group_commits.fetch_add(1, Relaxed);
-                        m.wal_sync_latency.record(sync_ns);
-                        m.wal_last_sync_ns.store(sync_ns, Relaxed);
-                    }
-                    Err(e) => {
-                        state.failed = covers;
-                        state.error = Some(e.to_string());
-                    }
+                if outcome.is_ok() {
+                    use std::sync::atomic::Ordering::Relaxed;
+                    let m = simq_obs::metrics::registry();
+                    m.wal_appends.fetch_add(count, Relaxed);
+                    m.wal_syncs.fetch_add(1, Relaxed);
+                    m.wal_group_commits.fetch_add(1, Relaxed);
+                    m.wal_sync_latency.record(sync_ns);
+                    m.wal_last_sync_ns.store(sync_ns, Relaxed);
                 }
+                state.outcomes.push_back(FlushOutcome {
+                    upto: covers,
+                    records: count,
+                    waiters,
+                    error: outcome.err().map(|e| e.to_string()),
+                });
                 self.synced.notify_all();
             } else {
                 state = self.synced.wait(state).expect("write group lock");
@@ -285,6 +317,69 @@ mod tests {
         let replayed = crate::wal::replay(&stored.lock().unwrap());
         assert_eq!(replayed.records.len(), 1);
         assert_eq!(replayed.records[0].id, 2);
+    }
+
+    /// Regression for a lost-write acknowledgment: a submission drained
+    /// by a FAILED flush must get the error even when a LATER flush
+    /// succeeds before it observes the outcome. Global durable/failed
+    /// watermarks break here (the later flush advances durability past
+    /// the lost ticket); per-flush outcomes pin it.
+    #[test]
+    fn failed_flush_followers_error_despite_a_later_successful_flush() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicU64::new(0));
+        let stored: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let group = WriteGroup::new({
+            let (calls, gate, stored) =
+                (Arc::clone(&calls), Arc::clone(&gate), Arc::clone(&stored));
+            move |bytes: &[u8]| {
+                let call = calls.fetch_add(1, Ordering::SeqCst) + 1;
+                // Stall flushes 1 and 2 until the test releases them, so
+                // followers pile up behind them deterministically.
+                while gate.load(Ordering::SeqCst) < call {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                if call == 2 {
+                    return Err(io::Error::other("disk gone"));
+                }
+                stored.lock().unwrap().extend_from_slice(bytes);
+                Ok(())
+            }
+        });
+        std::thread::scope(|scope| {
+            // Flush 1 (succeeds): writer A leads and stalls in the sink.
+            let a = scope.spawn(|| group.submit(&[rec(1)]));
+            while calls.load(Ordering::SeqCst) < 1 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // B and C enqueue behind the stalled flush; both will be
+            // drained together by flush 2, which fails.
+            let b = scope.spawn(|| group.submit(&[rec(2)]));
+            let c = scope.spawn(|| group.submit(&[rec(3)]));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            gate.store(1, Ordering::SeqCst); // flush 1 returns Ok
+            while calls.load(Ordering::SeqCst) < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            // D enqueues while flush 2 is stalled; after flush 2 fails,
+            // D leads flush 3, which succeeds — before B/C necessarily
+            // observed their failure.
+            let d = scope.spawn(|| group.submit(&[rec(4)]));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            gate.store(3, Ordering::SeqCst); // flush 2 fails, flush 3 ok
+            assert!(a.join().unwrap().is_ok(), "flush 1 writer acks");
+            let b = b.join().unwrap().expect_err("B was in the failed flush");
+            let c = c.join().unwrap().expect_err("C was in the failed flush");
+            assert!(b.to_string().contains("disk gone"));
+            assert!(c.to_string().contains("disk gone"));
+            assert!(d.join().unwrap().is_ok(), "flush 3 writer acks");
+        });
+        // Exactly the acknowledged records are durable: 1 and 4, never
+        // the failed flush's 2 or 3.
+        let replayed = crate::wal::replay(&stored.lock().unwrap());
+        let mut ids: Vec<u64> = replayed.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 4]);
     }
 
     #[test]

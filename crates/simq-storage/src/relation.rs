@@ -206,6 +206,17 @@ impl SeriesRelation {
         self.next_id
     }
 
+    /// Records that ids up to `id` were consumed without necessarily
+    /// storing rows, advancing the next-id watermark past them. The
+    /// durable write path calls this after a *failed* WAL group append:
+    /// the failure can still leave a durable prefix of complete records
+    /// on disk (e.g. the sync died after a partial write), and replay
+    /// will apply that prefix — so no later insert may ever reuse an id
+    /// the failed group carried.
+    pub fn note_inserted(&mut self, id: u64) {
+        self.next_id = self.next_id.max(id + 1);
+    }
+
     /// Row access by id — O(1) whether ids are dense (sequential inserts:
     /// position doubles as id) or explicit with gaps (id map).
     pub fn row(&self, id: u64) -> Option<&SeriesRow> {

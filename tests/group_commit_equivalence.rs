@@ -17,6 +17,7 @@ mod common;
 use common::assert_outputs_bitwise_equal;
 use similarity_queries::prelude::*;
 use similarity_queries::query::execute;
+use similarity_queries::storage::FailingStorage;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -274,6 +275,43 @@ fn group_commit_flag_preserves_results_and_durability() {
         }
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A batch whose WAL group append fails still consumes its ids — in the
+/// single-relation form exactly as in the sharded one. The failed append
+/// can leave a durable prefix of complete records on disk (a sync that
+/// died after a partial write), which replay will apply after a crash;
+/// were next_id left unchanged, a later insert would reuse those ids and
+/// collide at replay.
+#[test]
+fn failed_batch_consumes_its_ids_in_both_relation_forms() {
+    for shards in [1usize, 4] {
+        let what = format!("shards {shards}");
+        let dir = unique_dir(&format!("failed-ids-s{shards}"));
+        let mut db = fresh_db(shards, 1);
+        // A zero-byte budget: every append fails without writing, after
+        // validation and id assignment.
+        db.attach_wal_with_sink(&dir, FailingStorage::new(0))
+            .unwrap();
+        let before = db.relation("r").unwrap().next_id();
+        db.insert_batch("r", batch())
+            .expect_err("every shard's group append fails");
+        assert_eq!(
+            db.relation("r").unwrap().next_id(),
+            before + BATCH_ROWS as u64,
+            "{what}: failed batch must consume its ids"
+        );
+        // The single-record path defends identically.
+        let (name, series) = batch().remove(0);
+        db.insert_into("r", name, series)
+            .expect_err("append still failing");
+        assert_eq!(
+            db.relation("r").unwrap().next_id(),
+            before + BATCH_ROWS as u64 + 1,
+            "{what}: failed insert_into must consume its id"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 /// An invalid row anywhere in the batch rejects the whole batch before
