@@ -1,0 +1,111 @@
+//! Network-service throughput vs connection count.
+//!
+//! One in-process `simq-server` serves a walk corpus; 1, 4 and 16
+//! clients hammer it concurrently with a mixed range/kNN workload over
+//! real TCP sockets. Because every reader executes against a pinned
+//! `ReadView` off-lock, throughput should *scale* with connections
+//! rather than serialize behind the catalog — the queries-per-second
+//! notes in `BENCH_server_throughput.json` pin that trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simq_bench::report::{quick_mode, BenchReport};
+use simq_bench::walk_relation;
+use simq_client::Client;
+use simq_query::Database;
+use simq_server::Server;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// The per-client workload: cheap and mid-weight shapes interleaved,
+/// offset per client so concurrent connections run a mix at any instant.
+const QUERIES: &[&str] = &[
+    "FIND SIMILAR TO ROW 0 IN walks EPSILON 1.0",
+    "FIND 5 NEAREST TO ROW 3 IN walks",
+    "FIND SIMILAR TO ROW 17 IN walks USING mavg(8) ON BOTH EPSILON 1.5",
+    "FIND 3 NEAREST TO ROW 11 IN walks USING reverse",
+    "FIND SIMILAR TO ROW 9 IN walks EPSILON 2.0",
+];
+
+fn serve_walks(rows: usize, len: usize) -> (Server, SocketAddr) {
+    let mut db = Database::new();
+    db.add_relation_indexed(walk_relation("walks", rows, len));
+    let server = Server::bind("127.0.0.1:0", db).expect("bench server binds");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// One timed round: `clients` fresh connections, `per_client` queries
+/// each, all joined (connection setup is part of the serving cost).
+fn round(addr: SocketAddr, clients: usize, per_client: usize) {
+    let handles: Vec<_> = (0..clients)
+        .map(|offset| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("bench client connects");
+                for i in 0..per_client {
+                    let query = QUERIES[(i + offset) % QUERIES.len()];
+                    client.query(query).expect("bench query runs");
+                }
+                client.goodbye().ok();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("bench client joins");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (rows, len) = if quick { (300, 64) } else { (1_000, 128) };
+    let per_client = if quick { 10 } else { 25 };
+    let counts: &[usize] = &[1, 4, 16];
+
+    let (server, addr) = serve_walks(rows, len);
+
+    let mut group = c.benchmark_group("server_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(if quick { 50 } else { 200 }))
+        .measurement_time(Duration::from_millis(if quick { 150 } else { 700 }));
+    for &clients in counts {
+        group.bench_with_input(
+            BenchmarkId::new("mixed_queries", clients),
+            &clients,
+            |b, &clients| b.iter(|| round(addr, clients, per_client)),
+        );
+    }
+    group.finish();
+
+    // The persisted trajectory: median round time and derived
+    // queries/sec per connection count. Skipped in `--test` smoke mode
+    // so it never clobbers committed reports with one-iteration noise.
+    let smoke = std::env::args().any(|a| a == "--test");
+    if smoke {
+        server.shutdown();
+        return;
+    }
+    let mut report = BenchReport::new("server_throughput");
+    let samples = if quick { 5 } else { 12 };
+    for &clients in counts {
+        let median_ns = report.measure(format!("round/{clients}_clients"), samples, || {
+            round(addr, clients, per_client)
+        });
+        let queries = (clients * per_client) as u64;
+        report.note(format!("queries_per_round/{clients}_clients"), queries);
+        report.note(
+            format!("queries_per_sec/{clients}_clients"),
+            queries
+                .saturating_mul(1_000_000_000)
+                .checked_div(median_ns)
+                .unwrap_or(0),
+        );
+    }
+    report.note("corpus_rows", rows as u64);
+    report.note("series_len", len as u64);
+    report.note("per_client_queries", per_client as u64);
+    report.write();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -166,6 +166,30 @@ pub struct Registry {
     pub insert_count: AtomicU64,
     /// `insert.nodes_built` — R*-tree nodes built by insert maintenance.
     pub insert_nodes_built: AtomicU64,
+    /// `server.connections` — connections accepted by the network
+    /// service.
+    pub server_connections: AtomicU64,
+    /// `server.connections_active` (gauge) — connections currently
+    /// being served.
+    pub server_connections_active: AtomicU64,
+    /// `server.frames_received` — request frames decoded.
+    pub server_frames_received: AtomicU64,
+    /// `server.frames_sent` — response frames written (row chunks
+    /// included).
+    pub server_frames_sent: AtomicU64,
+    /// `server.bytes_received` — wire bytes read (headers, payloads and
+    /// checksums of decoded frames).
+    pub server_bytes_received: AtomicU64,
+    /// `server.bytes_sent` — wire bytes written.
+    pub server_bytes_sent: AtomicU64,
+    /// `server.errors` — error frames sent.
+    pub server_errors: AtomicU64,
+    /// `server.in_flight` (gauge) — request frames being handled right
+    /// now, across all connections.
+    pub server_in_flight: AtomicU64,
+    /// `server.frame_latency_ns` — wall time from a request frame's
+    /// arrival to its (final) response frame being written.
+    pub server_frame_latency: Histogram,
 }
 
 impl Registry {
@@ -214,11 +238,28 @@ impl Registry {
                 ("checkpoint.bytes", c(&self.checkpoint_bytes)),
                 ("insert.count", c(&self.insert_count)),
                 ("insert.nodes_built", c(&self.insert_nodes_built)),
+                ("server.connections", c(&self.server_connections)),
+                ("server.frames_received", c(&self.server_frames_received)),
+                ("server.frames_sent", c(&self.server_frames_sent)),
+                ("server.bytes_received", c(&self.server_bytes_received)),
+                ("server.bytes_sent", c(&self.server_bytes_sent)),
+                ("server.errors", c(&self.server_errors)),
             ],
-            gauges: vec![("wal.last_sync_ns", c(&self.wal_last_sync_ns))],
+            gauges: vec![
+                ("wal.last_sync_ns", c(&self.wal_last_sync_ns)),
+                (
+                    "server.connections_active",
+                    c(&self.server_connections_active),
+                ),
+                ("server.in_flight", c(&self.server_in_flight)),
+            ],
             histograms: vec![
                 ("query.latency_ns", self.query_latency.snapshot()),
                 ("wal.sync_latency_ns", self.wal_sync_latency.snapshot()),
+                (
+                    "server.frame_latency_ns",
+                    self.server_frame_latency.snapshot(),
+                ),
             ],
             derived: {
                 let appends = c(&self.wal_appends);

@@ -275,9 +275,16 @@ pub fn execute(db: &Database, input: &str) -> Result<QueryResult, QueryError> {
 
 /// Plans and executes a parsed query.
 ///
+/// Execution is pinned to a [`ReadView`](crate::ReadView) taken at
+/// entry: the whole plan-and-run sequence sees one catalog generation,
+/// so a concurrent writer mutating the live database (copy-on-write)
+/// can never change the catalog under a running query.
+///
 /// # Errors
 /// Any [`QueryError`] from planning or execution.
 pub fn run(db: &Database, query: &Query) -> Result<QueryResult, QueryError> {
+    let view = db.read_view();
+    let db = view.database();
     let the_plan = {
         let _plan_span = span::span("query.plan");
         plan(db, query)?

@@ -1233,6 +1233,17 @@ impl ReadView {
     }
 }
 
+/// A view can stand in wherever a `&Database` holder is generic over
+/// [`Borrow`](std::borrow::Borrow) — most importantly
+/// `Session<ReadView>`, the server's per-connection session: the
+/// session owns a frozen catalog and is swapped wholesale when the
+/// live generation moves on.
+impl std::borrow::Borrow<Database> for ReadView {
+    fn borrow(&self) -> &Database {
+        &self.db
+    }
+}
+
 /// One shard's slice of a batch insert, as reported by
 /// [`apply_shard_batch`].
 struct ShardBatchOutcome {

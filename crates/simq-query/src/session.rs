@@ -820,8 +820,13 @@ impl<D: Borrow<Database>> Session<D> {
         label: Option<&str>,
     ) -> Result<QueryResult, QueryError> {
         let (the_plan, hit) = self.cached_plan(shape, query)?;
+        // Pin the catalog generation for the whole execution: the view
+        // shares the relations by Arc, so this is a shallow clone, and a
+        // writer mutating the live database mid-query copy-on-writes
+        // instead of changing the catalog under us.
+        let view = self.db().read_view();
         let started = std::time::Instant::now();
-        let mut result = exec::run_with_plan(self.db(), query, the_plan)?;
+        let mut result = exec::run_with_plan(view.database(), query, the_plan)?;
         let elapsed = started.elapsed();
         result.stats.plan_cache_hits = hit as u64;
         result.stats.plan_cache_misses = !hit as u64;
@@ -861,8 +866,10 @@ impl<D: Borrow<Database>> Session<D> {
     /// traversal exactly as text batches do.
     pub fn execute_batch(&self, bounds: &[Bound]) -> BatchResult {
         let queries: Vec<Query> = bounds.iter().map(|b| b.query.clone()).collect();
+        // One read view pins the whole batch to a single generation.
+        let view = self.db().read_view();
         self.batch_through_cache(|planner| {
-            BatchExecutor::new(self.db()).execute_with_planner(queries, planner)
+            BatchExecutor::new(view.database()).execute_with_planner(queries, planner)
         })
     }
 
@@ -873,8 +880,9 @@ impl<D: Borrow<Database>> Session<D> {
     /// The CLI routes its batch lines here, so batched queries share the
     /// plan cache with single ones.
     pub fn execute_batch_texts(&self, inputs: &[&str]) -> BatchResult {
+        let view = self.db().read_view();
         self.batch_through_cache(|planner| {
-            BatchExecutor::new(self.db()).execute_texts_with_planner(inputs, planner)
+            BatchExecutor::new(view.database()).execute_texts_with_planner(inputs, planner)
         })
     }
 

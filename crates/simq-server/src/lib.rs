@@ -1,0 +1,34 @@
+//! The simq network service: a concurrent multi-client wire protocol
+//! over the session API.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`wire`] — length-prefixed binary frames
+//!   (`MAGIC | version | frame-type | len | payload | checksum`),
+//!   checksummed with the storage layer's page checksum. Decoding
+//!   never panics on arbitrary bytes.
+//! * [`proto`] — the typed [`Request`] /
+//!   [`Response`] vocabulary. Every `f64` travels as
+//!   its bit pattern, so remote results are bitwise identical to local
+//!   execution.
+//! * [`server`] — `std::net::TcpListener` + thread-per-connection over
+//!   a bounded accept pool. Each connection owns a
+//!   `Session<ReadView>` pinned to a catalog generation (readers never
+//!   block on writers) and a named prepared-statement registry; writes
+//!   from all connections coalesce through one group-committed
+//!   `insert_batch` per drain.
+//!
+//! The client half lives in the `simq-client` crate, which reuses
+//! [`wire`] and [`proto`] from here so both sides share one codec.
+//! `docs/WIRE_PROTOCOL.md` specifies the protocol; the CLI exposes the
+//! server as `simq --serve <addr>` and the client as `\connect`.
+
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use proto::{ErrorCode, RemoteInsertReport, RemoteResult, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use wire::{FrameKind, WireError, MAX_PAYLOAD, PROTOCOL_VERSION};

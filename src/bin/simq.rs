@@ -70,6 +70,16 @@
 //!
 //! The `SIMQ_THREADS` environment variable (`4`, `auto`, `serial`) sets
 //! the initial execution parallelism.
+//!
+//! Network service: `simq --serve <addr>` (or `SIMQ_LISTEN=<addr>`)
+//! binds the loaded database behind the wire protocol of `simq-server`
+//! and serves concurrent clients until stdin closes (or `quit`);
+//! `\connect <host:port>` flips the interactive shell into a remote
+//! client of such a server — query lines, `\prepare`, `\exec`,
+//! `\prepared` and `\insert` run server-side with the same printed
+//! output (results travel as `f64` bit patterns, so they are bitwise
+//! identical to local execution), and `\disconnect` returns to the
+//! local database. `docs/WIRE_PROTOCOL.md` specifies the protocol.
 
 use similarity_queries::data::WalkGenerator;
 use similarity_queries::obs::{metrics, span};
@@ -78,6 +88,7 @@ use similarity_queries::query::batch::{split_batch_script, BatchExecutor, BatchR
 use similarity_queries::query::QueryOutput;
 use similarity_queries::query::StoredRelation;
 use similarity_queries::storage::persist;
+use simq_client::{Client, ClientError};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 
@@ -214,8 +225,10 @@ fn main() {
     }
 
     // Argument scan: `--exec <script>` runs a `;`-separated batch and
-    // exits; every other argument is a text relation to import.
+    // exits, `--serve <addr>` serves the loaded database over TCP;
+    // every other argument is a text relation to import.
     let mut exec_script: Option<String> = None;
+    let mut serve_addr = std::env::var("SIMQ_LISTEN").ok().filter(|a| !a.is_empty());
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -224,6 +237,14 @@ fn main() {
                 Some(script) => exec_script = Some(script),
                 None => {
                     eprintln!("usage: simq --exec \"<query>[; <query>…]\"");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--serve" {
+            match args.next() {
+                Some(addr) => serve_addr = Some(addr),
+                None => {
+                    eprintln!("usage: simq --serve <host:port>   (port 0 picks a free port)");
                     std::process::exit(2);
                 }
             }
@@ -289,6 +310,36 @@ fn main() {
         println!("group commit: on (from SIMQ_GROUP_COMMIT)");
     }
 
+    if let Some(addr) = serve_addr {
+        // Serve mode: the database moves behind the wire protocol and
+        // stdin becomes the shutdown control (EOF or `quit` drains
+        // in-flight queries, closes connections, and exits cleanly).
+        let server = match simq_server::Server::bind(&addr, db) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("cannot serve on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        // Tests bind port 0 and parse the chosen port from this line.
+        println!("serving on {}", server.local_addr());
+        println!("EOF or `quit` stops the server");
+        io::stdout().flush().ok();
+        let stdin = io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if matches!(line.trim(), "quit" | "q" | "exit" | "\\quit" | "\\q") => break,
+                Ok(_) => {}
+            }
+        }
+        server.shutdown();
+        println!("server stopped");
+        std::process::exit(0);
+    }
+
     if let Some(script) = exec_script {
         // Non-interactive batch execution: run, report, exit.
         let session = Session::new(&db);
@@ -309,13 +360,18 @@ fn main() {
     // of executed, until `\batch run` / `\batch cancel`.
     let mut batch_buffer: Option<Vec<String>> = None;
 
+    // `\connect` remote mode: when `Some`, query lines and the prepared-
+    // statement commands run on the connected server instead of locally.
+    let mut remote: Option<Client> = None;
+
     let stdin = io::stdin();
     loop {
         print!(
             "{}",
-            match &batch_buffer {
-                Some(pending) => format!("simq batch[{}]> ", pending.len()),
-                None => "simq> ".to_string(),
+            match (&batch_buffer, &remote) {
+                (Some(pending), _) => format!("simq batch[{}]> ", pending.len()),
+                (None, Some(_)) => "simq remote> ".to_string(),
+                (None, None) => "simq> ".to_string(),
             }
         );
         io::stdout().flush().ok();
@@ -336,6 +392,7 @@ fn main() {
             if !shell_command(
                 &mut session,
                 &mut statements,
+                &mut remote,
                 cmd,
                 default_snapshot.as_deref(),
                 &mut batch_buffer,
@@ -352,6 +409,22 @@ fn main() {
         // `;` separates batch queries — a single query with a trailing
         // `;` is still one query, not a lex error.
         let parts = split_batch_script(line);
+        if let Some(client) = remote.as_mut() {
+            // Remote mode: each query runs on the server (the server
+            // groups writes, not read batches — queries go one by one).
+            let mut lost = false;
+            for query in &parts {
+                if !run_remote_query(client, query) {
+                    lost = true;
+                    break;
+                }
+            }
+            if lost {
+                println!("connection lost; back to the local database");
+                remote = None;
+            }
+            continue;
+        }
         if parts.len() > 1 {
             run_batch(&session, &parts);
             continue;
@@ -480,6 +553,187 @@ fn run_batch<D: std::borrow::Borrow<Database>>(session: &Session<D>, queries: &[
     ok
 }
 
+/// Prints a remote query result exactly as the local path would: the
+/// rows, then the stat line built from the server's plan/stat report
+/// (the access string is the server's `Debug` rendering of the same
+/// `AccessPath` the local stat line formats).
+fn print_remote_result(result: &simq_server::RemoteResult, elapsed: std::time::Duration) {
+    print_output(&result.output);
+    println!(
+        "({:.3} ms; plan {}; nodes={} rows={} candidates={} threads={} cache={})",
+        elapsed.as_secs_f64() * 1e3,
+        result.access,
+        result.stats.nodes_visited,
+        result.stats.rows_scanned,
+        result.stats.candidates,
+        result.stats.threads_used,
+        if result.stats.plan_cache_hits > 0 {
+            "hit"
+        } else {
+            "miss"
+        },
+    );
+    if !result.per_thread.is_empty() {
+        let shares: Vec<String> = result
+            .per_thread
+            .iter()
+            .map(|t| format!("{}n/{}r", t.nodes_visited, t.rows_scanned))
+            .collect();
+        println!("  per-thread nodes/rows: [{}]", shares.join(", "));
+    }
+}
+
+/// Runs one query on the connected server, printing the same output as
+/// local execution. Returns false when the connection itself failed
+/// (the caller drops back to the local database); server-side query
+/// errors print and return true, like local errors.
+fn run_remote_query(client: &mut Client, query: &str) -> bool {
+    let start = std::time::Instant::now();
+    match client.query(query) {
+        Ok(result) => {
+            print_remote_result(&result, start.elapsed());
+            true
+        }
+        Err(ClientError::Remote { message, .. }) => {
+            println!("error: {message}");
+            true
+        }
+        Err(e) => {
+            println!("error: {e}");
+            false
+        }
+    }
+}
+
+/// `\prepare` while connected: registers the statement on the server
+/// and prints the signature the server reports (same format as local).
+fn remote_prepare(client: &mut Client, cmd: &str) {
+    let rest = cmd.strip_prefix("prepare").unwrap_or("").trim();
+    let Some((name, text)) = rest.split_once(char::is_whitespace) else {
+        println!("usage: \\prepare <name> <query with ? or $name placeholders>");
+        return;
+    };
+    match client.prepare(name, text.trim()) {
+        Ok(signature) => println!(
+            "prepared `{name}` with {} parameter{}{}",
+            signature.len(),
+            if signature.len() == 1 { "" } else { "s" },
+            if signature.is_empty() {
+                String::new()
+            } else {
+                format!(": {}", signature.join(", "))
+            }
+        ),
+        Err(ClientError::Remote { message, .. }) => println!("error: {message}"),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+/// `\exec` while connected: binds and executes on the server.
+fn remote_exec(client: &mut Client, cmd: &str) {
+    let rest = cmd.strip_prefix("exec").unwrap_or("").trim();
+    let (name, args) = match rest.split_once(char::is_whitespace) {
+        Some((name, args)) => (name, args),
+        None if !rest.is_empty() => (rest, ""),
+        _ => {
+            println!("usage: \\exec <name> [arg…] (number, [series], or name=value)");
+            return;
+        }
+    };
+    let (positional, named) = match parse_exec_args(args) {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            println!("error: {why}");
+            return;
+        }
+    };
+    let start = std::time::Instant::now();
+    match client.exec(name, positional, named) {
+        Ok(result) => {
+            print_output(&result.output);
+            println!(
+                "({:.3} ms; plan {}; nodes={} rows={} cache={})",
+                start.elapsed().as_secs_f64() * 1e3,
+                result.access,
+                result.stats.nodes_visited,
+                result.stats.rows_scanned,
+                if result.stats.plan_cache_hits > 0 {
+                    "hit"
+                } else {
+                    "miss"
+                },
+            );
+        }
+        Err(ClientError::Remote { message, .. }) => println!("error: {message}"),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+/// `\insert` while connected: the rows travel to the server's
+/// coalescing durable write path; the acknowledgment means applied
+/// (and WAL-synced when the server is durable).
+fn remote_insert(client: &mut Client, cmd: &str) {
+    let usage = "usage: \\insert <relation> <name> [v1, v2, …][; <name> [v1, v2, …]]…";
+    let rest = cmd.strip_prefix("insert").unwrap_or("").trim();
+    let Some((relation, rest)) = rest.split_once(char::is_whitespace) else {
+        println!("{usage}");
+        return;
+    };
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for part in rest.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((name, series_text)) = part.split_once(char::is_whitespace) else {
+            println!("{usage}");
+            return;
+        };
+        match parse_exec_args(series_text.trim()) {
+            Ok((positional, named)) => match (positional.as_slice(), named.is_empty()) {
+                ([Value::Series(series)], true) => rows.push((name.to_string(), series.clone())),
+                _ => {
+                    println!("{usage}");
+                    return;
+                }
+            },
+            Err(why) => {
+                println!("error: {why}");
+                return;
+            }
+        }
+    }
+    if rows.is_empty() {
+        println!("{usage}");
+        return;
+    }
+    let start = std::time::Instant::now();
+    match client.insert(relation, rows) {
+        Ok(report) => {
+            match (report.ids.iter().min(), report.ids.iter().max()) {
+                (Some(lo), Some(hi)) => println!(
+                    "inserted {} row{} into `{relation}` across {} shard{} (ids {lo}..={hi}; {} WAL record{}, {} group sync{}; {:.3} ms)",
+                    report.ids.len(),
+                    if report.ids.len() == 1 { "" } else { "s" },
+                    report.shards_touched,
+                    if report.shards_touched == 1 { "" } else { "s" },
+                    report.wal_records,
+                    if report.wal_records == 1 { "" } else { "s" },
+                    report.wal_syncs,
+                    if report.wal_syncs == 1 { "" } else { "s" },
+                    start.elapsed().as_secs_f64() * 1e3,
+                ),
+                _ => println!("inserted 0 rows into `{relation}`"),
+            }
+            for (idx, why) in &report.failed {
+                println!("  row {idx} failed: {why}");
+            }
+        }
+        Err(ClientError::Remote { message, .. }) => println!("error: {message}"),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
 /// Positional and named (`name=value`) arguments of one `\exec` line.
 type ExecArgs = (Vec<Value>, Vec<(String, Value)>);
 
@@ -567,10 +821,76 @@ fn describe_slot(i: usize, slot: &similarity_queries::query::Slot) -> String {
 fn shell_command(
     session: &mut Session,
     statements: &mut HashMap<String, Prepared>,
+    remote: &mut Option<Client>,
     cmd: &str,
     default_snapshot: Option<&str>,
     batch_buffer: &mut Option<Vec<String>>,
 ) -> bool {
+    // Remote mode intercepts every command with a server-side
+    // equivalent; commands that only make sense against the local
+    // database print a hint instead of silently ignoring the server.
+    if let Some(client) = remote.as_mut() {
+        match cmd.split_whitespace().next().unwrap_or("") {
+            // These read or set process-local state, not the database.
+            "help" | "metrics" | "trace" | "slowlog" => {}
+            "q" | "quit" | "exit" => {
+                if let Some(client) = remote.take() {
+                    client.goodbye().ok();
+                }
+                return false;
+            }
+            "connect" => {
+                println!(
+                    "already connected to {}; \\disconnect first",
+                    client.server()
+                );
+                return true;
+            }
+            "disconnect" => {
+                if let Some(client) = remote.take() {
+                    let server = client.server().to_string();
+                    match client.goodbye() {
+                        Ok(()) => println!("disconnected from {server}"),
+                        Err(e) => println!("disconnected from {server} (close failed: {e})"),
+                    }
+                }
+                return true;
+            }
+            "prepared" => {
+                match client.list_prepared() {
+                    Ok(entries) if entries.is_empty() => {
+                        println!(
+                            "no prepared statements on this connection; \\prepare <name> <query>"
+                        );
+                    }
+                    Ok(entries) => {
+                        for (name, text) in entries {
+                            println!("  {name}: {text}");
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+                return true;
+            }
+            "prepare" => {
+                remote_prepare(client, cmd);
+                return true;
+            }
+            "exec" => {
+                remote_exec(client, cmd);
+                return true;
+            }
+            "insert" => {
+                remote_insert(client, cmd);
+                return true;
+            }
+            other => {
+                println!("\\{other} is local-only; \\disconnect to leave the remote session");
+                return true;
+            }
+        }
+    }
+
     // `\prepare` and `\exec` need the raw remainder of the line (query
     // text and series literals contain spaces), so they are handled
     // before the whitespace-split command dispatch.
@@ -749,9 +1069,35 @@ fn shell_command(
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some("q" | "quit" | "exit") => return false,
+        Some("connect") => match parts.next() {
+            Some(addr) => match Client::connect(addr) {
+                Ok(client) => {
+                    println!(
+                        "connected to {} at {addr} (catalog generation {})",
+                        client.server(),
+                        client.generation()
+                    );
+                    *remote = Some(client);
+                }
+                Err(e) => println!("cannot connect to {addr}: {e}"),
+            },
+            None => println!("usage: \\connect <host:port>"),
+        },
+        Some("disconnect") => println!("not connected; \\connect <host:port> first"),
+        Some("prepared") => {
+            if statements.is_empty() {
+                println!("no prepared statements; \\prepare <name> <query>");
+            } else {
+                let mut names: Vec<&String> = statements.keys().collect();
+                names.sort();
+                for name in names {
+                    println!("  {name}: {}", statements[name].text());
+                }
+            }
+        }
         Some("help") => {
             println!(
-                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\n  EXPLAIN ANALYZE <query>   (execute instrumented; per-operator timings)\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …][; …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\sessions\n       \\metrics [--json]  \\trace [on|off]  \\slowlog [<ms>|off]  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs; a `;`-separated\n  \\insert batch group-commits — one WAL sync per touched shard, rows\n  to distinct shards applied by concurrent writers — and\n  SIMQ_GROUP_COMMIT=1 coalesces even single-record inserts\nobservability: EXPLAIN ANALYZE prints the executed operator tree with\n  wall-clock timings (results bitwise identical to the plain query);\n  \\trace on prints a span tree after every query (SIMQ_TRACE=1 at\n  startup); \\metrics dumps the process-wide counter/histogram registry\n  (--json for machines); \\slowlog <ms> keeps the last slow queries\n  (SIMQ_SLOWLOG=<ms> at startup)"
+                "queries:\n  FIND SIMILAR TO (ROW <id> | NAME <name> | [v1, v2, …]) IN <rel> \\\n      [USING <t> [THEN <t>]* [ON BOTH]] EPSILON <e> \\\n      [MEAN WITHIN <m>] [STD WITHIN <s>] [FORCE SCAN|INDEX]\n  FIND <k> NEAREST TO <source> IN <rel> [USING …]\n  FIND PAIRS IN <rel> [USING <t> [ON ONE] | MATCHING <t> AGAINST <t>] \\\n      EPSILON <e> [METHOD a|b|c|d]\n  EXPLAIN <query>\n  EXPLAIN ANALYZE <query>   (execute instrumented; per-operator timings)\ntransformations: identity, mavg(w), wmavg(w1, …), reverse, shift(c), scale(k), warp(m)\nshell: \\relations  \\rows <rel>  \\insert <rel> <name> [v1, v2, …][; …]\n       \\shard <rel> <n>  \\save [file]  \\open <file>\n       \\export <rel> <path>  \\threads <n|auto|serial>\n       \\batch [run|explain|show|cancel]  \\wal [dir|checkpoint]\n       \\prepare <name> <query>  \\exec <name> [args…]  \\prepared\n       \\connect <host:port>  \\disconnect  \\sessions\n       \\metrics [--json]  \\trace [on|off]  \\slowlog [<ms>|off]  \\quit\nprepared statements: queries may hold ? (positional) and $name (named)\n  placeholders in the source, EPSILON, k, ROW and MEAN/STD slots;\n  \\prepare parses and plans once, \\exec binds arguments (numbers,\n  [v1, v2, …] series, name=value pairs) and executes; every query in\n  the shell shares one session whose plan cache skips re-planning\n  repeated shapes (\\sessions shows hits/misses)\nbatches: a line of `;`-separated queries runs as one batch with shared\n  index traversal; \\batch collects queries line by line, \\batch run\n  executes them, \\batch explain previews the shared groups\nsharding: \\shard <rel> <n> partitions a relation into n shards, each with\n  its own R*-tree — inserts touch one small tree, and queries fan out\n  one work unit per shard (results identical to unsharded; \\shard 1\n  merges back)\npersistence: \\save writes a binary snapshot of the whole database\n  (SIMQ_DB names the default file); \\open loads one without rebuilding\n  indexes; \\export writes one relation as v2 text\ndurability: \\wal <dir> attaches a write-ahead-logged directory (SIMQ_WAL\n  attaches or reopens one at startup); \\insert appends to the owning\n  shard's log *before* applying, so acknowledged inserts survive any\n  crash; \\wal shows status; \\wal checkpoint (or bare \\save) rewrites\n  only the dirty shards and absorbs their logs; a `;`-separated\n  \\insert batch group-commits — one WAL sync per touched shard, rows\n  to distinct shards applied by concurrent writers — and\n  SIMQ_GROUP_COMMIT=1 coalesces even single-record inserts\nnetwork: simq --serve <addr> (or SIMQ_LISTEN) serves this database to\n  concurrent wire-protocol clients (docs/WIRE_PROTOCOL.md); \\connect\n  <host:port> turns this shell into a remote client — queries,\n  \\prepare/\\exec/\\prepared and \\insert run server-side with bitwise-\n  identical results; \\disconnect returns to the local database\nobservability: EXPLAIN ANALYZE prints the executed operator tree with\n  wall-clock timings (results bitwise identical to the plain query);\n  \\trace on prints a span tree after every query (SIMQ_TRACE=1 at\n  startup); \\metrics dumps the process-wide counter/histogram registry\n  (--json for machines); \\slowlog <ms> keeps the last slow queries\n  (SIMQ_SLOWLOG=<ms> at startup)"
             );
         }
         Some("sessions") => {

@@ -21,6 +21,8 @@
 //! | [`obs`] | `simq-obs` | Observability: span tracing, metrics registry, slow-query log |
 //! | [`strings`] | `simq-strings` | The string instantiation: rewrite rules, edit distance, patterns |
 //! | [`data`] | `simq-data` | Workload generators (random walks, simulated stock market) |
+//! | [`server`] | `simq-server` | Network service: wire frames, request/response vocabulary, TCP server |
+//! | [`client`] | `simq-client` | Blocking wire-protocol client with streaming remote cursors |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 //! assert_eq!(hits[0].id, 0); // the query row matches itself
 //! ```
 
+pub use simq_client as client;
 pub use simq_core as core;
 pub use simq_data as data;
 pub use simq_dsp as dsp;
@@ -55,11 +58,13 @@ pub use simq_index as index;
 pub use simq_obs as obs;
 pub use simq_query as query;
 pub use simq_series as series;
+pub use simq_server as server;
 pub use simq_storage as storage;
 pub use simq_strings as strings;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use simq_client::{Client, ClientError, RemoteCursor};
     pub use simq_core::{
         similarity_distance, DataObject, RealSequence, SearchConfig, SimilarityModel, SymbolString,
         TransformationSet,
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use simq_series::{
         moving_average, normal_form, warp, FeatureScheme, Representation, SeriesTransform,
     };
+    pub use simq_server::{RemoteInsertReport, RemoteResult, Server, ServerConfig};
     pub use simq_storage::{scan_range, SeriesRelation, ShardLayout, ShardedRelation, WriteGroup};
     pub use simq_strings::{levenshtein, rewrite_distance, RewriteBudget, RewriteRule, RuleSet};
 }

@@ -19,7 +19,9 @@ fn run_cli(args: &[&str], stdin: &str) -> (String, String, i32) {
 /// binary must not interpret those as *its* startup directories.
 fn run_cli_with(args: &[&str], stdin: &str, env: &[(&str, &str)]) -> (String, String, i32) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_simq"));
-    cmd.env_remove("SIMQ_WAL").env_remove("SIMQ_DB");
+    cmd.env_remove("SIMQ_WAL")
+        .env_remove("SIMQ_DB")
+        .env_remove("SIMQ_LISTEN");
     for (k, v) in env {
         cmd.env(k, v);
     }
@@ -503,9 +505,16 @@ struct InteractiveCli {
 
 impl InteractiveCli {
     fn spawn(env: &[(&str, &str)]) -> Self {
+        Self::spawn_with_args(&[], env)
+    }
+
+    fn spawn_with_args(args: &[&str], env: &[(&str, &str)]) -> Self {
         use std::io::Read;
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_simq"));
-        cmd.env_remove("SIMQ_WAL").env_remove("SIMQ_DB");
+        cmd.args(args);
+        cmd.env_remove("SIMQ_WAL")
+            .env_remove("SIMQ_DB")
+            .env_remove("SIMQ_LISTEN");
         for (k, v) in env {
             cmd.env(k, v);
         }
@@ -657,4 +666,69 @@ fn poisoned_write_path_recovers_via_manual_checkpoint() {
     assert!(stdout.contains("replayed 1 WAL record"), "{stdout}");
     assert!(stdout.contains("PHOENIX"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The network service through the real binary, end to end: one `simq
+/// --serve` process and one interactive `simq` process that `\connect`s
+/// to it. Queries, `\prepare`/`\exec`/`\prepared` run server-side with
+/// the same printed shape as local execution; local-only commands hint
+/// instead of silently touching the wrong database; `\disconnect`
+/// returns to the local catalog; and `quit` on the server's stdin
+/// drains and stops it cleanly.
+#[test]
+fn serve_and_connect_roundtrip_between_two_processes() {
+    let mut server = InteractiveCli::spawn_with_args(&["--serve", "127.0.0.1:0"], &[]);
+    server.expect("serving on 127.0.0.1:");
+    // Port 0 picked a free port; parse the full address off the banner.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        {
+            let out = server.stdout.lock().expect("stdout buffer lock");
+            if let Some(at) = out.find("serving on ") {
+                let rest = &out[at + "serving on ".len()..];
+                if let Some(eol) = rest.find('\n') {
+                    break rest[..eol].trim().to_string();
+                }
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server banner line never completed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    let mut client = InteractiveCli::spawn(&[]);
+    client.expect("type a query");
+    client.send(&format!("\\connect {addr}"));
+    client.expect("connected to simq-server/");
+    // A remote query prints the same rows + stat line as local mode.
+    client.send("FIND 3 NEAREST TO ROW 5 IN walks");
+    client.expect("3 hits:");
+    client.expect("id=5");
+    client.expect("plan IndexScan");
+    // Prepared statements live in the connection's server-side registry.
+    client.send("\\prepare knn FIND ? NEAREST TO ROW $r IN walks");
+    client.expect("prepared `knn` with 2 parameters");
+    client.send("\\exec knn 2 r=7");
+    client.expect("2 hits:");
+    client.expect("cache=hit");
+    client.send("\\prepared");
+    client.expect("knn: FIND ? NEAREST TO ROW $r IN walks");
+    // Local-only commands hint rather than run against the wrong db.
+    client.send("\\relations");
+    client.expect("local-only");
+    // Back to the local database: the remote registry is not ours.
+    client.send("\\disconnect");
+    client.expect("disconnected from");
+    client.send("\\prepared");
+    client.expect("no prepared statements");
+    let (stdout, code) = client.finish();
+    assert_eq!(code, 0, "{stdout}");
+
+    // `quit` on the serving process's stdin stops it cleanly.
+    server.send("quit");
+    server.expect("server stopped");
+    let status = server.child.wait().expect("server process exits");
+    assert_eq!(status.code(), Some(0));
 }

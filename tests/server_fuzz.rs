@@ -1,0 +1,192 @@
+//! Wire-protocol robustness as a property (the frame-level sibling of
+//! `parser_fuzz.rs`): whatever bytes arrive, `wire::decode_frame` and
+//! the `proto` payload decoders return `Ok` or a *structured*
+//! [`WireError`] — never a panic, an out-of-bounds slice, or an
+//! unchecked allocation. On a live server, garbage and malformed
+//! frames produce one structured error frame followed by a clean
+//! connection close — not a hang, not a protocol desync.
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use similarity_queries::prelude::*;
+use similarity_queries::server::proto::{Request, Response};
+use similarity_queries::server::wire::{self, FrameKind};
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+
+proptest! {
+    /// Arbitrary byte soup never panics the frame decoder.
+    #[test]
+    fn decode_frame_never_panics(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        let _ = wire::decode_frame(&bytes);
+    }
+
+    /// A valid frame truncated at any point decodes to an error.
+    #[test]
+    fn truncated_frames_are_structured_errors(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let frame = wire::encode_frame(FrameKind::Query, &payload);
+        let cut = cut_seed % frame.len(); // strictly shorter than the frame
+        prop_assert!(wire::decode_frame(&frame[..cut]).is_err());
+    }
+
+    /// Every single-bit corruption of a valid frame is detected — the
+    /// checksum covers header and payload, so no flip slips through.
+    #[test]
+    fn bit_flips_never_pass(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        flip_seed in 0usize..1_000_000,
+    ) {
+        let mut frame = wire::encode_frame(FrameKind::Exec, &payload);
+        let bit = flip_seed % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(wire::decode_frame(&frame).is_err(), "flip of bit {bit} went undetected");
+    }
+
+    /// Payload decoding is total for every frame kind: random bytes in
+    /// a well-formed frame produce a request/response or a structured
+    /// `Malformed` error, never a panic.
+    #[test]
+    fn payload_decoders_never_panic(
+        kind_byte in 0u8..=255,
+        payload in prop::collection::vec(0u8..=255, 0..128),
+    ) {
+        if let Ok(kind) = FrameKind::from_u8(kind_byte) {
+            let _ = Request::decode(kind, &payload);
+            let _ = Response::decode(kind, &payload);
+        }
+    }
+}
+
+fn spawn_server() -> (Server, SocketAddr) {
+    let server = Server::bind("127.0.0.1:0", indexed_db(walk_relation("walks", 5, 50, 32)))
+        .expect("server binds");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// Reads whatever the server sends until EOF, returning the decoded
+/// frames. Panics if the stream does not close.
+fn drain_to_eof(stream: &mut TcpStream) -> Vec<(FrameKind, Vec<u8>)> {
+    let mut frames = Vec::new();
+    loop {
+        match wire::read_frame(stream) {
+            Ok((kind, payload)) => frames.push((kind, payload)),
+            Err(wire::WireError::Closed) => return frames,
+            Err(other) => panic!("stream ended abnormally: {other}"),
+        }
+    }
+}
+
+#[test]
+fn garbage_bytes_get_an_error_frame_then_clean_close() {
+    let (server, addr) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("raw socket connects");
+    {
+        use std::io::Write;
+        stream
+            .write_all(b"NOT A SIMQ FRAME AT ALL, JUST NOISE \x00\xff\xfe")
+            .expect("garbage writes");
+    }
+    let frames = drain_to_eof(&mut stream);
+    assert_eq!(frames.len(), 1, "exactly one reply: {frames:?}");
+    assert_eq!(frames[0].0, FrameKind::Error, "the reply is an error frame");
+    let decoded = Response::decode(FrameKind::Error, &frames[0].1).expect("error frame decodes");
+    assert!(matches!(decoded, Response::Error { .. }), "{decoded:?}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payload_after_handshake_errors_and_closes() {
+    let (server, addr) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("raw socket connects");
+    let hello = Request::Hello {
+        client: "fuzz".into(),
+    };
+    wire::write_frame(&mut stream, hello.kind(), &hello.encode()).expect("hello writes");
+    let (kind, _) = wire::read_frame(&mut stream).expect("handshake answered");
+    assert_eq!(kind, FrameKind::HelloOk);
+    // A perfectly framed Query whose payload is not a valid string
+    // length + UTF-8: the frame layer accepts it, the payload decoder
+    // must reject it with a structured error, and the server closes.
+    wire::write_frame(
+        &mut stream,
+        FrameKind::Query,
+        &[0xff, 0xff, 0xff, 0xff, 0x01],
+    )
+    .expect("malformed query writes");
+    let frames = drain_to_eof(&mut stream);
+    assert_eq!(frames.len(), 1, "exactly one reply: {frames:?}");
+    assert_eq!(frames[0].0, FrameKind::Error);
+    server.shutdown();
+}
+
+#[test]
+fn bit_flipped_frame_on_the_socket_errors_and_closes() {
+    let (server, addr) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("raw socket connects");
+    let hello = Request::Hello {
+        client: "fuzz".into(),
+    };
+    wire::write_frame(&mut stream, hello.kind(), &hello.encode()).expect("hello writes");
+    let (kind, _) = wire::read_frame(&mut stream).expect("handshake answered");
+    assert_eq!(kind, FrameKind::HelloOk);
+    let query = Request::Query {
+        text: "FIND 1 NEAREST TO ROW 0 IN walks".into(),
+    };
+    let mut frame = wire::encode_frame(query.kind(), &query.encode());
+    let last = frame.len() - 1;
+    frame[last] ^= 0x40; // corrupt the checksum trailer in flight
+    {
+        use std::io::Write;
+        stream.write_all(&frame).expect("corrupted frame writes");
+    }
+    let frames = drain_to_eof(&mut stream);
+    assert_eq!(frames.len(), 1, "exactly one reply: {frames:?}");
+    assert_eq!(frames[0].0, FrameKind::Error);
+    server.shutdown();
+}
+
+#[test]
+fn abrupt_disconnect_mid_frame_leaves_the_server_serving() {
+    let (server, addr) = spawn_server();
+    {
+        use std::io::Write;
+        let mut stream = TcpStream::connect(addr).expect("raw socket connects");
+        // Half a header, then vanish.
+        stream
+            .write_all(b"SIMQ\x01")
+            .expect("partial header writes");
+    } // dropped: RST/FIN mid-frame
+      // The server must shrug that off and serve the next client fully.
+    let mut client = Client::connect(addr).expect("client connects after the rude one");
+    let result = client
+        .query("FIND 1 NEAREST TO ROW 0 IN walks")
+        .expect("query runs");
+    match result.output {
+        similarity_queries::query::QueryOutput::Hits(hits) => assert_eq!(hits[0].id, 0),
+        other => panic!("expected hits, got {other:?}"),
+    }
+    client.goodbye().expect("orderly close");
+    server.shutdown();
+}
+
+/// `read_frame` on a socket the peer closed cleanly reports `Closed`,
+/// not a bogus truncation (EOF before any byte vs EOF mid-frame).
+#[test]
+fn eof_before_any_byte_is_closed_not_truncated() {
+    let (server, addr) = spawn_server();
+    let mut stream = TcpStream::connect(addr).expect("raw socket connects");
+    let bye = Request::Goodbye;
+    // Without a handshake the server rejects Goodbye as a protocol
+    // error and closes; after draining, further reads are EOF.
+    wire::write_frame(&mut stream, bye.kind(), &bye.encode()).expect("goodbye writes");
+    let _ = drain_to_eof(&mut stream);
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+    server.shutdown();
+}
