@@ -90,15 +90,25 @@ impl DataObject for RealSequence {
         if self.0.len() != other.0.len() {
             return f64::INFINITY;
         }
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum::<f64>()
-            .sqrt()
+        // Chunked flat-slice accumulation: branch-free fixed-width inner
+        // blocks over contiguous memory, single in-order accumulator so
+        // the sum is bitwise identical to the naive zip-and-sum loop.
+        const CHUNK: usize = 8;
+        let mut acc = -0.0f64; // iter::Sum's identity, bit-exact for empty input
+
+        let mut ac = self.0.chunks_exact(CHUNK);
+        let mut bc = other.0.chunks_exact(CHUNK);
+        for (xs, ys) in (&mut ac).zip(&mut bc) {
+            for i in 0..CHUNK {
+                let d = xs[i] - ys[i];
+                acc += d * d;
+            }
+        }
+        for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc.sqrt()
     }
 }
 

@@ -119,6 +119,9 @@ pub struct Registry {
     pub query_latency: Histogram,
     /// `query.shard_work_units` — per-shard fan-out units dispatched.
     pub query_shard_work_units: AtomicU64,
+    /// `filter.dismissed` — candidates dismissed by the quantized
+    /// signature tier before full verification.
+    pub filter_dismissed: AtomicU64,
     /// `plan_cache.hits` — session plan-cache hits.
     pub plan_cache_hits: AtomicU64,
     /// `plan_cache.misses` — session plan-cache misses (plans computed).
@@ -212,6 +215,7 @@ impl Registry {
             counters: vec![
                 ("query.executions", c(&self.query_executions)),
                 ("query.shard_work_units", c(&self.query_shard_work_units)),
+                ("filter.dismissed", c(&self.filter_dismissed)),
                 ("plan_cache.hits", c(&self.plan_cache_hits)),
                 ("plan_cache.misses", c(&self.plan_cache_misses)),
                 ("plan_cache.evictions", c(&self.plan_cache_evictions)),

@@ -510,7 +510,7 @@ impl<'a> BatchExecutor<'a> {
             key
         };
         let mut class_reps: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
-        let mut rep_results: BTreeMap<usize, (Vec<Hit>, u64)> = BTreeMap::new();
+        let mut rep_results: BTreeMap<usize, (Vec<Hit>, u64, u64)> = BTreeMap::new();
 
         for (qi, p) in prepared.iter().enumerate() {
             let ids = &candidates[qi];
@@ -526,18 +526,36 @@ impl<'a> BatchExecutor<'a> {
             let key = class_key(p);
             let hits = match class_reps.get(&key) {
                 Some(&rep) => {
-                    let (hits, compared) = rep_results.get(&rep).expect("rep verified first");
+                    let (hits, compared, filtered) =
+                        rep_results.get(&rep).expect("rep verified first");
                     batch.deduped_verifications += ids.len() as u64;
                     stats.coefficients_compared += *compared;
+                    stats.filtered_out += *filtered;
                     hits.clone()
                 }
                 None => {
                     class_reps.insert(key, qi);
                     let hits = verify_range_candidates(
-                        stored, ids, &p.ctx, &p.window, &p.action, p.eps, threads, &mut stats,
+                        stored,
+                        ids,
+                        &p.ctx,
+                        &p.window,
+                        &p.action,
+                        p.eps,
+                        threads,
+                        &mut stats,
+                        self.db.filter_enabled(),
                     );
                     batch.merged.coefficients_compared += stats.coefficients_compared;
-                    rep_results.insert(qi, (hits.clone(), stats.coefficients_compared));
+                    batch.merged.filtered_out += stats.filtered_out;
+                    rep_results.insert(
+                        qi,
+                        (
+                            hits.clone(),
+                            stats.coefficients_compared,
+                            stats.filtered_out,
+                        ),
+                    );
                     hits
                 }
             };
@@ -808,9 +826,25 @@ impl<'a> BatchExecutor<'a> {
             p.stats.candidates = ids.len() as u64;
             merged.candidates += ids.len() as u64;
 
+            // Quantized tier against this member's step-2 radius, exactly
+            // as in the single-query kNN executor.
+            let probe = self.db.filter_enabled().then(|| {
+                simq_storage::FilterProbe::new(
+                    &p.spectrum,
+                    &p.action.multipliers,
+                    stored.sig_coeffs(),
+                )
+            });
+            let filtered = std::sync::atomic::AtomicU64::new(0);
             let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
                 ids.iter()
                     .filter_map(|&id| {
+                        if let (Some(pr), Some(sig)) = (&probe, stored.signature(id)) {
+                            if pr.dismisses(sig, radius_sq) {
+                                filtered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                return None;
+                            }
+                        }
                         let row = stored.row(id).expect("index ids are valid");
                         let d_sq = exact_distance_sq(
                             &row.features.spectrum,
@@ -839,6 +873,8 @@ impl<'a> BatchExecutor<'a> {
                 merged.coefficients_compared += compared;
                 out
             };
+            p.stats.filtered_out += filtered.load(std::sync::atomic::Ordering::Relaxed);
+            merged.filtered_out += p.stats.filtered_out;
             sort_hits(&mut out);
             out.truncate(p.k);
             step2_hits.insert(qi, out);
@@ -1178,15 +1214,28 @@ fn verify_range_candidates(
     eps: f64,
     threads: usize,
     stats: &mut ExecStats,
+    filter: bool,
 ) -> Vec<Hit> {
     let window_ok = window_test(action, window, ctx);
     let q_spec: &[Complex] = &ctx.spectrum;
+    // Same quantized tier as the single-query executor: candidates whose
+    // signature bound exceeds ε are dismissed before their spectrum is
+    // read, with bitwise-identical surviving hits.
+    let probe = filter
+        .then(|| simq_storage::FilterProbe::new(q_spec, &action.multipliers, stored.sig_coeffs()));
+    let filtered = std::sync::atomic::AtomicU64::new(0);
     let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
         let mut out = Vec::new();
         for &id in ids {
             let row = stored.row(id).expect("index ids are valid");
             if !window_ok(row.features.mean, row.features.std_dev) {
                 continue;
+            }
+            if let (Some(p), Some(sig)) = (&probe, stored.signature(id)) {
+                if p.dismisses(sig, eps * eps) {
+                    filtered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    continue;
+                }
             }
             let d = exact_distance(
                 &row.features.spectrum,
@@ -1215,6 +1264,7 @@ fn verify_range_candidates(
         stats.coefficients_compared += compared;
         out
     };
+    stats.filtered_out += filtered.load(std::sync::atomic::Ordering::Relaxed);
     sort_hits(&mut hits);
     hits
 }

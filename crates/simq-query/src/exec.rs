@@ -36,6 +36,11 @@ pub struct ExecStats {
     pub coefficients_compared: u64,
     /// Candidates produced by the filter step.
     pub candidates: u64,
+    /// Candidates dismissed by the quantized signature tier before their
+    /// full spectrum was touched (always 0 with the filter off — and the
+    /// answer set is identical either way, by the no-false-dismissal
+    /// bound).
+    pub filtered_out: u64,
     /// Candidates that survived exact verification.
     pub verified: u64,
     /// Worker threads that actually carried out query work — the widest
@@ -93,6 +98,7 @@ impl ExecStats {
         self.rows_scanned += o.rows_scanned;
         self.coefficients_compared += o.coefficients_compared;
         self.candidates += o.candidates;
+        self.filtered_out += o.filtered_out;
         self.plan_cache_hits += o.plan_cache_hits;
         self.plan_cache_misses += o.plan_cache_misses;
         self.nodes_built += o.nodes_built;
@@ -362,7 +368,15 @@ pub fn run_with_plan(
                 .relation(relation)
                 .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
             let ctx = resolve_query(stored, source, transform, *on_both)?;
-            let result = range(stored, transform, &ctx, *eps, *stats_window, &the_plan)?;
+            let result = range(
+                stored,
+                transform,
+                &ctx,
+                *eps,
+                *stats_window,
+                &the_plan,
+                db.filter_enabled(),
+            )?;
             note_query_metrics(&result);
             Ok(result)
         }
@@ -378,7 +392,14 @@ pub fn run_with_plan(
                 .relation(relation)
                 .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
             let ctx = resolve_query(stored, source, transform, *on_both)?;
-            let result = knn(stored, transform, &ctx.spectrum, *k, &the_plan)?;
+            let result = knn(
+                stored,
+                transform,
+                &ctx.spectrum,
+                *k,
+                &the_plan,
+                db.filter_enabled(),
+            )?;
             note_query_metrics(&result);
             Ok(result)
         }
@@ -392,7 +413,7 @@ pub fn run_with_plan(
             let stored = db
                 .relation(relation)
                 .ok_or_else(|| QueryError::UnknownRelation(relation.clone()))?;
-            let result = all_pairs(stored, left, right, *eps, &the_plan)?;
+            let result = all_pairs(stored, left, right, *eps, &the_plan, db.filter_enabled())?;
             note_query_metrics(&result);
             Ok(result)
         }
@@ -407,6 +428,10 @@ fn note_query_metrics(result: &QueryResult) {
     if result.stats.shards_touched > 0 {
         m.query_shard_work_units
             .fetch_add(result.stats.shards_touched, Ordering::Relaxed);
+    }
+    if result.stats.filtered_out > 0 {
+        m.filter_dismissed
+            .fetch_add(result.stats.filtered_out, Ordering::Relaxed);
     }
 }
 
@@ -430,12 +455,13 @@ fn render_analyze(
     let s = &result.stats;
     let _ = writeln!(
         out,
-        "stats: nodes={} leaves={} entries={} rows={} candidates={} verified={} coefficients={} threads={} shards={}",
+        "stats: nodes={} leaves={} entries={} rows={} candidates={} filtered_out={} verified={} coefficients={} threads={} shards={}",
         s.nodes_visited,
         s.leaves_visited,
         s.entries_tested,
         s.rows_scanned,
         s.candidates,
+        s.filtered_out,
         s.verified,
         s.coefficients_compared,
         s.threads_used,
@@ -551,18 +577,18 @@ pub(crate) fn exact_distance_sq(
     abandon_over: Option<f64>,
     compared: &mut u64,
 ) -> f64 {
-    let mut acc = (row_spectrum[0] - q[0]).norm_sqr();
-    *compared += 1;
-    for f in 1..row_spectrum.len() {
-        acc += (row_spectrum[f] * multipliers[f - 1] - q[f]).norm_sqr();
-        *compared += 1;
-        if let Some(limit) = abandon_over {
-            if acc > limit {
-                return f64::INFINITY;
-            }
-        }
+    let (d_sq, abandoned) = simq_series::kernel::transformed_distance_sq(
+        row_spectrum,
+        multipliers,
+        q,
+        abandon_over,
+        compared,
+    );
+    if abandoned {
+        f64::INFINITY
+    } else {
+        d_sq
     }
-    acc
 }
 
 /// [`exact_distance_sq`] with the square root taken for finite results.
@@ -576,6 +602,7 @@ pub(crate) fn exact_distance(
     exact_distance_sq(row_spectrum, multipliers, q, abandon_over, compared).sqrt()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn range(
     stored: &StoredRelation,
     transform: &SeriesTransform,
@@ -583,6 +610,7 @@ fn range(
     eps: f64,
     window: StatsWindow,
     the_plan: &Plan,
+    filter: bool,
 ) -> Result<QueryResult, QueryError> {
     let n = stored.series_len();
     let q_spec: &[Complex] = &ctx.spectrum;
@@ -666,12 +694,27 @@ fn range(
             drop(descend);
             stats.candidates = candidates.len() as u64;
 
+            // The quantized tier sits between the tree and verification:
+            // one probe per query, one flat-array lookup per candidate.
+            // Dismissal needs `lb² > ε²`, which (the bound being a true
+            // lower bound) implies the exact distance also exceeds ε —
+            // the candidate could never have become a hit.
+            let probe = filter.then(|| {
+                simq_storage::FilterProbe::new(q_spec, &action.multipliers, stored.sig_coeffs())
+            });
+            let filtered = std::sync::atomic::AtomicU64::new(0);
             let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
                 let mut out = Vec::new();
                 for &id in ids {
                     let row = stored.row(id).expect("index ids are valid");
                     if !window_ok(row.features.mean, row.features.std_dev) {
                         continue;
+                    }
+                    if let (Some(p), Some(sig)) = (&probe, stored.signature(id)) {
+                        if p.dismisses(sig, eps * eps) {
+                            filtered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            continue;
+                        }
                     }
                     let d = exact_distance(
                         &row.features.spectrum,
@@ -709,7 +752,9 @@ fn range(
                 }
                 out
             };
+            stats.filtered_out = filtered.load(std::sync::atomic::Ordering::Relaxed);
             verify_span.note("candidates", stats.candidates);
+            verify_span.note("filtered", stats.filtered_out);
             verify_span.note("verified", out.len() as u64);
             drop(verify_span);
             out
@@ -812,6 +857,7 @@ fn knn(
     q_spec: &[Complex],
     k: usize,
     the_plan: &Plan,
+    filter: bool,
 ) -> Result<QueryResult, QueryError> {
     let n = stored.series_len();
     let threads = the_plan.threads.max(1);
@@ -935,9 +981,22 @@ fn knn(
                 drop(step2_span);
                 stats.candidates = candidates.len() as u64;
 
+                // Quantized tier against the step-2 radius: a candidate
+                // whose signature lower bound exceeds the k-th-best
+                // distance can never enter the final top-k.
+                let probe = filter.then(|| {
+                    simq_storage::FilterProbe::new(q_spec, &action.multipliers, stored.sig_coeffs())
+                });
+                let filtered = std::sync::atomic::AtomicU64::new(0);
                 let verify = |ids: &[u64], compared: &mut u64| -> Vec<Hit> {
                     ids.iter()
                         .filter_map(|&id| {
+                            if let (Some(p), Some(sig)) = (&probe, stored.signature(id)) {
+                                if p.dismisses(sig, radius_sq) {
+                                    filtered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    return None;
+                                }
+                            }
                             let row = stored.row(id).expect("index ids are valid");
                             let d_sq = exact_distance_sq(
                                 &row.features.spectrum,
@@ -983,6 +1042,8 @@ fn knn(
                         .then(a.id.cmp(&b.id))
                 });
                 out.truncate(k);
+                stats.filtered_out = filtered.load(std::sync::atomic::Ordering::Relaxed);
+                verify_span.note("filtered", stats.filtered_out);
                 verify_span.note("verified", out.len() as u64);
                 drop(verify_span);
                 out
@@ -1048,6 +1109,7 @@ fn all_pairs(
     right: &SeriesTransform,
     eps: f64,
     the_plan: &Plan,
+    filter: bool,
 ) -> Result<QueryResult, QueryError> {
     let n = stored.series_len();
     let threads = the_plan.threads.max(1);
@@ -1159,6 +1221,16 @@ fn all_pairs(
                 );
                 let probe_point = scheme.point_from_spectrum(0.0, 0.0, probe_spec)?;
                 let rect = scheme.search_rect(&probe_point, pad(eps));
+                // Per-probe filter compilation: the probe spectrum is the
+                // "query" of this row's verification step, so each probe
+                // row gets its own quantized-tier bound against ε.
+                let row_probe = filter.then(|| {
+                    simq_storage::FilterProbe::new(
+                        probe_spec,
+                        &action.multipliers,
+                        stored.sig_coeffs(),
+                    )
+                });
                 for tree in &probe_trees {
                     let (candidates, s) = tree.range_transformed(&lowered, &rect);
                     stats.add_search(&s);
@@ -1171,6 +1243,12 @@ fn all_pairs(
                             }
                         } else if id == row.id {
                             continue;
+                        }
+                        if let (Some(p), Some(sig)) = (&row_probe, stored.signature(id)) {
+                            if p.dismisses(sig, eps * eps) {
+                                stats.filtered_out += 1;
+                                continue;
+                            }
                         }
                         let other = stored.row(id).expect("index ids are valid");
                         let d = exact_distance(
@@ -1245,6 +1323,7 @@ fn all_pairs(
             };
             join_span.note("probes", rows.len() as u64);
             join_span.note("candidates", stats.candidates);
+            join_span.note("filtered", stats.filtered_out);
             join_span.note("pairs", found.len() as u64);
             drop(join_span);
             found

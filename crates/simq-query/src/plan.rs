@@ -90,6 +90,21 @@ impl StoredRelation {
         }
     }
 
+    /// The quantized filter-tier signature of a row (routed through the
+    /// shard layout when sharded).
+    pub fn signature(&self, id: u64) -> Option<&[f32]> {
+        match self {
+            StoredRelation::Single { relation, .. } => relation.signature(id),
+            StoredRelation::Sharded { relation, .. } => relation.signature(id),
+        }
+    }
+
+    /// Coefficients each filter-tier signature keeps — fixed by the
+    /// series length, so single and sharded forms always agree.
+    pub fn sig_coeffs(&self) -> usize {
+        self.series_len().min(simq_storage::SIG_COEFFS)
+    }
+
     /// First row whose name attribute equals `name` — first in insertion
     /// order for the single form, smallest id for the sharded one. The
     /// two coincide for sequentially built relations (the only kind whose
@@ -375,6 +390,12 @@ pub struct Database {
     /// Route single-record WAL appends through the owning shard's
     /// [`simq_storage::WriteGroup`] so concurrent writers coalesce syncs.
     group_commit: bool,
+    /// Inverted filter-tier switch (`false` = filter on, the default):
+    /// when on, executors consult the quantized signature tier to dismiss
+    /// candidates before full verification. Results are identical either
+    /// way — the off position exists for baselines and the equivalence
+    /// suite.
+    filter_off: bool,
 }
 
 impl Database {
@@ -1097,6 +1118,20 @@ impl Database {
         self.group_commit = on;
     }
 
+    /// Whether index-served queries consult the quantized filter tier
+    /// before full verification (on by default). The answer set is
+    /// identical either way — the tier only dismisses candidates whose
+    /// signature lower bound already exceeds the query threshold.
+    pub fn filter_enabled(&self) -> bool {
+        !self.filter_off
+    }
+
+    /// Turns the quantized filter tier on or off for subsequent queries
+    /// (off = verify every candidate, the pre-filter baseline).
+    pub fn set_filter(&mut self, on: bool) {
+        self.filter_off = !on;
+    }
+
     /// An immutable, generation-stamped view of the catalog for readers.
     ///
     /// The view shallow-copies the relation map (per-relation [`Arc`]
@@ -1113,6 +1148,7 @@ impl Database {
                 generation: self.generation,
                 durability: None,
                 group_commit: false,
+                filter_off: self.filter_off,
             },
         }
     }

@@ -1109,6 +1109,10 @@ struct RangeVerify<'db> {
     q_std: f64,
     q_spec: Vec<Complex>,
     eps: f64,
+    /// Quantized filter-tier probe (index cursors with the filter on):
+    /// dismisses candidates before their full spectrum is read, yielding
+    /// the exact hit stream either way.
+    probe: Option<simq_storage::FilterProbe>,
 }
 
 impl RangeVerify<'_> {
@@ -1126,17 +1130,23 @@ impl RangeVerify<'_> {
 
     /// The single-query verification step on one row; `None` when the
     /// row is filtered out.
-    fn verify(&self, id: u64, compared: &mut u64) -> Option<Hit> {
+    fn verify(&self, id: u64, stats: &mut ExecStats) -> Option<Hit> {
         let row = self.stored.row(id).expect("candidate ids are valid");
         if !self.window_ok(row.features.mean, row.features.std_dev) {
             return None;
+        }
+        if let (Some(p), Some(sig)) = (&self.probe, self.stored.signature(id)) {
+            if p.dismisses(sig, self.eps * self.eps) {
+                stats.filtered_out += 1;
+                return None;
+            }
         }
         let d = exec::exact_distance(
             &row.features.spectrum,
             &self.action.multipliers,
             &self.q_spec,
             Some(self.eps * self.eps),
-            compared,
+            &mut stats.coefficients_compared,
         );
         (d <= self.eps).then(|| Hit {
             id,
@@ -1191,7 +1201,7 @@ impl<'db> Cursor<'db> {
                 let n = stored.series_len();
                 let ctx = exec::resolve_query(stored, source, transform, *on_both)?;
                 let action = transform.action(n, n.saturating_sub(1))?;
-                let verify = RangeVerify {
+                let mut verify = RangeVerify {
                     stored,
                     action,
                     window: *stats_window,
@@ -1199,9 +1209,20 @@ impl<'db> Cursor<'db> {
                     q_std: ctx.std_dev,
                     q_spec: ctx.spectrum,
                     eps: *eps,
+                    probe: None,
                 };
                 let state = match the_plan.access {
                     AccessPath::IndexScan => {
+                        // Index cursors consult the quantized tier, exactly
+                        // like the materialized index executor. The scan
+                        // cursor stays a pure baseline.
+                        if db.filter_enabled() {
+                            verify.probe = Some(simq_storage::FilterProbe::new(
+                                &verify.q_spec,
+                                &verify.action.multipliers,
+                                stored.sig_coeffs(),
+                            ));
+                        }
                         let scheme = stored.scheme();
                         let q_point =
                             scheme.point_from_spectrum(ctx.mean, ctx.std_dev, &verify.q_spec)?;
@@ -1314,7 +1335,7 @@ impl Iterator for Cursor<'_> {
             CursorState::IndexRange { stream, verify } => loop {
                 let Some(id) = stream.next() else { break None };
                 self.stats.candidates += 1;
-                if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
+                if let Some(hit) = verify.verify(id, &mut self.stats) {
                     self.stats.verified += 1;
                     break Some(hit);
                 }
@@ -1322,7 +1343,7 @@ impl Iterator for Cursor<'_> {
             CursorState::IndexRangeSharded { stream, verify } => loop {
                 let Some(id) = stream.next() else { break None };
                 self.stats.candidates += 1;
-                if let Some(hit) = verify.verify(id, &mut self.stats.coefficients_compared) {
+                if let Some(hit) = verify.verify(id, &mut self.stats) {
                     self.stats.verified += 1;
                     break Some(hit);
                 }
@@ -1331,7 +1352,7 @@ impl Iterator for Cursor<'_> {
                 let Some(row) = rows.next() else { break None };
                 self.stats.rows_scanned += 1;
                 self.stats.candidates += 1;
-                if let Some(hit) = verify.verify(row.id, &mut self.stats.coefficients_compared) {
+                if let Some(hit) = verify.verify(row.id, &mut self.stats) {
                     self.stats.verified += 1;
                     break Some(hit);
                 }

@@ -13,6 +13,9 @@
 //!   and `S_pol`), search rectangles (Figure 7), and feature distances.
 //! * [`mindist`] — lower bounds on spectral distance from index
 //!   rectangles (annular-sector MINDIST for the polar representation).
+//! * [`kernel`] — the chunked flat-slice distance kernel shared by the
+//!   executors and scan baselines (bitwise identical to the scalar
+//!   reference loops, early abandoning hoisted to chunk granularity).
 //! * [`transform`] — series transformations, their lowering to safe
 //!   feature-space transformations (Theorems 2 and 3), and the safety
 //!   checks that reject the unsafe cases.
@@ -22,6 +25,7 @@
 
 pub mod error;
 pub mod features;
+pub mod kernel;
 pub mod mavg;
 pub mod mindist;
 pub mod normal;
@@ -31,6 +35,7 @@ pub mod warp;
 
 pub use error::SeriesError;
 pub use features::{FeaturePoint, FeatureScheme, Representation};
+pub use kernel::{distance_outcome, euclidean_sq_flat, DistOutcome};
 pub use mavg::{moving_average, plain_moving_average, weighted_moving_average};
 pub use mindist::{sector_distance, spectral_mindist};
 pub use normal::{mean, normal_form, normalize, std_dev, NormalForm};

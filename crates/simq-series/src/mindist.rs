@@ -76,20 +76,22 @@ pub fn sector_distance(q: Complex, r_lo: f64, r_hi: f64, a_lo: f64, a_hi: f64) -
 pub fn spectral_mindist(scheme: &FeatureScheme, q_coeffs: &[Complex], rect: &Rect) -> f64 {
     assert_eq!(rect.dims(), scheme.dims(), "rect dimensionality mismatch");
     assert!(q_coeffs.len() >= scheme.k, "not enough query coefficients");
+    // Flat-slice iteration: the coefficient dimensions are contiguous
+    // `(a, b)` pairs after the statistics prefix, so zipped `chunks_exact`
+    // windows replace per-dimension indexing (and its bounds checks) while
+    // accumulating in the same left-to-right order.
     let base = scheme.stats_dims();
+    let lo = rect.lo[base..].chunks_exact(2);
+    let hi = rect.hi[base..].chunks_exact(2);
     let mut acc = 0.0;
-    for (i, q) in q_coeffs.iter().take(scheme.k).enumerate() {
-        let d0 = base + 2 * i;
-        let d1 = d0 + 1;
+    for ((q, lo), hi) in q_coeffs.iter().take(scheme.k).zip(lo).zip(hi) {
         let d = match scheme.rep {
             Representation::Rectangular => {
-                let dre = interval_dist(q.re, rect.lo[d0], rect.hi[d0]);
-                let dim = interval_dist(q.im, rect.lo[d1], rect.hi[d1]);
+                let dre = interval_dist(q.re, lo[0], hi[0]);
+                let dim = interval_dist(q.im, lo[1], hi[1]);
                 (dre * dre + dim * dim).sqrt()
             }
-            Representation::Polar => {
-                sector_distance(*q, rect.lo[d0], rect.hi[d0], rect.lo[d1], rect.hi[d1])
-            }
+            Representation::Polar => sector_distance(*q, lo[0], hi[0], lo[1], hi[1]),
         };
         acc += d * d;
     }

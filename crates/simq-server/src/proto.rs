@@ -236,6 +236,7 @@ fn put_stats(w: &mut PayloadWriter, s: &ExecStats) {
         s.rows_scanned,
         s.coefficients_compared,
         s.candidates,
+        s.filtered_out,
         s.verified,
         s.threads_used,
         s.plan_cache_hits,
@@ -257,6 +258,7 @@ fn get_stats(r: &mut PayloadReader<'_>) -> Result<ExecStats, WireError> {
         rows_scanned: r.get_u64()?,
         coefficients_compared: r.get_u64()?,
         candidates: r.get_u64()?,
+        filtered_out: r.get_u64()?,
         verified: r.get_u64()?,
         threads_used: r.get_u64()?,
         plan_cache_hits: r.get_u64()?,

@@ -23,6 +23,10 @@
 //!   row id into independent shards (each an ordinary [`SeriesRelation`]),
 //!   plus sharded scan entry points whose merged results are bitwise
 //!   identical to the unsharded scans.
+//! * [`sig`] — the quantized filter tier: [`SignatureArray`] (contiguous
+//!   reduced-precision leading spectrum coefficients per relation/shard)
+//!   and [`FilterProbe`] (a no-false-dismissal lower bound on the
+//!   verification distance, scanned before full verification).
 //! * [`wal`] — checksummed, length-prefixed write-ahead-log records with
 //!   longest-valid-prefix replay and torn-tail repair.
 //! * [`group`] — [`WriteGroup`]: leader/follower group commit coalescing
@@ -44,6 +48,7 @@ pub mod persist;
 pub mod relation;
 pub mod scan;
 pub mod shard;
+pub mod sig;
 pub mod snapshot;
 pub mod wal;
 
@@ -65,5 +70,6 @@ pub use shard::{
     scan_all_pairs_two_sharded, scan_knn_sharded, scan_range_sharded, ShardLayout, ShardedRelation,
     ShardedScanStats,
 };
+pub use sig::{FilterProbe, SignatureArray, SIG_COEFFS};
 pub use snapshot::{SnapshotEntry, SnapshotError, SnapshotRelation, SnapshotSource};
 pub use wal::{WalRecord, WalReplay};

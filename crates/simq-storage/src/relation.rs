@@ -10,6 +10,7 @@
 //! spectrum — the frequency-domain storage the paper's improved sequential
 //! scan operates on.
 
+use crate::sig::SignatureArray;
 use simq_dsp::complex::Complex;
 use simq_index::geom::Rect;
 use simq_index::{RTree, RTreeConfig};
@@ -46,6 +47,10 @@ pub struct SeriesRelation {
     /// insert breaks density, keeping [`SeriesRelation::row`] O(1) either
     /// way.
     by_id: Option<HashMap<u64, usize>>,
+    /// Quantized filter-tier signatures, position-parallel to `rows`.
+    /// Derived data — maintained on every insert, rebuilt on restore,
+    /// never persisted.
+    sigs: SignatureArray,
 }
 
 impl SeriesRelation {
@@ -67,6 +72,7 @@ impl SeriesRelation {
             rows: Vec::new(),
             next_id: 0,
             by_id: None,
+            sigs: SignatureArray::for_series_len(series_len),
         }
     }
 
@@ -90,6 +96,13 @@ impl SeriesRelation {
                 .map(|(i, r)| (r.id, i))
                 .collect::<HashMap<u64, usize>>()
         });
+        // Signatures are derived, not persisted: recompute them here so
+        // every restore path (snapshot decode, durable open, reshard)
+        // carries a filter tier bit-identical to a freshly built one.
+        let sigs = SignatureArray::from_spectra(
+            series_len.min(crate::sig::SIG_COEFFS),
+            rows.iter().map(|r| r.features.spectrum.as_slice()),
+        );
         SeriesRelation {
             name,
             series_len,
@@ -97,6 +110,7 @@ impl SeriesRelation {
             rows,
             next_id,
             by_id,
+            sigs,
         }
     }
 
@@ -167,6 +181,7 @@ impl SeriesRelation {
         }
         let features = self.scheme.extract(&series)?;
         let pos = self.rows.len();
+        self.sigs.push(&features.spectrum);
         self.rows.push(SeriesRow {
             id,
             name: name.into(),
@@ -236,6 +251,28 @@ impl SeriesRelation {
     /// The stored normal-form spectrum of a row.
     pub fn spectrum(&self, id: u64) -> Option<&[Complex]> {
         self.row(id).map(|r| r.features.spectrum.as_slice())
+    }
+
+    /// The quantized filter-tier signature of a row — O(1), mirroring
+    /// [`SeriesRelation::row`]'s dense-or-map lookup.
+    pub fn signature(&self, id: u64) -> Option<&[f32]> {
+        let pos = match &self.by_id {
+            Some(map) => *map.get(&id)?,
+            None => {
+                let pos = id as usize;
+                if pos >= self.rows.len() {
+                    return None;
+                }
+                pos
+            }
+        };
+        self.sigs.row(pos)
+    }
+
+    /// The relation's signature array (contiguous, position-parallel to
+    /// insertion order).
+    pub fn signatures(&self) -> &SignatureArray {
+        &self.sigs
     }
 
     /// Builds an R*-tree over the feature points (bulk-loaded).

@@ -51,7 +51,10 @@ pub struct ScanHit {
 
 /// Exact distance between a transformed spectrum and a query spectrum,
 /// given the precomputed multipliers (frequency 0 is compared untouched —
-/// normal forms have zero DC).
+/// normal forms have zero DC). Delegates to the shared chunked flat-slice
+/// kernel ([`simq_series::kernel`]): completed sums are bitwise identical
+/// to the original scalar loop; early abandoning is decided at chunk
+/// granularity, so `compared` advances in chunk steps on abandoned rows.
 pub(crate) fn transformed_distance_sq(
     spectrum: &[Complex],
     multipliers: &[Complex],
@@ -59,24 +62,7 @@ pub(crate) fn transformed_distance_sq(
     abandon_at: Option<f64>,
     compared: &mut u64,
 ) -> (f64, bool) {
-    debug_assert_eq!(spectrum.len(), query.len());
-    let mut acc = (spectrum[0] - query[0]).norm_sqr();
-    *compared += 1;
-    if let Some(limit) = abandon_at {
-        if acc > limit {
-            return (acc, true);
-        }
-    }
-    for f in 1..spectrum.len() {
-        acc += (spectrum[f] * multipliers[f - 1] - query[f]).norm_sqr();
-        *compared += 1;
-        if let Some(limit) = abandon_at {
-            if acc > limit {
-                return (acc, true);
-            }
-        }
-    }
-    (acc, false)
+    simq_series::kernel::transformed_distance_sq(spectrum, multipliers, query, abandon_at, compared)
 }
 
 /// Range query by sequential scan over the frequency-domain relation.

@@ -351,6 +351,12 @@ impl ShardedRelation {
         self.shards[self.layout.shard_of(id)].row(id)
     }
 
+    /// The quantized filter-tier signature of a row (routed through the
+    /// shard layout, same O(1) lookup as [`ShardedRelation::row`]).
+    pub fn signature(&self, id: u64) -> Option<&[f32]> {
+        self.shards[self.layout.shard_of(id)].signature(id)
+    }
+
     /// Iterates rows shard-major (shard 0's rows in insertion order, then
     /// shard 1's, …). Use [`ShardedRelation::rows_by_id`] when id order
     /// matters.

@@ -1,0 +1,395 @@
+//! The quantized filter tier's contract as executable properties.
+//!
+//! 1. **No false dismissals, end to end**: every query form — range
+//!    (identity and transformed, with statistics windows, forced to scan
+//!    or index), kNN and all-pairs joins (scan and probe methods) —
+//!    returns *bitwise identical* output with the signature filter on
+//!    and off: same ids, same names, same order, bitwise-equal
+//!    distances. Pinned at 1 and 4 threads, 1 and 4 shards, in memory
+//!    and after a snapshot reload.
+//! 2. **The tier actually engages**: on a dense corpus with a tight
+//!    threshold, the filtered run dismisses candidates
+//!    (`filtered_out > 0`) and touches strictly fewer spectrum
+//!    coefficients than the unfiltered run — the filter is a pure
+//!    work-saving layer, not a no-op.
+//! 3. **Pointwise soundness**: for adversarial spectra (negatives,
+//!    denormals, zeros, huge magnitudes, identical series) the quantized
+//!    lower bound never exceeds the true verification distance whenever
+//!    that distance is finite — the per-row inequality behind property 1.
+//! 4. **Build-path independence**: signatures are bit-identical whether a
+//!    relation was bulk loaded, incrementally inserted, batch inserted,
+//!    WAL-replayed or resharded, and a reopened snapshot filters with
+//!    the exact same dismissal counts as the database that wrote it.
+
+mod common;
+
+use common::{assert_outputs_bitwise_equal, corpus, relation_with};
+use proptest::prelude::*;
+use similarity_queries::prelude::*;
+use similarity_queries::series::distance_outcome;
+use similarity_queries::storage::{FilterProbe, SignatureArray, SIG_COEFFS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The query forms the filter tier touches: index range verification
+/// (identity and transformed, with windows), two-step kNN verification,
+/// and join probe verification — plus scan paths, which bypass the tier
+/// and must be unaffected by the toggle.
+fn query_matrix() -> Vec<String> {
+    vec![
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 0.8".into(),
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 6.0".into(),
+        "FIND SIMILAR TO ROW 1 IN r USING mavg(5) ON BOTH EPSILON 1.5".into(),
+        "FIND SIMILAR TO ROW 0 IN r USING reverse ON BOTH EPSILON 2.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 3.0 MEAN WITHIN 2.0".into(),
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 1.0 FORCE SCAN".into(),
+        "FIND 5 NEAREST TO ROW 0 IN r".into(),
+        "FIND 3 NEAREST TO ROW 2 IN r USING mavg(5) ON BOTH".into(),
+        "FIND PAIRS IN r EPSILON 1.5 METHOD b".into(),
+        "FIND PAIRS IN r EPSILON 1.2 METHOD c".into(),
+        "FIND PAIRS IN r USING mavg(5) EPSILON 1.0 METHOD d".into(),
+    ]
+}
+
+/// A database over `series` with the given shard count (1 = unsharded),
+/// under the CI environment matrix (threads / WAL / group commit).
+fn db_of(series: &[Vec<f64>], shards: usize) -> Database {
+    let rel = relation_with(series, FeatureScheme::paper_default());
+    let mut db = Database::new();
+    if shards <= 1 {
+        db.add_relation_indexed(rel);
+    } else {
+        db.add_relation_sharded(rel, shards);
+    }
+    common::apply_env_parallelism(&mut db);
+    common::apply_env_wal(&mut db);
+    common::apply_env_group_commit(&mut db);
+    db
+}
+
+/// Runs `q` with the filter on and off, asserts bitwise-identical
+/// outputs, and returns the filtered run's dismissal count. The
+/// unfiltered run must report zero dismissals by definition.
+fn assert_filter_transparent(db: &mut Database, q: &str, what: &str) -> u64 {
+    db.set_filter(true);
+    let filtered = execute(db, q).expect("filtered query runs");
+    db.set_filter(false);
+    let unfiltered = execute(db, q).expect("unfiltered query runs");
+    db.set_filter(true);
+    assert_eq!(unfiltered.stats.filtered_out, 0, "{what}: {q}");
+    assert_outputs_bitwise_equal(&filtered, &unfiltered, &format!("{what}: {q}"));
+    filtered.stats.filtered_out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Filtered and unfiltered execution agree bitwise on every query
+    /// form, across thread counts and shard counts, on random corpora.
+    #[test]
+    fn filtered_equals_unfiltered(
+        seed in 0u64..300,
+        rows in 30usize..80,
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let series = corpus(seed, rows, 64);
+        let mut db = db_of(&series, shards);
+        for threads in [1usize, 4] {
+            db.set_parallelism(if threads == 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Fixed(threads)
+            });
+            for q in query_matrix() {
+                assert_filter_transparent(
+                    &mut db,
+                    &q,
+                    &format!("shards {shards}, threads {threads}"),
+                );
+            }
+        }
+    }
+
+    /// A database reloaded from a snapshot answers every query form
+    /// bitwise-identically to the in-memory original, with the filter in
+    /// both states — and, because signatures are recomputed from the
+    /// decoded spectra and the tree layout round-trips exactly, with the
+    /// *same dismissal counts*.
+    #[test]
+    fn snapshot_reload_preserves_filter_behaviour(
+        seed in 0u64..200,
+        shards in prop_oneof![Just(1usize), Just(3usize)],
+    ) {
+        let series = corpus(seed.wrapping_add(77), 50, 64);
+        let mut built = db_of(&series, shards);
+        let path = unique_snapshot_path();
+        built.save_snapshot(&path).unwrap();
+        let mut opened = Database::open_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        common::apply_env_parallelism(&mut opened);
+        for q in query_matrix() {
+            let dismissed_built = assert_filter_transparent(&mut built, &q, "built");
+            let dismissed_opened = assert_filter_transparent(&mut opened, &q, "reopened");
+            assert_eq!(dismissed_built, dismissed_opened, "dismissal counts diverge: {q}");
+            built.set_filter(true);
+            opened.set_filter(true);
+            let a = execute(&built, &q).unwrap();
+            let b = execute(&opened, &q).unwrap();
+            assert_outputs_bitwise_equal(&a, &b, &format!("built vs reopened: {q}"));
+        }
+    }
+}
+
+/// A value strategy biased toward the places floating-point goes wrong:
+/// signed zeros, denormals, huge and tiny magnitudes, and plain values.
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(1.0e-320f64),
+        Just(-1.0e-320f64),
+        Just(1.0e154f64),
+        Just(-1.0e154f64),
+        1.0e-45f64..1.0e-38,
+        -1.0e-8f64..1.0e-8,
+    ]
+}
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(
+        (adversarial_f64(), adversarial_f64()).prop_map(|(re, im)| Complex::new(re, im)),
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The pointwise invariant behind the whole tier: for any stored
+    /// spectrum, query spectrum and multiplier vector, the quantized
+    /// lower bound never exceeds the true squared verification distance
+    /// (whenever that distance is finite).
+    #[test]
+    fn lower_bound_never_exceeds_true_distance(
+        n in 1usize..12,
+        seed_x in complex_vec(12),
+        seed_q in complex_vec(12),
+        seed_m in complex_vec(12),
+    ) {
+        let x = &seed_x[..n];
+        let q = &seed_q[..n];
+        let m = &seed_m[..n.saturating_sub(1).max(1)];
+        let true_sq = distance_outcome(x, m, q, None).dist_sq;
+        prop_assume!(true_sq.is_finite());
+        let coeffs = n.min(SIG_COEFFS);
+        let mut sigs = SignatureArray::new(coeffs);
+        sigs.push(x);
+        let probe = FilterProbe::new(q, m, coeffs);
+        let lb = probe.lower_bound_sq(sigs.row(0).unwrap());
+        prop_assert!(
+            lb <= true_sq,
+            "lower bound {lb:e} exceeds true distance {true_sq:e}"
+        );
+    }
+
+    /// Identical series (the hardest case for a quantized bound: the true
+    /// distance is exactly zero) always get a zero lower bound, for any
+    /// multiplier vector applied to both sides symmetrically.
+    #[test]
+    fn identical_series_are_never_dismissed(
+        n in 2usize..12,
+        seed_x in complex_vec(12),
+    ) {
+        let x = &seed_x[..n];
+        let m = vec![Complex::ONE; n - 1];
+        let true_sq = distance_outcome(x, &m, x, None).dist_sq;
+        prop_assume!(true_sq.is_finite());
+        let coeffs = n.min(SIG_COEFFS);
+        let mut sigs = SignatureArray::new(coeffs);
+        sigs.push(x);
+        let probe = FilterProbe::new(x, &m, coeffs);
+        let lb = probe.lower_bound_sq(sigs.row(0).unwrap());
+        prop_assert!(lb <= true_sq, "self-distance {true_sq:e} dismissed by bound {lb:e}");
+    }
+}
+
+/// On a dense corpus with tight thresholds the tier must actually fire:
+/// candidates are dismissed, and the filtered run touches strictly fewer
+/// spectrum coefficients than the unfiltered run (every dismissal skips
+/// at least one verification chunk).
+#[test]
+fn filter_engages_and_saves_work() {
+    let series = corpus(7, 250, 64);
+    let mut db = db_of(&series, 1);
+    let mut engaged = 0u64;
+    for q in [
+        "FIND SIMILAR TO ROW 0 IN r EPSILON 0.6",
+        "FIND SIMILAR TO ROW 3 IN r USING mavg(5) ON BOTH EPSILON 0.8",
+        "FIND 4 NEAREST TO ROW 1 IN r",
+        "FIND PAIRS IN r EPSILON 0.5 METHOD d",
+    ] {
+        db.set_filter(true);
+        let filtered = execute(&db, q).unwrap();
+        db.set_filter(false);
+        let unfiltered = execute(&db, q).unwrap();
+        db.set_filter(true);
+        assert_outputs_bitwise_equal(&filtered, &unfiltered, q);
+        if filtered.stats.filtered_out > 0 {
+            engaged += 1;
+            assert!(
+                filtered.stats.coefficients_compared < unfiltered.stats.coefficients_compared,
+                "{q}: dismissed {} candidates but compared {} >= {} coefficients",
+                filtered.stats.filtered_out,
+                filtered.stats.coefficients_compared,
+                unfiltered.stats.coefficients_compared,
+            );
+        }
+    }
+    assert!(
+        engaged >= 2,
+        "filter tier engaged on only {engaged} of 4 tight queries"
+    );
+}
+
+fn unique_snapshot_path() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "simq-filter-equivalence-{}-{}.simq",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+fn unique_wal_dir() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "simq-filter-equivalence-wal-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Collects every row's signature bits from a stored relation.
+fn signature_bits(db: &Database, rows: usize) -> Vec<Vec<u32>> {
+    let rel = db.relation("r").expect("relation r exists");
+    (0..rows as u64)
+        .map(|id| {
+            rel.signature(id)
+                .unwrap_or_else(|| panic!("row {id} has a signature"))
+                .iter()
+                .map(|f| f.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// Signatures are derived data recomputed on every build path; whichever
+/// way the same rows reach a relation — bulk load, incremental insert,
+/// batch insert, WAL replay into a reopened database, or resharding —
+/// the stored signatures are bit-for-bit identical and every query
+/// answers bitwise-identically with the filter on.
+#[test]
+fn every_build_path_produces_identical_signatures() {
+    let series = corpus(41, 120, 48);
+    let rows = series.len();
+    let split = rows / 2;
+
+    // Bulk: everything loaded up front.
+    let mut bulk = db_of(&series, 1);
+
+    // Incremental: bulk prefix, then one insert_into per remaining row.
+    let mut incremental = db_of(&series[..split], 1);
+    for (i, s) in series[split..].iter().enumerate() {
+        incremental
+            .insert_into("r", format!("S{}", split + i), s.clone())
+            .unwrap();
+    }
+
+    // Batched: bulk prefix, then the rest in a single insert_batch.
+    let mut batched = db_of(&series[..split], 1);
+    let batch_rows: Vec<(String, Vec<f64>)> = series[split..]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("S{}", split + i), s.clone()))
+        .collect();
+    batched.insert_batch("r", batch_rows).unwrap();
+
+    // WAL replay: prefix checkpointed, suffix inserted through the WAL,
+    // then the whole database reopened from the durable directory. Built
+    // without the env fixtures — this path needs exactly one WAL, ours
+    // (under SIMQ_WAL=1 the fixture would already have attached one).
+    let dir = unique_wal_dir();
+    {
+        let mut writer = Database::new();
+        writer.add_relation_indexed(relation_with(
+            &series[..split],
+            FeatureScheme::paper_default(),
+        ));
+        writer.attach_wal(&dir).unwrap();
+        for (i, s) in series[split..].iter().enumerate() {
+            writer
+                .insert_into("r", format!("S{}", split + i), s.clone())
+                .unwrap();
+        }
+    }
+    let (mut replayed, _report) = Database::open_durable(&dir).unwrap();
+
+    // Resharded: the same rows under a 4-way shard layout.
+    let mut sharded = db_of(&series, 4);
+
+    let reference = signature_bits(&bulk, rows);
+    for (db, what) in [
+        (&incremental, "incremental insert"),
+        (&batched, "batch insert"),
+        (&replayed, "WAL replay"),
+        (&sharded, "resharded"),
+    ] {
+        assert_eq!(
+            signature_bits(db, rows),
+            reference,
+            "{what}: signatures diverge from bulk load"
+        );
+    }
+
+    // And the filter is transparent on every build (tree shapes differ,
+    // so dismissal *counts* may differ between builds — the answer sets
+    // must not).
+    for q in query_matrix() {
+        bulk.set_filter(true);
+        let expect = execute(&bulk, &q).unwrap();
+        for (db, what) in [
+            (&mut incremental, "incremental insert"),
+            (&mut batched, "batch insert"),
+            (&mut replayed, "WAL replay"),
+            (&mut sharded, "resharded"),
+        ] {
+            assert_filter_transparent(db, &q, what);
+            db.set_filter(true);
+            let got = execute(db, &q).unwrap();
+            assert_outputs_bitwise_equal(&expect, &got, &format!("{what}: {q}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Streaming cursors take the same verification shortcut: a session
+/// cursor drains identical rows with the filter on and off.
+#[test]
+fn cursor_results_unaffected_by_filter() {
+    let series = corpus(19, 80, 64);
+    let mut db = db_of(&series, 1);
+    let drain = |db: &Database| -> Vec<(u64, u64)> {
+        let session = Session::new(db);
+        let cursor = session
+            .cursor_text("FIND SIMILAR TO ROW 0 IN r EPSILON 2.0")
+            .expect("cursor opens");
+        cursor.map(|h| (h.id, h.distance.to_bits())).collect()
+    };
+    db.set_filter(true);
+    let filtered = drain(&db);
+    db.set_filter(false);
+    let unfiltered = drain(&db);
+    assert_eq!(filtered, unfiltered, "cursor rows diverge under the filter");
+}
